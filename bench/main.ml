@@ -1,0 +1,26 @@
+(* The benchmark harness: regenerates every experiment of EXPERIMENTS.md.
+
+     dune exec bench/main.exe              run everything (E1-E15 + micro)
+     dune exec bench/main.exe e6 e9        run selected experiments
+     dune exec bench/main.exe bechamel     run only the micro-benchmarks *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let run_micro = args = [] || List.mem "bechamel" args in
+  let selected =
+    match List.filter (fun a -> a <> "bechamel") args with
+    | [] -> List.map fst Experiments.all
+    | picks -> picks
+  in
+  Fmt.pr
+    "Querying Network Directories — experiment harness (blocking factor B = \
+     %d)@."
+    Util.block;
+  List.iter
+    (fun id ->
+      match List.assoc_opt id Experiments.all with
+      | Some f -> f ()
+      | None -> Fmt.epr "unknown experiment %S (e1..e15, bechamel)@." id)
+    selected;
+  if run_micro then Bech.run ();
+  Fmt.pr "@.done.@."

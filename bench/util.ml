@@ -1,0 +1,53 @@
+(* Shared helpers for the experiment harness. *)
+
+let block = 64
+
+let header ~id ~claim =
+  Fmt.pr "@.%s@.%s  %s@.%s@." (String.make 78 '=') id claim (String.make 78 '-')
+
+let row fmt = Fmt.pr fmt
+
+let pages n = if n <= 0 then 0 else ((n - 1) / block) + 1
+
+let fresh_pager () =
+  let stats = Io_stats.create () in
+  (stats, Pager.create ~block stats)
+
+(* Measure total I/O and wall-clock seconds of [f]. *)
+let measure stats f =
+  Io_stats.reset stats;
+  let t0 = Sys.time () in
+  let r = f () in
+  let dt = Sys.time () -. t0 in
+  (r, Io_stats.total_io stats, dt)
+
+(* Two disjoint lists spanning a karily instance (even/odd tags). *)
+let even_odd pager instance =
+  let tagged t =
+    Instance.fold
+      (fun acc e -> if Entry.string_values e "tag" = [ t ] then e :: acc else acc)
+      [] instance
+    |> List.rev
+  in
+  ( Ext_list.of_list_resident pager (tagged "even"),
+    Ext_list.of_list_resident pager (tagged "odd") )
+
+let karily = Dif_gen.karily
+let chain = Dif_gen.chain
+
+(* Three interleaved id-residue lists over a karily instance. *)
+let three_lists pager instance =
+  let part k =
+    Instance.fold
+      (fun acc e ->
+        match Entry.int_values e "id" with
+        | id :: _ when id mod 3 = k -> e :: acc
+        | _ -> acc)
+      [] instance
+    |> List.rev
+  in
+  ( Ext_list.of_list_resident pager (part 0),
+    Ext_list.of_list_resident pager (part 1),
+    Ext_list.of_list_resident pager (part 2) )
+
+let ratio a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b

@@ -1,0 +1,282 @@
+(* ndqsh — an interactive query shell over a network directory.
+
+   Load one of the built-in directories (the reconstructed paper figures,
+   or seeded synthetic ones), then type queries in the concrete syntax of
+   Figures 7-10, or LDAP URL queries prefixed with "ldap:".  Meta
+   commands start with ':'.
+
+     dune exec bin/ndqsh.exe -- --directory qos
+     dune exec bin/ndqsh.exe -- --directory random --size 5000 -e '( ? sub ? priority>=9)'
+*)
+
+open Ndq
+
+type state = {
+  mutable directory : Directory.t;
+  mutable engine : Engine.t;
+  mutable engine_generation : int;
+  mutable block : int;
+  mutable verbose : bool;
+}
+
+(* Rebuild the engine's indexes after updates. *)
+let engine st =
+  if st.engine_generation <> Directory.generation st.directory then begin
+    st.engine <- Engine.create ~block:st.block (Directory.instance st.directory);
+    st.engine_generation <- Directory.generation st.directory
+  end;
+  st.engine
+
+let load_directory kind size seed =
+  match kind with
+  | "figure11" | "tops-fig" -> Tops.figure_11 ()
+  | "figure12" | "qos-fig" -> Qos.figure_12 ()
+  | "qos" ->
+      Qos.generate
+        ~params:{ Qos.default_gen with seed; n_policies = max 1 (size / 6) }
+        ()
+  | "tops" ->
+      Tops.generate
+        ~params:{ Tops.default_gen with seed; subscribers = max 1 (size / 13) }
+        ()
+  | "random" ->
+      Dif_gen.generate ~params:{ Dif_gen.default_params with seed; size } ()
+  | other ->
+      Fmt.epr "unknown directory %S (try figure11, figure12, qos, tops, random)@." other;
+      exit 2
+
+let help () =
+  Fmt.pr
+    "@[<v>Queries:@,\
+    \  (dc=att, dc=com ? sub ? surName=jagadish)        atomic (L0)@,\
+    \  (& Q Q)  (| Q Q)  (- Q Q)                        boolean (L0)@,\
+    \  (p Q Q) (c Q Q) (a Q Q) (d Q Q) (ac Q Q Q) (dc Q Q Q)   hierarchy (L1)@,\
+    \  (g Q min(a) = min(min(a)))  (c Q Q count($2) > 3)       aggregates (L2)@,\
+    \  (vd Q Q attr)  (dv Q Q attr [aggfilter])                references (L3)@,\
+    \  ldap:///<base>?<scope>?(filter)                  LDAP baseline@,\
+     Commands:@,\
+    \  :schema          show the schema@,\
+    \  :entry <dn>      show one entry@,\
+    \  :roots           show the forest roots@,\
+    \  :size            number of entries@,\
+    \  :verbose         toggle printing full entries@,\
+    \  :stats           show accumulated io counters@,\
+    \  :reset           reset io counters@,\
+    \  :explain <query> estimated vs measured plan@,\
+    \  :add <ldif>      add one entry (dn: ...; attr: value; ...)@,\
+    \  :delete <dn>     delete a leaf entry ( :deltree for subtrees )@,\
+    \  :set <dn> ; <attr> <value>   add an attribute value@,\
+    \  :save <file>     write the directory as LDIF@,\
+    \  :load <file>     replace the directory from LDIF@,\
+    \  :help            this text@,\
+    \  :quit            leave@]@."
+
+let show_result st entries =
+  Fmt.pr "%d entries@." (List.length entries);
+  List.iter
+    (fun e ->
+      if st.verbose then Fmt.pr "%a@.@." Entry.pp e
+      else Fmt.pr "  %a@." Dn.pp (Entry.dn e))
+    entries;
+  Fmt.pr "io: %a@." Io_stats.pp (Engine.stats (engine st))
+
+let parse_dn st text =
+  Dn.of_string_with
+    ~lookup:(Schema.attr_type (Directory.schema st.directory))
+    (String.trim text)
+
+let run_query st line =
+  let eng = engine st in
+  let schema = Directory.schema st.directory in
+  try
+    if String.length line >= 5 && String.sub line 0 5 = "ldap:" then begin
+      let q = Ldap.of_string ~schema line in
+      (* evaluate via the L0 translation so the same engine serves it *)
+      let entries = Engine.eval_entries eng (Ldap.to_l0 q) in
+      show_result st entries
+    end
+    else begin
+      let q = Qparser.of_string ~schema line in
+      (match Lang.check q with
+      | Ok () -> ()
+      | Error errs ->
+          List.iter (fun e -> Fmt.pr "warning: %a@." Lang.pp_error e) errs);
+      Fmt.pr "[%s] " (Lang.level_to_string (Lang.level q));
+      let entries = Engine.eval_entries eng q in
+      show_result st entries
+    end
+  with
+  | Qparser.Parse_error m -> Fmt.pr "parse error: %s@." m
+  | Ldap.Parse_error m -> Fmt.pr "ldap parse error: %s@." m
+  | Afilter.Parse_error m -> Fmt.pr "filter parse error: %s@." m
+  | Dn.Parse_error m -> Fmt.pr "dn parse error: %s@." m
+
+let report_update st = function
+  | Ok () -> Fmt.pr "ok (%d entries)@." (Directory.size st.directory)
+  | Error e -> Fmt.pr "rejected: %a@." Directory.pp_error e
+
+let run_command st line =
+  let instance = Directory.instance st.directory in
+  match String.split_on_char ' ' line with
+  | ":help" :: _ -> help ()
+  | ":schema" :: _ -> Fmt.pr "%a@." Schema.pp (Instance.schema instance)
+  | ":size" :: _ -> Fmt.pr "%d entries@." (Instance.size instance)
+  | ":roots" :: _ ->
+      List.iter (fun e -> Fmt.pr "  %a@." Dn.pp (Entry.dn e)) (Instance.roots instance)
+  | ":verbose" :: _ ->
+      st.verbose <- not st.verbose;
+      Fmt.pr "verbose = %b@." st.verbose
+  | ":stats" :: _ -> Fmt.pr "%a@." Io_stats.pp (Engine.stats (engine st))
+  | ":reset" :: _ ->
+      Engine.reset_stats (engine st);
+      Fmt.pr "counters reset@."
+  | ":entry" :: rest -> (
+      let dn_text = String.concat " " rest in
+      match Instance.find instance (parse_dn st dn_text) with
+      | Some e -> Fmt.pr "%a@." Entry.pp e
+      | None -> Fmt.pr "no entry %s@." (String.trim dn_text)
+      | exception Dn.Parse_error m -> Fmt.pr "bad dn: %s@." m)
+  | ":explain" :: rest -> (
+      let text = String.trim (String.concat " " rest) in
+      match Qparser.of_string ~schema:(Instance.schema instance) text with
+      | q ->
+          let _, plan = Explain.profile (engine st) q in
+          Fmt.pr "%a@." Explain.pp_node plan
+      | exception Qparser.Parse_error m -> Fmt.pr "parse error: %s@." m)
+  | ":add" :: rest -> (
+      (* one-line LDIF record with ';' as the line separator:
+         :add dn: id=9, dc=x ; id: 9 ; objectClass: person *)
+      let text =
+        String.concat "
+"
+          (List.map String.trim
+             (String.split_on_char ';' (String.concat " " rest)))
+      in
+      match Ldif.of_string ~schema:(Instance.schema instance) text with
+      | added ->
+          List.iter
+            (fun e ->
+              report_update st
+                (Directory.add ~as_root:(Dn.depth (Entry.dn e) = 1) st.directory e))
+            (Instance.to_list added)
+      | exception Ldif.Parse_error m -> Fmt.pr "ldif error: %s@." m
+      | exception Instance.Invalid v ->
+          Fmt.pr "invalid: %a@." Instance.pp_violation v)
+  | ":delete" :: rest -> (
+      match parse_dn st (String.concat " " rest) with
+      | dn -> report_update st (Directory.delete st.directory dn)
+      | exception Dn.Parse_error m -> Fmt.pr "bad dn: %s@." m)
+  | ":deltree" :: rest -> (
+      match parse_dn st (String.concat " " rest) with
+      | dn -> report_update st (Directory.delete ~subtree:true st.directory dn)
+      | exception Dn.Parse_error m -> Fmt.pr "bad dn: %s@." m)
+  | ":set" :: rest -> (
+      match String.split_on_char ';' (String.concat " " rest) with
+      | [ dn_text; assignment ] -> (
+          match
+            ( parse_dn st dn_text,
+              String.split_on_char ' ' (String.trim assignment)
+              |> List.filter (fun s -> s <> "") )
+          with
+          | dn, [ attr; value ] ->
+              let v =
+                match Schema.attr_type (Instance.schema instance) attr with
+                | Some Value.T_int -> Value.Int (int_of_string value)
+                | Some Value.T_dn -> Value.Dn (parse_dn st value)
+                | Some Value.T_string | None -> Value.Str value
+              in
+              report_update st
+                (Directory.modify st.directory dn [ Directory.Add_value (attr, v) ])
+          | _, _ -> Fmt.pr "usage: :set <dn> ; <attr> <value>@."
+          | exception Dn.Parse_error m -> Fmt.pr "bad dn: %s@." m
+          | exception Failure _ -> Fmt.pr "bad int value@.")
+      | _ -> Fmt.pr "usage: :set <dn> ; <attr> <value>@.")
+  | ":save" :: path :: _ ->
+      Ldif.save path instance;
+      Fmt.pr "wrote %d entries to %s@." (Instance.size instance) path
+  | ":load" :: path :: _ -> (
+      match Ldif.load path with
+      | loaded ->
+          st.directory <- Directory.create loaded;
+          Fmt.pr "loaded %d entries@." (Instance.size loaded)
+      | exception Ldif.Parse_error m -> Fmt.pr "ldif error: %s@." m
+      | exception Sys_error m -> Fmt.pr "%s@." m
+      | exception Instance.Invalid v ->
+          Fmt.pr "invalid: %a@." Instance.pp_violation v)
+  | cmd :: _ -> Fmt.pr "unknown command %s (:help for help)@." cmd
+  | [] -> ()
+
+let repl st =
+  help ();
+  let rec loop () =
+    Fmt.pr "ndq> %!";
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line -> (
+        let line = String.trim line in
+        match line with
+        | "" -> loop ()
+        | ":quit" | ":q" -> ()
+        | _ ->
+            if line.[0] = ':' then run_command st line else run_query st line;
+            loop ())
+  in
+  loop ()
+
+let main kind size seed block queries =
+  let dir = load_directory kind size seed in
+  Fmt.pr "loaded %S: %d entries (block %d)@." kind (Instance.size dir) block;
+  let directory = Directory.create dir in
+  let st =
+    {
+      directory;
+      engine = Engine.create ~block dir;
+      engine_generation = Directory.generation directory;
+      block;
+      verbose = false;
+    }
+  in
+  match queries with
+  | [] -> repl st
+  | qs ->
+      List.iter
+        (fun q ->
+          Fmt.pr "@.ndq> %s@." q;
+          if q <> "" && q.[0] = ':' then run_command st q else run_query st q)
+        qs
+
+open Cmdliner
+
+let kind =
+  Arg.(
+    value
+    & opt string "random"
+    & info [ "d"; "directory" ] ~docv:"KIND"
+        ~doc:"Directory to load: figure11, figure12, qos, tops or random.")
+
+let size =
+  Arg.(
+    value & opt int 1_000
+    & info [ "size" ] ~docv:"N" ~doc:"Size of generated directories.")
+
+let seed =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+
+let block =
+  Arg.(
+    value & opt int 64
+    & info [ "block" ] ~docv:"B" ~doc:"Blocking factor (entries per page).")
+
+let queries =
+  Arg.(
+    value & opt_all string []
+    & info [ "e"; "eval" ] ~docv:"QUERY"
+        ~doc:"Evaluate $(docv) and exit (repeatable). Without it, start a REPL.")
+
+let cmd =
+  let doc = "query shell for the network directory engine" in
+  Cmd.v
+    (Cmd.info "ndqsh" ~doc)
+    Term.(const main $ kind $ size $ seed $ block $ queries)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,112 @@
+(* Quickstart: build a small network directory, pose queries from each of
+   the languages L0 .. L3, and look at the I/O the engine charged.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Ndq
+
+let schema () =
+  let s = Schema.empty () in
+  Schema.declare_attr s "dc" Value.T_string;
+  Schema.declare_attr s "ou" Value.T_string;
+  Schema.declare_attr s "uid" Value.T_string;
+  Schema.declare_attr s "surName" Value.T_string;
+  Schema.declare_attr s "priority" Value.T_int;
+  Schema.declare_attr s "manager" Value.T_dn;
+  Schema.declare_class s "dcObject" [ "dc" ];
+  Schema.declare_class s "organizationalUnit" [ "ou" ];
+  Schema.declare_class s "person" [ "uid"; "surName"; "priority"; "manager" ];
+  s
+
+let entry d attrs = Entry.make (Dn.of_string d) attrs
+let oc c = (Schema.object_class, Value.Str c)
+
+let directory () =
+  let person dn uid sur prio manager =
+    entry dn
+      ([
+         ("uid", Value.Str uid);
+         ("surName", Value.Str sur);
+         ("priority", Value.Int prio);
+         oc "person";
+       ]
+      @ match manager with
+        | Some m -> [ ("manager", Value.Dn (Dn.of_string m)) ]
+        | None -> [])
+  in
+  Instance.of_entries (schema ())
+    [
+      entry "dc=com" [ ("dc", Value.Str "com"); oc "dcObject" ];
+      entry "dc=att, dc=com" [ ("dc", Value.Str "att"); oc "dcObject" ];
+      entry "dc=research, dc=att, dc=com"
+        [ ("dc", Value.Str "research"); oc "dcObject" ];
+      entry "ou=people, dc=att, dc=com"
+        [ ("ou", Value.Str "people"); oc "organizationalUnit" ];
+      entry "ou=people, dc=research, dc=att, dc=com"
+        [ ("ou", Value.Str "people"); oc "organizationalUnit" ];
+      person "uid=divesh, ou=people, dc=att, dc=com" "divesh" "srivastava" 1 None;
+      person "uid=jag, ou=people, dc=research, dc=att, dc=com" "jag" "jagadish" 2
+        (Some "uid=divesh, ou=people, dc=att, dc=com");
+      person "uid=tova, ou=people, dc=research, dc=att, dc=com" "tova" "milo" 3
+        (Some "uid=divesh, ou=people, dc=att, dc=com");
+      person "uid=laks, ou=people, dc=att, dc=com" "laks" "lakshmanan" 2
+        (Some "uid=jag, ou=people, dc=research, dc=att, dc=com");
+    ]
+
+let show engine title query_text =
+  let query, entries = Engine.eval_string engine query_text in
+  Fmt.pr "@.== %s  [%s]@.   %s@." title
+    (Lang.level_to_string (Lang.level query))
+    query_text;
+  if entries = [] then Fmt.pr "   (no entries)@."
+  else
+    List.iter (fun e -> Fmt.pr "   -> %a@." Dn.pp (Entry.dn e)) entries;
+  Fmt.pr "   io: %a@." Io_stats.pp (Engine.stats engine);
+  Engine.reset_stats engine
+
+let () =
+  let dir = directory () in
+  Fmt.pr "A directory of %d entries, %d violations of Definition 3.2@."
+    (Instance.size dir)
+    (List.length (Instance.validate dir));
+  let engine = Engine.create ~block:4 dir in
+
+  (* L0: atomic queries and boolean combinations with different bases —
+     the thing LDAP cannot do in one query (Example 4.1). *)
+  show engine "everyone in AT&T" "(dc=att, dc=com ? sub ? objectClass=person)";
+  show engine "AT&T people outside Research (Example 4.1)"
+    "(- (dc=att, dc=com ? sub ? objectClass=person) (dc=research, dc=att, \
+     dc=com ? sub ? objectClass=person))";
+
+  (* L1: hierarchical selection. *)
+  show engine "organizational units containing a priority-2 person"
+    "(c (dc=com ? sub ? objectClass=organizationalUnit) (dc=com ? sub ? \
+     priority=2))";
+  show engine "domains with people below them"
+    "(a (dc=com ? sub ? objectClass=person) (dc=com ? sub ? \
+     objectClass=dcObject))";
+
+  (* L2: aggregate selection. *)
+  show engine "units with at least 2 people (structural aggregate)"
+    "(c (dc=com ? sub ? objectClass=organizationalUnit) (dc=com ? sub ? \
+     objectClass=person) count($2) >= 2)";
+  show engine "the highest-priority people (simple aggregate)"
+    "(g (dc=com ? sub ? objectClass=person) min(priority) = \
+     min(min(priority)))";
+
+  (* L3: embedded references through the dn-valued manager attribute. *)
+  show engine "people whose manager is in Research (valueDN)"
+    "(vd (dc=com ? sub ? objectClass=person) (dc=research, dc=att, dc=com ? \
+     sub ? objectClass=person) manager)";
+  show engine "managers, by reference fan-in (DNvalue)"
+    "(dv (dc=com ? sub ? objectClass=person) (dc=com ? sub ? \
+     objectClass=person) manager count($2) = max(count($2)))";
+
+  (* Closure: results are instances too, so they can be queried again. *)
+  let sub_instance =
+    Engine.eval_instance engine
+      (Qparser.of_string "(dc=att, dc=com ? sub ? objectClass=person)")
+  in
+  let engine2 = Engine.create ~block:4 sub_instance in
+  show engine2 "re-querying a query result (closure property)"
+    "(g ( ? sub ? objectClass=person) max(priority) <= 2)"

@@ -1,0 +1,66 @@
+(* TOPS dial-by-name (Example 2.2 / Figure 11): resolve a callee's name
+   to the call appearances to try, honouring the subscriber's prioritized
+   query handling profiles.
+
+   Run with:  dune exec examples/tops_dialbyname.exe *)
+
+open Ndq
+
+let pp_resolution ppf (r : Tops.resolution) =
+  match r.Tops.qhp with
+  | None -> Fmt.string ppf "no applicable profile: call cannot be completed"
+  | Some qhp ->
+      Fmt.pf ppf "profile %s; try in order: %s"
+        (String.concat "," (Entry.string_values qhp "QHPName"))
+        (String.concat " then "
+           (List.map
+              (fun ca ->
+                let num =
+                  String.concat "" (Entry.string_values ca "CANumber")
+                in
+                match Entry.string_values ca "description" with
+                | [] -> num
+                | d :: _ -> Printf.sprintf "%s (%s)" num d)
+              r.Tops.appearances))
+
+let () =
+  let dir = Tops.figure_11 () in
+  Fmt.pr "Figure 11 directory: %d entries@." (Instance.size dir);
+  let engine = Engine.create ~block:8 dir in
+
+  List.iter
+    (fun (what, time, day) ->
+      let r = Tops.resolve engine ~uid:"jag" ~time ~day in
+      Fmt.pr "@.call jag, %s:@.  %a@." what pp_resolution r)
+    [
+      ("Tuesday 10:30", 1030, 2);
+      ("Saturday 10:30", 1030, 6);
+      ("Wednesday 23:00", 2300, 3);
+    ];
+
+  (* The resolution is a single query in the language: *)
+  Fmt.pr "@.The resolution query (L2):@.%a@." Qprinter.pp_pretty
+    (Tops.resolution_query ~uid:"jag" ~time:1030 ~day:2 ());
+
+  (* A directory of 2000 subscribers, and a burst of calls against it. *)
+  let big =
+    Tops.generate
+      ~params:{ Tops.default_gen with subscribers = 2_000; qhps_per_subscriber = 4 }
+      ()
+  in
+  Fmt.pr "@.Synthetic directory: %d entries, %d violations@."
+    (Instance.size big)
+    (List.length (Instance.validate big));
+  let engine = Engine.create ~block:64 big in
+  let rng = Prng.create 99 in
+  let connected = ref 0 in
+  let calls = 200 in
+  for _ = 1 to calls do
+    let uid = Printf.sprintf "user%d" (Prng.int rng 2_000) in
+    let r =
+      Tops.resolve engine ~uid ~time:(Prng.int rng 2400) ~day:(1 + Prng.int rng 7)
+    in
+    if r.Tops.qhp <> None then incr connected
+  done;
+  Fmt.pr "%d/%d calls found an applicable profile@." !connected calls;
+  Fmt.pr "engine io for the burst: %a@." Io_stats.pp (Engine.stats engine)

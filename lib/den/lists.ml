@@ -1,0 +1,259 @@
+(* Organizational and personal distribution lists — the application of
+   Jagadish et al. [22] that Example 5.1 alludes to ("modeling and
+   unambiguously locating organizational and personal lists"), and the
+   paper's standing example of cyclic data through dn-valued attributes
+   (Section 3.5: "arbitrary DAGs and cyclic data can easily be described
+   by having attributes 'pointing' to the referenced entries").
+
+   Lists are entries with multi-valued [member] references to persons or
+   to other lists; nesting may be arbitrarily deep and even cyclic.
+   Direct membership questions are single L2/L3 queries; transitive
+   membership is a fixpoint of dv/vd steps, evaluated with the engine
+   round by round (each round is one query — the language itself has no
+   recursion, which this module makes concrete). *)
+
+let schema () =
+  let s = Schema.empty () in
+  List.iter
+    (fun (a, ty) -> Schema.declare_attr s a ty)
+    [
+      ("dc", Value.T_string);
+      ("ou", Value.T_string);
+      ("uid", Value.T_string);
+      ("surName", Value.T_string);
+      ("listName", Value.T_string);
+      ("member", Value.T_dn);
+      ("owner", Value.T_dn);
+      ("description", Value.T_string);
+    ];
+  Schema.declare_class s "dcObject" [ "dc" ];
+  Schema.declare_class s "organizationalUnit" [ "ou" ];
+  Schema.declare_class s "person" [ "uid"; "surName" ];
+  Schema.declare_class s "groupOfNames"
+    [ "listName"; "member"; "owner"; "description" ];
+  s
+
+let oc c = (Schema.object_class, Value.Str c)
+let org_base = "dc=att, dc=com"
+let people_base = "ou=people, " ^ org_base
+let lists_base = "ou=lists, " ^ org_base
+let person_dn uid = Printf.sprintf "uid=%s, %s" uid people_base
+let list_dn name = Printf.sprintf "listName=%s, %s" name lists_base
+let entry d attrs = Entry.make (Dn.of_string d) attrs
+
+let person_entry ~uid ~sur_name =
+  entry (person_dn uid)
+    [ ("uid", Value.Str uid); ("surName", Value.Str sur_name); oc "person" ]
+
+let list_entry ~name ?owner ~members () =
+  entry (list_dn name)
+    ([ ("listName", Value.Str name); oc "groupOfNames" ]
+    @ (match owner with
+      | Some o -> [ ("owner", Value.Dn (Dn.of_string (person_dn o))) ]
+      | None -> [])
+    @ List.map
+        (fun m ->
+          let d =
+            if String.length m > 5 && String.sub m 0 5 = "list:" then
+              list_dn (String.sub m 5 (String.length m - 5))
+            else person_dn m
+          in
+          ("member", Value.Dn (Dn.of_string d)))
+        members)
+
+(* A small sample: nested lists, a shared member, an empty list and a
+   cycle (staff <-> oncall) — everything the membership queries must
+   cope with. *)
+let sample () =
+  Instance.of_entries (schema ())
+    [
+      entry "dc=com" [ ("dc", Value.Str "com"); oc "dcObject" ];
+      entry org_base [ ("dc", Value.Str "att"); oc "dcObject" ];
+      entry people_base [ ("ou", Value.Str "people"); oc "organizationalUnit" ];
+      entry lists_base [ ("ou", Value.Str "lists"); oc "organizationalUnit" ];
+      person_entry ~uid:"jag" ~sur_name:"jagadish";
+      person_entry ~uid:"divesh" ~sur_name:"srivastava";
+      person_entry ~uid:"tova" ~sur_name:"milo";
+      person_entry ~uid:"laks" ~sur_name:"lakshmanan";
+      person_entry ~uid:"dimitra" ~sur_name:"vista";
+      list_entry ~name:"dbgroup" ~owner:"divesh"
+        ~members:[ "jag"; "divesh"; "list:theory" ] ();
+      list_entry ~name:"theory" ~owner:"tova" ~members:[ "tova"; "laks" ] ();
+      list_entry ~name:"staff" ~members:[ "dimitra"; "list:oncall" ] ();
+      list_entry ~name:"oncall" ~members:[ "divesh"; "list:staff" ] ();
+      (* a cycle *)
+      list_entry ~name:"empty" ~members:[] ();
+    ]
+
+(* --- Direct membership as single queries -------------------------------------- *)
+
+let atomic base filter = Ast.atomic (Dn.of_string base) filter
+let all_lists = atomic lists_base (Afilter.Str_eq (Schema.object_class, "groupOfNames"))
+let all_people = atomic people_base (Afilter.Str_eq (Schema.object_class, "person"))
+
+(* Lists directly containing [who] (a person or list dn): lists one of
+   whose member values is [who] — a vd with the target as second
+   operand. *)
+let lists_containing_query who =
+  Ast.value_dn all_lists
+    (Ast.Atomic { Ast.base = who; scope = Ast.Base; filter = Afilter.Present Schema.object_class })
+    "member"
+
+(* Direct member entries of one list: candidates (persons or nested
+   lists) whose dn appears among the list's member values — a dv with
+   the list itself as the referencing side. *)
+let direct_members_query list =
+  Ast.dn_value
+    (Ast.Or (all_people, all_lists))
+    (Ast.Atomic { Ast.base = list; scope = Ast.Base; filter = Afilter.Present "member" })
+    "member"
+
+(* Empty lists: count(member) = 0 — a simple aggregate selection. *)
+let empty_lists_query =
+  Ast.gsel all_lists
+    {
+      Ast.lhs = Ast.A_entry (Ast.Ea_agg (Ast.Count, Ast.Self "member"));
+      op = Ast.Eq;
+      rhs = Ast.A_const 0;
+    }
+
+(* Lists that directly contain an entry with the given surname
+   (Example 5.1's "unambiguous location" pattern, via references). *)
+let lists_with_surname_query sur =
+  Ast.value_dn all_lists
+    (Ast.atomic (Dn.of_string people_base) (Afilter.Str_eq ("surName", sur)))
+    "member"
+
+(* --- Transitive membership --------------------------------------------------- *)
+
+(* The closure of [list]'s membership: persons reachable through any
+   chain of nested lists.  Each round is one dv query against the
+   current frontier of list dn's; visited lists stop cycles.  Returns
+   the persons and the set of lists traversed. *)
+let transitive_members engine list =
+  let module Sset = Set.Make (String) in
+  let rec go visited persons frontier rounds =
+    match frontier with
+    | [] -> (persons, visited, rounds)
+    | _ ->
+        (* entries referenced by any frontier list *)
+        let frontier_query =
+          List.fold_left
+            (fun acc d ->
+              let b =
+                Ast.Atomic
+                  { Ast.base = d; scope = Ast.Base; filter = Afilter.Present "member" }
+              in
+              match acc with None -> Some b | Some q -> Some (Ast.Or (q, b)))
+            None frontier
+        in
+        let members =
+          match frontier_query with
+          | None -> []
+          | Some fq ->
+              Engine.eval_entries engine
+                (Ast.dn_value (Ast.Or (all_people, all_lists)) fq "member")
+        in
+        let new_lists, new_people =
+          List.partition (fun e -> Entry.has_class e "groupOfNames") members
+        in
+        let persons =
+          List.fold_left
+            (fun acc p -> Sset.add (Entry.key p) acc)
+            persons new_people
+        in
+        let visited =
+          List.fold_left (fun acc d -> Sset.add (Dn.rev_key d) acc) visited frontier
+        in
+        let next =
+          List.filter_map
+            (fun l ->
+              if Sset.mem (Entry.key l) visited then None else Some (Entry.dn l))
+            new_lists
+        in
+        go visited persons next (rounds + 1)
+  in
+  let persons, visited, rounds =
+    go Sset.empty Sset.empty [ list ] 0
+  in
+  let resolve keys =
+    Instance.fold
+      (fun acc e -> if Sset.mem (Entry.key e) keys then e :: acc else acc)
+      []
+      (Engine.instance engine)
+    |> List.rev
+  in
+  ( resolve persons,
+    List.filter (fun e -> Entry.has_class e "groupOfNames") (resolve visited),
+    rounds )
+
+(* The reverse closure: every list containing [who], directly or through
+   nesting. *)
+let lists_containing engine ~transitive who =
+  let module Sset = Set.Make (String) in
+  let step frontier =
+    (* lists whose member values include any frontier dn *)
+    List.concat_map
+      (fun d -> Engine.eval_entries engine (lists_containing_query d))
+      frontier
+  in
+  let rec go visited frontier =
+    match frontier with
+    | [] -> visited
+    | _ ->
+        let found = step frontier in
+        let fresh =
+          List.filter (fun e -> not (Sset.mem (Entry.key e) visited)) found
+        in
+        let visited =
+          List.fold_left (fun acc e -> Sset.add (Entry.key e) acc) visited fresh
+        in
+        if transitive then go visited (List.map Entry.dn fresh) else visited
+  in
+  let keys = go Sset.empty [ who ] in
+  Instance.fold
+    (fun acc e -> if Sset.mem (Entry.key e) keys then e :: acc else acc)
+    []
+    (Engine.instance engine)
+  |> List.rev
+
+(* --- Synthetic list webs -------------------------------------------------------- *)
+
+type gen_params = {
+  seed : int;
+  people : int;
+  lists : int;
+  members_per_list : int;
+  nesting_prob : float;  (* probability a member is another list *)
+}
+
+let default_gen =
+  { seed = 4242; people = 100; lists = 30; members_per_list = 5; nesting_prob = 0.3 }
+
+let generate ?(params = default_gen) () =
+  let rng = Prng.create params.seed in
+  let people =
+    List.init params.people (fun i ->
+        person_entry
+          ~uid:(Printf.sprintf "u%d" i)
+          ~sur_name:(Prng.pick rng [| "smith"; "jones"; "garcia"; "milo"; "vista" |]))
+  in
+  let lists =
+    List.init params.lists (fun i ->
+        let members =
+          List.init params.members_per_list (fun _ ->
+              if Prng.flip rng params.nesting_prob && params.lists > 1 then
+                "list:" ^ Printf.sprintf "l%d" (Prng.int rng params.lists)
+              else Printf.sprintf "u%d" (Prng.int rng params.people))
+          |> List.sort_uniq String.compare
+        in
+        list_entry ~name:(Printf.sprintf "l%d" i) ~members ())
+  in
+  Instance.of_entries (schema ())
+    ([
+       entry "dc=com" [ ("dc", Value.Str "com"); oc "dcObject" ];
+       entry org_base [ ("dc", Value.Str "att"); oc "dcObject" ];
+       entry people_base [ ("ou", Value.Str "people"); oc "organizationalUnit" ];
+       entry lists_base [ ("ou", Value.Str "lists"); oc "organizationalUnit" ];
+     ]
+    @ people @ lists)

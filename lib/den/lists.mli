@@ -1,0 +1,62 @@
+(** Organizational and personal distribution lists — the companion
+    application of Jagadish et al. [22] that Example 5.1 alludes to, and
+    the paper's standing example of cyclic data through dn-valued
+    attributes (Section 3.5).
+
+    Direct membership questions are single queries; transitive
+    membership is a fixpoint of dv rounds (the language itself has no
+    recursion), cycle-safe over arbitrarily nested lists. *)
+
+val schema : unit -> Schema.t
+val org_base : string
+val people_base : string
+val lists_base : string
+val person_dn : string -> string
+val list_dn : string -> string
+val person_entry : uid:string -> sur_name:string -> Entry.t
+
+val list_entry :
+  name:string -> ?owner:string -> members:string list -> unit -> Entry.t
+(** Members are person uids, or ["list:<name>"] for nested lists. *)
+
+val sample : unit -> Instance.t
+(** Nested lists, a shared member, an empty list and a membership
+    cycle. *)
+
+val all_lists : Ast.t
+val all_people : Ast.t
+
+val lists_containing_query : Dn.t -> Ast.t
+(** Lists whose [member] values include the given dn (one dv query). *)
+
+val direct_members_query : Dn.t -> Ast.t
+(** Entries referenced by the given list's [member] values. *)
+
+val empty_lists_query : Ast.t
+(** [(g lists count(member) = 0)]. *)
+
+val lists_with_surname_query : string -> Ast.t
+(** Lists directly containing a person with the given surname. *)
+
+val transitive_members :
+  Engine.t -> Dn.t -> Entry.t list * Entry.t list * int
+(** [(persons, lists_traversed, rounds)]: the closure of one list's
+    membership through any nesting, cycles included. *)
+
+val lists_containing :
+  Engine.t -> transitive:bool -> Dn.t -> Entry.t list
+(** Every list containing the given dn, directly or (with [transitive])
+    through nesting. *)
+
+(** {1 Synthetic list webs} *)
+
+type gen_params = {
+  seed : int;
+  people : int;
+  lists : int;
+  members_per_list : int;
+  nesting_prob : float;
+}
+
+val default_gen : gen_params
+val generate : ?params:gen_params -> unit -> Instance.t

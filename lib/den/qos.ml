@@ -1,0 +1,532 @@
+(* The QoS / Service-Level-Agreement DEN application (Examples 2.1 and
+   3.1, Figure 12), after the directory schema of Chaudhury et al. [11].
+
+   The directory stores SLAPolicyRules entries whose dn-valued attributes
+   reference trafficProfile, policyValidityPeriod and SLADSAction entries;
+   a packet-conditioning decision is the composed directory query of
+   Section 7 (Example 7.1): join policies to matching profiles and valid
+   periods (vd), keep the highest-priority ones (g with
+   min(SLARulePriority) = min(min(SLARulePriority))), remove policies
+   with an applicable exception (vd over SLAExceptionRef + set
+   difference), and fetch their actions (dv over SLADSActRef). *)
+
+(* --- Schema ------------------------------------------------------------- *)
+
+let schema () =
+  let s = Schema.empty () in
+  List.iter
+    (fun (a, ty) -> Schema.declare_attr s a ty)
+    [
+      ("dc", Value.T_string);
+      ("ou", Value.T_string);
+      ("SLAPolicyName", Value.T_string);
+      ("SLAPolicyScope", Value.T_string);
+      ("SLARulePriority", Value.T_int);
+      ("SLAExceptionRef", Value.T_dn);
+      ("SLATPRef", Value.T_dn);
+      ("SLAPVPRef", Value.T_dn);
+      ("SLADSActRef", Value.T_dn);
+      ("TPName", Value.T_string);
+      ("SourceAddress", Value.T_string);
+      ("SourcePort", Value.T_int);
+      ("DestAddress", Value.T_string);
+      ("DestPort", Value.T_int);
+      ("ProtocolNumber", Value.T_int);
+      ("PVPName", Value.T_string);
+      ("PVStartTime", Value.T_int);
+      ("PVEndTime", Value.T_int);
+      ("PVDayOfWeek", Value.T_int);
+      ("DSActionName", Value.T_string);
+      ("DSPermission", Value.T_string);
+      ("DSInProfilePeakRate", Value.T_int);
+      ("DSDropPriority", Value.T_int);
+    ];
+  Schema.declare_class s "dcObject" [ "dc" ];
+  Schema.declare_class s "domain" [ "dc" ];
+  Schema.declare_class s "organizationalUnit" [ "ou" ];
+  Schema.declare_class s "SLAPolicyRules"
+    [
+      "SLAPolicyName"; "SLAPolicyScope"; "SLARulePriority"; "SLAExceptionRef";
+      "SLATPRef"; "SLAPVPRef"; "SLADSActRef";
+    ];
+  Schema.declare_class s "trafficProfile"
+    [ "TPName"; "SourceAddress"; "SourcePort"; "DestAddress"; "DestPort";
+      "ProtocolNumber" ];
+  Schema.declare_class s "policyValidityPeriod"
+    [ "PVPName"; "PVStartTime"; "PVEndTime"; "PVDayOfWeek" ];
+  Schema.declare_class s "SLADSAction"
+    [ "DSActionName"; "DSPermission"; "DSInProfilePeakRate"; "DSDropPriority" ];
+  s
+
+let oc c = (Schema.object_class, Value.Str c)
+
+(* --- Figure 12 reconstruction ------------------------------------------- *)
+
+let domain = "ou=networkPolicies, dc=research, dc=att, dc=com"
+let policies_base = "ou=SLAPolicyRules, " ^ domain
+let profiles_base = "ou=trafficProfile, " ^ domain
+let periods_base = "ou=policyValidityPeriod, " ^ domain
+let actions_base = "ou=SLADSAction, " ^ domain
+
+let policy_dn name = Printf.sprintf "SLAPolicyName=%s, %s" name policies_base
+let profile_dn name = Printf.sprintf "TPName=%s, %s" name profiles_base
+let period_dn name = Printf.sprintf "PVPName=%s, %s" name periods_base
+let action_dn name = Printf.sprintf "DSActionName=%s, %s" name actions_base
+
+let entry d attrs = Entry.make (Dn.of_string d) attrs
+
+let policy_entry ~name ~scope ~priority ~exceptions ~profiles ~periods ~action =
+  entry (policy_dn name)
+    ([
+       ("SLAPolicyName", Value.Str name);
+       ("SLAPolicyScope", Value.Str scope);
+       ("SLARulePriority", Value.Int priority);
+       ("SLADSActRef", Value.Dn (Dn.of_string (action_dn action)));
+       oc "SLAPolicyRules";
+     ]
+    @ List.map (fun e -> ("SLAExceptionRef", Value.Dn (Dn.of_string (policy_dn e)))) exceptions
+    @ List.map (fun p -> ("SLATPRef", Value.Dn (Dn.of_string (profile_dn p)))) profiles
+    @ List.map (fun v -> ("SLAPVPRef", Value.Dn (Dn.of_string (period_dn v)))) periods)
+
+let profile_entry ~name ?src_addr ?src_port ?dst_addr ?dst_port ?protocol () =
+  entry (profile_dn name)
+    ([ ("TPName", Value.Str name); oc "trafficProfile" ]
+    @ (match src_addr with Some a -> [ ("SourceAddress", Value.Str a) ] | None -> [])
+    @ (match src_port with Some p -> [ ("SourcePort", Value.Int p) ] | None -> [])
+    @ (match dst_addr with Some a -> [ ("DestAddress", Value.Str a) ] | None -> [])
+    @ (match dst_port with Some p -> [ ("DestPort", Value.Int p) ] | None -> [])
+    @ match protocol with Some p -> [ ("ProtocolNumber", Value.Int p) ] | None -> [])
+
+let period_entry ~name ~start_time ~end_time ~days =
+  entry (period_dn name)
+    ([
+       ("PVPName", Value.Str name);
+       ("PVStartTime", Value.Int start_time);
+       ("PVEndTime", Value.Int end_time);
+       oc "policyValidityPeriod";
+     ]
+    @ List.map (fun d -> ("PVDayOfWeek", Value.Int d)) days)
+
+let action_entry ~name ~permission ~peak_rate ~drop_priority =
+  entry (action_dn name)
+    [
+      ("DSActionName", Value.Str name);
+      ("DSPermission", Value.Str permission);
+      ("DSInProfilePeakRate", Value.Int peak_rate);
+      ("DSDropPriority", Value.Int drop_priority);
+      oc "SLADSAction";
+    ]
+
+(* The sample directory of Figure 12: the dso policy (deny data traffic
+   from two subnets on weekends and Thanksgiving 1998), its two traffic
+   profiles, two validity periods and denyAll action, plus the two
+   exception policies (fatt, mail) the text mentions but the figure
+   omits for space. *)
+let figure_12 () =
+  let sc = schema () in
+  Instance.of_entries sc
+    [
+      entry "dc=com" [ ("dc", Value.Str "com"); oc "dcObject" ];
+      entry "dc=att, dc=com"
+        [ ("dc", Value.Str "att"); oc "dcObject"; oc "domain" ];
+      entry "dc=research, dc=att, dc=com"
+        [ ("dc", Value.Str "research"); oc "dcObject" ];
+      entry domain [ ("ou", Value.Str "networkPolicies"); oc "organizationalUnit" ];
+      entry policies_base
+        [ ("ou", Value.Str "SLAPolicyRules"); oc "organizationalUnit" ];
+      entry profiles_base
+        [ ("ou", Value.Str "trafficProfile"); oc "organizationalUnit" ];
+      entry periods_base
+        [ ("ou", Value.Str "policyValidityPeriod"); oc "organizationalUnit" ];
+      entry actions_base
+        [ ("ou", Value.Str "SLADSAction"); oc "organizationalUnit" ];
+      policy_entry ~name:"dso" ~scope:"DataTraffic" ~priority:2
+        ~exceptions:[ "fatt"; "mail" ]
+        ~profiles:[ "lsplitOff"; "csplitOff" ]
+        ~periods:[ "1998weekend"; "1998thanksgiving" ]
+        ~action:"denyAll";
+      policy_entry ~name:"fatt" ~scope:"DataTraffic" ~priority:2 ~exceptions:[]
+        ~profiles:[ "fattPipe" ] ~periods:[ "1998weekend" ] ~action:"permitLow";
+      policy_entry ~name:"mail" ~scope:"DataTraffic" ~priority:2 ~exceptions:[]
+        ~profiles:[ "smtp" ] ~periods:[ "1998always" ] ~action:"permitLow";
+      policy_entry ~name:"gold" ~scope:"DataTraffic" ~priority:1 ~exceptions:[]
+        ~profiles:[ "goldSubnet" ] ~periods:[ "1998always" ] ~action:"permitHigh";
+      profile_entry ~name:"lsplitOff" ~src_addr:"204.178.16.*" ();
+      profile_entry ~name:"csplitOff" ~src_addr:"207.140.*.*" ();
+      profile_entry ~name:"fattPipe" ~src_addr:"204.178.16.*" ~dst_port:119 ();
+      profile_entry ~name:"smtp" ~src_port:25 ();
+      profile_entry ~name:"goldSubnet" ~src_addr:"135.104.*.*" ();
+      period_entry ~name:"1998weekend" ~start_time:19980101060000
+        ~end_time:19981231180000 ~days:[ 6; 7 ];
+      period_entry ~name:"1998thanksgiving" ~start_time:19981126000000
+        ~end_time:19981126235959 ~days:[];
+      period_entry ~name:"1998always" ~start_time:19980101000000
+        ~end_time:19981231235959 ~days:[];
+      action_entry ~name:"denyAll" ~permission:"Deny" ~peak_rate:20
+        ~drop_priority:2;
+      action_entry ~name:"permitLow" ~permission:"Permit" ~peak_rate:10
+        ~drop_priority:3;
+      action_entry ~name:"permitHigh" ~permission:"Permit" ~peak_rate:100
+        ~drop_priority:1;
+    ]
+
+(* --- Packet matching ----------------------------------------------------- *)
+
+type packet = {
+  src_addr : string;
+  src_port : int;
+  dst_addr : string;
+  dst_port : int;
+  protocol : int;
+}
+
+type clock = { time : int; day_of_week : int }
+(* [time] in yyyymmddhhmmss form, [day_of_week] 1-7 *)
+
+(* A profile attribute constrains the packet only when present; string
+   address values are wildcard patterns ("204.178.16.*"). *)
+let addr_matches pattern addr =
+  match Afilter.of_string ("x=" ^ pattern) with
+  | Afilter.Substr (_, pat) -> Afilter.substring_matches pat addr
+  | Afilter.Str_eq (_, s) -> String.equal s addr
+  | Afilter.Int_cmp (_, Afilter.Eq, p) -> string_of_int p = addr
+  | _ -> false
+
+let profile_matches pkt e =
+  let str_ok attr v =
+    match Entry.string_values e attr with
+    | [] -> true
+    | patterns -> List.exists (fun p -> addr_matches p v) patterns
+  in
+  let int_ok attr v =
+    match Entry.int_values e attr with
+    | [] -> true
+    | ports -> List.mem v ports
+  in
+  str_ok "SourceAddress" pkt.src_addr
+  && int_ok "SourcePort" pkt.src_port
+  && str_ok "DestAddress" pkt.dst_addr
+  && int_ok "DestPort" pkt.dst_port
+  && int_ok "ProtocolNumber" pkt.protocol
+
+let period_matches clock e =
+  let start_ok =
+    match Entry.int_values e "PVStartTime" with
+    | [] -> true
+    | ts -> List.exists (fun t -> t <= clock.time) ts
+  in
+  let end_ok =
+    match Entry.int_values e "PVEndTime" with
+    | [] -> true
+    | ts -> List.exists (fun t -> clock.time <= t) ts
+  in
+  let day_ok =
+    match Entry.int_values e "PVDayOfWeek" with
+    | [] -> true
+    | days -> List.mem clock.day_of_week days
+  in
+  start_ok && end_ok && day_ok
+
+(* --- The decision query --------------------------------------------------- *)
+
+type decision = {
+  matched_policies : Entry.t list;  (* applicable, highest priority, no
+                                       applicable exception *)
+  actions : Entry.t list;
+}
+
+let atomic base filter = Ast.atomic (Dn.of_string base) filter
+
+let all_policies = atomic policies_base (Afilter.Str_eq (Schema.object_class, "SLAPolicyRules"))
+let all_profiles = atomic profiles_base (Afilter.Str_eq (Schema.object_class, "trafficProfile"))
+let all_periods = atomic periods_base (Afilter.Str_eq (Schema.object_class, "policyValidityPeriod"))
+let all_actions = atomic actions_base (Afilter.Str_eq (Schema.object_class, "SLADSAction"))
+
+(* Decide the treatment of [pkt] at [clock] against the directory behind
+   [engine].  The enforcement-point-supplied profile (packet attributes
+   and time) is matched against trafficProfile / policyValidityPeriod
+   entries; everything after that is directory query evaluation with the
+   operator algorithms. *)
+let decide engine ~pkt ~clock =
+  (* Matching profiles and periods, as sorted lists. *)
+  let profiles =
+    Ext_list.filter (profile_matches pkt) (Engine.eval engine all_profiles)
+  in
+  let periods =
+    Ext_list.filter (period_matches clock) (Engine.eval engine all_periods)
+  in
+  let policies = Engine.eval engine all_policies in
+  (* Policies whose pro*file and validity period both match: two vd
+     semijoins composed with an and. *)
+  let by_profile = Er.compute_vd policies profiles "SLATPRef" in
+  let by_period = Er.compute_vd policies periods "SLAPVPRef" in
+  let applicable = Bool_ops.and_ by_profile by_period in
+  (* Highest-priority applicable policies (lower value = higher priority):
+     (g applicable min(SLARulePriority) = min(min(SLARulePriority))). *)
+  let min_priority =
+    {
+      Ast.lhs = Ast.A_entry (Ast.Ea_agg (Ast.Min, Ast.Self "SLARulePriority"));
+      op = Ast.Eq;
+      rhs = Ast.A_entry_set (Ast.Esa_agg (Ast.Min, Ast.Ea_agg (Ast.Min, Ast.Self "SLARulePriority")));
+    }
+  in
+  let top = Simple_agg.compute min_priority applicable in
+  (* Remove policies having an applicable exception of the same priority
+     (Section 2.1(b)); same priority as a top policy means the exception
+     is itself a top policy. *)
+  let with_live_exception = Er.compute_vd top top "SLAExceptionRef" in
+  let surviving = Bool_ops.diff top with_live_exception in
+  (* Fetch the actions of the surviving policies. *)
+  let actions = Engine.eval engine all_actions in
+  let chosen = Er.compute_dv actions surviving "SLADSActRef" in
+  {
+    matched_policies = Ext_list.to_list surviving;
+    actions = Ext_list.to_list chosen;
+  }
+
+(* The pure-L3 decision query of Example 7.1 for port-identified traffic:
+   the action of the highest-priority policy governing SMTP traffic. *)
+let example_7_1_query =
+  Printf.sprintf
+    "(dv (dc=att, dc=com ? sub ? objectClass=SLADSAction) (g (vd (dc=att, \
+     dc=com ? sub ? objectClass=SLAPolicyRules) (& (dc=att, dc=com ? sub ? \
+     SourcePort=25) (dc=att, dc=com ? sub ? objectClass=trafficProfile)) \
+     SLATPRef) min(SLARulePriority) = min(min(SLARulePriority))) SLADSActRef)"
+
+(* --- Policy conflict detection --------------------------------------------- *)
+
+(* Section 2.1: "a policy conflict occurs when two or more policies in
+   the directory specify conflicting actions for the same packet; such
+   conflicts must be resolved before populating the directory", either by
+   distinct priorities or by an exception relation.  [conflicts] audits a
+   repository for unresolved conflicts: pairs of policies that can both
+   apply to some packet at some time, carry the same priority, prescribe
+   different actions, and are not related by SLAExceptionRef.
+
+   Overlap testing is conservative (it may report a pair whose profiles
+   are actually disjoint in some subtle way, never the converse), which
+   is the safe direction for an audit. *)
+
+type conflict = {
+  policy_a : Entry.t;
+  policy_b : Entry.t;
+  reason : string;
+}
+
+(* Can two wildcard address patterns match a common address?  Exact for
+   the pattern forms the application uses (prefix patterns and full
+   wildcards); conservative otherwise. *)
+let patterns_may_overlap p1 p2 =
+  let prefix_of p =
+    match Afilter.of_string ("x=" ^ p) with
+    | Afilter.Substr (_, { Afilter.initial; _ }) -> initial
+    | Afilter.Str_eq (_, s) -> Some s
+    | Afilter.Present _ -> Some ""
+    | _ -> None
+  in
+  match (prefix_of p1, prefix_of p2) with
+  | Some a, Some b ->
+      let n = min (String.length a) (String.length b) in
+      String.sub a 0 n = String.sub b 0 n
+  | _ -> true  (* cannot prove disjointness: assume overlap *)
+
+(* Do two profile entries admit a common packet? *)
+let profiles_may_overlap e1 e2 =
+  let str_overlap attr =
+    match (Entry.string_values e1 attr, Entry.string_values e2 attr) with
+    | [], _ | _, [] -> true  (* unconstrained on one side *)
+    | ps1, ps2 ->
+        List.exists (fun a -> List.exists (patterns_may_overlap a) ps2) ps1
+  in
+  let int_overlap attr =
+    match (Entry.int_values e1 attr, Entry.int_values e2 attr) with
+    | [], _ | _, [] -> true
+    | vs1, vs2 -> List.exists (fun v -> List.mem v vs2) vs1
+  in
+  str_overlap "SourceAddress" && str_overlap "DestAddress"
+  && int_overlap "SourcePort" && int_overlap "DestPort"
+  && int_overlap "ProtocolNumber"
+
+(* Do two validity periods admit a common instant? *)
+let periods_may_overlap e1 e2 =
+  let lo e = match Entry.int_values e "PVStartTime" with t :: _ -> t | [] -> min_int in
+  let hi e = match Entry.int_values e "PVEndTime" with t :: _ -> t | [] -> max_int in
+  let days e = Entry.int_values e "PVDayOfWeek" in
+  let day_overlap =
+    match (days e1, days e2) with
+    | [], _ | _, [] -> true
+    | d1, d2 -> List.exists (fun d -> List.mem d d2) d1
+  in
+  lo e1 <= hi e2 && lo e2 <= hi e1 && day_overlap
+
+let conflicts instance =
+  let by_class c =
+    Instance.fold
+      (fun acc e -> if Entry.has_class e c then e :: acc else acc)
+      [] instance
+    |> List.rev
+  in
+  let policies = by_class "SLAPolicyRules" in
+  let resolve d = Instance.find instance d in
+  let referenced attr e = List.filter_map resolve (Entry.dn_values e attr) in
+  let prio e =
+    match Entry.int_values e "SLARulePriority" with p :: _ -> p | [] -> max_int
+  in
+  let exception_related a b =
+    let refs e = Entry.dn_values e "SLAExceptionRef" in
+    List.exists (Dn.equal (Entry.dn b)) (refs a)
+    || List.exists (Dn.equal (Entry.dn a)) (refs b)
+  in
+  let actions e =
+    List.concat_map (fun a -> Entry.string_values a "DSActionName")
+      (referenced "SLADSActRef" e)
+    |> List.sort String.compare
+  in
+  let overlapping_applicability a b =
+    let profs e = referenced "SLATPRef" e in
+    let pers e = referenced "SLAPVPRef" e in
+    List.exists (fun p1 -> List.exists (profiles_may_overlap p1) (profs b)) (profs a)
+    && List.exists (fun v1 -> List.exists (periods_may_overlap v1) (pers b)) (pers a)
+  in
+  let rec pairs acc = function
+    | [] -> List.rev acc
+    | a :: rest ->
+        let acc =
+          List.fold_left
+            (fun acc b ->
+              if
+                prio a = prio b
+                && actions a <> actions b
+                && (not (exception_related a b))
+                && overlapping_applicability a b
+              then
+                {
+                  policy_a = a;
+                  policy_b = b;
+                  reason =
+                    Printf.sprintf
+                      "same priority %d, overlapping profiles/periods,                        different actions, no exception relation"
+                      (prio a);
+                }
+                :: acc
+              else acc)
+            acc rest
+        in
+        pairs acc rest
+  in
+  pairs [] policies
+
+let pp_conflict ppf c =
+  Fmt.pf ppf "%a <-> %a: %s" Dn.pp (Entry.dn c.policy_a) Dn.pp
+    (Entry.dn c.policy_b) c.reason
+
+(* --- Synthetic QoS directories ------------------------------------------- *)
+
+type gen_params = {
+  seed : int;
+  n_policies : int;
+  n_profiles : int;
+  n_periods : int;
+  n_actions : int;
+  profiles_per_policy : int;
+  periods_per_policy : int;
+  exception_prob : float;
+  priority_levels : int;
+}
+
+let default_gen =
+  {
+    seed = 1999;
+    n_policies = 100;
+    n_profiles = 40;
+    n_periods = 12;
+    n_actions = 8;
+    profiles_per_policy = 2;
+    periods_per_policy = 2;
+    exception_prob = 0.3;
+    priority_levels = 5;
+  }
+
+(* A scaled synthetic policy repository with the same structure as
+   Figure 12: policies referencing shared pools of profiles, validity
+   periods and actions, with occasional exception references. *)
+let generate ?(params = default_gen) () =
+  let rng = Prng.create params.seed in
+  let profile i =
+    let octet k = string_of_int (Prng.int rng k) in
+    if Prng.flip rng 0.3 then
+      profile_entry ~name:(Printf.sprintf "tp%d" i)
+        ~src_port:(Prng.pick rng [| 21; 22; 25; 53; 80; 110; 119; 443 |])
+        ()
+    else
+      profile_entry ~name:(Printf.sprintf "tp%d" i)
+        ~src_addr:(octet 223 ^ "." ^ octet 255 ^ "." ^ octet 255 ^ ".*")
+        ()
+  in
+  let period i =
+    let day = 1 + Prng.int rng 7 in
+    period_entry ~name:(Printf.sprintf "pvp%d" i)
+      ~start_time:(19980101000000 + Prng.int rng 10000)
+      ~end_time:(19981231235959 - Prng.int rng 10000)
+      ~days:(if Prng.flip rng 0.5 then [ day; (day mod 7) + 1 ] else [])
+  in
+  let action i =
+    action_entry ~name:(Printf.sprintf "act%d" i)
+      ~permission:(if Prng.flip rng 0.5 then "Permit" else "Deny")
+      ~peak_rate:(1 + Prng.int rng 100)
+      ~drop_priority:(Prng.int rng 4)
+  in
+  let policy i =
+    let sample pool k = List.init k (fun _ -> Printf.sprintf "%s%d" pool (Prng.int rng (max 1 (match pool with
+      | "tp" -> params.n_profiles
+      | "pvp" -> params.n_periods
+      | _ -> params.n_actions)))) in
+    let exceptions =
+      if i > 0 && Prng.flip rng params.exception_prob then
+        [ Printf.sprintf "pol%d" (Prng.int rng i) ]
+      else []
+    in
+    policy_entry ~name:(Printf.sprintf "pol%d" i) ~scope:"DataTraffic"
+      ~priority:(1 + Prng.int rng params.priority_levels)
+      ~exceptions
+      ~profiles:(sample "tp" params.profiles_per_policy)
+      ~periods:(sample "pvp" params.periods_per_policy)
+      ~action:(Printf.sprintf "act%d" (Prng.int rng params.n_actions))
+  in
+  let sc = schema () in
+  let scaffold =
+    [
+      entry "dc=com" [ ("dc", Value.Str "com"); oc "dcObject" ];
+      entry "dc=att, dc=com" [ ("dc", Value.Str "att"); oc "dcObject" ];
+      entry "dc=research, dc=att, dc=com"
+        [ ("dc", Value.Str "research"); oc "dcObject" ];
+      entry domain [ ("ou", Value.Str "networkPolicies"); oc "organizationalUnit" ];
+      entry policies_base [ ("ou", Value.Str "SLAPolicyRules"); oc "organizationalUnit" ];
+      entry profiles_base [ ("ou", Value.Str "trafficProfile"); oc "organizationalUnit" ];
+      entry periods_base [ ("ou", Value.Str "policyValidityPeriod"); oc "organizationalUnit" ];
+      entry actions_base [ ("ou", Value.Str "SLADSAction"); oc "organizationalUnit" ];
+    ]
+  in
+  Instance.of_entries sc
+    (scaffold
+    @ List.init params.n_profiles profile
+    @ List.init params.n_periods period
+    @ List.init params.n_actions action
+    @ List.init params.n_policies policy)
+
+(* Random packets and clocks for decision workloads. *)
+let random_packet rng =
+  let octet k = string_of_int (Prng.int rng k) in
+  {
+    src_addr = octet 223 ^ "." ^ octet 255 ^ "." ^ octet 255 ^ "." ^ octet 255;
+    src_port = Prng.pick rng [| 21; 22; 25; 53; 80; 110; 119; 443; 8080 |];
+    dst_addr = octet 223 ^ "." ^ octet 255 ^ "." ^ octet 255 ^ "." ^ octet 255;
+    dst_port = Prng.pick rng [| 25; 80; 119; 443 |];
+    protocol = Prng.pick rng [| 6; 17 |];
+  }
+
+let random_clock rng =
+  {
+    time = 19980101000000 + Prng.int rng 9999999999;
+    day_of_week = 1 + Prng.int rng 7;
+  }

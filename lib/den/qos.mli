@@ -1,0 +1,129 @@
+(** The QoS / SLA policy-administration DEN application (Examples 2.1
+    and 3.1, Figure 12), after the directory schema of Chaudhury et
+    al. [11].
+
+    SLAPolicyRules entries reference trafficProfile,
+    policyValidityPeriod and SLADSAction entries through dn-valued
+    attributes; a packet-conditioning decision composes the paper's
+    operators: vd semijoins to the matching profiles/periods, simple
+    aggregate selection for the highest priority, exception removal,
+    and a dv join to the actions. *)
+
+val schema : unit -> Schema.t
+
+(** {1 The namespace of Figure 12} *)
+
+val domain : string
+val policies_base : string
+val profiles_base : string
+val periods_base : string
+val actions_base : string
+val policy_dn : string -> string
+val profile_dn : string -> string
+val period_dn : string -> string
+val action_dn : string -> string
+
+(** {1 Entry constructors} *)
+
+val policy_entry :
+  name:string ->
+  scope:string ->
+  priority:int ->
+  exceptions:string list ->
+  profiles:string list ->
+  periods:string list ->
+  action:string ->
+  Entry.t
+
+val profile_entry :
+  name:string ->
+  ?src_addr:string ->
+  ?src_port:int ->
+  ?dst_addr:string ->
+  ?dst_port:int ->
+  ?protocol:int ->
+  unit ->
+  Entry.t
+
+val period_entry :
+  name:string -> start_time:int -> end_time:int -> days:int list -> Entry.t
+
+val action_entry :
+  name:string -> permission:string -> peak_rate:int -> drop_priority:int ->
+  Entry.t
+
+val figure_12 : unit -> Instance.t
+(** The reconstructed sample directory of Figure 12 (the dso policy with
+    its profiles, periods, action, and the fatt/mail exception policies
+    the text mentions). *)
+
+(** {1 Packet matching} *)
+
+type packet = {
+  src_addr : string;
+  src_port : int;
+  dst_addr : string;
+  dst_port : int;
+  protocol : int;
+}
+
+type clock = { time : int; day_of_week : int }
+(** [time] in yyyymmddhhmmss form; [day_of_week] 1-7 (6/7 = weekend). *)
+
+val addr_matches : string -> string -> bool
+(** Match a profile's wildcard address pattern against a packet
+    address. *)
+
+val profile_matches : packet -> Entry.t -> bool
+(** A trafficProfile constrains the packet only through the attributes
+    it specifies. *)
+
+val period_matches : clock -> Entry.t -> bool
+
+(** {1 The decision query} *)
+
+type decision = { matched_policies : Entry.t list; actions : Entry.t list }
+
+val decide : Engine.t -> pkt:packet -> clock:clock -> decision
+(** The Section 2.1 semantics: applicable policies (profile and period
+    both match), highest priority, minus policies with an applicable
+    same-priority exception; plus their actions. *)
+
+val example_7_1_query : string
+(** The paper's composed L3 query: the action of the highest-priority
+    policy governing SMTP traffic. *)
+
+(** {1 Policy conflict detection (Section 2.1)} *)
+
+type conflict = { policy_a : Entry.t; policy_b : Entry.t; reason : string }
+
+val patterns_may_overlap : string -> string -> bool
+val profiles_may_overlap : Entry.t -> Entry.t -> bool
+val periods_may_overlap : Entry.t -> Entry.t -> bool
+
+val conflicts : Instance.t -> conflict list
+(** Unresolved conflicts: same-priority policy pairs with overlapping
+    applicability, different actions and no exception relation.
+    Conservative (never misses a real conflict; may flag subtle
+    non-overlaps). *)
+
+val pp_conflict : Format.formatter -> conflict -> unit
+
+(** {1 Synthetic repositories} *)
+
+type gen_params = {
+  seed : int;
+  n_policies : int;
+  n_profiles : int;
+  n_periods : int;
+  n_actions : int;
+  profiles_per_policy : int;
+  periods_per_policy : int;
+  exception_prob : float;
+  priority_levels : int;
+}
+
+val default_gen : gen_params
+val generate : ?params:gen_params -> unit -> Instance.t
+val random_packet : Prng.t -> packet
+val random_clock : Prng.t -> clock

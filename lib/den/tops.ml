@@ -1,0 +1,261 @@
+(* The TOPS dial-by-name DEN application (Examples 2.2 and 3.2,
+   Figure 11).
+
+   Each subscriber owns a personal subtree: the subscriber profile entry,
+   its prioritized query handling profiles (QHPs) as children, and call
+   appearances as children of each QHP.  Call resolution is pure
+   query-language work:
+
+   - an L0 query (with set difference for the optional constraints)
+     selects the QHPs matching the caller-supplied time and day;
+   - the simple aggregate selection (g ... priority = min(min(priority)))
+     keeps the highest-priority matching QHP (Section 6);
+   - a parents query (L1) fetches its call appearances. *)
+
+let schema () =
+  let s = Schema.empty () in
+  List.iter
+    (fun (a, ty) -> Schema.declare_attr s a ty)
+    [
+      ("dc", Value.T_string);
+      ("ou", Value.T_string);
+      ("uid", Value.T_string);
+      ("commonName", Value.T_string);
+      ("surName", Value.T_string);
+      ("QHPName", Value.T_string);
+      ("startTime", Value.T_int);
+      ("endTime", Value.T_int);
+      ("daysOfWeek", Value.T_int);
+      ("priority", Value.T_int);
+      ("callerGroup", Value.T_string);
+      ("CANumber", Value.T_string);
+      ("CAType", Value.T_string);
+      ("timeOut", Value.T_int);
+      ("description", Value.T_string);
+    ];
+  Schema.declare_class s "dcObject" [ "dc" ];
+  Schema.declare_class s "organizationalUnit" [ "ou" ];
+  Schema.declare_class s "inetOrgPerson" [ "uid"; "commonName"; "surName" ];
+  Schema.declare_class s "TOPSSubscriber" [ "uid" ];
+  Schema.declare_class s "QHP"
+    [ "QHPName"; "startTime"; "endTime"; "daysOfWeek"; "priority"; "callerGroup" ];
+  Schema.declare_class s "callAppearance"
+    [ "CANumber"; "CAType"; "priority"; "timeOut"; "description" ];
+  s
+
+let oc c = (Schema.object_class, Value.Str c)
+let profiles_base = "ou=userProfiles, dc=research, dc=att, dc=com"
+let subscriber_dn uid = Printf.sprintf "uid=%s, %s" uid profiles_base
+let entry d attrs = Entry.make (Dn.of_string d) attrs
+
+let subscriber_entry ~uid ~common_name ~sur_name =
+  entry (subscriber_dn uid)
+    [
+      ("uid", Value.Str uid);
+      ("commonName", Value.Str common_name);
+      ("surName", Value.Str sur_name);
+      oc "inetOrgPerson";
+      oc "TOPSSubscriber";
+    ]
+
+let qhp_entry ~uid ~name ?start_time ?end_time ?(days = []) ?(groups = [])
+    ~priority () =
+  entry (Printf.sprintf "QHPName=%s, %s" name (subscriber_dn uid))
+    ([
+       ("QHPName", Value.Str name);
+       ("priority", Value.Int priority);
+       oc "QHP";
+     ]
+    @ (match start_time with Some t -> [ ("startTime", Value.Int t) ] | None -> [])
+    @ (match end_time with Some t -> [ ("endTime", Value.Int t) ] | None -> [])
+    @ List.map (fun d -> ("daysOfWeek", Value.Int d)) days
+    @ List.map (fun g -> ("callerGroup", Value.Str g)) groups)
+
+let appearance_entry ~uid ~qhp ~number ~priority ?(timeout = 30) ?description () =
+  (* Built programmatically: an all-digit CANumber inside a dn string
+     would read back as an int, but the attribute is string-typed. *)
+  let dn =
+    Dn.child
+      (Dn.child
+         (Dn.of_string (subscriber_dn uid))
+         (Rdn.single "QHPName" (Value.Str qhp)))
+      (Rdn.single "CANumber" (Value.Str number))
+  in
+  Entry.make dn
+    ([
+       ("CANumber", Value.Str number);
+       ("priority", Value.Int priority);
+       ("timeOut", Value.Int timeout);
+       oc "callAppearance";
+     ]
+    @ match description with Some d -> [ ("description", Value.Str d) ] | None -> [])
+
+(* The sample directory of Figure 11: Jagadish's subscriber entry, his
+   weekend QHP (voice mailbox only) and working-hours QHP (office phone,
+   then secretary, then voice mail). *)
+let figure_11 () =
+  let sc = schema () in
+  Instance.of_entries sc
+    [
+      entry "dc=com" [ ("dc", Value.Str "com"); oc "dcObject" ];
+      entry "dc=att, dc=com" [ ("dc", Value.Str "att"); oc "dcObject" ];
+      entry "dc=research, dc=att, dc=com"
+        [ ("dc", Value.Str "research"); oc "dcObject" ];
+      entry profiles_base
+        [ ("ou", Value.Str "userProfiles"); oc "organizationalUnit" ];
+      subscriber_entry ~uid:"jag" ~common_name:"h jagadish" ~sur_name:"jagadish";
+      qhp_entry ~uid:"jag" ~name:"weekend" ~days:[ 6; 7 ] ~priority:1 ();
+      qhp_entry ~uid:"jag" ~name:"workinghours" ~start_time:0830 ~end_time:1730
+        ~priority:2 ();
+      appearance_entry ~uid:"jag" ~qhp:"workinghours" ~number:"9733608750"
+        ~priority:1 ~timeout:30 ();
+      appearance_entry ~uid:"jag" ~qhp:"workinghours" ~number:"9733608751"
+        ~priority:2 ~timeout:20 ~description:"secretary" ();
+      appearance_entry ~uid:"jag" ~qhp:"workinghours" ~number:"9733608752"
+        ~priority:3 ~timeout:60 ~description:"voice mail" ();
+      appearance_entry ~uid:"jag" ~qhp:"weekend" ~number:"9733608752" ~priority:1
+        ~timeout:60 ~description:"voice mail" ();
+    ]
+
+(* --- Call resolution ------------------------------------------------------ *)
+
+let atomic ?(base = profiles_base) filter = Ast.atomic (Dn.of_string base) filter
+
+(* QHPs under [subscriber] applicable at [time]/[day] for a caller in
+   [caller_groups]: a QHP constrains the call only through the
+   attributes it specifies, so the L0 query subtracts the QHPs whose
+   specified constraints fail:
+
+     qhps - (startTime > t) - (endTime < t)
+          - ((present daysOfWeek) - (daysOfWeek=d))
+          - ((present callerGroup) - (callerGroup=g1) - ... - (callerGroup=gk))
+
+   The callerGroup term realizes the paper's access control: "QHPs ...
+   allow subscribers to control access by specifying who can reach
+   them" (Section 2.2). *)
+let matching_qhps_query ?(caller_groups = []) ~uid ~time ~day () =
+  let base = subscriber_dn uid in
+  let qhps = atomic ~base (Afilter.Str_eq (Schema.object_class, "QHP")) in
+  let bad_start = atomic ~base (Afilter.Int_cmp ("startTime", Afilter.Gt, time)) in
+  let bad_end = atomic ~base (Afilter.Int_cmp ("endTime", Afilter.Lt, time)) in
+  let has_days = atomic ~base (Afilter.Present "daysOfWeek") in
+  let right_day = atomic ~base (Afilter.Int_cmp ("daysOfWeek", Afilter.Eq, day)) in
+  let restricted = atomic ~base (Afilter.Present "callerGroup") in
+  let group_ok g = atomic ~base (Afilter.Str_eq ("callerGroup", g)) in
+  let not_my_groups =
+    List.fold_left
+      (fun acc g -> Ast.(acc --- group_ok g))
+      restricted caller_groups
+  in
+  Ast.(qhps --- bad_start --- bad_end --- (has_days --- right_day) --- not_my_groups)
+
+(* The complete resolution query: call appearances whose parent is the
+   highest-priority applicable QHP. *)
+let resolution_query ?caller_groups ~uid ~time ~day () =
+  let base = subscriber_dn uid in
+  let best_qhp =
+    Ast.gsel
+      (matching_qhps_query ?caller_groups ~uid ~time ~day ())
+      {
+        Ast.lhs = Ast.A_entry (Ast.Ea_agg (Ast.Min, Ast.Self "priority"));
+        op = Ast.Eq;
+        rhs =
+          Ast.A_entry_set
+            (Ast.Esa_agg (Ast.Min, Ast.Ea_agg (Ast.Min, Ast.Self "priority")));
+      }
+  in
+  let appearances =
+    atomic ~base (Afilter.Str_eq (Schema.object_class, "callAppearance"))
+  in
+  Ast.parents appearances best_qhp
+
+type resolution = {
+  qhp : Entry.t option;  (* the winning query handling profile *)
+  appearances : Entry.t list;  (* in priority order *)
+}
+
+let priority_of e =
+  match Entry.int_values e "priority" with p :: _ -> p | [] -> max_int
+
+(* Resolve a call: returns the chosen QHP and its call appearances in
+   priority order (the order the TOPS application tries them). *)
+let resolve ?caller_groups engine ~uid ~time ~day =
+  let best =
+    Engine.eval_entries engine
+      (Ast.gsel
+         (matching_qhps_query ?caller_groups ~uid ~time ~day ())
+         {
+           Ast.lhs = Ast.A_entry (Ast.Ea_agg (Ast.Min, Ast.Self "priority"));
+           op = Ast.Eq;
+           rhs =
+             Ast.A_entry_set
+               (Ast.Esa_agg (Ast.Min, Ast.Ea_agg (Ast.Min, Ast.Self "priority")));
+         })
+  in
+  let appearances =
+    Engine.eval_entries engine (resolution_query ?caller_groups ~uid ~time ~day ())
+    |> List.sort (fun a b -> Int.compare (priority_of a) (priority_of b))
+  in
+  { qhp = (match best with q :: _ -> Some q | [] -> None); appearances }
+
+(* --- Synthetic TOPS directories -------------------------------------------- *)
+
+type gen_params = {
+  seed : int;
+  subscribers : int;
+  qhps_per_subscriber : int;
+  appearances_per_qhp : int;
+}
+
+let default_gen =
+  { seed = 2021; subscribers = 50; qhps_per_subscriber = 3; appearances_per_qhp = 2 }
+
+let generate ?(params = default_gen) () =
+  let rng = Prng.create params.seed in
+  let sc = schema () in
+  let scaffold =
+    [
+      entry "dc=com" [ ("dc", Value.Str "com"); oc "dcObject" ];
+      entry "dc=att, dc=com" [ ("dc", Value.Str "att"); oc "dcObject" ];
+      entry "dc=research, dc=att, dc=com"
+        [ ("dc", Value.Str "research"); oc "dcObject" ];
+      entry profiles_base
+        [ ("ou", Value.Str "userProfiles"); oc "organizationalUnit" ];
+    ]
+  in
+  let surnames = [| "smith"; "jones"; "garcia"; "tanaka"; "mueller" |] in
+  let subscriber i =
+    let uid = Printf.sprintf "user%d" i in
+    let sub =
+      subscriber_entry ~uid ~common_name:(Printf.sprintf "user %d" i)
+        ~sur_name:(Prng.pick rng surnames)
+    in
+    let qhps =
+      List.concat
+        (List.init params.qhps_per_subscriber (fun j ->
+             let name = Printf.sprintf "qhp%d" j in
+             let qhp =
+               if Prng.flip rng 0.4 then
+                 qhp_entry ~uid ~name
+                   ~days:[ 1 + Prng.int rng 7 ]
+                   ~priority:(1 + j) ()
+               else
+                 let start_time = Prng.int rng 1200 in
+                 qhp_entry ~uid ~name ~start_time
+                   ~end_time:(start_time + 600 + Prng.int rng 600)
+                   ~priority:(1 + j) ()
+             in
+             let apps =
+               List.init params.appearances_per_qhp (fun k ->
+                   appearance_entry ~uid ~qhp:name
+                     ~number:(Printf.sprintf "973%03d%02d%02d" i j k)
+                     ~priority:(1 + k)
+                     ~timeout:(10 + Prng.int rng 50)
+                     ())
+             in
+             qhp :: apps))
+    in
+    sub :: qhps
+  in
+  Instance.of_entries sc
+    (scaffold @ List.concat (List.init params.subscribers subscriber))

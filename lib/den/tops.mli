@@ -1,0 +1,82 @@
+(** The TOPS dial-by-name DEN application (Examples 2.2 and 3.2,
+    Figure 11).
+
+    Each subscriber owns a personal subtree: a profile entry, prioritized
+    query handling profiles (QHPs) as children, call appearances as
+    grandchildren.  Call resolution is expressed entirely in the query
+    languages: an L0 query (set differences encode the optional
+    constraints) for the applicable QHPs, simple aggregate selection for
+    the highest priority, a parents query for the appearances. *)
+
+val schema : unit -> Schema.t
+val profiles_base : string
+val subscriber_dn : string -> string
+
+val subscriber_entry :
+  uid:string -> common_name:string -> sur_name:string -> Entry.t
+
+val qhp_entry :
+  uid:string ->
+  name:string ->
+  ?start_time:int ->
+  ?end_time:int ->
+  ?days:int list ->
+  ?groups:string list ->
+  priority:int ->
+  unit ->
+  Entry.t
+(** [groups] restricts the QHP to callers presenting one of the listed
+    caller groups (Section 2.2's access control); an unrestricted QHP
+    accepts every caller. *)
+
+val appearance_entry :
+  uid:string ->
+  qhp:string ->
+  number:string ->
+  priority:int ->
+  ?timeout:int ->
+  ?description:string ->
+  unit ->
+  Entry.t
+
+val figure_11 : unit -> Instance.t
+(** The reconstructed sample directory of Figure 11 (Jagadish's weekend
+    and working-hours QHPs and their call appearances). *)
+
+val matching_qhps_query :
+  ?caller_groups:string list -> uid:string -> time:int -> day:int -> unit -> Ast.t
+(** The L0 query selecting the subscriber's QHPs applicable at
+    [time]/[day] ([time] in hhmm form, [day] 1-7) for a caller
+    presenting [caller_groups]. *)
+
+val resolution_query :
+  ?caller_groups:string list -> uid:string -> time:int -> day:int -> unit -> Ast.t
+(** The full L2 resolution query: call appearances of the
+    highest-priority applicable QHP. *)
+
+type resolution = {
+  qhp : Entry.t option;  (** the winning query handling profile *)
+  appearances : Entry.t list;  (** in priority order *)
+}
+
+val priority_of : Entry.t -> int
+
+val resolve :
+  ?caller_groups:string list ->
+  Engine.t ->
+  uid:string ->
+  time:int ->
+  day:int ->
+  resolution
+
+(** {1 Synthetic directories} *)
+
+type gen_params = {
+  seed : int;
+  subscribers : int;
+  qhps_per_subscriber : int;
+  appearances_per_qhp : int;
+}
+
+val default_gen : gen_params
+val generate : ?params:gen_params -> unit -> Instance.t

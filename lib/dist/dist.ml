@@ -1,0 +1,172 @@
+(* Distributed query evaluation (Sections 3.3 and 8.3).
+
+   The hierarchical namespace is split into domains, DNS-style: a domain
+   is registered at a dn, owns the subtree rooted there minus any
+   delegated subdomains, and is served by one directory server.  A
+   query is evaluated by the server it is posed to (the coordinator):
+
+   - each atomic sub-query is routed to the server owning its base dn
+     (longest-suffix domain match, as in DNS resolution);
+   - remote servers evaluate their atomic queries locally and ship the
+     sorted result lists back;
+   - the coordinator then runs the ordinary operator algorithms over the
+     shipped lists (Section 8.3's bottom-up strategy).
+
+   Everything runs in-process; shipping is accounted in messages and
+   bytes on the coordinator's [Io_stats]. *)
+
+type server = {
+  name : string;
+  domain : Dn.t;  (* the root of the namespace this server owns *)
+  instance : Instance.t;  (* only the entries the server owns *)
+  engine : Engine.t;
+}
+
+type network = {
+  servers : server list;  (* the registry, most specific domains first *)
+  block : int;
+}
+
+(* --- Partitioning ------------------------------------------------------- *)
+
+(* DNS-style ownership: an entry belongs to the most specific registered
+   domain that is an ancestor-or-self of its dn. *)
+let owner_domain domains dn =
+  let covers d = Dn.is_self_or_descendant_of ~descendant:dn ~ancestor:d in
+  let best =
+    List.fold_left
+      (fun best d ->
+        if covers d then
+          match best with
+          | Some b when Dn.depth b >= Dn.depth d -> best
+          | _ -> Some d
+        else best)
+      None domains
+  in
+  best
+
+(* Split [instance] into one server per domain.  Entries not covered by
+   any domain go to the first (root-most) server, which models the
+   queried server also acting as the default owner. *)
+let deploy ?(block = 64) instance domains =
+  (match domains with [] -> invalid_arg "Dist.deploy: no domains" | _ -> ());
+  let sorted_domains =
+    List.sort (fun a b -> Int.compare (Dn.depth b) (Dn.depth a)) domains
+  in
+  let buckets = Hashtbl.create 8 in
+  List.iter (fun d -> Hashtbl.replace buckets (Dn.rev_key d) []) sorted_domains;
+  let fallback =
+    match List.rev sorted_domains with d :: _ -> d | [] -> assert false
+  in
+  Instance.iter
+    (fun e ->
+      let d =
+        match owner_domain sorted_domains (Entry.dn e) with
+        | Some d -> d
+        | None -> fallback
+      in
+      let key = Dn.rev_key d in
+      Hashtbl.replace buckets key (e :: Option.value ~default:[] (Hashtbl.find_opt buckets key)))
+    instance;
+  let servers =
+    List.mapi
+      (fun i d ->
+        let entries = List.rev (Option.value ~default:[] (Hashtbl.find_opt buckets (Dn.rev_key d))) in
+        let sub = Instance.of_entries ~validate:false (Instance.schema instance) entries in
+        {
+          name = Printf.sprintf "server%d@%s" i (if Dn.equal d Dn.root then "<root>" else Dn.to_string d);
+          domain = d;
+          instance = sub;
+          engine = Engine.create ~block sub;
+        })
+      sorted_domains
+  in
+  { servers; block }
+
+let find_server network dn =
+  let d =
+    match owner_domain (List.map (fun s -> s.domain) network.servers) dn with
+    | Some d -> d
+    | None -> (match List.rev network.servers with s :: _ -> s.domain | [] -> assert false)
+  in
+  List.find (fun s -> Dn.equal s.domain d) network.servers
+
+(* --- The coordinator ----------------------------------------------------- *)
+
+type coordinator = {
+  network : network;
+  home : server;  (* the server the query was posed to *)
+  stats : Io_stats.t;  (* coordinator-side cost, incl. shipping *)
+  pager : Pager.t;
+}
+
+let coordinator network home_dn =
+  let home = find_server network home_dn in
+  let stats = Io_stats.create () in
+  { network; home; stats; pager = Pager.create ~block:network.block stats }
+
+(* An atomic query generally spans several domains: the owner of the base
+   dn plus every server whose domain lies inside the base's subtree.
+   Each involved server answers from its own partition; the coordinator
+   merges the sorted partial results (domains are disjoint subtrees, so
+   partial results interleave but merging keeps the canonical order). *)
+let involved_servers t (a : Ast.atomic) =
+  let owner = find_server t.network a.Ast.base in
+  let inside =
+    List.filter
+      (fun s ->
+        (not (Dn.equal s.domain owner.domain))
+        && Dn.is_self_or_descendant_of ~descendant:s.domain ~ancestor:a.Ast.base)
+      t.network.servers
+  in
+  owner :: inside
+
+let query_bytes q = String.length (Qprinter.to_string (Ast.Atomic q))
+
+let eval_atomic t (a : Ast.atomic) =
+  let shards =
+    List.map
+      (fun s ->
+        let local = Dn.equal s.domain t.home.domain in
+        if not local then
+          (* Ship the atomic query out and the result back. *)
+          Io_stats.message ~bytes:(query_bytes a) t.stats;
+        let result = Engine.eval s.engine (Ast.Atomic a) in
+        let entries = Ext_list.to_list result in
+        if not local then
+          Io_stats.message
+            ~bytes:(List.fold_left (fun n e -> n + Entry.byte_size e) 0 entries)
+            t.stats;
+        (* Materialize the shipped list at the coordinator. *)
+        Ext_list.materialize t.pager (Array.of_list entries))
+      (involved_servers t a)
+  in
+  (* Merge the sorted shards (pairwise unions). *)
+  match shards with
+  | [] -> Ext_list.materialize t.pager [||]
+  | first :: rest -> List.fold_left Bool_ops.or_ first rest
+
+(* Bottom-up evaluation with remote atomic queries and local operators. *)
+let rec eval t (q : Ast.t) =
+  match q with
+  | Ast.Atomic a -> eval_atomic t a
+  | Ast.And (q1, q2) -> Bool_ops.and_ (eval t q1) (eval t q2)
+  | Ast.Or (q1, q2) -> Bool_ops.or_ (eval t q1) (eval t q2)
+  | Ast.Diff (q1, q2) -> Bool_ops.diff (eval t q1) (eval t q2)
+  | Ast.Hier (op, q1, q2, agg) ->
+      Hs_agg.compute_hier ?agg op (eval t q1) (eval t q2)
+  | Ast.Hier3 (op, q1, q2, q3, agg) ->
+      Hs_agg.compute_hier3 ?agg op (eval t q1) (eval t q2) (eval t q3)
+  | Ast.Gsel (q1, f) -> Simple_agg.compute f (eval t q1)
+  | Ast.Eref (op, q1, q2, attr, agg) ->
+      Er.compute ?agg op (eval t q1) (eval t q2) attr
+
+let eval_entries t q = Ext_list.to_list (eval t q)
+
+(* Aggregate server-side I/O across the network, for the experiments. *)
+let server_stats network =
+  List.map (fun s -> (s.name, Engine.stats s.engine)) network.servers
+
+let reset_all t =
+  Io_stats.reset t.stats;
+  List.iter (fun s -> Engine.reset_stats s.engine) t.network.servers

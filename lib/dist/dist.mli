@@ -1,0 +1,48 @@
+(** Distributed query evaluation (Sections 3.3 and 8.3).
+
+    The namespace is split DNS-style into domains, each owning the
+    subtree at its dn minus delegated subdomains, each served by one
+    in-process server.  A coordinator routes each atomic sub-query to
+    the servers owning parts of its base's subtree, ships the sorted
+    partial results back (accounted in messages/bytes), merges them,
+    and runs the ordinary operator algorithms locally. *)
+
+type server = {
+  name : string;
+  domain : Dn.t;
+  instance : Instance.t;  (** only the entries this server owns *)
+  engine : Engine.t;
+}
+
+type network = { servers : server list; block : int }
+
+val owner_domain : Dn.t list -> Dn.t -> Dn.t option
+(** The most specific registered domain covering a dn. *)
+
+val deploy : ?block:int -> Instance.t -> Dn.t list -> network
+(** Partition an instance over the given domains (most specific domain
+    owns each entry; uncovered entries go to the root-most domain).
+    @raise Invalid_argument on an empty domain list. *)
+
+val find_server : network -> Dn.t -> server
+
+type coordinator = {
+  network : network;
+  home : server;  (** the server the query was posed to *)
+  stats : Io_stats.t;  (** coordinator-side cost including shipping *)
+  pager : Pager.t;
+}
+
+val coordinator : network -> Dn.t -> coordinator
+(** A coordinator at the server owning the given dn. *)
+
+val involved_servers : coordinator -> Ast.atomic -> server list
+(** The owner of the base plus every server whose domain lies inside the
+    base's subtree. *)
+
+val eval_atomic : coordinator -> Ast.atomic -> Entry.t Ext_list.t
+val eval : coordinator -> Ast.t -> Entry.t Ext_list.t
+val eval_entries : coordinator -> Ast.t -> Entry.t list
+
+val server_stats : network -> (string * Io_stats.t) list
+val reset_all : coordinator -> unit

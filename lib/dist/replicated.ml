@@ -1,0 +1,221 @@
+(* Primary/secondary replication of domain partitions (Section 3.3).
+
+   "At the time of registration of a domain in the DIF, a primary and
+   (perhaps) some secondary directory servers are identified as the
+   owners of the hierarchical namespace rooted at the domain entry ...
+   Secondary directory servers ensure that one unreachable network will
+   not necessarily cut off network directory service" (Section 3.3 and
+   footnote 4).
+
+   Each domain is a replica group: one primary that takes the updates,
+   k secondaries that replay the primary's update log asynchronously.
+   Update routing follows the same longest-suffix domain match as query
+   routing; replication traffic (one message per update per secondary)
+   is charged to the network's statistics.  Failover promotes the
+   most-caught-up secondary; updates not yet replicated at failover time
+   are lost — the classic asynchronous-replication trade-off, which the
+   tests pin down explicitly. *)
+
+type update =
+  | Add of Entry.t
+  | Delete of Dn.t  (* leaf delete *)
+  | Delete_subtree of Dn.t
+  | Modify of Dn.t * Directory.modification list
+
+let update_dn = function
+  | Add e -> Entry.dn e
+  | Delete d | Delete_subtree d | Modify (d, _) -> d
+
+(* approximate wire size of an update, for byte accounting *)
+let update_bytes = function
+  | Add e -> Entry.byte_size e
+  | Delete d | Delete_subtree d -> String.length (Dn.rev_key d) + 8
+  | Modify (d, mods) -> String.length (Dn.rev_key d) + (32 * List.length mods)
+
+type replica = {
+  replica_name : string;
+  directory : Directory.t;
+  mutable applied : int;  (* prefix of the group log replayed here *)
+}
+
+type group = {
+  domain : Dn.t;
+  mutable primary : replica;
+  mutable secondaries : replica list;
+  mutable log : update list;  (* newest first *)
+  mutable log_length : int;
+}
+
+type t = { groups : group list; stats : Io_stats.t; block : int }
+
+(* --- Deployment ------------------------------------------------------------ *)
+
+let clone_instance instance =
+  (* replicas hold independent directories over the same entries *)
+  Directory.create instance
+
+let deploy ?(block = 64) ?(secondaries = 1) instance domains =
+  (match domains with
+  | [] -> invalid_arg "Replicated.deploy: no domains"
+  | _ -> ());
+  let base = Dist.deploy ~block instance domains in
+  let groups =
+    List.map
+      (fun (s : Dist.server) ->
+        let mk i =
+          {
+            replica_name =
+              (if i = 0 then Printf.sprintf "%s/primary" s.Dist.name
+               else Printf.sprintf "%s/secondary%d" s.Dist.name i);
+            directory = clone_instance s.Dist.instance;
+            applied = 0;
+          }
+        in
+        {
+          domain = s.Dist.domain;
+          primary = mk 0;
+          secondaries = List.init secondaries (fun i -> mk (i + 1));
+          log = [];
+          log_length = 0;
+        })
+      base.Dist.servers
+  in
+  { groups; stats = Io_stats.create (); block }
+
+let group_of t dn =
+  let domains = List.map (fun g -> g.domain) t.groups in
+  let owner =
+    match Dist.owner_domain domains dn with
+    | Some d -> d
+    | None -> (
+        match
+          List.sort (fun a b -> Int.compare (Dn.depth a) (Dn.depth b)) domains
+        with
+        | d :: _ -> d
+        | [] -> assert false)
+  in
+  List.find (fun g -> Dn.equal g.domain owner) t.groups
+
+(* --- Updates ---------------------------------------------------------------- *)
+
+let apply_to directory = function
+  | Add e ->
+      (* partition roots have no parent on this server *)
+      Directory.add ~as_root:true directory e
+  | Delete d -> Directory.delete directory d
+  | Delete_subtree d -> Directory.delete ~subtree:true directory d
+  | Modify (d, mods) -> Directory.modify directory d mods
+
+(* Route an update to the owning primary; on success it is appended to
+   the group's replication log. *)
+let update t u =
+  let g = group_of t (update_dn u) in
+  (* client -> primary *)
+  Io_stats.message ~bytes:(update_bytes u) t.stats;
+  match apply_to g.primary.directory u with
+  | Ok () ->
+      g.log <- u :: g.log;
+      g.log_length <- g.log_length + 1;
+      g.primary.applied <- g.log_length;
+      Ok ()
+  | Error e -> Error e
+
+(* --- Replication ------------------------------------------------------------- *)
+
+let lag g r = g.log_length - r.applied
+
+(* Push every pending log entry to every secondary; one message per
+   update per secondary.  Replay failures cannot happen (the log
+   applied cleanly at the primary and replicas replay in order), but we
+   surface them loudly rather than diverge silently. *)
+let replicate_group t g =
+  List.iter
+    (fun r ->
+      let pending = lag g r in
+      if pending > 0 then begin
+        let to_apply =
+          (* log is newest-first: take the pending prefix, oldest first *)
+          List.filteri (fun i _ -> i < pending) g.log |> List.rev
+        in
+        List.iter
+          (fun u ->
+            Io_stats.message ~bytes:(update_bytes u) t.stats;
+            match apply_to r.directory u with
+            | Ok () -> r.applied <- r.applied + 1
+            | Error e ->
+                Fmt.failwith "replication divergence at %s: %a" r.replica_name
+                  Directory.pp_error e)
+          to_apply
+      end)
+    g.secondaries
+
+let replicate t = List.iter (replicate_group t) t.groups
+
+let max_lag t =
+  List.fold_left
+    (fun acc g ->
+      List.fold_left (fun acc r -> max acc (lag g r)) acc g.secondaries)
+    0 t.groups
+
+(* --- Failover ----------------------------------------------------------------- *)
+
+exception No_secondary of Dn.t
+
+(* The primary of [domain] fails: promote the most-caught-up secondary.
+   Log entries beyond the promoted replica's applied point are lost
+   (asynchronous replication); the log is truncated to match. *)
+let fail_primary t domain =
+  let g = List.find (fun g -> Dn.equal g.domain domain) t.groups in
+  match
+    List.sort (fun a b -> Int.compare b.applied a.applied) g.secondaries
+  with
+  | [] -> raise (No_secondary domain)
+  | best :: rest ->
+      let lost = g.log_length - best.applied in
+      g.primary <- best;
+      g.secondaries <- rest;
+      (* drop the lost suffix (newest entries) *)
+      g.log <- List.filteri (fun i _ -> i >= lost) g.log;
+      g.log_length <- best.applied;
+      lost
+
+(* --- Reads -------------------------------------------------------------------- *)
+
+type read_preference = Primary | Any_secondary
+
+let replica_for ?(prefer = Primary) t dn =
+  let g = group_of t dn in
+  match (prefer, g.secondaries) with
+  | Primary, _ | Any_secondary, [] -> g.primary
+  | Any_secondary, r :: _ -> r
+
+(* An engine over one replica's current state (rebuild per call; the
+   caller caches it as long as no updates intervene). *)
+let engine ?prefer t dn =
+  let r = replica_for ?prefer t dn in
+  Engine.create ~block:t.block (Directory.instance r.directory)
+
+(* All replicas of all groups agree (true after a full replicate). *)
+let consistent t =
+  List.for_all
+    (fun g ->
+      let reference = Instance.to_list (Directory.instance g.primary.directory) in
+      List.for_all
+        (fun r ->
+          let other = Instance.to_list (Directory.instance r.directory) in
+          List.length reference = List.length other
+          && List.for_all2
+               (fun a b -> Entry.equal_dn a b && Entry.attrs a = Entry.attrs b)
+               reference other)
+        g.secondaries)
+    t.groups
+
+let pp_status ppf t =
+  List.iter
+    (fun g ->
+      Fmt.pf ppf "%a: primary=%s log=%d@." Dn.pp g.domain
+        g.primary.replica_name g.log_length;
+      List.iter
+        (fun r -> Fmt.pf ppf "  %s lag=%d@." r.replica_name (lag g r))
+        g.secondaries)
+    t.groups

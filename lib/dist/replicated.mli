@@ -1,0 +1,69 @@
+(** Primary/secondary replication of domain partitions (Section 3.3,
+    footnote 4: secondaries keep the service available).
+
+    Each domain is a replica group: one primary takes updates, the
+    secondaries replay its log asynchronously ({!replicate}); routing
+    uses the same longest-suffix domain match as queries, replication
+    traffic is charged in messages/bytes, and failover promotes the
+    most-caught-up secondary at the cost of losing any unreplicated
+    suffix — exactly the asynchronous-replication trade-off. *)
+
+type update =
+  | Add of Entry.t
+  | Delete of Dn.t
+  | Delete_subtree of Dn.t
+  | Modify of Dn.t * Directory.modification list
+
+val update_dn : update -> Dn.t
+
+type replica = {
+  replica_name : string;
+  directory : Directory.t;
+  mutable applied : int;  (** log prefix replayed here *)
+}
+
+type group = {
+  domain : Dn.t;
+  mutable primary : replica;
+  mutable secondaries : replica list;
+  mutable log : update list;  (** newest first *)
+  mutable log_length : int;
+}
+
+type t = { groups : group list; stats : Io_stats.t; block : int }
+
+val deploy : ?block:int -> ?secondaries:int -> Instance.t -> Dn.t list -> t
+(** Partition over the domains (as {!Dist.deploy}) with [secondaries]
+    replicas per group (default 1). *)
+
+val group_of : t -> Dn.t -> group
+
+val update : t -> update -> (unit, Directory.error) result
+(** Route to the owning primary, apply, append to the log. *)
+
+val lag : group -> replica -> int
+
+val replicate : t -> unit
+(** Push every pending log entry to every secondary (one message per
+    update per secondary). *)
+
+val max_lag : t -> int
+
+exception No_secondary of Dn.t
+
+val fail_primary : t -> Dn.t -> int
+(** Promote the most-caught-up secondary; returns the number of updates
+    lost (the unreplicated log suffix).
+    @raise No_secondary when no secondary remains. *)
+
+type read_preference = Primary | Any_secondary
+
+val replica_for : ?prefer:read_preference -> t -> Dn.t -> replica
+
+val engine : ?prefer:read_preference -> t -> Dn.t -> Engine.t
+(** A query engine over one replica's current state. *)
+
+val consistent : t -> bool
+(** Do all replicas agree (true after a full {!replicate})? *)
+
+val pp_status : Format.formatter -> t -> unit

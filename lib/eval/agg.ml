@@ -1,0 +1,155 @@
+(* Aggregate values and distributive partial states (Section 6).
+
+   Aggregation results are exact rationals because [average] of integers
+   need not be an integer, and aggregate selection filters compare two
+   aggregate attributes.  Partial states are distributive/algebraic in the
+   paper's sense (Section 6.4): two states over disjoint multisets combine
+   into the state of the union, which is what lets the stack algorithms
+   maintain them incrementally. *)
+
+(* --- Exact rationals --------------------------------------------------- *)
+
+type num = { nu : int; de : int }  (* invariant: de > 0, gcd(|nu|, de) = 1 *)
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let make_num nu de =
+  if de = 0 then invalid_arg "Agg.make_num: zero denominator";
+  let s = if de < 0 then -1 else 1 in
+  let nu = s * nu and de = s * de in
+  let g = max 1 (gcd (abs nu) de) in
+  { nu = nu / g; de = de / g }
+
+let num_of_int i = { nu = i; de = 1 }
+let num_add a b = make_num ((a.nu * b.de) + (b.nu * a.de)) (a.de * b.de)
+let compare_num a b = Stdlib.compare (a.nu * b.de) (b.nu * a.de)
+let num_to_string n =
+  if n.de = 1 then string_of_int n.nu else Printf.sprintf "%d/%d" n.nu n.de
+
+let pp_num ppf n = Fmt.string ppf (num_to_string n)
+
+(* --- Partial states ---------------------------------------------------- *)
+
+type state =
+  | S_min of num option
+  | S_max of num option
+  | S_sum of num
+  | S_count of int
+  | S_avg of num * int  (* running sum and count *)
+
+let init = function
+  | Ast.Min -> S_min None
+  | Ast.Max -> S_max None
+  | Ast.Sum -> S_sum (num_of_int 0)
+  | Ast.Count -> S_count 0
+  | Ast.Average -> S_avg (num_of_int 0, 0)
+
+let opt_merge f a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some x, Some y -> Some (f x y)
+
+let min_num a b = if compare_num a b <= 0 then a else b
+let max_num a b = if compare_num a b >= 0 then a else b
+
+(* Absorb one value into a state.  [Count] counts occurrences regardless
+   of the value. *)
+let add state v =
+  match state with
+  | S_min m -> S_min (opt_merge min_num m (Some v))
+  | S_max m -> S_max (opt_merge max_num m (Some v))
+  | S_sum s -> S_sum (num_add s v)
+  | S_count c -> S_count (c + 1)
+  | S_avg (s, c) -> S_avg (num_add s v, c + 1)
+
+let add_int state i = add state (num_of_int i)
+
+let combine a b =
+  match (a, b) with
+  | S_min x, S_min y -> S_min (opt_merge min_num x y)
+  | S_max x, S_max y -> S_max (opt_merge max_num x y)
+  | S_sum x, S_sum y -> S_sum (num_add x y)
+  | S_count x, S_count y -> S_count (x + y)
+  | S_avg (sx, cx), S_avg (sy, cy) -> S_avg (num_add sx sy, cx + cy)
+  | (S_min _ | S_max _ | S_sum _ | S_count _ | S_avg _), _ ->
+      invalid_arg "Agg.combine: mismatched aggregate states"
+
+(* The final value.  Empty min/max/average are undefined (None); empty
+   sum and count are 0.  A comparison against an undefined aggregate is
+   false (Section 6's semantics never compares undefined values because
+   its examples always aggregate present attributes; we make the total
+   choice explicit). *)
+let result = function
+  | S_min m | S_max m -> m
+  | S_sum s -> Some s
+  | S_count c -> Some (num_of_int c)
+  | S_avg (_, 0) -> None
+  | S_avg (s, c) -> Some (make_num s.nu (s.de * c))
+
+let cmp_holds op a b =
+  let c = compare_num a b in
+  match op with
+  | Ast.Lt -> c < 0
+  | Ast.Le -> c <= 0
+  | Ast.Eq -> c = 0
+  | Ast.Ge -> c >= 0
+  | Ast.Gt -> c > 0
+  | Ast.Ne -> c <> 0
+
+let cmp_holds_opt op a b =
+  match (a, b) with Some a, Some b -> cmp_holds op a b | _ -> false
+
+(* --- Direct (oracle) evaluation over explicit witness lists ------------ *)
+
+(* Multiset of integer values of attribute [a] in [r]; non-integer values
+   do not contribute to numeric aggregation (Count still counts every
+   value of the attribute, whatever its type). *)
+let attr_nums r a = List.map num_of_int (Entry.int_values r a)
+
+let eval_entry_agg_over ~self ~witnesses (ea : Ast.entry_agg) =
+  match ea with
+  | Ast.Ea_count_witnesses -> Some (num_of_int (List.length witnesses))
+  | Ast.Ea_agg (f, ref_) ->
+      let values =
+        match ref_ with
+        | Ast.Self a | Ast.W1 a -> (
+            match f with
+            | Ast.Count ->
+                List.map (fun _ -> num_of_int 0) (Entry.values self a)
+            | Ast.Min | Ast.Max | Ast.Sum | Ast.Average -> attr_nums self a)
+        | Ast.W2 a ->
+            List.concat_map
+              (fun w ->
+                match f with
+                | Ast.Count ->
+                    List.map (fun _ -> num_of_int 0) (Entry.values w a)
+                | Ast.Min | Ast.Max | Ast.Sum | Ast.Average -> attr_nums w a)
+              witnesses
+      in
+      result (List.fold_left add (init f) values)
+
+(* Entry-set aggregate over all candidates, each with its witness list. *)
+let eval_entry_set_agg_over ~candidates (esa : Ast.entry_set_agg) =
+  match esa with
+  | Ast.Esa_count_entries | Ast.Esa_count_all ->
+      Some (num_of_int (List.length candidates))
+  | Ast.Esa_agg (f, ea) ->
+      let values =
+        List.filter_map
+          (fun (self, witnesses) -> eval_entry_agg_over ~self ~witnesses ea)
+          candidates
+      in
+      result (List.fold_left add (init f) values)
+
+(* Evaluate an aggregate selection filter over candidates-with-witnesses.
+   Returns the predicate selecting the surviving candidates.  Used by the
+   reference semantics; the external-memory algorithms compute the same
+   quantities incrementally. *)
+let filter_predicate ~candidates (f : Ast.agg_filter) =
+  let attr_value (self, witnesses) = function
+    | Ast.A_const c -> Some (num_of_int c)
+    | Ast.A_entry ea -> eval_entry_agg_over ~self ~witnesses ea
+    | Ast.A_entry_set esa -> eval_entry_set_agg_over ~candidates esa
+  in
+  fun cand ->
+    cmp_holds_opt f.Ast.op (attr_value cand f.Ast.lhs) (attr_value cand f.Ast.rhs)

@@ -1,0 +1,72 @@
+(** Aggregate values and distributive partial states (Section 6).
+
+    Aggregation results are exact rationals (an [average] of ints need
+    not be an int); partial states are distributive/algebraic in the
+    paper's Section 6.4 sense — states over disjoint multisets combine
+    into the state of the union — which is what lets the stack
+    algorithms maintain them incrementally. *)
+
+(** {1 Exact rationals} *)
+
+type num = private { nu : int; de : int }
+(** Invariant: [de > 0], [gcd (abs nu) de = 1]. *)
+
+val make_num : int -> int -> num
+(** Normalized [nu / de].  @raise Invalid_argument on zero denominator. *)
+
+val num_of_int : int -> num
+val num_add : num -> num -> num
+val compare_num : num -> num -> int
+val num_to_string : num -> string
+val pp_num : Format.formatter -> num -> unit
+
+(** {1 Partial states} *)
+
+type state =
+  | S_min of num option
+  | S_max of num option
+  | S_sum of num
+  | S_count of int
+  | S_avg of num * int  (** running sum and count *)
+
+val init : Ast.agg_fun -> state
+(** The state of the empty multiset. *)
+
+val add : state -> num -> state
+(** Absorb one value ([Count] counts occurrences regardless of value). *)
+
+val add_int : state -> int -> state
+
+val combine : state -> state -> state
+(** State of the multiset union.
+    @raise Invalid_argument on mismatched aggregate kinds. *)
+
+val result : state -> num option
+(** The aggregate's value; empty min/max/average are undefined
+    ([None]), empty sum/count are 0. *)
+
+val cmp_holds : Ast.cmp -> num -> num -> bool
+
+val cmp_holds_opt : Ast.cmp -> num option -> num option -> bool
+(** Comparisons involving an undefined aggregate are false. *)
+
+(** {1 Direct evaluation over explicit witness lists (oracle path)} *)
+
+val attr_nums : Entry.t -> string -> num list
+(** The integer values of an attribute, as rationals. *)
+
+val eval_entry_agg_over :
+  self:Entry.t -> witnesses:Entry.t list -> Ast.entry_agg -> num option
+(** ea[r] / ea[r, Rs] of Definitions 6.1-6.2. *)
+
+val eval_entry_set_agg_over :
+  candidates:(Entry.t * Entry.t list) list -> Ast.entry_set_agg -> num option
+(** esa over all candidates, each with its witness list. *)
+
+val filter_predicate :
+  candidates:(Entry.t * Entry.t list) list ->
+  Ast.agg_filter ->
+  Entry.t * Entry.t list ->
+  bool
+(** The selection predicate of an aggregate filter over a fixed
+    candidate universe. *)

@@ -1,0 +1,53 @@
+(* Boolean operators over sorted entry lists (Section 4.2).
+
+   Straightforward list merging: both inputs are sorted by reverse-dn key,
+   the output is produced in the same order with one sequential scan of
+   each input — the "elegant table-driven algorithm" of Jacobson et al.
+   reduces to the three merge loops below.  I/O: |L1|/B + |L2|/B reads
+   plus the output writes. *)
+
+let merge ~keep_left_only ~keep_both ~keep_right_only l1 l2 =
+  let pager = Ext_list.pager l1 in
+  let c1 = Ext_list.Cursor.make l1 and c2 = Ext_list.Cursor.make l2 in
+  let w = Ext_list.Writer.make pager in
+  let stats = Pager.stats pager in
+  let rec loop () =
+    match (Ext_list.Cursor.peek c1, Ext_list.Cursor.peek c2) with
+    | None, None -> ()
+    | Some e1, None ->
+        Ext_list.Cursor.advance c1;
+        if keep_left_only then Ext_list.Writer.push w e1;
+        loop ()
+    | None, Some e2 ->
+        Ext_list.Cursor.advance c2;
+        if keep_right_only then Ext_list.Writer.push w e2;
+        loop ()
+    | Some e1, Some e2 ->
+        Io_stats.compare_key stats;
+        let c = Entry.compare_rev e1 e2 in
+        if c = 0 then begin
+          Ext_list.Cursor.advance c1;
+          Ext_list.Cursor.advance c2;
+          if keep_both then Ext_list.Writer.push w e1
+        end
+        else if c < 0 then begin
+          Ext_list.Cursor.advance c1;
+          if keep_left_only then Ext_list.Writer.push w e1
+        end
+        else begin
+          Ext_list.Cursor.advance c2;
+          if keep_right_only then Ext_list.Writer.push w e2
+        end;
+        loop ()
+  in
+  loop ();
+  Ext_list.Writer.close w
+
+let and_ l1 l2 =
+  merge ~keep_left_only:false ~keep_both:true ~keep_right_only:false l1 l2
+
+let or_ l1 l2 =
+  merge ~keep_left_only:true ~keep_both:true ~keep_right_only:true l1 l2
+
+let diff l1 l2 =
+  merge ~keep_left_only:true ~keep_both:false ~keep_right_only:false l1 l2

@@ -1,0 +1,9 @@
+(** Boolean operators over sorted entry lists (Section 4.2).
+
+    One sequential merge of the two inputs per operator; output produced
+    in the same canonical order.  I/O: [|L1|/B + |L2|/B] reads plus the
+    output writes. *)
+
+val and_ : Entry.t Ext_list.t -> Entry.t Ext_list.t -> Entry.t Ext_list.t
+val or_ : Entry.t Ext_list.t -> Entry.t Ext_list.t -> Entry.t Ext_list.t
+val diff : Entry.t Ext_list.t -> Entry.t Ext_list.t -> Entry.t Ext_list.t

@@ -1,0 +1,211 @@
+(* The query evaluation engine (Section 8.2).
+
+   Bottom-up evaluation of the query tree: atomic queries are answered
+   from the clustering dn-index (optionally assisted by per-attribute
+   B-tree / trie indexes), producing lists sorted in the canonical
+   reverse-dn order; every operator consumes and produces sorted lists,
+   so no intermediate re-sorting ever happens — the invariant Theorem 8.3
+   rests on, checked by experiment E15.
+
+   The engine also exposes a naive mode that swaps every operator for its
+   quadratic nested-loop baseline (same results, different cost), used by
+   the crossover experiment E9. *)
+
+type algorithms = Stack_based | Naive_nested_loop
+
+type t = {
+  instance : Instance.t;
+  pager : Pager.t;
+  dn_index : Dn_index.t;
+  attr_index : Attr_index.t option;
+  pool : Buffer_pool.t option;  (* page cache behind the dn-index *)
+  window : int;  (* in-memory pages for each operator's stack *)
+  algorithms : algorithms;
+}
+
+let create ?(block = 64) ?(window = 2) ?(with_attr_index = true)
+    ?(algorithms = Stack_based) ?(cache_pages = 0) ?stats instance =
+  let stats = match stats with Some s -> s | None -> Io_stats.create () in
+  let pager = Pager.create ~block stats in
+  let pool =
+    if cache_pages > 0 then Some (Buffer_pool.create ~capacity:cache_pages pager)
+    else None
+  in
+  let dn_index = Dn_index.build ?pool pager instance in
+  let attr_index =
+    if with_attr_index then Some (Attr_index.build pager instance) else None
+  in
+  (* Index construction is setup cost, not query cost. *)
+  Io_stats.reset stats;
+  { instance; pager; dn_index; attr_index; pool; window; algorithms }
+
+let stats t = Pager.stats t.pager
+let pager t = t.pager
+let instance t = t.instance
+let dn_index t = t.dn_index
+let cache t = t.pool
+let reset_stats t = Io_stats.reset (stats t)
+
+(* --- Atomic queries ----------------------------------------------------- *)
+
+(* Candidate entries from a secondary index, or None when the filter has
+   no indexable access path and the subtree must be scanned. *)
+let index_candidates t (f : Afilter.t) =
+  match t.attr_index with
+  | None -> None
+  | Some idx -> (
+      match f with
+      | Afilter.Present _ -> None
+      | Afilter.Int_cmp (a, op, k) ->
+          let lo, hi =
+            match op with
+            | Afilter.Lt -> (min_int, k - 1)
+            | Afilter.Le -> (min_int, k)
+            | Afilter.Eq -> (k, k)
+            | Afilter.Ge -> (k, max_int)
+            | Afilter.Gt -> (k + 1, max_int)
+          in
+          Attr_index.lookup_int_range idx a ~lo ~hi
+      | Afilter.Str_eq (a, s) -> Attr_index.lookup_str_eq idx a s
+      | Afilter.Dn_eq (a, d) -> Attr_index.lookup_dn_eq idx a d
+      | Afilter.Substr (a, pat) -> (
+          (* Probe with the most selective available component, then
+             post-filter with the full pattern. *)
+          match pat.Afilter.initial with
+          | Some ini -> Attr_index.lookup_str_prefix idx a ini
+          | None -> (
+              let longest =
+                List.fold_left
+                  (fun best s ->
+                    match best with
+                    | Some b when String.length b >= String.length s -> best
+                    | _ -> Some s)
+                  None
+                  (pat.Afilter.middles
+                  @ Option.to_list pat.Afilter.final)
+              in
+              match longest with
+              | Some comp -> Attr_index.lookup_substring idx a comp
+              | None -> None)))
+
+let eval_atomic t (a : Ast.atomic) =
+  let keep e = Afilter.matches a.filter e in
+  match a.scope with
+  | Ast.Base -> Dn_index.scan_base t.dn_index a.base ~keep
+  | Ast.One -> Dn_index.scan_children t.dn_index a.base ~keep
+  | Ast.Sub -> (
+      match index_candidates t a.filter with
+      | None -> Dn_index.scan_subtree t.dn_index a.base ~keep
+      | Some candidates ->
+          let prefix = Dn.rev_key a.base in
+          let hits =
+            List.filter
+              (fun e ->
+                Entry.key_is_prefix ~prefix (Entry.key e)
+                && Afilter.matches a.filter e)
+              candidates
+            |> List.sort_uniq Entry.compare_rev
+          in
+          (* Charge reading the postings; the sorted result is written
+             through the standard writer. *)
+          Pager.charge_scan_read t.pager (List.length candidates);
+          let w = Ext_list.Writer.make t.pager in
+          List.iter (Ext_list.Writer.push w) hits;
+          Ext_list.Writer.close w)
+
+(* --- Query trees --------------------------------------------------------- *)
+
+let rec eval t (q : Ast.t) =
+  match q with
+  | Ast.Atomic a -> eval_atomic t a
+  | Ast.And (q1, q2) ->
+      apply_bool t `And (eval t q1) (eval t q2)
+  | Ast.Or (q1, q2) -> apply_bool t `Or (eval t q1) (eval t q2)
+  | Ast.Diff (q1, q2) -> apply_bool t `Diff (eval t q1) (eval t q2)
+  | Ast.Hier (op, q1, q2, agg) -> (
+      let l1 = eval t q1 and l2 = eval t q2 in
+      match t.algorithms with
+      | Stack_based -> Hs_agg.compute_hier ~window:t.window ?agg op l1 l2
+      | Naive_nested_loop -> naive_hier op agg l1 l2)
+  | Ast.Hier3 (op, q1, q2, q3, agg) -> (
+      let l1 = eval t q1 and l2 = eval t q2 and l3 = eval t q3 in
+      match t.algorithms with
+      | Stack_based -> Hs_agg.compute_hier3 ~window:t.window ?agg op l1 l2 l3
+      | Naive_nested_loop -> naive_hier3 op agg l1 l2 l3)
+  | Ast.Gsel (q1, f) -> Simple_agg.compute f (eval t q1)
+  | Ast.Eref (op, q1, q2, attr, agg) -> (
+      let l1 = eval t q1 and l2 = eval t q2 in
+      match t.algorithms with
+      | Stack_based -> Er.compute ?agg op l1 l2 attr
+      | Naive_nested_loop -> naive_eref op agg l1 l2 attr)
+
+and apply_bool t op l1 l2 =
+  match (t.algorithms, op) with
+  | Stack_based, `And -> Bool_ops.and_ l1 l2
+  | Stack_based, `Or -> Bool_ops.or_ l1 l2
+  | Stack_based, `Diff -> Bool_ops.diff l1 l2
+  | Naive_nested_loop, op -> Naive.compute_bool op l1 l2
+
+(* The naive baselines only implement the count($2) > 0 selection; an
+   aggregate filter falls back to the stack algorithm so naive mode still
+   evaluates every query correctly. *)
+and naive_hier op agg l1 l2 =
+  match agg with
+  | None -> Naive.compute_hier op l1 l2
+  | Some _ -> Hs_agg.compute_hier ?agg op l1 l2
+
+and naive_hier3 op agg l1 l2 l3 =
+  match agg with
+  | None -> Naive.compute_hier3 op l1 l2 l3
+  | Some _ -> Hs_agg.compute_hier3 ?agg op l1 l2 l3
+
+and naive_eref op agg l1 l2 attr =
+  match agg with
+  | None -> Naive.compute_eref op l1 l2 attr
+  | Some _ -> Er.compute ?agg op l1 l2 attr
+
+let eval_entries t q = Ext_list.to_list (eval t q)
+
+(* Closure: wrap the result back into an instance over the same schema. *)
+let eval_instance t q = Instance.of_result t.instance (eval_entries t q)
+
+(* Paged results, RFC-2696 style: evaluate once, hand back fixed-size
+   pages with an opaque cookie.  The cookie encodes the key of the last
+   entry delivered, so paging survives re-evaluation (and concurrent
+   inserts simply appear in their sorted position on later pages). *)
+type page = {
+  entries : Entry.t list;
+  cookie : string option;  (* None: no more pages *)
+}
+
+let eval_paged t ?(page_size = 100) ?cookie q =
+  if page_size <= 0 then invalid_arg "Engine.eval_paged: page_size <= 0";
+  let result = eval t q in
+  let n = Ext_list.length result in
+  (* first index strictly after the cookie key *)
+  let start =
+    match cookie with
+    | None -> 0
+    | Some last_key ->
+        let lo = ref 0 and hi = ref n in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if String.compare (Entry.key (Ext_list.unsafe_get result mid)) last_key
+             <= 0
+          then lo := mid + 1
+          else hi := mid
+        done;
+        !lo
+  in
+  let len = min page_size (n - start) in
+  let entries = List.init (max 0 len) (fun i -> Ext_list.unsafe_get result (start + i)) in
+  let cookie =
+    if start + len >= n || entries = [] then None
+    else Some (Entry.key (List.nth entries (len - 1)))
+  in
+  { entries; cookie }
+
+(* Parse-and-run convenience for the shell and examples. *)
+let eval_string t s =
+  let q = Qparser.of_string ~schema:(Instance.schema t.instance) s in
+  (q, eval_entries t q)

@@ -1,0 +1,65 @@
+(** The query evaluation engine (Section 8.2).
+
+    Bottom-up evaluation of the query tree: atomic queries come sorted
+    off the clustering dn-index (optionally index-assisted), and every
+    operator consumes and produces canonically sorted lists, so nothing
+    is ever re-sorted.  A naive mode swaps each operator for its
+    quadratic baseline (same results, different cost) for the crossover
+    experiments. *)
+
+type algorithms = Stack_based | Naive_nested_loop
+
+type t
+
+val create :
+  ?block:int ->
+  ?window:int ->
+  ?with_attr_index:bool ->
+  ?algorithms:algorithms ->
+  ?cache_pages:int ->
+  ?stats:Io_stats.t ->
+  Instance.t ->
+  t
+(** Build an engine over an instance.  [block] is the blocking factor
+    (default 64), [window] the per-operator stack window in pages
+    (default 2), [with_attr_index] controls secondary-index-assisted
+    atomic evaluation (default on).  Index construction cost is not
+    charged to the query counters. *)
+
+val stats : t -> Io_stats.t
+val pager : t -> Pager.t
+val instance : t -> Instance.t
+
+val dn_index : t -> Dn_index.t
+(** The engine's clustering index (shared with the fusion optimizer). *)
+
+val cache : t -> Buffer_pool.t option
+(** The buffer pool, when [cache_pages > 0]. *)
+
+val reset_stats : t -> unit
+
+val eval_atomic : t -> Ast.atomic -> Entry.t Ext_list.t
+(** One atomic query, answered from the indexes, sorted. *)
+
+val eval : t -> Ast.t -> Entry.t Ext_list.t
+(** Evaluate a query tree; the result list is canonically sorted. *)
+
+val eval_entries : t -> Ast.t -> Entry.t list
+
+val eval_instance : t -> Ast.t -> Instance.t
+(** Wrap the result back into an instance (closure property). *)
+
+val eval_string : t -> string -> Ast.t * Entry.t list
+(** Parse (schema-aware) and evaluate. *)
+
+(** RFC-2696-style paged results. *)
+type page = {
+  entries : Entry.t list;
+  cookie : string option;  (** [None]: no more pages *)
+}
+
+val eval_paged : t -> ?page_size:int -> ?cookie:string -> Ast.t -> page
+(** Deliver the result page by page: pass each page's [cookie] back to
+    get the next one.  The cookie encodes the last delivered key, so
+    paging is stable across re-evaluation.
+    @raise Invalid_argument if [page_size <= 0]. *)

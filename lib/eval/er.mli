@@ -1,0 +1,33 @@
+(** ComputeERAggVD / ComputeERAggDV — the embedded-reference operators
+    valueDN and DNvalue with optional aggregate selection (Section 7.2,
+    Fig 3).
+
+    Sort-merge join/semijoin over the exploded (referenced-dn, entry)
+    pair list; I/O [O(|L1|/B + (|L2| m / B) log (|L2| m / B))]
+    (Theorem 7.1), where m bounds the values per reference attribute. *)
+
+val compute_dv :
+  ?agg:Ast.agg_filter ->
+  Entry.t Ext_list.t ->
+  Entry.t Ext_list.t ->
+  string ->
+  Entry.t Ext_list.t
+(** [(dv L1 L2 a [agg])]: L1 entries whose dn is a value of attribute
+    [a] in some L2 entry; witnesses are the referencing entries. *)
+
+val compute_vd :
+  ?agg:Ast.agg_filter ->
+  Entry.t Ext_list.t ->
+  Entry.t Ext_list.t ->
+  string ->
+  Entry.t Ext_list.t
+(** [(vd L1 L2 a [agg])]: L1 entries one of whose [a]-values is the dn
+    of some L2 entry; witnesses are the referenced entries. *)
+
+val compute :
+  ?agg:Ast.agg_filter ->
+  Ast.ref_op ->
+  Entry.t Ext_list.t ->
+  Entry.t Ext_list.t ->
+  string ->
+  Entry.t Ext_list.t

@@ -1,0 +1,33 @@
+(** Grace-hash evaluation of the embedded-reference operators — the
+    classical alternative to the paper's sort-merge choice (Section 7.2).
+
+    Produces exactly the results of {!Er} (differentially tested), but
+    hash partitioning destroys the canonical order, so an extra sort by
+    candidate position is needed before the output can be emitted sorted
+    — the cost that justifies the paper's preference, measured by
+    experiment E22. *)
+
+val compute_dv :
+  ?agg:Ast.agg_filter ->
+  ?partitions:int ->
+  Entry.t Ext_list.t ->
+  Entry.t Ext_list.t ->
+  string ->
+  Entry.t Ext_list.t
+
+val compute_vd :
+  ?agg:Ast.agg_filter ->
+  ?partitions:int ->
+  Entry.t Ext_list.t ->
+  Entry.t Ext_list.t ->
+  string ->
+  Entry.t Ext_list.t
+
+val compute :
+  ?agg:Ast.agg_filter ->
+  ?partitions:int ->
+  Ast.ref_op ->
+  Entry.t Ext_list.t ->
+  Entry.t Ext_list.t ->
+  string ->
+  Entry.t Ext_list.t

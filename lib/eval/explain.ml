@@ -1,0 +1,240 @@
+(* Query plans: cost estimation and per-operator profiling.
+
+   The paper's Section 8.2 evaluation strategy is fixed (bottom-up,
+   sorted pipeline), so a "plan" here is the query tree annotated with
+   costs.  [estimate] predicts cardinalities and page I/O from the
+   instance's statistics and the theorems' cost formulas; [profile]
+   executes the query and attributes the actual rows and I/O to each
+   operator.  The estimated vs. measured columns side by side are the
+   closest thing this system has to an optimizer debugging view, and the
+   shell exposes them as :explain. *)
+
+type node = {
+  label : string;  (* operator name *)
+  detail : string;  (* filter / aggregate text *)
+  est_rows : int;
+  est_io : int;
+  actual_rows : int option;
+  actual_io : int option;
+  children : node list;
+}
+
+(* --- Cardinality estimation ---------------------------------------------- *)
+
+(* Crude textbook selectivities; the point is order-of-magnitude cost
+   attribution, not a real optimizer. *)
+let filter_selectivity = function
+  | Afilter.Present _ -> 0.6
+  | Afilter.Str_eq (a, _) when String.equal a Schema.object_class -> 0.4
+  | Afilter.Str_eq _ -> 0.1
+  | Afilter.Substr _ -> 0.2
+  | Afilter.Int_cmp (_, Afilter.Eq, _) -> 0.05
+  | Afilter.Int_cmp _ -> 0.33
+  | Afilter.Dn_eq _ -> 0.01
+
+let pages pager n = Pager.pages_of pager n
+
+let rec estimate_node engine (q : Ast.t) =
+  let pager = Engine.pager engine in
+  match q with
+  | Ast.Atomic a ->
+      let scope_size =
+        match a.Ast.scope with
+        | Ast.Base -> 1
+        | Ast.One | Ast.Sub ->
+            List.length (Instance.subtree (Engine.instance engine) a.Ast.base)
+      in
+      let est_rows =
+        max 0
+          (int_of_float
+             (float_of_int scope_size *. filter_selectivity a.Ast.filter))
+      in
+      {
+        label = "atomic";
+        detail =
+          Printf.sprintf "%s ? %s ? %s"
+            (Dn.to_string a.Ast.base)
+            (Ast.scope_to_string a.Ast.scope)
+            (Afilter.to_string a.Ast.filter);
+        est_rows;
+        est_io = 1 + pages pager scope_size + pages pager est_rows;
+        actual_rows = None;
+        actual_io = None;
+        children = [];
+      }
+  | Ast.And (q1, q2) -> binary engine "&" q1 q2 (fun n1 n2 -> min n1 n2 / 2)
+  | Ast.Or (q1, q2) -> binary engine "|" q1 q2 (fun n1 n2 -> n1 + n2)
+  | Ast.Diff (q1, q2) -> binary engine "-" q1 q2 (fun n1 _ -> n1 / 2)
+  | Ast.Hier (op, q1, q2, agg) ->
+      let c1 = estimate_node engine q1 and c2 = estimate_node engine q2 in
+      let est_rows = c1.est_rows / 2 in
+      {
+        label = Qprinter.hier_op_to_string op;
+        detail = agg_detail agg;
+        est_rows;
+        (* merged scan + annotated copy + annotation scans + output *)
+        est_io =
+          (2 * pages pager c1.est_rows)
+          + pages pager c2.est_rows
+          + pages pager c1.est_rows + pages pager est_rows;
+        actual_rows = None;
+        actual_io = None;
+        children = [ c1; c2 ];
+      }
+  | Ast.Hier3 (op, q1, q2, q3, agg) ->
+      let c1 = estimate_node engine q1
+      and c2 = estimate_node engine q2
+      and c3 = estimate_node engine q3 in
+      let est_rows = c1.est_rows / 2 in
+      {
+        label = Qprinter.hier_op3_to_string op;
+        detail = agg_detail agg;
+        est_rows;
+        est_io =
+          (3 * pages pager c1.est_rows)
+          + pages pager c2.est_rows + pages pager c3.est_rows
+          + pages pager est_rows;
+        actual_rows = None;
+        actual_io = None;
+        children = [ c1; c2; c3 ];
+      }
+  | Ast.Gsel (q1, f) ->
+      let c1 = estimate_node engine q1 in
+      let scans = if Simple_agg.needs_global f then 2 else 1 in
+      let est_rows = c1.est_rows / 2 in
+      {
+        label = "g";
+        detail = Qprinter.agg_filter_to_string f;
+        est_rows;
+        est_io = (scans * pages pager c1.est_rows) + pages pager est_rows;
+        actual_rows = None;
+        actual_io = None;
+        children = [ c1 ];
+      }
+  | Ast.Eref (op, q1, q2, attr, agg) ->
+      let c1 = estimate_node engine q1 and c2 = estimate_node engine q2 in
+      let m = 2 (* assumed mean reference fan-out *) in
+      let source = match op with Ast.Vd -> c1.est_rows | Ast.Dv -> c2.est_rows in
+      let p = max 1 (pages pager (source * m)) in
+      let rec log2 n = if n <= 1 then 1 else 1 + log2 (n / 2) in
+      let est_rows = c1.est_rows / 2 in
+      {
+        label = Qprinter.ref_op_to_string op;
+        detail =
+          attr ^ (match agg with None -> "" | Some f -> " " ^ Qprinter.agg_filter_to_string f);
+        est_rows;
+        est_io =
+          (2 * p * log2 p)
+          + pages pager c1.est_rows + pages pager c2.est_rows
+          + pages pager est_rows;
+        actual_rows = None;
+        actual_io = None;
+        children = [ c1; c2 ];
+      }
+
+and binary engine label q1 q2 rows =
+  let pager = Engine.pager engine in
+  let c1 = estimate_node engine q1 and c2 = estimate_node engine q2 in
+  let est_rows = rows c1.est_rows c2.est_rows in
+  {
+    label;
+    detail = "";
+    est_rows;
+    est_io =
+      Pager.pages_of pager c1.est_rows
+      + Pager.pages_of pager c2.est_rows
+      + Pager.pages_of pager est_rows;
+    actual_rows = None;
+    actual_io = None;
+    children = [ c1; c2 ];
+  }
+
+and agg_detail = function
+  | None -> "count($2) > 0"
+  | Some f -> Qprinter.agg_filter_to_string f
+
+let estimate engine q = estimate_node engine q
+
+(* --- Profiled execution ---------------------------------------------------- *)
+
+(* Evaluate bottom-up, attributing the I/O of each operator (excluding
+   its children) to its plan node. *)
+let profile engine q =
+  let stats = Engine.stats engine in
+  let rec go (q : Ast.t) (est : node) =
+    match (q, est.children) with
+    | Ast.Atomic _, _ ->
+        let before = Io_stats.total_io stats in
+        let out = Engine.eval engine q in
+        ( out,
+          {
+            est with
+            actual_rows = Some (Ext_list.length out);
+            actual_io = Some (Io_stats.total_io stats - before);
+          } )
+    | Ast.And (q1, q2), [ e1; e2 ] -> binop Bool_ops.and_ q1 q2 e1 e2 est
+    | Ast.Or (q1, q2), [ e1; e2 ] -> binop Bool_ops.or_ q1 q2 e1 e2 est
+    | Ast.Diff (q1, q2), [ e1; e2 ] -> binop Bool_ops.diff q1 q2 e1 e2 est
+    | Ast.Hier (op, q1, q2, agg), [ e1; e2 ] ->
+        binop (fun l1 l2 -> Hs_agg.compute_hier ?agg op l1 l2) q1 q2 e1 e2 est
+    | Ast.Hier3 (op, q1, q2, q3, agg), [ e1; e2; e3 ] ->
+        let l1, n1 = go q1 e1 in
+        let l2, n2 = go q2 e2 in
+        let l3, n3 = go q3 e3 in
+        let before = Io_stats.total_io stats in
+        let out = Hs_agg.compute_hier3 ?agg op l1 l2 l3 in
+        ( out,
+          {
+            est with
+            actual_rows = Some (Ext_list.length out);
+            actual_io = Some (Io_stats.total_io stats - before);
+            children = [ n1; n2; n3 ];
+          } )
+    | Ast.Gsel (q1, f), [ e1 ] ->
+        let l1, n1 = go q1 e1 in
+        let before = Io_stats.total_io stats in
+        let out = Simple_agg.compute f l1 in
+        ( out,
+          {
+            est with
+            actual_rows = Some (Ext_list.length out);
+            actual_io = Some (Io_stats.total_io stats - before);
+            children = [ n1 ];
+          } )
+    | Ast.Eref (op, q1, q2, attr, agg), [ e1; e2 ] ->
+        binop (fun l1 l2 -> Er.compute ?agg op l1 l2 attr) q1 q2 e1 e2 est
+    | _ -> assert false
+  and binop f q1 q2 e1 e2 est =
+    let l1, n1 = go q1 e1 in
+    let l2, n2 = go q2 e2 in
+    let before = Io_stats.total_io stats in
+    let out = f l1 l2 in
+    ( out,
+      {
+        est with
+        actual_rows = Some (Ext_list.length out);
+        actual_io = Some (Io_stats.total_io stats - before);
+        children = [ n1; n2 ];
+      } )
+  in
+  let result, annotated = go q (estimate engine q) in
+  (result, annotated)
+
+(* --- Rendering --------------------------------------------------------------- *)
+
+let rec pp_node ppf (n : node) =
+  let opt = function None -> "-" | Some v -> string_of_int v in
+  Fmt.pf ppf "@[<v2>%s%s  [rows est=%d got=%s | io est=%d got=%s]%a@]" n.label
+    (if n.detail = "" then "" else " " ^ n.detail)
+    n.est_rows (opt n.actual_rows) n.est_io (opt n.actual_io)
+    (fun ppf children ->
+      List.iter (fun c -> Fmt.pf ppf "@,%a" pp_node c) children)
+    n.children
+
+let pp ppf n = Fmt.pf ppf "%a@." pp_node n
+
+let total_actual_io n =
+  let rec sum n =
+    Option.value ~default:0 n.actual_io + List.fold_left (fun a c -> a + sum c) 0 n.children
+  in
+  sum n

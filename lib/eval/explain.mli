@@ -1,0 +1,30 @@
+(** Query plans: cost estimation and per-operator profiling.
+
+    Section 8.2's evaluation strategy is fixed (bottom-up sorted
+    pipeline), so a plan is the query tree annotated with predicted
+    cardinality and page-I/O (from the theorems' formulas and crude
+    selectivities) and, after {!profile}, the measured values per
+    operator.  The shell's [:explain] renders it. *)
+
+type node = {
+  label : string;
+  detail : string;
+  est_rows : int;
+  est_io : int;
+  actual_rows : int option;
+  actual_io : int option;
+  children : node list;
+}
+
+val estimate : Engine.t -> Ast.t -> node
+(** Predicted plan, no execution. *)
+
+val profile : Engine.t -> Ast.t -> Entry.t Ext_list.t * node
+(** Execute the query, attributing actual rows and I/O to each
+    operator (children's costs excluded from their parents). *)
+
+val pp_node : Format.formatter -> node -> unit
+val pp : Format.formatter -> node -> unit
+
+val total_actual_io : node -> int
+(** Sum of the per-operator actual I/O over the whole plan. *)

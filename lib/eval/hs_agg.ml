@@ -1,0 +1,116 @@
+(* ComputeHSAgg — hierarchical selection with aggregate selection filters
+   (Section 6.4, Fig 6), subsuming the plain operators of Section 5 as
+   the special case count($2) > 0.
+
+   Phase 1 is the stack sweep of [Hs_stack]; phase 2 evaluates the
+   aggregate selection filter against each annotated L1 entry.  When the
+   filter mentions entry-set aggregates (e.g. max(count($2))), an extra
+   sequential pass computes the global values first — the maxabove /
+   maxbelow accumulators of Fig 6 folded over the annotated list. *)
+
+type direction = Witness_above | Witness_below
+
+let direction_of_hier = function
+  | Ast.P | Ast.A -> Witness_below
+  | Ast.C | Ast.D -> Witness_above
+
+let direction_of_hier3 = function Ast.Ac -> Witness_below | Ast.Dc -> Witness_above
+
+let mode_of_hier = function Ast.P | Ast.C -> Hs_stack.Pc | Ast.A | Ast.D -> Hs_stack.Ad
+
+let states_of direction (a : Hs_stack.annot) =
+  match direction with
+  | Witness_above -> a.a_above
+  | Witness_below -> a.a_below
+
+(* Find the slot of a tracked aggregate. *)
+let slot tracked ea =
+  let rec find i =
+    if i >= Array.length tracked then
+      invalid_arg "Hs_agg: aggregate not tracked"
+    else if tracked.(i) = ea then i
+    else find (i + 1)
+  in
+  find 0
+
+(* Value of an entry aggregate for one candidate: witness-dependent ones
+   come from the maintained states, self-referencing ones are computed
+   from the entry directly. *)
+let entry_agg_value tracked states self = function
+  | (Ast.Ea_count_witnesses | Ast.Ea_agg (_, Ast.W2 _)) as ea ->
+      Agg.result states.(slot tracked ea)
+  | Ast.Ea_agg (_, (Ast.Self _ | Ast.W1 _)) as ea ->
+      Agg.eval_entry_agg_over ~self ~witnesses:[] ea
+
+(* Global (entry-set) aggregate values, one fold over the annotations. *)
+let collect_globals tracked direction (f : Ast.agg_filter) annots pager =
+  let esas =
+    List.filter_map
+      (function Ast.A_entry_set esa -> Some esa | _ -> None)
+      [ f.Ast.lhs; f.Ast.rhs ]
+    |> List.sort_uniq Stdlib.compare
+  in
+  if esas = [] then []
+  else begin
+    (* One extra sequential scan of the annotated list. *)
+    Pager.charge_scan_read pager (Array.length annots);
+    List.map
+      (fun esa ->
+        let v =
+          match esa with
+          | Ast.Esa_count_entries | Ast.Esa_count_all ->
+              Some (Agg.num_of_int (Array.length annots))
+          | Ast.Esa_agg (fn, ea) ->
+              let st =
+                Array.fold_left
+                  (fun st (a : Hs_stack.annot) ->
+                    match
+                      entry_agg_value tracked (states_of direction a) a.a_entry ea
+                    with
+                    | Some v -> Agg.add st v
+                    | None -> st)
+                  (Agg.init fn) annots
+              in
+              Agg.result st
+        in
+        (esa, v))
+      esas
+  end
+
+let agg_attr_value tracked direction globals (a : Hs_stack.annot) = function
+  | Ast.A_const c -> Some (Agg.num_of_int c)
+  | Ast.A_entry ea ->
+      entry_agg_value tracked (states_of direction a) a.a_entry ea
+  | Ast.A_entry_set esa -> List.assoc esa globals
+
+(* --- Entry points ------------------------------------------------------ *)
+
+let finish tracked direction agg annots pager =
+  let f = Option.value ~default:Ast.has_witness agg in
+  let globals = collect_globals tracked direction f annots pager in
+  (* Final pass: read the annotated list once, write survivors. *)
+  Pager.charge_scan_read pager (Array.length annots);
+  let w = Ext_list.Writer.make pager in
+  Array.iter
+    (fun (a : Hs_stack.annot) ->
+      let v attr = agg_attr_value tracked direction globals a attr in
+      if Agg.cmp_holds_opt f.Ast.op (v f.Ast.lhs) (v f.Ast.rhs) then
+        Ext_list.Writer.push w a.a_entry)
+    annots;
+  Ext_list.Writer.close w
+
+let tracked_for agg =
+  let f = Option.value ~default:Ast.has_witness agg in
+  Hs_stack.tracked_of_filter f
+
+(* (op L1 L2 [AggSelFilter]) for op in {p, c, a, d}. *)
+let compute_hier ?window ?agg op l1 l2 =
+  let tracked = tracked_for agg in
+  let annots = Hs_stack.sweep (mode_of_hier op) ?window ~tracked l1 l2 None in
+  finish tracked (direction_of_hier op) agg annots (Ext_list.pager l1)
+
+(* (op L1 L2 L3 [AggSelFilter]) for op in {ac, dc}. *)
+let compute_hier3 ?window ?agg op l1 l2 l3 =
+  let tracked = tracked_for agg in
+  let annots = Hs_stack.sweep Hs_stack.Adc ?window ~tracked l1 l2 (Some l3) in
+  finish tracked (direction_of_hier3 op) agg annots (Ext_list.pager l1)

@@ -1,0 +1,43 @@
+(** ComputeHSAgg — hierarchical selection with aggregate selection
+    filters (Section 6.4, Fig 6), subsuming the plain L1 operators as
+    count($2) > 0.
+
+    Phase 2 over {!Hs_stack.sweep}'s annotations: an optional pass
+    computing entry-set aggregates (Fig 6's maxabove/maxbelow), then a
+    filter-and-emit pass.  Total I/O stays linear (Theorem 6.2). *)
+
+type direction = Witness_above | Witness_below
+
+val direction_of_hier : Ast.hier_op -> direction
+val direction_of_hier3 : Ast.hier_op3 -> direction
+val mode_of_hier : Ast.hier_op -> Hs_stack.mode
+
+val finish :
+  Ast.entry_agg array ->
+  direction ->
+  Ast.agg_filter option ->
+  Hs_stack.annot array ->
+  Pager.t ->
+  Entry.t Ext_list.t
+(** The shared phase 2 (also used by the embedded-reference
+    algorithms). *)
+
+val compute_hier :
+  ?window:int ->
+  ?agg:Ast.agg_filter ->
+  Ast.hier_op ->
+  Entry.t Ext_list.t ->
+  Entry.t Ext_list.t ->
+  Entry.t Ext_list.t
+(** [(op L1 L2 [agg])] for op in [{p, c, a, d}]; default filter
+    count($2) > 0. *)
+
+val compute_hier3 :
+  ?window:int ->
+  ?agg:Ast.agg_filter ->
+  Ast.hier_op3 ->
+  Entry.t Ext_list.t ->
+  Entry.t Ext_list.t ->
+  Entry.t Ext_list.t ->
+  Entry.t Ext_list.t
+(** [(op L1 L2 L3 [agg])] for op in [{ac, dc}]. *)

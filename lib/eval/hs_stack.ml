@@ -1,0 +1,231 @@
+(* The stack machinery shared by the hierarchical-selection algorithms
+   ComputeHSPC (Fig 2), ComputeHSAD (Fig 4), ComputeHSADc (Fig 5) and
+   their aggregate extensions ComputeHSAgg* (Fig 6, Section 6.4).
+
+   Inputs are sorted by reverse-dn key, so the merged stream visits the
+   forest in document order and the stack always holds a root-to-current
+   ancestor chain (observations (1) and (2) the paper's correctness
+   argument rests on).  Instead of plain witness counts, every frame
+   carries an array of distributive aggregate states — one per
+   witness-dependent entry aggregate of the selection filter — and the
+   push/pop propagation of Figures 2/4/5 is performed on those states.
+   Plain hierarchical selection is the special case count($2) > 0.
+
+   I/O accounting of phase 1:
+   - the merged scan charges |L1|/B + |L2|/B (+ |L3|/B) page reads via
+     the input cursors;
+   - the stack is a [Spill_stack] with a bounded window, charging spill
+     writes and re-fetch reads exactly when the ancestor chain outgrows
+     memory (the paper's "stack entries may be swapped out" remark);
+   - finalized annotations are written out as an annotated copy of L1,
+     |L1|/B page writes.  Annotations are finalized in postorder, not in
+     L1 order, but each finalized record is written exactly once and the
+     runs between consecutive open ancestors are already sorted, so a
+     page-linked output file achieves sequential cost; the in-memory
+     array below models that file. *)
+
+type mode = Pc | Ad | Adc
+
+type frame = {
+  entry : Entry.t;
+  in_l1 : bool;
+  in_l2 : bool;
+  in_l3 : bool;
+  ordinal : int;  (* position in L1; -1 when not in L1 *)
+  mutable above : Agg.state array;  (* over descendant witnesses in L2 *)
+  mutable below : Agg.state array;  (* over ancestor witnesses in L2 *)
+}
+
+(* An annotated L1 entry: the entry plus its witness-side aggregate
+   states for both directions. *)
+type annot = {
+  a_entry : Entry.t;
+  a_above : Agg.state array;
+  a_below : Agg.state array;
+}
+
+(* --- Tracked witness-dependent aggregates ------------------------------ *)
+
+(* The entry aggregates that depend on the witness set and must therefore
+   be maintained on the stack. *)
+let witness_dependent = function
+  | Ast.Ea_count_witnesses -> true
+  | Ast.Ea_agg (_, Ast.W2 _) -> true
+  | Ast.Ea_agg (_, (Ast.Self _ | Ast.W1 _)) -> false
+
+let collect_entry_aggs acc = function
+  | Ast.A_const _ -> acc
+  | Ast.A_entry ea -> if witness_dependent ea then ea :: acc else acc
+  | Ast.A_entry_set esa -> (
+      match esa with
+      | Ast.Esa_agg (_, ea) -> if witness_dependent ea then ea :: acc else acc
+      | Ast.Esa_count_entries | Ast.Esa_count_all -> acc)
+
+let tracked_of_filter (f : Ast.agg_filter) =
+  let aggs = collect_entry_aggs (collect_entry_aggs [] f.Ast.lhs) f.Ast.rhs in
+  Array.of_list (List.sort_uniq Stdlib.compare aggs)
+
+let agg_fun_of = function
+  | Ast.Ea_count_witnesses -> Ast.Count
+  | Ast.Ea_agg (f, _) -> f
+
+let zeros tracked = Array.map (fun ea -> Agg.init (agg_fun_of ea)) tracked
+
+(* Contribution of one witness [w] to each tracked aggregate. *)
+let unit_of tracked w =
+  Array.map
+    (fun ea ->
+      match ea with
+      | Ast.Ea_count_witnesses -> Agg.add_int (Agg.init Ast.Count) 0
+      | Ast.Ea_agg (f, Ast.W2 a) ->
+          let st = Agg.init f in
+          List.fold_left
+            (fun st v ->
+              match (f, v) with
+              | Ast.Count, _ -> Agg.add_int st 0
+              | _, Value.Int i -> Agg.add_int st i
+              | _, (Value.Str _ | Value.Dn _) -> st)
+            st (Entry.values w a)
+      | Ast.Ea_agg (_, (Ast.Self _ | Ast.W1 _)) -> assert false)
+    tracked
+
+let combine_into dst src = Array.mapi (fun i s -> Agg.combine s src.(i)) dst
+let copy_states = Array.copy
+
+(* --- Merged input stream ----------------------------------------------- *)
+
+(* Stream the union of up to three sorted lists in key order, coalescing
+   entries present in several lists into one labelled frame. *)
+let make_merge tracked l1 l2 l3 =
+  let c1 = Ext_list.Cursor.make l1
+  and c2 = Ext_list.Cursor.make l2
+  and c3 = Option.map Ext_list.Cursor.make l3 in
+  let ordinal = ref (-1) in
+  fun () ->
+    let k cur = Option.map Entry.key (Ext_list.Cursor.peek cur) in
+    let min_key =
+      List.filter_map Fun.id
+        [ k c1; k c2; Option.bind c3 (fun c -> k c) ]
+      |> function
+      | [] -> None
+      | keys -> Some (List.fold_left min (List.hd keys) keys)
+    in
+    match min_key with
+    | None -> None
+    | Some key ->
+        let take cur =
+          match Ext_list.Cursor.peek cur with
+          | Some e when String.equal (Entry.key e) key ->
+              Ext_list.Cursor.advance cur;
+              Some e
+          | Some _ | None -> None
+        in
+        let e1 = take c1 in
+        let e2 = take c2 in
+        let e3 = Option.bind c3 take in
+        if e1 <> None then incr ordinal;
+        let entry =
+          match (e1, e2, e3) with
+          | Some e, _, _ | None, Some e, _ | None, None, Some e -> e
+          | None, None, None -> assert false
+        in
+        Some
+          {
+            entry;
+            in_l1 = e1 <> None;
+            in_l2 = e2 <> None;
+            in_l3 = e3 <> None;
+            ordinal = (if e1 <> None then !ordinal else -1);
+            above = zeros tracked;
+            below = zeros tracked;
+          }
+
+(* --- Phase 1: the stack sweep ------------------------------------------ *)
+
+(* Run the sweep and return the annotated L1 entries, in L1 order.
+   Charges: input scans (cursors), stack spill I/O, plus one sequential
+   write of the annotated L1 copy. *)
+let sweep mode ?(window = 2) ~tracked l1 l2 l3 =
+  let pager = Ext_list.pager l1 in
+  let n1 = Ext_list.length l1 in
+  let annots = Array.make n1 None in
+  let stack = Spill_stack.create ~window_pages:window pager in
+  let next = make_merge tracked l1 l2 l3 in
+  let finalize rt =
+    if rt.in_l1 then
+      annots.(rt.ordinal) <-
+        Some { a_entry = rt.entry; a_above = rt.above; a_below = rt.below }
+  in
+  (* Fig 2/4/5 push-time updates. *)
+  let on_push rt rl =
+    match mode with
+    | Pc ->
+        if Entry.key_parent_of ~parent:rt.entry ~child:rl.entry then begin
+          if rl.in_l2 then rt.above <- combine_into rt.above (unit_of tracked rl.entry);
+          if rt.in_l2 then rl.below <- combine_into rl.below (unit_of tracked rt.entry)
+        end
+    | Ad ->
+        if rl.in_l2 then rt.above <- combine_into rt.above (unit_of tracked rl.entry);
+        rl.below <- copy_states rt.below;
+        if rt.in_l2 then rl.below <- combine_into rl.below (unit_of tracked rt.entry)
+    | Adc ->
+        if rl.in_l2 then rt.above <- combine_into rt.above (unit_of tracked rl.entry);
+        if rt.in_l2 then begin
+          if rt.in_l3 then rl.below <- combine_into (zeros tracked) (unit_of tracked rt.entry)
+          else rl.below <- combine_into (copy_states rt.below) (unit_of tracked rt.entry)
+        end
+        else if not rt.in_l3 then rl.below <- copy_states rt.below
+        else rl.below <- zeros tracked
+  in
+  (* Fig 4/5 pop-time propagation of descendant-witness aggregates. *)
+  let on_pop popped =
+    match mode with
+    | Pc -> ()
+    | Ad -> (
+        match Spill_stack.top stack with
+        | Some rb -> rb.above <- combine_into rb.above popped.above
+        | None -> ())
+    | Adc -> (
+        match Spill_stack.top stack with
+        | Some rb when not popped.in_l3 ->
+            rb.above <- combine_into rb.above popped.above
+        | Some _ | None -> ())
+  in
+  let rec feed rl_opt =
+    match rl_opt with
+    | None -> drain ()
+    | Some rl -> (
+        match Spill_stack.top stack with
+        | None ->
+            Spill_stack.push stack rl;
+            feed (next ())
+        | Some rt ->
+            if Entry.key_ancestor_of ~ancestor:rt.entry ~descendant:rl.entry
+            then begin
+              on_push rt rl;
+              Spill_stack.push stack rl;
+              feed (next ())
+            end
+            else begin
+              let popped = Option.get (Spill_stack.pop stack) in
+              finalize popped;
+              on_pop popped;
+              feed rl_opt
+            end)
+  and drain () =
+    match Spill_stack.pop stack with
+    | None -> ()
+    | Some popped ->
+        finalize popped;
+        on_pop popped;
+        drain ()
+  in
+  feed (next ());
+  Spill_stack.release stack;
+  (* The annotated L1 copy is written once, sequentially. *)
+  Pager.charge_scan_write pager n1;
+  Array.map
+    (function
+      | Some a -> a
+      | None -> assert false  (* every L1 entry is pushed and popped *))
+    annots

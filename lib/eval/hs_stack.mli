@@ -1,0 +1,58 @@
+(** The stack-sweep machinery shared by ComputeHSPC (Fig 2), ComputeHSAD
+    (Fig 4), ComputeHSADc (Fig 5) and the ComputeHSAgg* extensions
+    (Fig 6).
+
+    Inputs sorted by reverse-dn key are merged into one document-order
+    stream; the stack always holds a root-to-current ancestor chain (the
+    paper's correctness observations (1)-(2)); frames carry distributive
+    aggregate states per witness-dependent entry aggregate, and the
+    push/pop propagation of the figures runs on those states.  Plain
+    hierarchical selection is the special case count($2) > 0. *)
+
+type mode =
+  | Pc  (** parent/child witnesses, Fig 2 *)
+  | Ad  (** ancestor/descendant witnesses, Fig 4 *)
+  | Adc  (** path-constrained, third list blocks propagation, Fig 5 *)
+
+type frame = {
+  entry : Entry.t;
+  in_l1 : bool;
+  in_l2 : bool;
+  in_l3 : bool;
+  ordinal : int;  (** position in L1; -1 when not in L1 *)
+  mutable above : Agg.state array;  (** over descendant witnesses *)
+  mutable below : Agg.state array;  (** over ancestor witnesses *)
+}
+
+type annot = {
+  a_entry : Entry.t;
+  a_above : Agg.state array;
+  a_below : Agg.state array;
+}
+(** An annotated L1 entry, produced in L1 order. *)
+
+val witness_dependent : Ast.entry_agg -> bool
+(** Must the aggregate be maintained on the stack (it reads $2)? *)
+
+val tracked_of_filter : Ast.agg_filter -> Ast.entry_agg array
+(** The deduplicated witness-dependent aggregates of a filter. *)
+
+val zeros : Ast.entry_agg array -> Agg.state array
+(** Initial states (empty witness multiset). *)
+
+val unit_of : Ast.entry_agg array -> Entry.t -> Agg.state array
+(** One witness's contribution to each tracked aggregate. *)
+
+val combine_into : Agg.state array -> Agg.state array -> Agg.state array
+
+val sweep :
+  mode ->
+  ?window:int ->
+  tracked:Ast.entry_agg array ->
+  Entry.t Ext_list.t ->
+  Entry.t Ext_list.t ->
+  Entry.t Ext_list.t option ->
+  annot array
+(** Phase 1 of the ComputeHS* algorithms: one merged scan, a
+    [Spill_stack] of [window] pages, and one sequential write of the
+    annotated L1 copy; returns the annotations in L1 order. *)

@@ -1,0 +1,118 @@
+(* The "straightforward way" baselines (Sections 5.3 and 7.2): test each
+   entry of the first operand independently by re-scanning the second
+   (and third) operand for witnesses.  Quadratic I/O — the comparison
+   point for experiment E9's crossover measurements.
+
+   Results are identical to the stack/merge algorithms (differential
+   tests enforce this); only the cost differs. *)
+
+(* Witness predicate for one candidate: fresh full scan of l2. *)
+let hier_witness_scan op r1 l2 =
+  let found = ref false in
+  Ext_list.iter
+    (fun r2 ->
+      if not !found then
+        let related =
+          match op with
+          | Ast.P -> Entry.key_parent_of ~parent:r2 ~child:r1
+          | Ast.C -> Entry.key_parent_of ~parent:r1 ~child:r2
+          | Ast.A -> Entry.key_ancestor_of ~ancestor:r2 ~descendant:r1
+          | Ast.D -> Entry.key_ancestor_of ~ancestor:r1 ~descendant:r2
+        in
+        if related then found := true)
+    l2;
+  !found
+
+let compute_hier op l1 l2 =
+  let w = Ext_list.Writer.make (Ext_list.pager l1) in
+  Ext_list.iter
+    (fun r1 -> if hier_witness_scan op r1 l2 then Ext_list.Writer.push w r1)
+    l1;
+  Ext_list.Writer.close w
+
+(* Path-constrained variants: for each candidate, scan l2 for related
+   entries and l3 once per candidate to collect potential blockers. *)
+let compute_hier3 op l1 l2 l3 =
+  let w = Ext_list.Writer.make (Ext_list.pager l1) in
+  Ext_list.iter
+    (fun r1 ->
+      let blockers = ref [] in
+      Ext_list.iter
+        (fun r3 ->
+          let related =
+            match op with
+            | Ast.Ac -> Entry.key_ancestor_of ~ancestor:r3 ~descendant:r1
+            | Ast.Dc -> Entry.key_ancestor_of ~ancestor:r1 ~descendant:r3
+          in
+          if related then blockers := r3 :: !blockers)
+        l3;
+      let found = ref false in
+      Ext_list.iter
+        (fun r2 ->
+          if not !found then
+            let witness =
+              match op with
+              | Ast.Ac ->
+                  Entry.key_ancestor_of ~ancestor:r2 ~descendant:r1
+                  && not
+                       (List.exists
+                          (fun r3 ->
+                            Entry.key_ancestor_of ~ancestor:r2 ~descendant:r3)
+                          !blockers)
+              | Ast.Dc ->
+                  Entry.key_ancestor_of ~ancestor:r1 ~descendant:r2
+                  && not
+                       (List.exists
+                          (fun r3 ->
+                            Entry.key_ancestor_of ~ancestor:r3 ~descendant:r2)
+                          !blockers)
+            in
+            if witness then found := true)
+        l2;
+      if !found then Ext_list.Writer.push w r1)
+    l1;
+  Ext_list.Writer.close w
+
+(* Embedded references: for each candidate, re-scan l2 for referencing /
+   referenced entries. *)
+let compute_eref op l1 l2 attr =
+  let w = Ext_list.Writer.make (Ext_list.pager l1) in
+  Ext_list.iter
+    (fun r1 ->
+      let found = ref false in
+      Ext_list.iter
+        (fun r2 ->
+          if not !found then
+            let witness =
+              match op with
+              | Ast.Vd ->
+                  List.exists
+                    (fun d -> Dn.equal d (Entry.dn r2))
+                    (Entry.dn_values r1 attr)
+              | Ast.Dv ->
+                  List.exists
+                    (fun d -> Dn.equal d (Entry.dn r1))
+                    (Entry.dn_values r2 attr)
+            in
+            if witness then found := true)
+        l2;
+      if !found then Ext_list.Writer.push w r1)
+    l1;
+  Ext_list.Writer.close w
+
+(* Nested-loop boolean operators, for completeness of the baseline. *)
+let compute_bool op l1 l2 =
+  let w = Ext_list.Writer.make (Ext_list.pager l1) in
+  let mem e l =
+    let found = ref false in
+    Ext_list.iter (fun e' -> if Entry.equal_dn e e' then found := true) l;
+    !found
+  in
+  (match op with
+  | `And -> Ext_list.iter (fun e -> if mem e l2 then Ext_list.Writer.push w e) l1
+  | `Diff ->
+      Ext_list.iter (fun e -> if not (mem e l2) then Ext_list.Writer.push w e) l1
+  | `Or ->
+      Ext_list.iter (fun e -> Ext_list.Writer.push w e) l1;
+      Ext_list.iter (fun e -> if not (mem e l1) then Ext_list.Writer.push w e) l2);
+  Ext_list.Writer.close w

@@ -1,0 +1,29 @@
+(** The "straightforward way" baselines (Sections 5.3, 7.2): each
+    candidate of the first operand re-scans the other operand(s) for a
+    witness.  Quadratic I/O; identical results to the stack/merge
+    algorithms (differentially tested); experiment E9 measures the
+    gap. *)
+
+val compute_hier :
+  Ast.hier_op -> Entry.t Ext_list.t -> Entry.t Ext_list.t -> Entry.t Ext_list.t
+
+val compute_hier3 :
+  Ast.hier_op3 ->
+  Entry.t Ext_list.t ->
+  Entry.t Ext_list.t ->
+  Entry.t Ext_list.t ->
+  Entry.t Ext_list.t
+
+val compute_eref :
+  Ast.ref_op ->
+  Entry.t Ext_list.t ->
+  Entry.t Ext_list.t ->
+  string ->
+  Entry.t Ext_list.t
+
+val compute_bool :
+  [ `And | `Or | `Diff ] ->
+  Entry.t Ext_list.t ->
+  Entry.t Ext_list.t ->
+  Entry.t Ext_list.t
+(** Nested-loop boolean operators; note [`Or]'s output is not sorted. *)

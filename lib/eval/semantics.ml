@@ -1,0 +1,124 @@
+(* Reference semantics: a direct, executable transcription of
+   Definitions 4.1, 5.1, 6.1, 6.2 and 7.1.
+
+   This evaluator manipulates plain entry lists with no regard for cost;
+   it is the oracle the external-memory algorithms are differentially
+   tested against, and the formal meaning of every query in the system.
+   Results are returned in canonical (reverse-dn) sorted order, matching
+   the algorithms' output order. *)
+
+let sort_entries es = List.sort_uniq Entry.compare_rev es
+
+(* M(B ? scope ? F) — Definition 4.1.  All three scopes include the base
+   entry itself. *)
+let eval_atomic instance (a : Ast.atomic) =
+  let in_scope e =
+    let dn = Entry.dn e in
+    match a.scope with
+    | Ast.Base -> Dn.equal dn a.base
+    | Ast.One ->
+        Dn.equal dn a.base || Dn.is_parent_of ~parent:a.base ~child:dn
+    | Ast.Sub -> Dn.is_self_or_descendant_of ~descendant:dn ~ancestor:a.base
+  in
+  Instance.fold
+    (fun acc e ->
+      if in_scope e && Afilter.matches a.filter e then e :: acc else acc)
+    [] instance
+  |> List.rev
+
+(* --- Witness sets (Definitions 5.1, 6.2, 7.1) ------------------------- *)
+
+let hier_witnesses op r1 l2 =
+  let related r2 =
+    match op with
+    | Ast.P -> Entry.is_parent_of ~parent:r2 ~child:r1
+    | Ast.C -> Entry.is_parent_of ~parent:r1 ~child:r2
+    | Ast.A -> Entry.is_ancestor_of ~ancestor:r2 ~descendant:r1
+    | Ast.D -> Entry.is_ancestor_of ~ancestor:r1 ~descendant:r2
+  in
+  List.filter related l2
+
+(* Witnesses for the path-constrained operators: an l2 entry related to
+   r1 with no l3 entry strictly between them. *)
+let hier3_witnesses op r1 l2 l3 =
+  let witness r2 =
+    match op with
+    | Ast.Ac ->
+        Entry.is_ancestor_of ~ancestor:r2 ~descendant:r1
+        && not
+             (List.exists
+                (fun r3 ->
+                  Entry.is_ancestor_of ~ancestor:r3 ~descendant:r1
+                  && Entry.is_ancestor_of ~ancestor:r2 ~descendant:r3)
+                l3)
+    | Ast.Dc ->
+        Entry.is_ancestor_of ~ancestor:r1 ~descendant:r2
+        && not
+             (List.exists
+                (fun r3 ->
+                  Entry.is_ancestor_of ~ancestor:r1 ~descendant:r3
+                  && Entry.is_ancestor_of ~ancestor:r3 ~descendant:r2)
+                l3)
+  in
+  List.filter witness l2
+
+let eref_witnesses op r1 l2 attr =
+  match op with
+  | Ast.Vd ->
+      (* witnesses are the entries of l2 whose dn is referenced by r1 *)
+      let refs = Entry.dn_values r1 attr in
+      List.filter
+        (fun r2 -> List.exists (fun d -> Dn.equal d (Entry.dn r2)) refs)
+        l2
+  | Ast.Dv ->
+      (* witnesses are the entries of l2 that reference r1's dn *)
+      List.filter
+        (fun r2 ->
+          List.exists (fun d -> Dn.equal d (Entry.dn r1)) (Entry.dn_values r2 attr))
+        l2
+
+(* Select candidates by aggregate filter over their witness sets; the
+   default filter for plain hierarchical / embedded-reference selection is
+   count($2) > 0 (Section 6.2). *)
+let select_with_witnesses candidates_with_ws agg =
+  let f = Option.value ~default:Ast.has_witness agg in
+  let keep = Agg.filter_predicate ~candidates:candidates_with_ws f in
+  List.filter_map
+    (fun ((r1, _) as cand) -> if keep cand then Some r1 else None)
+    candidates_with_ws
+
+let rec eval instance (q : Ast.t) =
+  match q with
+  | Ast.Atomic a -> eval_atomic instance a
+  | Ast.And (q1, q2) ->
+      let s2 = eval instance q2 in
+      List.filter (fun e -> List.exists (Entry.equal_dn e) s2) (eval instance q1)
+  | Ast.Or (q1, q2) -> sort_entries (eval instance q1 @ eval instance q2)
+  | Ast.Diff (q1, q2) ->
+      let s2 = eval instance q2 in
+      List.filter
+        (fun e -> not (List.exists (Entry.equal_dn e) s2))
+        (eval instance q1)
+  | Ast.Hier (op, q1, q2, agg) ->
+      let l1 = eval instance q1 and l2 = eval instance q2 in
+      let cands = List.map (fun r1 -> (r1, hier_witnesses op r1 l2)) l1 in
+      select_with_witnesses cands agg
+  | Ast.Hier3 (op, q1, q2, q3, agg) ->
+      let l1 = eval instance q1
+      and l2 = eval instance q2
+      and l3 = eval instance q3 in
+      let cands = List.map (fun r1 -> (r1, hier3_witnesses op r1 l2 l3)) l1 in
+      select_with_witnesses cands agg
+  | Ast.Gsel (q1, f) ->
+      let l1 = eval instance q1 in
+      (* Simple aggregate selection: the candidate set is its own witness
+         universe; $-references are rejected by Lang.check. *)
+      let cands = List.map (fun r1 -> (r1, [])) l1 in
+      select_with_witnesses cands (Some f)
+  | Ast.Eref (op, q1, q2, attr, agg) ->
+      let l1 = eval instance q1 and l2 = eval instance q2 in
+      let cands = List.map (fun r1 -> (r1, eref_witnesses op r1 l2 attr)) l1 in
+      select_with_witnesses cands agg
+
+(* Closure property: the result of a query is itself an instance. *)
+let eval_instance instance q = Instance.of_result instance (eval instance q)

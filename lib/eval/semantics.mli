@@ -1,0 +1,31 @@
+(** Reference denotational semantics — a direct executable transcription
+    of Definitions 4.1, 5.1, 6.1, 6.2 and 7.1.
+
+    This evaluator manipulates plain entry lists with no regard for
+    cost; it is the oracle the external-memory algorithms are
+    differentially tested against and the formal meaning of every query.
+    All results are in canonical (reverse-dn) sorted order. *)
+
+val sort_entries : Entry.t list -> Entry.t list
+
+val eval_atomic : Instance.t -> Ast.atomic -> Entry.t list
+(** M(B ? scope ? F) — Definition 4.1.  Every scope includes the base
+    entry itself. *)
+
+val hier_witnesses : Ast.hier_op -> Entry.t -> Entry.t list -> Entry.t list
+(** The op-witness set of one candidate among the second operand's
+    entries (Definition 5.1 / 6.2). *)
+
+val hier3_witnesses :
+  Ast.hier_op3 -> Entry.t -> Entry.t list -> Entry.t list -> Entry.t list
+(** Path-constrained witnesses: related entries with no third-operand
+    entry strictly between. *)
+
+val eref_witnesses : Ast.ref_op -> Entry.t -> Entry.t list -> string -> Entry.t list
+(** Embedded-reference witnesses (Definition 7.1). *)
+
+val eval : Instance.t -> Ast.t -> Entry.t list
+(** M(Q), sorted. *)
+
+val eval_instance : Instance.t -> Ast.t -> Instance.t
+(** The closure property: results are sub-instances. *)

@@ -1,0 +1,60 @@
+(* Simple aggregate selection (g L1 AggSelFilter) — Section 6.3.
+
+   Evaluated in at most two scans of the input (Theorem 6.1):
+
+   - if the filter mentions entry-set aggregates (count($$),
+     min(min(a)), ...), a first scan computes them incrementally;
+   - the second (or only) scan compares each entry's aggregates with the
+     constants / entry-set values and writes the survivors. *)
+
+let entry_value self = function
+  | Ast.A_const c -> fun _ -> Some (Agg.num_of_int c)
+  | Ast.A_entry ea -> fun _ -> Agg.eval_entry_agg_over ~self ~witnesses:[] ea
+  | Ast.A_entry_set esa -> fun globals -> List.assoc esa globals
+
+let needs_global (f : Ast.agg_filter) =
+  List.exists
+    (function Ast.A_entry_set _ -> true | Ast.A_const _ | Ast.A_entry _ -> false)
+    [ f.Ast.lhs; f.Ast.rhs ]
+
+let collect_globals (f : Ast.agg_filter) l1 =
+  let esas =
+    List.filter_map
+      (function Ast.A_entry_set esa -> Some esa | _ -> None)
+      [ f.Ast.lhs; f.Ast.rhs ]
+    |> List.sort_uniq Stdlib.compare
+  in
+  let states =
+    List.map
+      (fun esa ->
+        match esa with
+        | Ast.Esa_count_entries | Ast.Esa_count_all -> (esa, ref (Agg.init Ast.Count))
+        | Ast.Esa_agg (fn, _) -> (esa, ref (Agg.init fn)))
+      esas
+  in
+  (* First scan: fold every entry into every entry-set accumulator. *)
+  Ext_list.iter
+    (fun e ->
+      List.iter
+        (fun (esa, st) ->
+          match esa with
+          | Ast.Esa_count_entries | Ast.Esa_count_all ->
+              st := Agg.add_int !st 0
+          | Ast.Esa_agg (_, ea) -> (
+              match Agg.eval_entry_agg_over ~self:e ~witnesses:[] ea with
+              | Some v -> st := Agg.add !st v
+              | None -> ()))
+        states)
+    l1;
+  List.map (fun (esa, st) -> (esa, Agg.result !st)) states
+
+let compute (f : Ast.agg_filter) l1 =
+  let globals = if needs_global f then collect_globals f l1 else [] in
+  let w = Ext_list.Writer.make (Ext_list.pager l1) in
+  Ext_list.iter
+    (fun e ->
+      let v attr = entry_value e attr globals in
+      if Agg.cmp_holds_opt f.Ast.op (v f.Ast.lhs) (v f.Ast.rhs) then
+        Ext_list.Writer.push w e)
+    l1;
+  Ext_list.Writer.close w

@@ -1,0 +1,11 @@
+(** Simple aggregate selection [(g L1 AggSelFilter)] — Section 6.3.
+
+    At most two scans of the input (Theorem 6.1): a first scan computes
+    any entry-set aggregates incrementally; the second (or only) scan
+    filters and emits. *)
+
+val needs_global : Ast.agg_filter -> bool
+(** Does the filter mention entry-set aggregates (forcing the first
+    scan)? *)
+
+val compute : Ast.agg_filter -> Entry.t Ext_list.t -> Entry.t Ext_list.t

@@ -1,0 +1,83 @@
+(* Per-attribute secondary indexes over a directory instance.
+
+   Integer attributes get a B+tree (equality and range filters), string
+   attributes get an exact-match trie plus a suffix-trie substring index
+   (wildcard filters), per Section 4.1's assumption that atomic queries
+   are supported by "B-trees indices for integer and distinguishedName
+   filters, and trie and suffix tree indices for string filters".
+   Distinguished-name-valued attributes are indexed by their reverse key
+   in the exact trie. *)
+
+type t = {
+  pager : Pager.t;
+  ints : (string, Entry.t Btree.t) Hashtbl.t;
+  str_exact : (string, Entry.t Str_trie.t) Hashtbl.t;
+  str_sub : (string, Entry.t Str_trie.Substr.t) Hashtbl.t;
+  dn_exact : (string, Entry.t Str_trie.t) Hashtbl.t;
+}
+
+let find_or_add tbl key create =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+      let v = create () in
+      Hashtbl.replace tbl key v;
+      v
+
+let add_entry t e =
+  List.iter
+    (fun (a, v) ->
+      match v with
+      | Value.Int i ->
+          Btree.insert (find_or_add t.ints a (fun () -> Btree.create t.pager)) i e
+      | Value.Str s ->
+          Str_trie.add (find_or_add t.str_exact a (fun () -> Str_trie.create t.pager)) s e;
+          Str_trie.Substr.add
+            (find_or_add t.str_sub a (fun () -> Str_trie.Substr.create t.pager))
+            s e
+      | Value.Dn d ->
+          Str_trie.add
+            (find_or_add t.dn_exact a (fun () -> Str_trie.create t.pager))
+            (Dn.rev_key d) e)
+    (Entry.attrs e)
+
+let build pager instance =
+  let t =
+    {
+      pager;
+      ints = Hashtbl.create 32;
+      str_exact = Hashtbl.create 32;
+      str_sub = Hashtbl.create 32;
+      dn_exact = Hashtbl.create 32;
+    }
+  in
+  Instance.iter (add_entry t) instance;
+  t
+
+(* All lookups return candidate entries in unspecified order; callers
+   re-sort into canonical order (charged as the output write). *)
+
+let lookup_int_range t a ~lo ~hi =
+  match Hashtbl.find_opt t.ints a with
+  | None -> Some []  (* attribute never has int values *)
+  | Some bt -> Some (List.concat_map snd (Btree.range bt ~lo ~hi))
+
+let lookup_str_eq t a s =
+  match Hashtbl.find_opt t.str_exact a with
+  | None -> Some []
+  | Some trie -> Some (Str_trie.find_exact trie s)
+
+let lookup_str_prefix t a s =
+  match Hashtbl.find_opt t.str_exact a with
+  | None -> Some []
+  | Some trie -> Some (Str_trie.find_prefix trie s)
+
+let lookup_substring t a s =
+  match Hashtbl.find_opt t.str_sub a with
+  | None -> Some []
+  | Some idx -> Some (Str_trie.Substr.find_substring idx s)
+
+let lookup_dn_eq t a d =
+  match Hashtbl.find_opt t.dn_exact a with
+  | None -> Some []
+  | Some trie -> Some (Str_trie.find_exact trie (Dn.rev_key d))

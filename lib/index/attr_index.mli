@@ -1,0 +1,20 @@
+(** Per-attribute secondary indexes over an instance: B+trees for int
+    attributes, exact tries and suffix-trie substring indexes for string
+    attributes, an exact trie over reverse keys for dn-valued attributes
+    (Section 4.1's index assumption for atomic queries).
+
+    Lookups return candidates in unspecified order; callers re-sort into
+    the canonical order. *)
+
+type t
+
+val build : Pager.t -> Instance.t -> t
+
+val lookup_int_range : t -> string -> lo:int -> hi:int -> Entry.t list option
+(** Entries with an int value of the attribute in [lo, hi];
+    [Some []] when the attribute has no int values anywhere. *)
+
+val lookup_str_eq : t -> string -> string -> Entry.t list option
+val lookup_str_prefix : t -> string -> string -> Entry.t list option
+val lookup_substring : t -> string -> string -> Entry.t list option
+val lookup_dn_eq : t -> string -> Value.dn -> Entry.t list option

@@ -1,0 +1,30 @@
+(** An in-memory B+tree over int keys with multiset postings, charged
+    through the external-memory cost model (one page read per node
+    visited, one write per node modified).
+
+    The index Section 4.1 assumes for integer atomic filters.  Keys map
+    to posting lists (duplicate keys accumulate in insertion order);
+    leaves are linked for range scans. *)
+
+type 'a t
+
+val create : ?order:int -> Pager.t -> 'a t
+(** A fresh tree holding at most [2 * order] keys per node (default
+    order 16).  @raise Invalid_argument if [order < 2]. *)
+
+val cardinal : 'a t -> int
+(** Total postings inserted. *)
+
+val insert : 'a t -> int -> 'a -> unit
+
+val find : 'a t -> int -> 'a list
+(** Postings of one key, in insertion order ([[]] if absent). *)
+
+val range : 'a t -> lo:int -> hi:int -> (int * 'a list) list
+(** Inclusive range scan in key order, walking the leaf chain. *)
+
+val fold_all : ('acc -> int -> 'a list -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Fold over all keys in order (unaccounted; used by tests). *)
+
+val check_invariants : 'a t -> unit
+(** Assert key ordering, separator bounds and uniform depth. *)

@@ -1,0 +1,113 @@
+(* The clustering index on reverse-dn keys.
+
+   The entries of an instance, sorted by [Dn.rev_key], laid out on pages.
+   Because an ancestor's key is a prefix of each descendant's key, the
+   three LDAP search scopes become key-range operations:
+
+   - [base]: binary search (charged like a B-tree descent);
+   - [sub]:  the contiguous range of keys with prefix [rev_key base];
+   - [one]:  the same range, filtered to depth(base) + 1.
+
+   Atomic queries produce their result in canonical sorted order directly
+   from this index — the property Section 8.2's pipelined evaluation
+   depends on. *)
+
+type t = {
+  pager : Pager.t;
+  entries : Entry.t array;
+  pool : Buffer_pool.t option;  (* optional page cache: hits are free *)
+}
+
+let build ?pool pager instance =
+  let entries = Array.of_list (Instance.to_list instance) in
+  (* Construction writes the sorted entry file once. *)
+  Pager.charge_scan_write pager (Array.length entries);
+  { pager; entries; pool }
+
+let of_sorted_array ?pool pager entries = { pager; entries; pool }
+let length t = Array.length t.entries
+
+(* Read one page of the entry file, through the cache when present. *)
+let read_page t page =
+  match t.pool with
+  | Some pool -> Buffer_pool.read pool ~file:"dn_index" ~page
+  | None -> Io_stats.read_page (Pager.stats t.pager)
+
+(* First index whose key is >= [key]. *)
+let lower_bound t key =
+  let lo = ref 0 and hi = ref (Array.length t.entries) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare (Entry.key t.entries.(mid)) key < 0 then lo := mid + 1
+    else hi := mid
+  done;
+  !lo
+
+(* Charge a B-tree-like descent: ceil(log2 (pages)) + 1 page reads; the
+   touched internal nodes are cacheable (keyed per level over the page
+   range they cover). *)
+let charge_descent t =
+  let pages = max 1 (Pager.pages_of t.pager (Array.length t.entries)) in
+  let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+  let depth = log2 pages + 1 in
+  match t.pool with
+  | None -> Io_stats.read_page ~n:depth (Pager.stats t.pager)
+  | Some pool ->
+      for level = 0 to depth - 1 do
+        Buffer_pool.read pool ~file:"dn_index.inner" ~page:level
+      done
+
+let find t dn =
+  charge_descent t;
+  let key = Dn.rev_key dn in
+  let i = lower_bound t key in
+  if i < Array.length t.entries && String.equal (Entry.key t.entries.(i)) key
+  then Some t.entries.(i)
+  else None
+
+(* Index range [lo, hi) of the subtree rooted at [base]. *)
+let subtree_range t base =
+  let prefix = Dn.rev_key base in
+  let lo = lower_bound t prefix in
+  let hi = ref lo in
+  while
+    !hi < Array.length t.entries
+    && Entry.key_is_prefix ~prefix (Entry.key t.entries.(!hi))
+  do
+    incr hi
+  done;
+  (lo, !hi)
+
+(* Scan a subtree, keeping entries that satisfy [keep]; charges the
+   descent plus a sequential read of the touched range, and writes the
+   output through an [Ext_list.Writer]. *)
+let scan_subtree ?(keep = fun _ -> true) t base =
+  charge_descent t;
+  let lo, hi = subtree_range t base in
+  if hi > lo then begin
+    let block = Pager.block t.pager in
+    for page = lo / block to (hi - 1) / block do
+      read_page t page
+    done
+  end;
+  let w = Ext_list.Writer.make t.pager in
+  for i = lo to hi - 1 do
+    if keep t.entries.(i) then Ext_list.Writer.push w t.entries.(i)
+  done;
+  Ext_list.Writer.close w
+
+let scan_children ?(keep = fun _ -> true) t base =
+  let d = Dn.depth base + 1 in
+  scan_subtree t base ~keep:(fun e ->
+      let depth = Dn.depth (Entry.dn e) in
+      (depth = d || depth = Dn.depth base) && keep e)
+
+let scan_base ?(keep = fun _ -> true) t base =
+  charge_descent t;
+  let key = Dn.rev_key base in
+  let i = lower_bound t key in
+  let w = Ext_list.Writer.make t.pager in
+  (if i < Array.length t.entries then
+     let e = t.entries.(i) in
+     if String.equal (Entry.key e) key && keep e then Ext_list.Writer.push w e);
+  Ext_list.Writer.close w

@@ -1,0 +1,32 @@
+(** The clustering index on reverse-dn keys.
+
+    The entries of an instance sorted by [Dn.rev_key] on pages: because
+    an ancestor's key is a prefix of each descendant's, the three LDAP
+    scopes are key-range operations, and atomic queries come out in the
+    canonical order the whole pipeline needs (Section 8.2). *)
+
+type t
+
+val build : ?pool:Buffer_pool.t -> Pager.t -> Instance.t -> t
+(** Lay the instance out as a sorted entry file (charges the one-time
+    construction write).  With a [pool], scans read entry pages through
+    the cache — hits are free. *)
+
+val of_sorted_array : ?pool:Buffer_pool.t -> Pager.t -> Entry.t array -> t
+val length : t -> int
+
+val find : t -> Dn.t -> Entry.t option
+(** Point lookup; charges a B-tree-like descent. *)
+
+val subtree_range : t -> Dn.t -> int * int
+(** Index range [lo, hi) of the subtree rooted at the base. *)
+
+val scan_subtree : ?keep:(Entry.t -> bool) -> t -> Dn.t -> Entry.t Ext_list.t
+(** The [sub] scope: descent + sequential read of the subtree range,
+    filtered through [keep], output written through a standard writer. *)
+
+val scan_children : ?keep:(Entry.t -> bool) -> t -> Dn.t -> Entry.t Ext_list.t
+(** The [one] scope (base entry plus its children). *)
+
+val scan_base : ?keep:(Entry.t -> bool) -> t -> Dn.t -> Entry.t Ext_list.t
+(** The [base] scope. *)

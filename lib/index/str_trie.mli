@@ -1,0 +1,31 @@
+(** Character tries for string-attribute filters (Section 4.1: "trie and
+    suffix tree indices" for wildcard string filters).  Node visits
+    charge page reads. *)
+
+type 'a t
+
+val create : Pager.t -> 'a t
+
+val size : 'a t -> int
+(** Strings inserted. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert one string with a payload. *)
+
+val find_exact : 'a t -> string -> 'a list
+(** Payloads of exactly this string, in insertion order. *)
+
+val find_prefix : 'a t -> string -> 'a list
+(** Payloads of all strings with the given prefix. *)
+
+(** Substring lookup via a suffix trie: every suffix of every indexed
+    string is inserted, so the strings containing [sub] are those with
+    a suffix extending [sub].  Payloads are deduplicated on query. *)
+module Substr : sig
+  type nonrec 'a t
+
+  val create : Pager.t -> 'a t
+  val add : 'a t -> string -> 'a -> unit
+  val find_substring : 'a t -> string -> 'a list
+  val count : 'a t -> int
+end

@@ -1,0 +1,73 @@
+(** Distinguished names and the hierarchy they induce (Definition 3.2),
+    plus the canonical reverse-lexicographic order (Section 4.2) every
+    algorithm in the system sorts by. *)
+
+type t = Value.dn
+
+val root : t
+(** The empty sequence — the (virtual) root of the forest; not itself a
+    directory entry. *)
+
+val compare : t -> t -> int
+(** Structural order (most-specific rdn first); for the canonical
+    evaluation order use {!compare_rev}. *)
+
+val equal : t -> t -> bool
+
+val rdn : t -> Rdn.t option
+(** The relative distinguished name (first element), if any. *)
+
+val parent : t -> t option
+(** Drop the first rdn; [None] on {!root}. *)
+
+val child : t -> Rdn.t -> t
+val depth : t -> int
+
+val ancestors : t -> t list
+(** Proper non-root ancestors, nearest first. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** {1 Hierarchy predicates} *)
+
+val is_parent_of : parent:t -> child:t -> bool
+val is_child_of : child:t -> parent:t -> bool
+
+val is_ancestor_of : ancestor:t -> descendant:t -> bool
+(** Proper ancestry: [is_ancestor_of ~ancestor:d ~descendant:d] is
+    [false]. *)
+
+val is_descendant_of : descendant:t -> ancestor:t -> bool
+
+val is_self_or_descendant_of : descendant:t -> ancestor:t -> bool
+(** Reflexive variant, used by the [sub] search scope. *)
+
+(** {1 The canonical order}
+
+    [rev_key] serializes the rdn sequence root-first, each rdn
+    terminated by a byte below every in-rdn byte, so
+    [rev_key ancestor] is a proper prefix of [rev_key descendant] and
+    subtrees are contiguous key ranges; distinct dn's always get
+    distinct keys. *)
+
+val rev_key : t -> string
+val compare_rev : t -> t -> int
+(** [String.compare] on {!rev_key}s. *)
+
+(** {1 Parsing} *)
+
+exception Parse_error of string
+
+val of_string_with : lookup:(string -> Value.ty option) -> string -> t
+(** Schema-aware parse: [lookup] types rdn values (int attributes read
+    as ints, string attributes keep digit strings as strings).
+    @raise Parse_error on malformed input or type mismatches. *)
+
+val of_string : string -> t
+(** Parse an LDAP-style dn string ([a=v+b=w, c=x, dc=com]); backslash
+    escapes protect separator characters; the empty string is
+    {!root}; all-digit values read as ints.
+    @raise Parse_error on malformed input. *)
+
+val of_string_opt : string -> t option

@@ -1,0 +1,85 @@
+(* Directory entries (Definition 3.2).
+
+   An entry is its distinguished name plus a multiset of (attribute,
+   value) pairs — val(r) is formally a set, but several pairs may share
+   an attribute name (footnote 2), so an attribute may be multi-valued.
+   The classes of an entry are exactly the values of its [objectClass]
+   attribute (Definition 3.2(c)2), so we derive them rather than store
+   them.  Each entry caches its reverse-dn sort key; every algorithm in
+   the system orders entries by that key. *)
+
+type t = {
+  dn : Dn.t;
+  attrs : (string * Value.t) list;
+  key : string;  (* cached Dn.rev_key dn *)
+}
+
+let make dn attrs =
+  let attrs =
+    List.sort_uniq
+      (fun (a1, v1) (a2, v2) ->
+        let c = String.compare a1 a2 in
+        if c <> 0 then c else Value.compare v1 v2)
+      attrs
+  in
+  { dn; attrs; key = Dn.rev_key dn }
+
+let dn t = t.dn
+let attrs t = t.attrs
+let key t = t.key
+let rdn t = Dn.rdn t.dn
+
+(* All values of attribute [a] in the entry, in value order. *)
+let values t a =
+  List.filter_map
+    (fun (a', v) -> if String.equal a a' then Some v else None)
+    t.attrs
+
+let value t a = match values t a with [] -> None | v :: _ -> Some v
+let has_attr t a = List.exists (fun (a', _) -> String.equal a a') t.attrs
+let has_pair t a v = List.exists (fun (a', v') -> String.equal a a' && Value.equal v v') t.attrs
+
+let int_values t a = List.filter_map Value.as_int (values t a)
+let string_values t a = List.filter_map Value.as_string (values t a)
+let dn_values t a = List.filter_map Value.as_dn (values t a)
+
+let classes t = string_values t Schema.object_class
+let has_class t c = List.mem c (classes t)
+
+(* The canonical order: reverse-dn lexicographic (Section 4.2). *)
+let compare_rev a b = String.compare a.key b.key
+let equal_dn a b = String.equal a.key b.key
+
+let is_parent_of ~parent ~child = Dn.is_parent_of ~parent:parent.dn ~child:child.dn
+
+let is_ancestor_of ~ancestor ~descendant =
+  Dn.is_ancestor_of ~ancestor:ancestor.dn ~descendant:descendant.dn
+
+(* Prefix tests on cached keys: O(key length), used in the hot loops of
+   the stack algorithms instead of structural dn walks. *)
+let key_is_prefix ~prefix s =
+  let lp = String.length prefix in
+  lp <= String.length s && String.equal prefix (String.sub s 0 lp)
+
+let key_ancestor_of ~ancestor ~descendant =
+  String.length ancestor.key < String.length descendant.key
+  && key_is_prefix ~prefix:ancestor.key descendant.key
+
+let key_parent_of ~parent ~child =
+  key_ancestor_of ~ancestor:parent ~descendant:child
+  && Dn.depth child.dn = Dn.depth parent.dn + 1
+
+(* Approximate record size in bytes, for distributed-shipping accounting. *)
+let byte_size t =
+  let value_size v = String.length (Value.to_string v) in
+  List.fold_left
+    (fun acc (a, v) -> acc + String.length a + value_size v + 2)
+    (String.length t.key + 16)
+    t.attrs
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v2>dn: %a@,%a@]" Dn.pp t.dn
+    (Fmt.list ~sep:Fmt.cut (fun ppf (a, v) -> Fmt.pf ppf "%s: %a" a Value.pp v))
+    t.attrs
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,58 @@
+(** Directory entries (Definition 3.2).
+
+    An entry is its distinguished name plus a set of (attribute, value)
+    pairs; several pairs may share an attribute (multi-valued
+    attributes, footnote 2).  Its classes are derived from the values of
+    [objectClass] (Definition 3.2(c)2).  The reverse-dn sort key is
+    computed once and cached. *)
+
+type t
+
+val make : Dn.t -> (string * Value.t) list -> t
+(** Build an entry; duplicate pairs collapse (val(r) is a set). *)
+
+val dn : t -> Dn.t
+val attrs : t -> (string * Value.t) list
+
+val key : t -> string
+(** The cached [Dn.rev_key]. *)
+
+val rdn : t -> Rdn.t option
+
+val values : t -> string -> Value.t list
+(** All values of one attribute. *)
+
+val value : t -> string -> Value.t option
+val has_attr : t -> string -> bool
+val has_pair : t -> string -> Value.t -> bool
+val int_values : t -> string -> int list
+val string_values : t -> string -> string list
+val dn_values : t -> string -> Value.dn list
+
+val classes : t -> string list
+(** The values of [objectClass]. *)
+
+val has_class : t -> string -> bool
+
+val compare_rev : t -> t -> int
+(** The canonical evaluation order (reverse-dn lexicographic). *)
+
+val equal_dn : t -> t -> bool
+
+val is_parent_of : parent:t -> child:t -> bool
+val is_ancestor_of : ancestor:t -> descendant:t -> bool
+
+val key_is_prefix : prefix:string -> string -> bool
+(** Byte-prefix test on cached keys. *)
+
+val key_ancestor_of : ancestor:t -> descendant:t -> bool
+(** Proper-ancestor test in O(key length), used in the algorithm hot
+    loops. *)
+
+val key_parent_of : parent:t -> child:t -> bool
+
+val byte_size : t -> int
+(** Approximate serialized size, for shipping accounting. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,144 @@
+(* Directory instances — the directory information forest (Sections 3.2-3.3).
+
+   An instance holds the entry set R keyed by distinguished name.  The map
+   is keyed by the reverse-dn string key, so in-order traversal yields the
+   canonical sorted order and each subtree is a contiguous key range (the
+   same layout a disk-resident directory would use).
+
+   Queries map instances to sub-instances over the same schema (Section 4.1),
+   so query results can themselves be wrapped back into instances —
+   the closure property the paper emphasizes. *)
+
+module Smap = Map.Make (String)
+
+type t = { schema : Schema.t; entries : Entry.t Smap.t }
+
+type violation =
+  | Duplicate_dn of Dn.t
+  | Rdn_not_in_values of Dn.t  (* Def 3.2(d)(ii) *)
+  | No_class of Dn.t  (* Def 3.2(b): class set must be non-empty *)
+  | Unknown_class of Dn.t * string
+  | Attr_not_allowed of Dn.t * string  (* Def 3.2(c)1 *)
+  | Attr_wrong_type of Dn.t * string * Value.ty  (* Def 3.2(c)1 *)
+  | Unknown_attr of Dn.t * string
+
+let pp_violation ppf = function
+  | Duplicate_dn dn -> Fmt.pf ppf "duplicate dn %a" Dn.pp dn
+  | Rdn_not_in_values dn -> Fmt.pf ppf "rdn of %a not among its values" Dn.pp dn
+  | No_class dn -> Fmt.pf ppf "%a belongs to no class" Dn.pp dn
+  | Unknown_class (dn, c) -> Fmt.pf ppf "%a: unknown class %s" Dn.pp dn c
+  | Attr_not_allowed (dn, a) ->
+      Fmt.pf ppf "%a: attribute %s not allowed by any of its classes" Dn.pp dn a
+  | Attr_wrong_type (dn, a, ty) ->
+      Fmt.pf ppf "%a: attribute %s has a value that is not of type %s" Dn.pp dn
+        a (Value.ty_to_string ty)
+  | Unknown_attr (dn, a) -> Fmt.pf ppf "%a: undeclared attribute %s" Dn.pp dn a
+
+exception Invalid of violation
+
+let empty schema = { schema; entries = Smap.empty }
+let schema t = t.schema
+let size t = Smap.cardinal t.entries
+
+(* Check one entry against Definition 3.2 (given the rest of R is checked
+   separately for key uniqueness by the map). *)
+let check_entry schema e =
+  let dn = Entry.dn e in
+  (match Entry.rdn e with
+  | None -> raise (Invalid (Rdn_not_in_values dn))  (* root is not an entry *)
+  | Some rdn ->
+      if not (Rdn.subset_of_values rdn (Entry.attrs e)) then
+        raise (Invalid (Rdn_not_in_values dn)));
+  let class_names = Entry.classes e in
+  if class_names = [] then raise (Invalid (No_class dn));
+  List.iter
+    (fun c ->
+      if not (Schema.has_class schema c) then
+        raise (Invalid (Unknown_class (dn, c))))
+    class_names;
+  List.iter
+    (fun (a, v) ->
+      match Schema.attr_type schema a with
+      | None -> raise (Invalid (Unknown_attr (dn, a)))
+      | Some ty ->
+          if Value.type_of v <> ty then
+            raise (Invalid (Attr_wrong_type (dn, a, ty)));
+          if not (Schema.attr_allowed_by schema ~class_names a) then
+            raise (Invalid (Attr_not_allowed (dn, a))))
+    (Entry.attrs e)
+
+let add ?(validate = true) t e =
+  if validate then check_entry t.schema e;
+  let key = Entry.key e in
+  if Smap.mem key t.entries then raise (Invalid (Duplicate_dn (Entry.dn e)));
+  { t with entries = Smap.add key e t.entries }
+
+let replace ?(validate = true) t e =
+  if validate then check_entry t.schema e;
+  { t with entries = Smap.add (Entry.key e) e t.entries }
+
+let remove t dn = { t with entries = Smap.remove (Dn.rev_key dn) t.entries }
+let find t dn = Smap.find_opt (Dn.rev_key dn) t.entries
+let mem t dn = Smap.mem (Dn.rev_key dn) t.entries
+
+let of_entries ?(validate = true) schema es =
+  List.fold_left (add ~validate) (empty schema) es
+
+(* Wrap a result entry set back into an instance (closure property). *)
+let of_result t es =
+  List.fold_left
+    (fun acc e -> { acc with entries = Smap.add (Entry.key e) e acc.entries })
+    (empty t.schema) es
+
+let iter f t = Smap.iter (fun _ e -> f e) t.entries
+let fold f init t = Smap.fold (fun _ e acc -> f acc e) t.entries init
+let to_list t = List.rev (fold (fun acc e -> e :: acc) [] t)
+
+(* --- Subtree ranges --------------------------------------------------- *)
+
+(* All entries in the subtree rooted at [base] (including [base] itself if
+   present), in canonical order: the contiguous key range with prefix
+   [rev_key base]. *)
+let subtree t base =
+  let prefix = Dn.rev_key base in
+  let _, at, above = Smap.split prefix t.entries in
+  let from_base = match at with Some e -> [ e ] | None -> [] in
+  let rest =
+    Smap.to_seq above
+    |> Seq.take_while (fun (k, _) -> Entry.key_is_prefix ~prefix k)
+    |> Seq.map snd |> List.of_seq
+  in
+  from_base @ rest
+
+let children t base =
+  let d = Dn.depth base + 1 in
+  List.filter (fun e -> Dn.depth (Entry.dn e) = d) (subtree t base)
+
+let roots t =
+  fold
+    (fun acc e ->
+      match Dn.parent (Entry.dn e) with
+      | Some p when p <> Dn.root && mem t p -> acc
+      | _ -> e :: acc)
+    [] t
+  |> List.rev
+
+(* Full well-formedness check of Definition 3.2; returns all violations. *)
+let validate t =
+  fold
+    (fun acc e ->
+      match check_entry t.schema e with
+      | () -> acc
+      | exception Invalid v -> v :: acc)
+    [] t
+  |> List.rev
+
+(* --- External-memory view --------------------------------------------- *)
+
+(* The instance as a disk-resident sorted list; no I/O is charged for the
+   conversion itself (the directory is already on disk), scans of the
+   result charge normally. *)
+let to_ext_list pager t = Ext_list.of_array_resident pager (Array.of_list (to_list t))
+
+let subtree_ext_list pager t base =
+  Ext_list.of_array_resident pager (Array.of_list (subtree t base))

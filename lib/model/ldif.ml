@@ -1,0 +1,150 @@
+(* LDIF-style serialization of schemas and instances.
+
+   A textual interchange format in the spirit of RFC 2849, restricted to
+   the formal model: one record per entry, [attribute: value] lines, a
+   leading [dn:] line, blank-line separators.  Values are typed by the
+   schema on import; dn-valued attributes carry dn strings.  A schema
+   block (lines starting with "attribute" / "class") may precede the
+   entries, so one file round-trips a whole directory. *)
+
+let schema_to_string schema =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "# ndq schema\n";
+  List.iter
+    (fun (a, ty) ->
+      if a <> Schema.object_class then
+        Buffer.add_string b
+          (Printf.sprintf "attribute %s %s\n" a (Value.ty_to_string ty)))
+    (Schema.attrs schema);
+  List.iter
+    (fun c ->
+      let attrs =
+        Option.value ~default:[] (Schema.allowed_attrs schema c)
+        |> List.filter (fun a -> a <> Schema.object_class)
+      in
+      Buffer.add_string b
+        (Printf.sprintf "class %s %s\n" c (String.concat " " attrs)))
+    (Schema.classes schema);
+  Buffer.contents b
+
+let entry_to_string e =
+  let b = Buffer.create 128 in
+  Buffer.add_string b ("dn: " ^ Dn.to_string (Entry.dn e) ^ "\n");
+  List.iter
+    (fun (a, v) ->
+      Buffer.add_string b (Printf.sprintf "%s: %s\n" a (Value.to_string v)))
+    (Entry.attrs e);
+  Buffer.contents b
+
+let instance_to_string ?(with_schema = true) instance =
+  let b = Buffer.create 4096 in
+  if with_schema then begin
+    Buffer.add_string b (schema_to_string (Instance.schema instance));
+    Buffer.add_char b '\n'
+  end;
+  Instance.iter
+    (fun e ->
+      Buffer.add_string b (entry_to_string e);
+      Buffer.add_char b '\n')
+    instance;
+  Buffer.contents b
+
+(* --- Parsing -------------------------------------------------------------- *)
+
+exception Parse_error of string
+
+let fail line msg =
+  raise (Parse_error (Printf.sprintf "line %d: %s" line msg))
+
+let split_record_line lineno line =
+  match String.index_opt line ':' with
+  | None -> fail lineno (Printf.sprintf "expected 'attr: value' in %S" line)
+  | Some i ->
+      let attr = String.trim (String.sub line 0 i) in
+      let v = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+      (attr, v)
+
+let typed_value schema lineno attr raw =
+  match Schema.attr_type schema attr with
+  | None -> fail lineno (Printf.sprintf "undeclared attribute %S" attr)
+  | Some Value.T_int -> (
+      match int_of_string_opt raw with
+      | Some i -> Value.Int i
+      | None -> fail lineno (Printf.sprintf "%S is not an int" raw))
+  | Some Value.T_string -> Value.Str raw
+  | Some Value.T_dn -> (
+      try Value.Dn (Dn.of_string_with ~lookup:(Schema.attr_type schema) raw)
+      with Dn.Parse_error m -> fail lineno (Printf.sprintf "bad dn: %s" m))
+
+let parse_schema_line schema lineno line =
+  match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+  | "attribute" :: name :: ty :: [] ->
+      let ty =
+        match ty with
+        | "string" -> Value.T_string
+        | "int" -> Value.T_int
+        | "distinguishedName" | "dn" -> Value.T_dn
+        | other -> fail lineno (Printf.sprintf "unknown type %S" other)
+      in
+      (try Schema.declare_attr schema name ty
+       with Invalid_argument m -> fail lineno m)
+  | "class" :: name :: attrs ->
+      (try Schema.declare_class schema name attrs
+       with Invalid_argument m -> fail lineno m)
+  | _ -> fail lineno (Printf.sprintf "bad schema line %S" line)
+
+(* Parse a full file: optional schema block, then entry records.  When
+   [schema] is given, schema lines in the file extend it. *)
+let of_string ?schema text =
+  let schema = match schema with Some s -> s | None -> Schema.empty () in
+  let lines = String.split_on_char '\n' text in
+  let entries = ref [] in
+  let current_dn = ref None in
+  let current_attrs = ref [] in
+  let flush lineno =
+    match !current_dn with
+    | None ->
+        if !current_attrs <> [] then fail lineno "record without a dn: line"
+    | Some dn ->
+        entries := Entry.make dn (List.rev !current_attrs) :: !entries;
+        current_dn := None;
+        current_attrs := []
+  in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line = String.trim line in
+      if line = "" then flush lineno
+      else if line.[0] = '#' then ()
+      else if
+        String.length line > 10
+        && (String.sub line 0 10 = "attribute " || String.sub line 0 6 = "class ")
+      then parse_schema_line schema lineno line
+      else if String.length line > 6 && String.sub line 0 6 = "class " then
+        parse_schema_line schema lineno line
+      else
+        let attr, v = split_record_line lineno line in
+        if attr = "dn" then begin
+          flush lineno;
+          match Dn.of_string_with ~lookup:(Schema.attr_type schema) v with
+          | dn -> current_dn := Some dn
+          | exception Dn.Parse_error m -> fail lineno m
+        end
+        else
+          match !current_dn with
+          | None -> fail lineno "attribute line before any dn:"
+          | Some _ ->
+              current_attrs := (attr, typed_value schema lineno attr v) :: !current_attrs)
+    lines;
+  flush (List.length lines);
+  Instance.of_entries schema (List.rev !entries)
+
+(* --- Files ----------------------------------------------------------------- *)
+
+let save path instance =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (instance_to_string instance))
+
+let load ?schema path =
+  In_channel.with_open_text path (fun ic ->
+      of_string ?schema (In_channel.input_all ic))

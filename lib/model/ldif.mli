@@ -1,0 +1,24 @@
+(** LDIF-style serialization of schemas and instances (RFC 2849 in
+    spirit, restricted to the formal model).
+
+    One record per entry ([dn:] line then [attr: value] lines, blank
+    line separators), optionally preceded by a schema block
+    ([attribute <name> <type>] / [class <name> <attrs...>] lines), so a
+    single file round-trips a directory. *)
+
+val schema_to_string : Schema.t -> string
+val entry_to_string : Entry.t -> string
+val instance_to_string : ?with_schema:bool -> Instance.t -> string
+
+exception Parse_error of string
+
+val of_string : ?schema:Schema.t -> string -> Instance.t
+(** Parse a file.  Values are typed by the schema (given and/or declared
+    in the file's schema block).  @raise Parse_error with a line
+    number on malformed input; @raise Instance.Invalid on model
+    violations. *)
+
+val save : string -> Instance.t -> unit
+(** Write an instance (with its schema block) to a file. *)
+
+val load : ?schema:Schema.t -> string -> Instance.t

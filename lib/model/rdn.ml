@@ -1,0 +1,33 @@
+(* Relative distinguished names: non-empty sets of (attribute, value)
+   pairs (Definition 3.2(d)).  The representation is a sorted,
+   duplicate-free association list so structural equality coincides with
+   set equality. *)
+
+type t = Value.rdn
+
+let compare = Value.compare_rdn
+let equal a b = compare a b = 0
+
+let normalize pairs : t =
+  let sorted =
+    List.sort_uniq
+      (fun (a1, v1) (a2, v2) ->
+        let c = String.compare a1 a2 in
+        if c <> 0 then c else Value.compare v1 v2)
+      pairs
+  in
+  if sorted = [] then invalid_arg "Rdn.normalize: rdn must be non-empty";
+  sorted
+
+(* Convenience for the common single-pair rdn's of the paper's examples. *)
+let single attr value : t = [ (attr, value) ]
+let pairs (t : t) = t
+let to_string = Value.rdn_to_string
+let pp ppf t = Fmt.string ppf (to_string t)
+
+(* rdn(r) must be a subset of val(r) — Definition 3.2(d)(ii). *)
+let subset_of_values (t : t) values =
+  List.for_all
+    (fun (a, v) ->
+      List.exists (fun (a', v') -> String.equal a a' && Value.equal v v') values)
+    t

@@ -1,0 +1,25 @@
+(** Relative distinguished names (Definition 3.2(d)).
+
+    An rdn is a non-empty {e set} of (attribute, value) pairs — the
+    paper's generalization of the single file-name component of UNIX
+    paths.  Represented as a sorted duplicate-free association list so
+    that structural equality is set equality. *)
+
+type t = Value.rdn
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val normalize : (string * Value.t) list -> t
+(** Sort and deduplicate.  @raise Invalid_argument on the empty list. *)
+
+val single : string -> Value.t -> t
+(** The common one-pair rdn of the paper's examples. *)
+
+val pairs : t -> (string * Value.t) list
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val subset_of_values : t -> (string * Value.t) list -> bool
+(** Definition 3.2(d)(ii): the rdn must be a subset of the entry's
+    (attribute, value) pairs. *)

@@ -1,0 +1,79 @@
+(* Standard schema presets.
+
+   The paper's examples draw their classes "from the default schema of
+   Netscape Directory Server 3.1" (Section 3.5): dcObject, domain,
+   organizationalUnit, inetOrgPerson, ntUser, groupOfNames and friends.
+   This module provides those declarations so applications and the shell
+   can build conventionally-shaped directories without re-declaring the
+   same attributes; it also demonstrates the model's point that an entry
+   can combine any classes (inetOrgPerson + TOPSSubscriber,
+   inetOrgPerson + ntUser) with no subclass relationship. *)
+
+let string_attrs =
+  [
+    "dc"; "ou"; "o"; "cn"; "commonName"; "sn"; "surName"; "givenName"; "uid";
+    "mail"; "telephoneNumber"; "facsimileTelephoneNumber"; "title";
+    "description"; "street"; "l"; "st"; "postalCode"; "c";
+    "ntUserDomainId"; "displayName"; "labeledURI";
+  ]
+
+let int_attrs = [ "employeeNumber"; "roomNumber"; "priority"; "uidNumber" ]
+let dn_attrs = [ "member"; "owner"; "manager"; "secretary"; "seeAlso" ]
+
+let classes =
+  [
+    ("dcObject", [ "dc" ]);
+    ("domain", [ "dc"; "description" ]);
+    ("organization", [ "o"; "description"; "telephoneNumber"; "street"; "l" ]);
+    ("organizationalUnit", [ "ou"; "description"; "telephoneNumber" ]);
+    ("person", [ "cn"; "commonName"; "sn"; "surName"; "telephoneNumber";
+                 "description" ]);
+    ( "organizationalPerson",
+      [ "cn"; "commonName"; "sn"; "surName"; "title"; "ou";
+        "telephoneNumber"; "facsimileTelephoneNumber"; "street"; "l"; "st";
+        "postalCode"; "roomNumber" ] );
+    ( "inetOrgPerson",
+      [ "cn"; "commonName"; "sn"; "surName"; "givenName"; "uid"; "mail";
+        "telephoneNumber"; "title"; "displayName"; "labeledURI";
+        "employeeNumber"; "manager"; "secretary"; "roomNumber" ] );
+    ("ntUser", [ "cn"; "ntUserDomainId"; "description" ]);
+    ("groupOfNames", [ "cn"; "member"; "owner"; "description"; "seeAlso" ]);
+    ("residentialPerson", [ "cn"; "sn"; "street"; "l"; "st"; "postalCode" ]);
+  ]
+
+(* The preset, freshly built (schemas are mutable): every attribute and
+   class above, ready to extend with application-specific classes. *)
+let netscape_ds3 () =
+  let s = Schema.empty () in
+  List.iter (fun a -> Schema.declare_attr s a Value.T_string) string_attrs;
+  List.iter (fun a -> Schema.declare_attr s a Value.T_int) int_attrs;
+  List.iter (fun a -> Schema.declare_attr s a Value.T_dn) dn_attrs;
+  List.iter (fun (c, attrs) -> Schema.declare_class s c attrs) classes;
+  s
+
+(* Convenience constructors over the preset. *)
+let oc c = (Schema.object_class, Value.Str c)
+
+let dc_entry ~parent name =
+  Entry.make
+    (Dn.child parent (Rdn.single "dc" (Value.Str name)))
+    [ ("dc", Value.Str name); oc "dcObject"; oc "domain" ]
+
+let ou_entry ~parent name =
+  Entry.make
+    (Dn.child parent (Rdn.single "ou" (Value.Str name)))
+    [ ("ou", Value.Str name); oc "organizationalUnit" ]
+
+let inet_org_person ~parent ~uid ~cn ~sn ?mail ?manager () =
+  Entry.make
+    (Dn.child parent (Rdn.single "uid" (Value.Str uid)))
+    ([
+       ("uid", Value.Str uid);
+       ("cn", Value.Str cn);
+       ("sn", Value.Str sn);
+       oc "inetOrgPerson";
+     ]
+    @ (match mail with Some m -> [ ("mail", Value.Str m) ] | None -> [])
+    @ match manager with
+      | Some m -> [ ("manager", Value.Dn m) ]
+      | None -> [])

@@ -1,0 +1,29 @@
+(** Standard schema presets — the Netscape Directory Server 3.1-style
+    classes the paper's examples draw on (Section 3.5): dcObject,
+    domain, organizationalUnit, person, organizationalPerson,
+    inetOrgPerson, ntUser, groupOfNames, residentialPerson.
+
+    Entries can combine any of these classes without subclassing
+    (inetOrgPerson + ntUser, etc.) — the heterogeneity argument of
+    Section 3.5 made concrete. *)
+
+val string_attrs : string list
+val int_attrs : string list
+val dn_attrs : string list
+val classes : (string * string list) list
+
+val netscape_ds3 : unit -> Schema.t
+(** A fresh schema with all of the above, ready to extend. *)
+
+val dc_entry : parent:Dn.t -> string -> Entry.t
+val ou_entry : parent:Dn.t -> string -> Entry.t
+
+val inet_org_person :
+  parent:Dn.t ->
+  uid:string ->
+  cn:string ->
+  sn:string ->
+  ?mail:string ->
+  ?manager:Dn.t ->
+  unit ->
+  Entry.t

@@ -1,0 +1,111 @@
+(* Attribute values (Section 3.1).
+
+   The model's type set T contains [string], [int] and the complex type
+   [distinguishedName] whose domain is sequences of sets of
+   (attribute, value) pairs.  The three domains are mutually recursive —
+   a dn is built from values — so the representation types for all three
+   live here; the [Rdn] and [Dn] modules provide the operations. *)
+
+type t = Str of string | Int of int | Dn of dn
+
+(* A distinguished name: sequence of rdn's, leftmost = most specific
+   (LDAP convention).  The parent dn of [rdn :: rest] is [rest]. *)
+and dn = rdn list
+
+(* A relative distinguished name: a non-empty set of (attribute, value)
+   pairs, kept sorted and duplicate-free so equality is structural. *)
+and rdn = (string * t) list
+
+type ty = T_string | T_int | T_dn
+
+let ty_to_string = function
+  | T_string -> "string"
+  | T_int -> "int"
+  | T_dn -> "distinguishedName"
+
+let type_of = function Str _ -> T_string | Int _ -> T_int | Dn _ -> T_dn
+
+let rec compare a b =
+  match (a, b) with
+  | Int x, Int y -> Int.compare x y
+  | Int _, (Str _ | Dn _) -> -1
+  | (Str _ | Dn _), Int _ -> 1
+  | Str x, Str y -> String.compare x y
+  | Str _, Dn _ -> -1
+  | Dn _, Str _ -> 1
+  | Dn x, Dn y -> compare_dn x y
+
+and compare_dn a b =
+  match (a, b) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | r1 :: rest1, r2 :: rest2 ->
+      let c = compare_rdn r1 r2 in
+      if c <> 0 then c else compare_dn rest1 rest2
+
+and compare_rdn a b =
+  match (a, b) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | (a1, v1) :: rest1, (a2, v2) :: rest2 ->
+      let c = String.compare a1 a2 in
+      if c <> 0 then c
+      else
+        let c = compare v1 v2 in
+        if c <> 0 then c else compare_rdn rest1 rest2
+
+let equal a b = compare a b = 0
+
+(* Characters that must be escaped inside dn value strings. *)
+let needs_escape c = c = ',' || c = '+' || c = '=' || c = '\\'
+
+let escape s =
+  if String.exists needs_escape s then begin
+    let b = Buffer.create (String.length s + 4) in
+    String.iter
+      (fun c ->
+        if needs_escape c then Buffer.add_char b '\\';
+        Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
+  else s
+
+let rec to_string = function
+  | Str s -> s
+  | Int i -> string_of_int i
+  | Dn dn -> dn_to_string dn
+
+and dn_escaped_string = function
+  | Str s -> escape s
+  | Int i -> string_of_int i
+  | Dn dn -> escape (dn_to_string dn)
+
+and rdn_to_string rdn =
+  String.concat "+"
+    (List.map (fun (a, v) -> a ^ "=" ^ dn_escaped_string v) rdn)
+
+and dn_to_string dn = String.concat ", " (List.map rdn_to_string dn)
+
+let pp ppf v = Fmt.string ppf (to_string v)
+
+(* Untyped reading used by parsers when no schema is in scope: an all-digit
+   token (with optional sign) reads as an int, anything else as a string.
+   Schema-aware callers use [of_string_typed] for exactness. *)
+let of_string_untyped s =
+  match int_of_string_opt s with Some i -> Int i | None -> Str s
+
+let of_string_typed ty s =
+  match ty with
+  | T_string -> Ok (Str s)
+  | T_int -> (
+      match int_of_string_opt s with
+      | Some i -> Ok (Int i)
+      | None -> Error (Printf.sprintf "%S is not an int" s))
+  | T_dn -> Error "dn values must be parsed with Dn.of_string"
+
+let as_int = function Int i -> Some i | Str _ | Dn _ -> None
+let as_string = function Str s -> Some s | Int _ | Dn _ -> None
+let as_dn = function Dn d -> Some d | Int _ | Str _ -> None

@@ -1,0 +1,124 @@
+(* Abstract syntax of the query-language family L0 .. L3 (Figures 7-10).
+
+   A single AST covers all four languages; [Lang.level] computes the
+   least language an expression belongs to, and [Lang.check] enforces
+   the context restrictions of the grammars (e.g. witness references
+   [$2] only under structural operators). *)
+
+type scope = Base | One | Sub
+
+type atomic = { base : Dn.t; scope : scope; filter : Afilter.t }
+
+(* Integer comparison operators of aggregate selection filters. *)
+type cmp = Lt | Le | Eq | Ge | Gt | Ne
+
+type agg_fun = Min | Max | Sum | Count | Average
+
+(* ModAttrName: a plain attribute refers to the candidate entry itself;
+   $1.a / $2.a refer to the candidate and its witnesses respectively. *)
+type attr_ref = Self of string | W1 of string | W2 of string
+
+(* EntryAggAttr (Figure 9). *)
+type entry_agg =
+  | Ea_agg of agg_fun * attr_ref  (* e.g. min(SLARulePriority), sum($2.x) *)
+  | Ea_count_witnesses  (* count($2) *)
+
+(* EntrySetAggAttr (Figure 9). *)
+type entry_set_agg =
+  | Esa_agg of agg_fun * entry_agg  (* e.g. min(min(SLARulePriority)) *)
+  | Esa_count_entries  (* count($1) *)
+  | Esa_count_all  (* count($$) *)
+
+type agg_attr =
+  | A_const of int
+  | A_entry of entry_agg
+  | A_entry_set of entry_set_agg
+
+type agg_filter = { lhs : agg_attr; op : cmp; rhs : agg_attr }
+
+(* The six hierarchical selection operators of L1 (Section 5.2). *)
+type hier_op = P | C | A | D
+type hier_op3 = Ac | Dc
+
+(* The two embedded-reference operators of L3 (Section 7). *)
+type ref_op = Vd | Dv
+
+type t =
+  | Atomic of atomic
+  | And of t * t
+  | Or of t * t
+  | Diff of t * t
+  | Hier of hier_op * t * t * agg_filter option
+  | Hier3 of hier_op3 * t * t * t * agg_filter option
+  | Gsel of t * agg_filter  (* simple aggregate selection (g Q f) *)
+  | Eref of ref_op * t * t * string * agg_filter option
+
+(* --- Constructors ----------------------------------------------------- *)
+
+let atomic ?(scope = Sub) base filter = Atomic { base; scope; filter }
+let ( &&& ) q1 q2 = And (q1, q2)
+let ( ||| ) q1 q2 = Or (q1, q2)
+let ( --- ) q1 q2 = Diff (q1, q2)
+let parents ?agg q1 q2 = Hier (P, q1, q2, agg)
+let children ?agg q1 q2 = Hier (C, q1, q2, agg)
+let ancestors ?agg q1 q2 = Hier (A, q1, q2, agg)
+let descendants ?agg q1 q2 = Hier (D, q1, q2, agg)
+let ancestors_c ?agg q1 q2 q3 = Hier3 (Ac, q1, q2, q3, agg)
+let descendants_c ?agg q1 q2 q3 = Hier3 (Dc, q1, q2, q3, agg)
+let gsel q f = Gsel (q, f)
+let value_dn ?agg q1 q2 a = Eref (Vd, q1, q2, a, agg)
+let dn_value ?agg q1 q2 a = Eref (Dv, q1, q2, a, agg)
+
+(* The aggregate filter equivalent to plain hierarchical selection:
+   count($2) > 0 (Section 6.2, closing remark). *)
+let has_witness = { lhs = A_entry Ea_count_witnesses; op = Gt; rhs = A_const 0 }
+
+(* --- Traversal helpers ------------------------------------------------ *)
+
+let subqueries = function
+  | Atomic _ -> []
+  | And (a, b) | Or (a, b) | Diff (a, b) -> [ a; b ]
+  | Hier (_, a, b, _) -> [ a; b ]
+  | Hier3 (_, a, b, c, _) -> [ a; b; c ]
+  | Gsel (a, _) -> [ a ]
+  | Eref (_, a, b, _, _) -> [ a; b ]
+
+let rec fold f acc q = List.fold_left (fold f) (f acc q) (subqueries q)
+
+(* Number of nodes in the query tree (the |Q| of Theorems 8.3/8.4). *)
+let size q = fold (fun n _ -> n + 1) 0 q
+
+let atomic_subqueries q =
+  fold (fun acc q -> match q with Atomic a -> a :: acc | _ -> acc) [] q
+  |> List.rev
+
+let scope_to_string = function Base -> "base" | One -> "one" | Sub -> "sub"
+
+let scope_of_string = function
+  | "base" -> Some Base
+  | "one" -> Some One
+  | "sub" -> Some Sub
+  | _ -> None
+
+let cmp_to_string = function
+  | Lt -> "<"
+  | Le -> "<="
+  | Eq -> "="
+  | Ge -> ">="
+  | Gt -> ">"
+  | Ne -> "!="
+
+let agg_fun_to_string = function
+  | Min -> "min"
+  | Max -> "max"
+  | Sum -> "sum"
+  | Count -> "count"
+  | Average -> "average"
+
+let agg_fun_of_string = function
+  | "min" -> Some Min
+  | "max" -> Some Max
+  | "sum" -> Some Sum
+  | "count" -> Some Count
+  | "average" -> Some Average
+  | _ -> None

@@ -1,0 +1,96 @@
+(* Language classification and context checking (Sections 4-8).
+
+   [level q] is the least i such that q is an L_i expression; [check q]
+   verifies the context restrictions the grammars of Figures 9-10 impose
+   on aggregate selection filters. *)
+
+type level = L0 | L1 | L2 | L3
+
+let level_to_int = function L0 -> 0 | L1 -> 1 | L2 -> 2 | L3 -> 3
+let level_to_string l = Printf.sprintf "L%d" (level_to_int l)
+let max_level a b = if level_to_int a >= level_to_int b then a else b
+
+let rec level (q : Ast.t) =
+  let sub = List.fold_left (fun l q -> max_level l (level q)) L0 (Ast.subqueries q) in
+  let own =
+    match q with
+    | Ast.Atomic _ | Ast.And _ | Ast.Or _ | Ast.Diff _ -> L0
+    | Ast.Hier (_, _, _, None) | Ast.Hier3 (_, _, _, _, None) -> L1
+    | Ast.Hier (_, _, _, Some _) | Ast.Hier3 (_, _, _, _, Some _) | Ast.Gsel _
+      -> L2
+    | Ast.Eref _ -> L3
+  in
+  max_level own sub
+
+(* --- Well-formedness of aggregate selection filters ------------------- *)
+
+type error = { where : string; reason : string }
+
+let pp_error ppf e = Fmt.pf ppf "%s: %s" e.where e.reason
+
+(* Context in which an aggregate filter appears. *)
+type agg_ctx = Simple  (* (g Q f): no witness set *) | Structural
+
+let check_entry_agg ctx (ea : Ast.entry_agg) =
+  match (ctx, ea) with
+  | Simple, Ast.Ea_agg (_, Ast.Self _) -> Ok ()
+  | Simple, Ast.Ea_agg (_, (Ast.W1 _ | Ast.W2 _)) ->
+      Error "witness references $1/$2 are not available under (g ...)"
+  | Simple, Ast.Ea_count_witnesses ->
+      Error "count($2) is not available under (g ...)"
+  | Structural, Ast.Ea_agg (_, _) | Structural, Ast.Ea_count_witnesses -> Ok ()
+
+let check_entry_set_agg ctx (esa : Ast.entry_set_agg) =
+  match (ctx, esa) with
+  | _, Ast.Esa_agg (_, ea) -> check_entry_agg ctx ea
+  | Simple, Ast.Esa_count_all -> Ok ()
+  | Simple, Ast.Esa_count_entries ->
+      Error "count($1) is not available under (g ...); use count($$)"
+  | Structural, Ast.Esa_count_entries -> Ok ()
+  | Structural, Ast.Esa_count_all ->
+      Error "count($$) is not available under structural operators; use count($1)"
+
+let check_agg_attr ctx = function
+  | Ast.A_const _ -> Ok ()
+  | Ast.A_entry ea -> check_entry_agg ctx ea
+  | Ast.A_entry_set esa -> check_entry_set_agg ctx esa
+
+let check_agg_filter ctx (f : Ast.agg_filter) =
+  match check_agg_attr ctx f.lhs with
+  | Error _ as e -> e
+  | Ok () -> check_agg_attr ctx f.rhs
+
+let check (q : Ast.t) =
+  let errors = ref [] in
+  let record where = function
+    | Ok () -> ()
+    | Error reason -> errors := { where; reason } :: !errors
+  in
+  let rec walk q =
+    (match q with
+    | Ast.Atomic _ -> ()
+    | Ast.Gsel (_, f) -> record "(g ...)" (check_agg_filter Simple f)
+    | Ast.Hier (_, _, _, Some f) | Ast.Hier3 (_, _, _, _, Some f) ->
+        record "hierarchical operator" (check_agg_filter Structural f)
+    | Ast.Eref (_, _, _, _, Some f) ->
+        record "embedded-reference operator" (check_agg_filter Structural f)
+    | Ast.And _ | Ast.Or _ | Ast.Diff _
+    | Ast.Hier (_, _, _, None)
+    | Ast.Hier3 (_, _, _, _, None)
+    | Ast.Eref (_, _, _, _, None) ->
+        ());
+    List.iter walk (Ast.subqueries q)
+  in
+  walk q;
+  match List.rev !errors with [] -> Ok () | errs -> Error errs
+
+(* Theorem 8.2(d): (p Q1 Q2) = (ac Q1 Q2 (null-dn ? sub ? <present objectClass>)).
+   The rewriting exists but forces the third operand to be the whole
+   instance; experiment E11 measures that cost. *)
+let parents_as_ancestors_c q1 q2 =
+  Ast.ancestors_c q1 q2
+    (Ast.atomic Dn.root (Afilter.Present Schema.object_class))
+
+let children_as_descendants_c q1 q2 =
+  Ast.descendants_c q1 q2
+    (Ast.atomic Dn.root (Afilter.Present Schema.object_class))

@@ -1,0 +1,37 @@
+(** Language classification and well-formedness (Sections 4-8).
+
+    One AST covers L0 .. L3; [level] computes the least language an
+    expression belongs to, [check] enforces the aggregate-filter context
+    restrictions of the grammars (Figures 9-10). *)
+
+type level = L0 | L1 | L2 | L3
+
+val level_to_int : level -> int
+val level_to_string : level -> string
+val max_level : level -> level -> level
+
+val level : Ast.t -> level
+(** The least L_i containing the query: atomic/boolean are L0, plain
+    hierarchical selection L1, any aggregate selection L2, embedded
+    references L3; nesting takes the maximum. *)
+
+type error = { where : string; reason : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+type agg_ctx = Simple | Structural
+
+val check_agg_filter : agg_ctx -> Ast.agg_filter -> (unit, string) result
+(** Context check for one filter: witness references ($2, count($2),
+    count($1)) only under structural operators; count($$) only under
+    (g ...). *)
+
+val check : Ast.t -> (unit, error list) result
+(** Check every aggregate filter in the query. *)
+
+val parents_as_ancestors_c : Ast.t -> Ast.t -> Ast.t
+(** Theorem 8.2(d): rewrite [(p Q1 Q2)] as [(ac Q1 Q2 <whole instance>)]
+    — semantically equal (when every ancestor entry exists) but paying
+    a whole-instance third operand; see experiment E11. *)
+
+val children_as_descendants_c : Ast.t -> Ast.t -> Ast.t

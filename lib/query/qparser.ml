@@ -1,0 +1,255 @@
+(* Recursive-descent parser for the concrete query syntax of
+   Figures 7-10.  Inverse of [Qprinter.to_string]. *)
+
+exception Parse_error of string
+
+type state = { src : string; mutable pos : int; schema : Schema.t option }
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "at offset %d: %s" st.pos msg))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.src
+    && (match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  skip_ws st;
+  match peek st with
+  | Some c' when c' = c -> st.pos <- st.pos + 1
+  | Some c' -> fail st (Printf.sprintf "expected '%c', found '%c'" c c')
+  | None -> fail st (Printf.sprintf "expected '%c', found end of input" c)
+
+let is_word_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '-' | '&' | '|' | '$' ->
+      true
+  | _ -> false
+
+let read_word st =
+  skip_ws st;
+  let start = st.pos in
+  while st.pos < String.length st.src && is_word_char st.src.[st.pos] do
+    st.pos <- st.pos + 1
+  done;
+  String.sub st.src start (st.pos - start)
+
+(* Raw text up to (not including) the next occurrence of [stop]. *)
+let read_until st stop =
+  let start = st.pos in
+  while st.pos < String.length st.src && st.src.[st.pos] <> stop do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos >= String.length st.src then
+    fail st (Printf.sprintf "expected '%c' before end of input" stop);
+  String.sub st.src start (st.pos - start)
+
+(* Raw text up to the ')' that closes the current node, balancing any
+   nested parentheses (aggregate filters contain '(' and ')'). *)
+let read_balanced st =
+  let start = st.pos in
+  let depth = ref 0 in
+  let stop = ref (-1) in
+  while !stop < 0 do
+    if st.pos >= String.length st.src then fail st "unbalanced parentheses";
+    (match st.src.[st.pos] with
+    | '(' -> incr depth
+    | ')' -> if !depth = 0 then stop := st.pos else decr depth
+    | _ -> ());
+    if !stop < 0 then st.pos <- st.pos + 1
+  done;
+  String.sub st.src start (st.pos - start)
+
+(* --- Aggregate selection filters -------------------------------------- *)
+
+(* A miniature second-level parser over the balanced filter text. *)
+let rec parse_agg_attr st =
+  skip_ws st;
+  let word = read_word st in
+  if word = "" then fail st "expected aggregate attribute";
+  match int_of_string_opt word with
+  | Some c -> Ast.A_const c
+  | None -> (
+      match Ast.agg_fun_of_string word with
+      | None -> fail st (Printf.sprintf "unknown aggregate function %S" word)
+      | Some f -> (
+          expect st '(';
+          skip_ws st;
+          let inner = read_word st in
+          skip_ws st;
+          match peek st with
+          | Some '(' ->
+              (* Nested aggregate: an entry-set aggregate over an entry
+                 aggregate, e.g. min(min(SLARulePriority)). *)
+              let inner_fun =
+                match Ast.agg_fun_of_string inner with
+                | Some g -> g
+                | None ->
+                    fail st (Printf.sprintf "unknown aggregate function %S" inner)
+              in
+              expect st '(';
+              skip_ws st;
+              let arg = read_word st in
+              expect st ')';
+              expect st ')';
+              let ea =
+                match arg with
+                | "$2" when inner_fun = Ast.Count -> Ast.Ea_count_witnesses
+                | _ -> Ast.Ea_agg (inner_fun, parse_attr_ref_exn st arg)
+              in
+              Ast.A_entry_set (Ast.Esa_agg (f, ea))
+          | _ -> (
+              expect st ')';
+              match (f, inner) with
+              | Ast.Count, "$$" -> Ast.A_entry_set Ast.Esa_count_all
+              | Ast.Count, "$1" -> Ast.A_entry_set Ast.Esa_count_entries
+              | Ast.Count, "$2" -> Ast.A_entry Ast.Ea_count_witnesses
+              | _, _ -> Ast.A_entry (Ast.Ea_agg (f, parse_attr_ref_exn st inner)))))
+
+and parse_attr_ref_exn st word =
+  let prefixed p = String.length word > String.length p
+    && String.sub word 0 (String.length p) = p in
+  if word = "" || word = "$$" || word = "$1" || word = "$2" then
+    fail st (Printf.sprintf "%S cannot be aggregated with this function" word)
+  else if prefixed "$1." then Ast.W1 (String.sub word 3 (String.length word - 3))
+  else if prefixed "$2." then Ast.W2 (String.sub word 3 (String.length word - 3))
+  else if word.[0] = '$' then fail st (Printf.sprintf "bad reference %S" word)
+  else Ast.Self word
+
+let parse_cmp st =
+  skip_ws st;
+  let two =
+    if st.pos + 1 < String.length st.src then
+      String.sub st.src st.pos 2
+    else ""
+  in
+  let take n op =
+    st.pos <- st.pos + n;
+    op
+  in
+  match two with
+  | "<=" -> take 2 Ast.Le
+  | ">=" -> take 2 Ast.Ge
+  | "!=" -> take 2 Ast.Ne
+  | _ -> (
+      match peek st with
+      | Some '<' -> take 1 Ast.Lt
+      | Some '>' -> take 1 Ast.Gt
+      | Some '=' -> take 1 Ast.Eq
+      | _ -> fail st "expected comparison operator")
+
+let parse_agg_filter_text ?schema text =
+  let st = { src = text; pos = 0; schema } in
+  let lhs = parse_agg_attr st in
+  let op = parse_cmp st in
+  let rhs = parse_agg_attr st in
+  skip_ws st;
+  if st.pos <> String.length st.src then fail st "trailing text in aggregate filter";
+  { Ast.lhs; op; rhs }
+
+(* --- Queries ----------------------------------------------------------- *)
+
+let operators =
+  [ "&"; "|"; "-"; "p"; "c"; "a"; "d"; "ac"; "dc"; "g"; "vd"; "dv" ]
+
+let parse_atomic st =
+  let base_text = String.trim (read_until st '?') in
+  let lookup =
+    match st.schema with
+    | Some sc -> Schema.attr_type sc
+    | None -> fun _ -> None
+  in
+  let base =
+    try Dn.of_string_with ~lookup base_text
+    with Dn.Parse_error m -> fail st (Printf.sprintf "bad dn %S: %s" base_text m)
+  in
+  expect st '?';
+  let scope_word = read_word st in
+  let scope =
+    match Ast.scope_of_string scope_word with
+    | Some s -> s
+    | None -> fail st (Printf.sprintf "bad scope %S" scope_word)
+  in
+  expect st '?';
+  let filter_text = String.trim (read_until st ')') in
+  let filter =
+    try Afilter.of_string ?schema:st.schema filter_text
+    with Afilter.Parse_error m -> fail st m
+  in
+  expect st ')';
+  Ast.Atomic { base; scope; filter }
+
+let rec parse_query st =
+  expect st '(';
+  skip_ws st;
+  let saved = st.pos in
+  let word = read_word st in
+  skip_ws st;
+  let next_is_subquery = peek st = Some '(' in
+  if List.mem word operators && next_is_subquery then parse_operator st word
+  else begin
+    st.pos <- saved;
+    parse_atomic st
+  end
+
+and parse_operator st word =
+  let q1 = parse_query st in
+  let finish_hier mk =
+    let q2 = parse_query st in
+    let agg = parse_optional_agg st in
+    expect st ')';
+    mk q2 agg
+  in
+  match word with
+  | "&" | "|" | "-" ->
+      let q2 = parse_query st in
+      expect st ')';
+      (match word with
+      | "&" -> Ast.And (q1, q2)
+      | "|" -> Ast.Or (q1, q2)
+      | _ -> Ast.Diff (q1, q2))
+  | "p" -> finish_hier (fun q2 agg -> Ast.Hier (Ast.P, q1, q2, agg))
+  | "c" -> finish_hier (fun q2 agg -> Ast.Hier (Ast.C, q1, q2, agg))
+  | "a" -> finish_hier (fun q2 agg -> Ast.Hier (Ast.A, q1, q2, agg))
+  | "d" -> finish_hier (fun q2 agg -> Ast.Hier (Ast.D, q1, q2, agg))
+  | "ac" | "dc" ->
+      let q2 = parse_query st in
+      let q3 = parse_query st in
+      let agg = parse_optional_agg st in
+      expect st ')';
+      let op = if word = "ac" then Ast.Ac else Ast.Dc in
+      Ast.Hier3 (op, q1, q2, q3, agg)
+  | "g" ->
+      let text = String.trim (read_balanced st) in
+      if text = "" then fail st "(g ...) requires an aggregate selection filter";
+      let f = parse_agg_filter_text ?schema:st.schema text in
+      expect st ')';
+      Ast.Gsel (q1, f)
+  | "vd" | "dv" ->
+      let q2 = parse_query st in
+      skip_ws st;
+      let attr = read_word st in
+      if attr = "" then fail st "embedded-reference operator requires an attribute";
+      let agg = parse_optional_agg st in
+      expect st ')';
+      let op = if word = "vd" then Ast.Vd else Ast.Dv in
+      Ast.Eref (op, q1, q2, attr, agg)
+  | other -> fail st (Printf.sprintf "unknown operator %S" other)
+
+and parse_optional_agg st =
+  let text = String.trim (read_balanced st) in
+  if text = "" then None else Some (parse_agg_filter_text ?schema:st.schema text)
+
+let of_string ?schema s =
+  let st = { src = s; pos = 0; schema } in
+  let q = parse_query st in
+  skip_ws st;
+  if st.pos <> String.length st.src then fail st "trailing text after query";
+  q
+
+let of_string_opt ?schema s =
+  try Some (of_string ?schema s) with Parse_error _ -> None

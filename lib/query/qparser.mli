@@ -1,0 +1,25 @@
+(** Parser for the concrete query syntax of Figures 7-10 — the inverse
+    of {!Qprinter}.
+
+    {v
+    (dc=att, dc=com ? sub ? surName=jagadish)          atomic
+    (& Q Q)  (| Q Q)  (- Q Q)                          boolean
+    (p Q Q) (c Q Q) (a Q Q) (d Q Q)                    hierarchy
+    (ac Q Q Q) (dc Q Q Q)                              path-constrained
+    (g Q count(SLAPVPRef) > 1)                         simple aggregate
+    (c Q Q count($2) > 10)                             structural aggregate
+    (vd Q Q SLATPRef [aggfilter])  (dv Q Q attr ...)   embedded references
+    v} *)
+
+exception Parse_error of string
+
+val parse_agg_filter_text : ?schema:Schema.t -> string -> Ast.agg_filter
+(** Parse one aggregate selection filter, e.g.
+    ["min(SLARulePriority) = min(min(SLARulePriority))"].
+    @raise Parse_error on malformed input. *)
+
+val of_string : ?schema:Schema.t -> string -> Ast.t
+(** Parse a query.  A [schema] types the atomic filter operands.
+    @raise Parse_error on malformed input. *)
+
+val of_string_opt : ?schema:Schema.t -> string -> Ast.t option

@@ -1,0 +1,98 @@
+(* Concrete syntax output for queries, inverse of [Qparser].
+
+   The syntax follows the paper's figures:
+     (dc=att, dc=com ? sub ? surName=jagadish)
+     (& Q1 Q2)   (| Q1 Q2)   (- Q1 Q2)
+     (p Q1 Q2)   (c Q1 Q2)   (a Q1 Q2)   (d Q1 Q2)
+     (ac Q1 Q2 Q3)   (dc Q1 Q2 Q3)
+     (g Q count(SLAPVPRef) > 1)
+     (c Q1 Q2 count($2) > 10)
+     (vd Q1 Q2 SLATPRef)   (dv Q1 Q2 SLADSActRef min(a)=min(min(a))) *)
+
+let attr_ref_to_string = function
+  | Ast.Self a -> a
+  | Ast.W1 a -> "$1." ^ a
+  | Ast.W2 a -> "$2." ^ a
+
+let rec entry_agg_to_string = function
+  | Ast.Ea_agg (f, r) ->
+      Printf.sprintf "%s(%s)" (Ast.agg_fun_to_string f) (attr_ref_to_string r)
+  | Ast.Ea_count_witnesses -> "count($2)"
+
+and entry_set_agg_to_string = function
+  | Ast.Esa_agg (f, ea) ->
+      Printf.sprintf "%s(%s)" (Ast.agg_fun_to_string f) (entry_agg_to_string ea)
+  | Ast.Esa_count_entries -> "count($1)"
+  | Ast.Esa_count_all -> "count($$)"
+
+let agg_attr_to_string = function
+  | Ast.A_const c -> string_of_int c
+  | Ast.A_entry ea -> entry_agg_to_string ea
+  | Ast.A_entry_set esa -> entry_set_agg_to_string esa
+
+let agg_filter_to_string (f : Ast.agg_filter) =
+  Printf.sprintf "%s %s %s" (agg_attr_to_string f.lhs) (Ast.cmp_to_string f.op)
+    (agg_attr_to_string f.rhs)
+
+let atomic_to_string (a : Ast.atomic) =
+  Printf.sprintf "(%s ? %s ? %s)" (Dn.to_string a.base)
+    (Ast.scope_to_string a.scope)
+    (Afilter.to_string a.filter)
+
+let hier_op_to_string = function
+  | Ast.P -> "p"
+  | Ast.C -> "c"
+  | Ast.A -> "a"
+  | Ast.D -> "d"
+
+let hier_op3_to_string = function Ast.Ac -> "ac" | Ast.Dc -> "dc"
+let ref_op_to_string = function Ast.Vd -> "vd" | Ast.Dv -> "dv"
+
+let rec to_string = function
+  | Ast.Atomic a -> atomic_to_string a
+  | Ast.And (a, b) -> Printf.sprintf "(& %s %s)" (to_string a) (to_string b)
+  | Ast.Or (a, b) -> Printf.sprintf "(| %s %s)" (to_string a) (to_string b)
+  | Ast.Diff (a, b) -> Printf.sprintf "(- %s %s)" (to_string a) (to_string b)
+  | Ast.Hier (op, a, b, agg) ->
+      Printf.sprintf "(%s %s %s%s)" (hier_op_to_string op) (to_string a)
+        (to_string b) (agg_suffix agg)
+  | Ast.Hier3 (op, a, b, c, agg) ->
+      Printf.sprintf "(%s %s %s %s%s)" (hier_op3_to_string op) (to_string a)
+        (to_string b) (to_string c) (agg_suffix agg)
+  | Ast.Gsel (a, f) ->
+      Printf.sprintf "(g %s %s)" (to_string a) (agg_filter_to_string f)
+  | Ast.Eref (op, a, b, attr, agg) ->
+      Printf.sprintf "(%s %s %s %s%s)" (ref_op_to_string op) (to_string a)
+        (to_string b) attr (agg_suffix agg)
+
+and agg_suffix = function
+  | None -> ""
+  | Some f -> " " ^ agg_filter_to_string f
+
+let pp ppf q = Fmt.string ppf (to_string q)
+
+(* Multi-line indented rendering for the shell and examples. *)
+let rec pp_pretty ppf q =
+  match q with
+  | Ast.Atomic a -> Fmt.string ppf (atomic_to_string a)
+  | Ast.And (a, b) -> pp_node ppf "&" [ a; b ] None
+  | Ast.Or (a, b) -> pp_node ppf "|" [ a; b ] None
+  | Ast.Diff (a, b) -> pp_node ppf "-" [ a; b ] None
+  | Ast.Hier (op, a, b, agg) ->
+      pp_node ppf (hier_op_to_string op) [ a; b ]
+        (Option.map agg_filter_to_string agg)
+  | Ast.Hier3 (op, a, b, c, agg) ->
+      pp_node ppf (hier_op3_to_string op) [ a; b; c ]
+        (Option.map agg_filter_to_string agg)
+  | Ast.Gsel (a, f) -> pp_node ppf "g" [ a ] (Some (agg_filter_to_string f))
+  | Ast.Eref (op, a, b, attr, agg) ->
+      let tail =
+        attr ^ match agg with None -> "" | Some f -> " " ^ agg_filter_to_string f
+      in
+      pp_node ppf (ref_op_to_string op) [ a; b ] (Some tail)
+
+and pp_node ppf op subs tail =
+  Fmt.pf ppf "@[<v2>(%s %a%s)@]" op
+    (Fmt.list ~sep:Fmt.cut pp_pretty)
+    subs
+    (match tail with None -> "" | Some t -> "\n  " ^ t)

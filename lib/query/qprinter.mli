@@ -1,0 +1,20 @@
+(** Concrete-syntax output for queries — the inverse of {!Qparser}:
+    [Qparser.of_string (to_string q) = q] (property-tested). *)
+
+val attr_ref_to_string : Ast.attr_ref -> string
+val entry_agg_to_string : Ast.entry_agg -> string
+val entry_set_agg_to_string : Ast.entry_set_agg -> string
+val agg_attr_to_string : Ast.agg_attr -> string
+val agg_filter_to_string : Ast.agg_filter -> string
+val atomic_to_string : Ast.atomic -> string
+val hier_op_to_string : Ast.hier_op -> string
+val hier_op3_to_string : Ast.hier_op3 -> string
+val ref_op_to_string : Ast.ref_op -> string
+
+val to_string : Ast.t -> string
+(** Single-line parseable rendering. *)
+
+val pp : Format.formatter -> Ast.t -> unit
+
+val pp_pretty : Format.formatter -> Ast.t -> unit
+(** Multi-line indented rendering for human consumption. *)

@@ -1,0 +1,111 @@
+(* An LRU page cache over the simulated disk.
+
+   The paper's cost model charges every page access; a real directory
+   server keeps a buffer pool, so repeated queries over the same region
+   (the common case for policy-decision workloads, which hit the same
+   policy pages for every packet) cost far less than the cold bound.
+   [read] charges the underlying pager only on a miss; hits are free and
+   counted separately.  Experiment E20 sweeps the capacity.
+
+   Keys are (file, page-number) pairs; eviction is exact LRU via a
+   doubly-linked list over an overflow-checked hash table. *)
+
+type node = {
+  key : string;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  pager : Pager.t;
+  capacity : int;  (* pages held; 0 disables caching entirely *)
+  table : (string, node) Hashtbl.t;
+  mutable head : node option;  (* most recently used *)
+  mutable tail : node option;  (* least recently used *)
+  mutable size : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(capacity = 64) pager =
+  if capacity < 0 then invalid_arg "Buffer_pool.create: negative capacity";
+  Io_stats.grow_resident ~n:capacity (Pager.stats pager);
+  {
+    pager;
+    capacity;
+    table = Hashtbl.create (2 * max 1 capacity);
+    head = None;
+    tail = None;
+    size = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let capacity t = t.capacity
+let hits t = t.hits
+let misses t = t.misses
+let resident t = t.size
+
+(* unlink [n] from the LRU list *)
+let unlink t n =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.head <- n.next);
+  (match n.next with
+  | Some s -> s.prev <- n.prev
+  | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some lru ->
+      unlink t lru;
+      Hashtbl.remove t.table lru.key;
+      t.size <- t.size - 1
+
+let page_key ~file ~page = file ^ "#" ^ string_of_int page
+
+(* Access one page: free on a hit, one charged read (plus possible
+   eviction) on a miss. *)
+let read t ~file ~page =
+  if t.capacity = 0 then begin
+    t.misses <- t.misses + 1;
+    Io_stats.read_page (Pager.stats t.pager)
+  end
+  else
+    let key = page_key ~file ~page in
+    match Hashtbl.find_opt t.table key with
+    | Some n ->
+        t.hits <- t.hits + 1;
+        unlink t n;
+        push_front t n
+    | None ->
+        t.misses <- t.misses + 1;
+        Io_stats.read_page (Pager.stats t.pager);
+        if t.size >= t.capacity then evict_lru t;
+        let n = { key; prev = None; next = None } in
+        Hashtbl.replace t.table key n;
+        push_front t n;
+        t.size <- t.size + 1
+
+(* Invalidate everything (e.g. after the underlying file is rewritten). *)
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None;
+  t.size <- 0
+
+let release t = Io_stats.shrink_resident ~n:t.capacity (Pager.stats t.pager)
+
+let pp ppf t =
+  Fmt.pf ppf "cache[%d pages]: %d hits, %d misses (%.1f%% hit rate)"
+    t.capacity t.hits t.misses
+    (if t.hits + t.misses = 0 then 0.
+     else 100. *. float_of_int t.hits /. float_of_int (t.hits + t.misses))

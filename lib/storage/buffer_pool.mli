@@ -1,0 +1,30 @@
+(** An exact-LRU page cache over the simulated disk.
+
+    [read] charges the pager only on misses; hits are free and counted.
+    Models the buffer pool a real directory server puts in front of its
+    entry file, so repeated queries over the same region (packet-decision
+    workloads) beat the cold-read bound.  Capacity is counted against
+    the resident-page statistics. *)
+
+type t
+
+val create : ?capacity:int -> Pager.t -> t
+(** A pool holding [capacity] pages (default 64); capacity 0 disables
+    caching (every access charges).
+    @raise Invalid_argument on negative capacity. *)
+
+val capacity : t -> int
+val hits : t -> int
+val misses : t -> int
+val resident : t -> int
+
+val read : t -> file:string -> page:int -> unit
+(** Access page [page] of [file]. *)
+
+val clear : t -> unit
+(** Drop all cached pages (after the file is rewritten). *)
+
+val release : t -> unit
+(** Return the capacity to the resident-page accounting. *)
+
+val pp : Format.formatter -> t -> unit

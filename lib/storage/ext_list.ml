@@ -1,0 +1,142 @@
+(* Disk-resident lists of records, simulated.
+
+   An ['a t] models a sequence of records stored contiguously on disk
+   pages.  The contents live in an in-process array, but every access path
+   goes through a pager so that page reads and writes are charged exactly
+   as a real external-memory implementation would incur them:
+
+   - materializing a list of n records charges ceil(n/B) page writes;
+   - a sequential scan charges one page read every B records;
+   - a writer charges one page write each time it fills a page, plus one
+     for a final partial page.
+
+   All of the paper's operator algorithms consume and produce values of
+   this type, keeping the sorted-by-reverse-dn invariant externally. *)
+
+type 'a t = { data : 'a array; pager : Pager.t }
+
+(* Build a list that is already on disk (e.g. a base relation); no charge. *)
+let of_array_resident pager data = { data; pager }
+
+(* Materialize fresh output to disk: charges the page writes. *)
+let materialize pager data =
+  Pager.charge_scan_write pager (Array.length data);
+  { data; pager }
+
+let of_list_resident pager l = of_array_resident pager (Array.of_list l)
+let length t = Array.length t.data
+let is_empty t = Array.length t.data = 0
+let pager t = t.pager
+let pages t = Pager.pages_of t.pager (length t)
+
+(* Unaccounted raw access, for tests and result extraction only. *)
+let unsafe_get t i = t.data.(i)
+let to_list t = Array.to_list t.data
+let to_array t = Array.copy t.data
+
+(* A sequential read cursor.  [peek] faults in the page holding the current
+   record the first time any record of that page is touched. *)
+module Cursor = struct
+  type 'a cur = { src : 'a t; mutable pos : int; mutable page_loaded : int }
+
+  let make src = { src; pos = 0; page_loaded = -1 }
+
+  let fault cur =
+    let block = Pager.block cur.src.pager in
+    let page = cur.pos / block in
+    if page <> cur.page_loaded then begin
+      Io_stats.read_page (Pager.stats cur.src.pager);
+      cur.page_loaded <- page
+    end
+
+  let peek cur =
+    if cur.pos >= Array.length cur.src.data then None
+    else begin
+      fault cur;
+      Some cur.src.data.(cur.pos)
+    end
+
+  let advance cur = cur.pos <- cur.pos + 1
+
+  let next cur =
+    match peek cur with
+    | None -> None
+    | Some v ->
+        advance cur;
+        Some v
+
+  let at_end cur = cur.pos >= Array.length cur.src.data
+end
+
+(* An output writer that buffers one page and charges a write per page. *)
+module Writer = struct
+  type 'a w = {
+    pager : Pager.t;
+    buf : 'a list ref;  (* current partial page, reversed *)
+    in_page : int ref;
+    acc : 'a list ref;  (* completed output, reversed *)
+    total : int ref;
+  }
+
+  let make pager =
+    { pager; buf = ref []; in_page = ref 0; acc = ref []; total = ref 0 }
+
+  let push w v =
+    w.buf := v :: !(w.buf);
+    incr w.in_page;
+    incr w.total;
+    if !(w.in_page) = Pager.block w.pager then begin
+      Io_stats.write_page (Pager.stats w.pager);
+      w.acc := !(w.buf) @ !(w.acc);
+      w.buf := [];
+      w.in_page := 0
+    end
+
+  let close w =
+    if !(w.in_page) > 0 then begin
+      Io_stats.write_page (Pager.stats w.pager);
+      w.acc := !(w.buf) @ !(w.acc);
+      w.buf := [];
+      w.in_page := 0
+    end;
+    let data = Array.of_list (List.rev !(w.acc)) in
+    { data; pager = w.pager }
+
+  let count w = !(w.total)
+end
+
+(* A full accounted scan. *)
+let iter f t =
+  let cur = Cursor.make t in
+  let rec loop () =
+    match Cursor.next cur with
+    | None -> ()
+    | Some v ->
+        f v;
+        loop ()
+  in
+  loop ()
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun v -> acc := f !acc v) t;
+  !acc
+
+(* Accounted filter: scans input, writes matching records. *)
+let filter f t =
+  let w = Writer.make t.pager in
+  iter (fun v -> if f v then Writer.push w v) t;
+  Writer.close w
+
+let map f t =
+  let w = Writer.make t.pager in
+  iter (fun v -> Writer.push w (f v)) t;
+  Writer.close w
+
+(* Check an ordering invariant without charging I/O (assertion helper). *)
+let is_sorted compare t =
+  let n = Array.length t.data in
+  let rec loop i =
+    i >= n - 1 || (compare t.data.(i) t.data.(i + 1) <= 0 && loop (i + 1))
+  in
+  loop 0

@@ -1,0 +1,14 @@
+(** External merge sort over {!Ext_list} values.
+
+    Two-phase: memory-sized sorted runs, then [fan-in]-way merge passes,
+    every page transfer charged — the measured I/O is the textbook
+    [2 (N/B) (1 + ceil(log_k(N / B M)))] that Theorems 7.1 and 8.4
+    rely on.  The sort is stable. *)
+
+val default_memory_pages : int
+
+val sort :
+  ?memory_pages:int -> ('a -> 'a -> int) -> 'a Ext_list.t -> 'a Ext_list.t
+(** [sort ~memory_pages compare l] sorts [l] stably using
+    [memory_pages] (default 8) pages of working memory.
+    @raise Invalid_argument if [memory_pages < 2]. *)

@@ -1,0 +1,74 @@
+(* Mutable counters for the external-memory cost model.
+
+   The paper states all complexity results as counts of page reads and
+   writes for a blocking factor [B] (entries per page).  Every component of
+   the storage layer charges one of these counters; algorithms thread a
+   value of type [t] through explicitly so costs can be attributed to a
+   single query evaluation. *)
+
+type t = {
+  mutable page_reads : int;
+  mutable page_writes : int;
+  mutable comparisons : int;
+  mutable messages : int;  (* distributed evaluation: messages shipped *)
+  mutable bytes_shipped : int;  (* distributed evaluation: payload bytes *)
+  mutable resident_pages : int;  (* current in-memory working set, pages *)
+  mutable max_resident_pages : int;  (* high-water mark of the above *)
+}
+
+let create () =
+  {
+    page_reads = 0;
+    page_writes = 0;
+    comparisons = 0;
+    messages = 0;
+    bytes_shipped = 0;
+    resident_pages = 0;
+    max_resident_pages = 0;
+  }
+
+let reset t =
+  t.page_reads <- 0;
+  t.page_writes <- 0;
+  t.comparisons <- 0;
+  t.messages <- 0;
+  t.bytes_shipped <- 0;
+  t.resident_pages <- 0;
+  t.max_resident_pages <- 0
+
+let copy t = { t with page_reads = t.page_reads }
+
+let read_page ?(n = 1) t = t.page_reads <- t.page_reads + n
+let write_page ?(n = 1) t = t.page_writes <- t.page_writes + n
+let compare_key ?(n = 1) t = t.comparisons <- t.comparisons + n
+
+let message ?(bytes = 0) t =
+  t.messages <- t.messages + 1;
+  t.bytes_shipped <- t.bytes_shipped + bytes
+
+let grow_resident ?(n = 1) t =
+  t.resident_pages <- t.resident_pages + n;
+  if t.resident_pages > t.max_resident_pages then
+    t.max_resident_pages <- t.resident_pages
+
+let shrink_resident ?(n = 1) t =
+  t.resident_pages <- max 0 (t.resident_pages - n)
+
+let total_io t = t.page_reads + t.page_writes
+
+(* [diff later earlier] gives the I/O performed between two snapshots. *)
+let diff later earlier =
+  {
+    page_reads = later.page_reads - earlier.page_reads;
+    page_writes = later.page_writes - earlier.page_writes;
+    comparisons = later.comparisons - earlier.comparisons;
+    messages = later.messages - earlier.messages;
+    bytes_shipped = later.bytes_shipped - earlier.bytes_shipped;
+    resident_pages = later.resident_pages;
+    max_resident_pages = later.max_resident_pages;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf "reads=%d writes=%d io=%d cmp=%d msgs=%d bytes=%d max_resident=%d"
+    t.page_reads t.page_writes (total_io t) t.comparisons t.messages
+    t.bytes_shipped t.max_resident_pages

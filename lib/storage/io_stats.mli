@@ -1,0 +1,52 @@
+(** Page-transfer counters — the external-memory cost model.
+
+    Every complexity claim in the paper is a bound on page reads and
+    writes for a blocking factor [B]; values of type {!t} are the sinks
+    those transfers are charged to.  Algorithms thread a [t] explicitly,
+    so cost is attributable to a single query evaluation. *)
+
+type t = {
+  mutable page_reads : int;  (** pages fetched from "disk" *)
+  mutable page_writes : int;  (** pages written to "disk" *)
+  mutable comparisons : int;  (** key comparisons (CPU-side curiosity) *)
+  mutable messages : int;  (** distributed evaluation: messages sent *)
+  mutable bytes_shipped : int;  (** distributed evaluation: payload bytes *)
+  mutable resident_pages : int;  (** current in-memory working set *)
+  mutable max_resident_pages : int;  (** high-water mark of the above *)
+}
+
+val create : unit -> t
+(** Fresh counters, all zero. *)
+
+val reset : t -> unit
+(** Zero every counter in place. *)
+
+val copy : t -> t
+(** Snapshot of the current values. *)
+
+val read_page : ?n:int -> t -> unit
+(** Charge [n] (default 1) page reads. *)
+
+val write_page : ?n:int -> t -> unit
+(** Charge [n] (default 1) page writes. *)
+
+val compare_key : ?n:int -> t -> unit
+(** Count [n] (default 1) key comparisons. *)
+
+val message : ?bytes:int -> t -> unit
+(** Count one shipped message carrying [bytes] of payload. *)
+
+val grow_resident : ?n:int -> t -> unit
+(** Grow the resident working set by [n] pages, updating the maximum. *)
+
+val shrink_resident : ?n:int -> t -> unit
+(** Release [n] resident pages (never below zero). *)
+
+val total_io : t -> int
+(** [page_reads + page_writes]. *)
+
+val diff : t -> t -> t
+(** [diff later earlier] is the I/O performed between two snapshots. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line rendering of all counters. *)

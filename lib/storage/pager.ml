@@ -1,0 +1,20 @@
+(* Page-size arithmetic for the external-memory cost model.
+
+   A pager is just a blocking factor [block] — the number of directory
+   entries that fit on one disk page (the paper's B) — plus the statistics
+   sink that page transfers are charged to. *)
+
+type t = { block : int; stats : Io_stats.t }
+
+let create ?(block = 64) stats =
+  if block <= 0 then invalid_arg "Pager.create: block must be positive";
+  { block; stats }
+
+let block t = t.block
+let stats t = t.stats
+
+(* Number of pages occupied by [n] records: ceil(n / B), with 0 for 0. *)
+let pages_of t n = if n <= 0 then 0 else ((n - 1) / t.block) + 1
+
+let charge_scan_read t n = Io_stats.read_page ~n:(pages_of t n) t.stats
+let charge_scan_write t n = Io_stats.write_page ~n:(pages_of t n) t.stats

@@ -1,0 +1,27 @@
+(** Blocking-factor arithmetic.
+
+    A pager couples the number of directory entries per disk page (the
+    paper's [B]) with the {!Io_stats} sink that transfers are charged
+    to. *)
+
+type t
+
+val create : ?block:int -> Io_stats.t -> t
+(** [create ~block stats] is a pager with blocking factor [block]
+    (default 64).  @raise Invalid_argument if [block <= 0]. *)
+
+val block : t -> int
+(** The blocking factor [B]. *)
+
+val stats : t -> Io_stats.t
+(** The statistics sink. *)
+
+val pages_of : t -> int -> int
+(** [pages_of t n] is [ceil (n / B)], the pages occupied by [n]
+    records ([0] for [n <= 0]). *)
+
+val charge_scan_read : t -> int -> unit
+(** Charge the reads of one sequential scan over [n] records. *)
+
+val charge_scan_write : t -> int -> unit
+(** Charge the writes of materializing [n] records sequentially. *)

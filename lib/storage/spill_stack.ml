@@ -1,0 +1,88 @@
+(* The bounded-memory stack used by the ComputeHS* algorithms.
+
+   The paper's stack algorithms (Figs 2, 4, 5, 6) note that "particular
+   stack entries may be swapped out (and eventually re-fetched) from the
+   memory multiple times when the stack repeatedly grows and shrinks", yet
+   the total I/O stays linear.  This module models exactly that behaviour:
+   the top [window_pages] pages of the stack are held in memory; when a
+   push overflows the window, the bottom-most in-memory page is spilled
+   (one page write); when a pop drains the window while spilled pages
+   remain, the most recent spilled page is re-fetched (one page read).
+
+   Per record, a spill/fetch pair happens at most once between the record's
+   push and its pop on any monotone grow-then-shrink excursion, so the
+   extra I/O is bounded by the number of records pushed — preserving the
+   paper's linear bound, which experiment E1-E3 verify. *)
+
+type 'a t = {
+  pager : Pager.t;
+  window_pages : int;
+  mutable hot : 'a list;  (* in-memory top segment, most recent first *)
+  mutable hot_len : int;
+  mutable cold : 'a list list;  (* spilled pages, most recent page first *)
+  mutable cold_len : int;
+}
+
+let create ?(window_pages = 2) pager =
+  if window_pages < 1 then invalid_arg "Spill_stack.create: window_pages < 1";
+  Io_stats.grow_resident ~n:window_pages (Pager.stats pager);
+  { pager; window_pages; hot = []; hot_len = 0; cold = []; cold_len = 0 }
+
+let length t = t.hot_len + t.cold_len
+let is_empty t = length t = 0
+
+(* Split off the last [n] elements of [l] (the bottom of the stack). *)
+let split_bottom l n =
+  let keep = List.length l - n in
+  let rec loop i acc = function
+    | rest when i = keep -> (List.rev acc, rest)
+    | x :: rest -> loop (i + 1) (x :: acc) rest
+    | [] -> assert false
+  in
+  loop 0 [] l
+
+let push t v =
+  let block = Pager.block t.pager in
+  let capacity = t.window_pages * block in
+  if t.hot_len = capacity then begin
+    (* Spill the bottom page of the hot window. *)
+    let kept, spilled = split_bottom t.hot block in
+    Io_stats.write_page (Pager.stats t.pager);
+    t.hot <- kept;
+    t.hot_len <- t.hot_len - block;
+    t.cold <- spilled :: t.cold;
+    t.cold_len <- t.cold_len + block
+  end;
+  t.hot <- v :: t.hot;
+  t.hot_len <- t.hot_len + 1
+
+(* When the hot window drains, re-fetch the most recently spilled page
+   (one page read).  The fetched page becomes the new hot segment, so
+   repeated peeks of the same record are charged only once. *)
+let ensure_hot t =
+  if t.hot_len = 0 then
+    match t.cold with
+    | page :: colder ->
+        Io_stats.read_page (Pager.stats t.pager);
+        let len = List.length page in
+        t.cold <- colder;
+        t.cold_len <- t.cold_len - len;
+        t.hot <- page;
+        t.hot_len <- len
+    | [] -> ()
+
+let top t =
+  ensure_hot t;
+  match t.hot with v :: _ -> Some v | [] -> None
+
+let pop t =
+  ensure_hot t;
+  match t.hot with
+  | v :: rest ->
+      t.hot <- rest;
+      t.hot_len <- t.hot_len - 1;
+      Some v
+  | [] -> None
+
+let release t =
+  Io_stats.shrink_resident ~n:t.window_pages (Pager.stats t.pager)

@@ -1,0 +1,34 @@
+(** The bounded-memory stack of the ComputeHS* algorithms (Figs 2-6).
+
+    The top [window_pages] pages live in memory; pushing past the window
+    spills the bottom-most in-memory page (one page write) and popping
+    into spilled territory re-fetches the most recent spilled page (one
+    page read) — the paper's "stack entries may be swapped out (and
+    eventually re-fetched)" behaviour, with total extra I/O linear in
+    the number of pushes. *)
+
+type 'a t
+
+val create : ?window_pages:int -> Pager.t -> 'a t
+(** A fresh stack holding at most [window_pages] (default 2) pages in
+    memory; the window is counted against the resident-page statistics
+    until {!release}.  @raise Invalid_argument if [window_pages < 1]. *)
+
+val length : 'a t -> int
+(** Total elements, in-memory and spilled. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Push on top; may spill one page. *)
+
+val top : 'a t -> 'a option
+(** The top element, re-fetching a spilled page at most once per
+    drain. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the top element. *)
+
+val release : 'a t -> unit
+(** Return the window to the resident-page accounting (call when the
+    sweep is done). *)

@@ -1,0 +1,167 @@
+(* Synthetic directory information forests.
+
+   Seeded generator for random DIFs with controllable size and shape:
+   [depth_bias] interpolates between uniform random attachment (shallow,
+   bushy trees, expected depth O(log n)) and chain building (deep paths
+   that exercise the stack algorithms' spill behaviour).  Entries carry a
+   mix of integer, string and dn-valued attributes so that every filter
+   form and operator of the query languages has matching data. *)
+
+type params = {
+  seed : int;
+  size : int;
+  roots : int;  (* number of forest roots *)
+  depth_bias : float;  (* 0.0 = uniform parent, 1.0 = always deepest *)
+  max_depth : int;  (* chain-building stops here: dn keys grow with
+                       depth, so unbounded chains would make key
+                       construction quadratic in the instance size *)
+  ref_fanout : int;  (* number of dn-valued [ref] values per node entry *)
+  priority_range : int;
+  tag_pool : string array;
+  name_pool : string array;
+}
+
+let default_params =
+  {
+    seed = 42;
+    size = 1_000;
+    roots = 2;
+    depth_bias = 0.3;
+    max_depth = 48;
+    ref_fanout = 2;
+    priority_range = 10;
+    tag_pool = [| "red"; "green"; "blue"; "amber"; "cyan" |];
+    name_pool =
+      [|
+        "jagadish"; "lakshmanan"; "milo"; "srivastava"; "vista"; "smith";
+        "jones"; "garcia"; "mueller"; "tanaka";
+      |];
+  }
+
+(* The generic schema every synthetic DIF conforms to. *)
+let schema () =
+  let s = Schema.empty () in
+  Schema.declare_attr s "dc" Value.T_string;
+  Schema.declare_attr s "ou" Value.T_string;
+  Schema.declare_attr s "id" Value.T_int;
+  Schema.declare_attr s "name" Value.T_string;
+  Schema.declare_attr s "surName" Value.T_string;
+  Schema.declare_attr s "priority" Value.T_int;
+  Schema.declare_attr s "weight" Value.T_int;
+  Schema.declare_attr s "tag" Value.T_string;
+  Schema.declare_attr s "ref" Value.T_dn;
+  Schema.declare_class s "dcObject" [ "dc" ];
+  Schema.declare_class s "organizationalUnit" [ "ou" ];
+  Schema.declare_class s "node"
+    [ "id"; "name"; "priority"; "weight"; "tag"; "ref" ];
+  Schema.declare_class s "person" [ "id"; "surName"; "name"; "priority" ];
+  s
+
+let oc c = (Schema.object_class, Value.Str c)
+
+let root_entry i =
+  let dn = Dn.of_string (Printf.sprintf "dc=root%d" i) in
+  Entry.make dn [ ("dc", Value.Str (Printf.sprintf "root%d" i)); oc "dcObject" ]
+
+(* Generate the forest.  Each non-root entry is attached under an
+   existing entry; entry kinds rotate between organizational units,
+   generic nodes and person leaves. *)
+let generate ?(params = default_params) () =
+  let rng = Prng.create params.seed in
+  let sc = schema () in
+  let roots = List.init (max 1 params.roots) root_entry in
+  let dns = Array.make params.size Dn.root in
+  let entries = ref (List.rev roots) in
+  let n_roots = List.length roots in
+  List.iteri (fun i e -> if i < params.size then dns.(i) <- Entry.dn e) roots;
+  let count = ref (min n_roots params.size) in
+  let deepest = ref (match roots with e :: _ -> Entry.dn e | [] -> Dn.root) in
+  while !count < params.size do
+    let i = !count in
+    let parent =
+      if
+        Prng.flip rng params.depth_bias
+        && Dn.depth !deepest < params.max_depth
+      then !deepest
+      else dns.(Prng.int rng i)
+    in
+    let kind = Prng.int rng 3 in
+    let entry =
+      match kind with
+      | 0 ->
+          let v = Printf.sprintf "ou%d" i in
+          Entry.make
+            (Dn.child parent (Rdn.single "ou" (Value.Str v)))
+            [
+              ("ou", Value.Str v);
+              ("id", Value.Int i);
+              ("priority", Value.Int (Prng.int rng params.priority_range));
+              oc "organizationalUnit";
+              oc "node";
+            ]
+      | 1 ->
+          let refs =
+            List.init params.ref_fanout (fun _ ->
+                ("ref", Value.Dn dns.(Prng.int rng i)))
+          in
+          Entry.make
+            (Dn.child parent (Rdn.single "id" (Value.Int i)))
+            ([
+               ("id", Value.Int i);
+               ("name", Value.Str (Prng.pick rng params.name_pool));
+               ("priority", Value.Int (Prng.int rng params.priority_range));
+               ("weight", Value.Int (Prng.int rng 1_000));
+               ("tag", Value.Str (Prng.pick rng params.tag_pool));
+               oc "node";
+             ]
+            @ refs)
+      | _ ->
+          Entry.make
+            (Dn.child parent (Rdn.single "id" (Value.Int i)))
+            [
+              ("id", Value.Int i);
+              ("surName", Value.Str (Prng.pick rng params.name_pool));
+              ("name", Value.Str (Prng.pick rng params.name_pool));
+              ("priority", Value.Int (Prng.int rng params.priority_range));
+              oc "person";
+            ]
+    in
+    dns.(i) <- Entry.dn entry;
+    if Dn.depth (Entry.dn entry) > Dn.depth !deepest then
+      deepest := Entry.dn entry;
+    entries := entry :: !entries;
+    incr count
+  done;
+  Instance.of_entries sc (List.rev !entries)
+
+(* A balanced k-ary tree of [node] entries — deterministic shapes for
+   unit tests and complexity measurements. *)
+let karily ~fanout ~size () =
+  let sc = schema () in
+  let dns = Array.make (max 1 size) Dn.root in
+  let entry_of i parent =
+    let dn =
+      if i = 0 then Dn.of_string "dc=kroot"
+      else Dn.child parent (Rdn.single "id" (Value.Int i))
+    in
+    dns.(i) <- dn;
+    if i = 0 then Entry.make dn [ ("dc", Value.Str "kroot"); oc "dcObject" ]
+    else
+      Entry.make dn
+        [
+          ("id", Value.Int i);
+          ("priority", Value.Int (i mod 7));
+          ("weight", Value.Int i);
+          ("tag", Value.Str (if i mod 2 = 0 then "even" else "odd"));
+          oc "node";
+        ]
+  in
+  let entries =
+    List.init size (fun i ->
+        let parent = if i = 0 then Dn.root else dns.((i - 1) / fanout) in
+        entry_of i parent)
+  in
+  Instance.of_entries sc entries
+
+(* A single chain of [size] entries — the worst case for stack depth. *)
+let chain ~size () = karily ~fanout:1 ~size ()

@@ -1,0 +1,37 @@
+(** Synthetic directory information forests.
+
+    Seeded generation of random DIFs with controllable size and shape;
+    entries mix integer, string and dn-valued attributes so every filter
+    form and operator of the query languages has matching data. *)
+
+type params = {
+  seed : int;
+  size : int;
+  roots : int;  (** number of forest roots *)
+  depth_bias : float;
+      (** 0.0 = uniform attachment (bushy, depth O(log n)); larger values
+          grow deep paths that exercise the stack algorithms *)
+  max_depth : int;
+      (** chain building stops here (dn keys grow with depth) *)
+  ref_fanout : int;  (** dn-valued [ref] values per node entry *)
+  priority_range : int;
+  tag_pool : string array;
+  name_pool : string array;
+}
+
+val default_params : params
+
+val schema : unit -> Schema.t
+(** The generic schema of all synthetic DIFs: dcObject /
+    organizationalUnit / node / person classes over dc, ou, id, name,
+    surName, priority, weight, tag and the dn-valued ref. *)
+
+val generate : ?params:params -> unit -> Instance.t
+(** A random forest of exactly [size] entries (validated). *)
+
+val karily : fanout:int -> size:int -> unit -> Instance.t
+(** A deterministic balanced [fanout]-ary tree of node entries, for
+    unit tests and complexity measurements. *)
+
+val chain : size:int -> unit -> Instance.t
+(** A single path — the worst case for stack depth. *)

@@ -1,0 +1,51 @@
+(* Deterministic splitmix64 PRNG.
+
+   All workload generators are seeded, so every experiment and test is
+   reproducible bit-for-bit; we do not touch the global [Random] state. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  v mod bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Bernoulli with probability [p] (in [0, 1]). *)
+let flip t p = int t 1_000_000 < int_of_float (p *. 1_000_000.)
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let pick_list t l =
+  match l with [] -> invalid_arg "Prng.pick_list: empty list" | _ ->
+    List.nth l (int t (List.length l))
+
+(* Sample [k] distinct indices from [0, n). *)
+let sample t ~k ~n =
+  if k > n then invalid_arg "Prng.sample: k > n";
+  let seen = Hashtbl.create (2 * k) in
+  let rec draw acc remaining =
+    if remaining = 0 then acc
+    else
+      let i = int t n in
+      if Hashtbl.mem seen i then draw acc remaining
+      else begin
+        Hashtbl.replace seen i ();
+        draw (i :: acc) (remaining - 1)
+      end
+  in
+  draw [] k

@@ -1,0 +1,22 @@
+(** Deterministic splitmix64 PRNG.  All workload generators are seeded,
+    so every experiment and test reproduces bit-for-bit; the global
+    [Random] state is never touched. *)
+
+type t
+
+val create : int -> t
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** Uniform in [0, bound).  @raise Invalid_argument if [bound <= 0]. *)
+
+val bool : t -> bool
+
+val flip : t -> float -> bool
+(** Bernoulli with the given probability. *)
+
+val pick : t -> 'a array -> 'a
+val pick_list : t -> 'a list -> 'a
+
+val sample : t -> k:int -> n:int -> int list
+(** [k] distinct indices from [0, n). *)

@@ -1,0 +1,164 @@
+(* Algebraic laws of the query languages, checked by property testing
+   against the reference semantics (and through the engine, so both
+   implementations satisfy them).
+
+   These laws are implicit in the paper's set-theoretic definitions:
+   boolean identities, containment of every selection operator's result
+   in its first operand (the closure property's backbone), scope
+   monotonicity, the p <= a / c <= d refinements, the equivalence of the
+   plain hierarchical operators with their count($2) > 0 aggregate
+   forms, and the collapse of ac/dc to a/d when the blocker query is
+   empty. *)
+
+open QCheck2
+
+let eval i q = Testkit.oracle i q
+
+let equal_sets a b =
+  List.length a = List.length b && List.for_all2 Entry.equal_dn a b
+
+let subset a b =
+  List.for_all (fun e -> List.exists (Entry.equal_dn e) b) a
+
+let gen_iq = Testkit.gen_instance_and_query
+
+let gen_i2q =
+  let ( let* ) = Gen.( >>= ) in
+  let* i = Testkit.gen_instance in
+  let* q1 = Testkit.gen_query i in
+  let* q2 = Testkit.gen_query i in
+  Gen.return (i, q1, q2)
+
+(* --- Boolean identities ----------------------------------------------------- *)
+
+let prop_and_commutative (i, q1, q2) =
+  equal_sets (eval i (Ast.And (q1, q2))) (eval i (Ast.And (q2, q1)))
+
+let prop_or_commutative (i, q1, q2) =
+  equal_sets (eval i (Ast.Or (q1, q2))) (eval i (Ast.Or (q2, q1)))
+
+let prop_and_idempotent (i, q) = equal_sets (eval i (Ast.And (q, q))) (eval i q)
+let prop_or_idempotent (i, q) = equal_sets (eval i (Ast.Or (q, q))) (eval i q)
+let prop_diff_self_empty (i, q) = eval i (Ast.Diff (q, q)) = []
+
+let prop_diff_chain (i, q1, q2) =
+  (* q - (a | b) = (q - a) - b, with q = q1, a = q1&q2, b = q2 *)
+  let a = Ast.And (q1, q2) and b = q2 in
+  equal_sets
+    (eval i (Ast.Diff (q1, Ast.Or (a, b))))
+    (eval i (Ast.Diff (Ast.Diff (q1, a), b)))
+
+let prop_absorption (i, q1, q2) =
+  equal_sets (eval i (Ast.And (q1, Ast.Or (q1, q2)))) (eval i q1)
+  && equal_sets (eval i (Ast.Or (q1, Ast.And (q1, q2)))) (eval i q1)
+
+(* --- Containment ------------------------------------------------------------- *)
+
+(* Every operator selects a subset of its first operand: the reason
+   query results are sub-instances. *)
+let prop_selection_containment (i, q) =
+  let result = eval i q in
+  match q with
+  | Ast.Atomic _ | Ast.Or _ -> true
+  | Ast.And (q1, _) | Ast.Diff (q1, _)
+  | Ast.Hier (_, q1, _, _)
+  | Ast.Hier3 (_, q1, _, _, _)
+  | Ast.Gsel (q1, _)
+  | Ast.Eref (_, q1, _, _, _) ->
+      subset result (eval i q1)
+
+(* --- Scope monotonicity --------------------------------------------------------- *)
+
+let prop_scope_monotone (i, q) =
+  (* reuse a generated query only as a source of atomic sub-queries *)
+  List.for_all
+    (fun (a : Ast.atomic) ->
+      let at scope = eval i (Ast.Atomic { a with Ast.scope }) in
+      subset (at Ast.Base) (at Ast.One) && subset (at Ast.One) (at Ast.Sub))
+    (Ast.atomic_subqueries q)
+
+(* --- Hierarchy refinements -------------------------------------------------------- *)
+
+let prop_parents_within_ancestors (i, q1, q2) =
+  subset (eval i (Ast.parents q1 q2)) (eval i (Ast.ancestors q1 q2))
+
+let prop_children_within_descendants (i, q1, q2) =
+  subset (eval i (Ast.children q1 q2)) (eval i (Ast.descendants q1 q2))
+
+(* plain = count($2) > 0 (Section 6.2) *)
+let prop_plain_equals_count_positive (i, q1, q2) =
+  List.for_all
+    (fun op ->
+      equal_sets
+        (eval i (Ast.Hier (op, q1, q2, None)))
+        (eval i (Ast.Hier (op, q1, q2, Some Ast.has_witness))))
+    Ast.[ P; C; A; D ]
+
+(* with an empty blocker query, ac/dc collapse to a/d *)
+let empty_query =
+  Ast.atomic (Dn.of_string "id=987654321") (Afilter.Present "nothing")
+
+let prop_hier3_empty_blocker (i, q1, q2) =
+  equal_sets
+    (eval i (Ast.ancestors_c q1 q2 empty_query))
+    (eval i (Ast.ancestors q1 q2))
+  && equal_sets
+       (eval i (Ast.descendants_c q1 q2 empty_query))
+       (eval i (Ast.descendants q1 q2))
+
+(* an entry never witnesses itself: (p q q) over disjoint levels *)
+let prop_no_self_witness (i, q) =
+  (* r in (d q q) needs a *proper* descendant in q *)
+  let d = eval i (Ast.descendants (Ast.Or (q, q)) q) in
+  List.for_all
+    (fun r ->
+      List.exists
+        (fun w -> Entry.key_ancestor_of ~ancestor:r ~descendant:w)
+        (eval i q))
+    d
+
+(* --- The engine satisfies the same laws -------------------------------------------- *)
+
+let prop_engine_laws (i, q1, q2) =
+  let eng = Testkit.engine i in
+  let run q = Engine.eval_entries eng q in
+  equal_sets (run (Ast.And (q1, q2))) (run (Ast.And (q2, q1)))
+  && run (Ast.Diff (q1, q1)) = []
+  && subset (run (Ast.parents q1 q2)) (run (Ast.ancestors q1 q2))
+
+let () =
+  Alcotest.run "algebra"
+    [
+      ( "boolean",
+        [
+          Testkit.qtest ~count:120 "and commutative" gen_i2q prop_and_commutative;
+          Testkit.qtest ~count:120 "or commutative" gen_i2q prop_or_commutative;
+          Testkit.qtest ~count:120 "and idempotent" gen_iq prop_and_idempotent;
+          Testkit.qtest ~count:120 "or idempotent" gen_iq prop_or_idempotent;
+          Testkit.qtest ~count:120 "q - q = empty" gen_iq prop_diff_self_empty;
+          Testkit.qtest ~count:120 "difference chains" gen_i2q prop_diff_chain;
+          Testkit.qtest ~count:120 "absorption" gen_i2q prop_absorption;
+        ] );
+      ( "containment",
+        [
+          Testkit.qtest ~count:150 "selection containment" gen_iq
+            prop_selection_containment;
+          Testkit.qtest ~count:100 "scope monotone" gen_iq prop_scope_monotone;
+        ] );
+      ( "hierarchy",
+        [
+          Testkit.qtest ~count:120 "p within a" gen_i2q
+            prop_parents_within_ancestors;
+          Testkit.qtest ~count:120 "c within d" gen_i2q
+            prop_children_within_descendants;
+          Testkit.qtest ~count:100 "plain = count($2)>0" gen_i2q
+            prop_plain_equals_count_positive;
+          Testkit.qtest ~count:100 "empty blocker collapses ac/dc" gen_i2q
+            prop_hier3_empty_blocker;
+          Testkit.qtest ~count:100 "witnesses are proper" gen_iq
+            prop_no_self_witness;
+        ] );
+      ( "engine",
+        [ Testkit.qtest ~count:80 "engine satisfies the laws" gen_i2q
+            prop_engine_laws ] );
+    ]

@@ -1,0 +1,408 @@
+(* Tests for the two DEN applications: QoS policy decisions over the
+   Figure 12 directory and TOPS call resolution over the Figure 11
+   directory, plus scaled synthetic variants checked against independent
+   reference logic. *)
+
+(* --- QoS: Figure 12 ------------------------------------------------------- *)
+
+let weekend_clock = { Qos.time = 19980704093000; day_of_week = 6 }
+let weekday_clock = { Qos.time = 19980707093000; day_of_week = 2 }
+
+let packet ?(src = "204.178.16.5") ?(sport = 4000) ?(dst = "135.104.9.9")
+    ?(dport = 80) ?(proto = 6) () =
+  { Qos.src_addr = src; src_port = sport; dst_addr = dst; dst_port = dport;
+    protocol = proto }
+
+let action_names d =
+  List.concat_map (fun e -> Entry.string_values e "DSActionName") d.Qos.actions
+  |> List.sort String.compare
+
+let policy_names d =
+  List.concat_map (fun e -> Entry.string_values e "SLAPolicyName")
+    d.Qos.matched_policies
+  |> List.sort String.compare
+
+let engine () = Engine.create ~block:8 (Qos.figure_12 ())
+
+let test_dso_denies_weekend_traffic () =
+  (* A weekend packet from 204.178.16.* that matches no exception: the
+     dso policy applies and the packet is denied. *)
+  let d = Qos.decide (engine ()) ~pkt:(packet ()) ~clock:weekend_clock in
+  Alcotest.(check (list string)) "dso wins" [ "dso" ] (policy_names d);
+  Alcotest.(check (list string)) "denied" [ "denyAll" ] (action_names d)
+
+let test_exception_overrides_dso () =
+  (* Same source but NNTP (dst port 119): the fatt exception matches at
+     the same priority, so dso is suppressed and fatt's action applies. *)
+  let d =
+    Qos.decide (engine ()) ~pkt:(packet ~dport:119 ()) ~clock:weekend_clock
+  in
+  Alcotest.(check (list string)) "fatt survives, dso suppressed" [ "fatt" ]
+    (policy_names d);
+  Alcotest.(check (list string)) "permitted at low rate" [ "permitLow" ]
+    (action_names d)
+
+let test_higher_priority_wins () =
+  (* Traffic from the gold subnet: priority 1 beats everything. *)
+  let d =
+    Qos.decide (engine ())
+      ~pkt:(packet ~src:"135.104.7.7" ())
+      ~clock:weekday_clock
+  in
+  Alcotest.(check (list string)) "gold policy" [ "gold" ] (policy_names d);
+  Alcotest.(check (list string)) "high rate" [ "permitHigh" ] (action_names d)
+
+let test_smtp_policy () =
+  (* SMTP on a weekday: only the mail policy matches (dso needs weekend). *)
+  let d =
+    Qos.decide (engine ())
+      ~pkt:(packet ~src:"12.1.2.3" ~sport:25 ())
+      ~clock:weekday_clock
+  in
+  Alcotest.(check (list string)) "mail policy" [ "mail" ] (policy_names d)
+
+let test_no_policy_applies () =
+  let d =
+    Qos.decide (engine ())
+      ~pkt:(packet ~src:"8.8.8.8" ~sport:9999 ~dport:9999 ())
+      ~clock:weekday_clock
+  in
+  Alcotest.(check (list string)) "nothing applies" [] (policy_names d);
+  Alcotest.(check (list string)) "no actions" [] (action_names d)
+
+let test_example_7_1_query_runs () =
+  (* The paper's composed L3 query: action of the highest-priority policy
+     governing SMTP traffic. *)
+  let eng = engine () in
+  let q = Qparser.of_string Qos.example_7_1_query in
+  Alcotest.(check string) "it is an L3 query" "L3"
+    (Lang.level_to_string (Lang.level q));
+  let result = Engine.eval_entries eng q in
+  Alcotest.(check (list string)) "permitLow chosen"
+    [ "permitLow" ]
+    (List.concat_map (fun e -> Entry.string_values e "DSActionName") result);
+  (* and the engine agrees with the reference semantics *)
+  let expected = Semantics.eval (Engine.instance eng) q in
+  Testkit.check_entries "engine = oracle on Example 7.1" expected result
+
+(* Reference decision logic, written independently of the query pipeline. *)
+let reference_decide instance ~pkt ~clock =
+  let entries = Instance.to_list instance in
+  let by_class c = List.filter (fun e -> Entry.has_class e c) entries in
+  let profiles = List.filter (Qos.profile_matches pkt) (by_class "trafficProfile") in
+  let periods = List.filter (Qos.period_matches clock) (by_class "policyValidityPeriod") in
+  let refd attr p e =
+    List.exists (fun d -> Dn.equal d (Entry.dn p)) (Entry.dn_values e attr)
+  in
+  let applicable =
+    List.filter
+      (fun e ->
+        List.exists (fun p -> refd "SLATPRef" p e) profiles
+        && List.exists (fun p -> refd "SLAPVPRef" p e) periods)
+      (by_class "SLAPolicyRules")
+  in
+  match applicable with
+  | [] -> []
+  | _ ->
+      let prio e =
+        match Entry.int_values e "SLARulePriority" with p :: _ -> p | [] -> max_int
+      in
+      let best = List.fold_left (fun m e -> min m (prio e)) max_int applicable in
+      let top = List.filter (fun e -> prio e = best) applicable in
+      List.filter
+        (fun e ->
+          not
+            (List.exists
+               (fun exc ->
+                 List.exists
+                   (fun d -> Dn.equal d (Entry.dn exc))
+                   (Entry.dn_values e "SLAExceptionRef"))
+               top))
+        top
+
+let prop_decide_matches_reference seed =
+  let i =
+    Qos.generate ~params:{ Qos.default_gen with seed; n_policies = 60 } ()
+  in
+  let eng = Engine.create ~block:8 i in
+  let rng = Prng.create (seed + 1) in
+  List.for_all
+    (fun _ ->
+      let pkt = Qos.random_packet rng and clock = Qos.random_clock rng in
+      let d = Qos.decide eng ~pkt ~clock in
+      let expected =
+        reference_decide i ~pkt ~clock |> List.sort Entry.compare_rev
+      in
+      List.length d.Qos.matched_policies = List.length expected
+      && List.for_all2 Entry.equal_dn d.Qos.matched_policies expected)
+    (List.init 10 Fun.id)
+
+(* --- Conflict detection (Section 2.1) ------------------------------------ *)
+
+let test_figure_12_conflict_free () =
+  (* dso vs fatt overlap at priority 2, but the exception reference
+     resolves it; mail never overlaps dso's profiles.  Figure 12 as
+     reconstructed must audit clean. *)
+  let cs = Qos.conflicts (Qos.figure_12 ()) in
+  Alcotest.(check int)
+    (Fmt.str "conflicts: %a" (Fmt.list ~sep:Fmt.comma Qos.pp_conflict) cs)
+    0 (List.length cs)
+
+let test_conflict_detected () =
+  (* Two same-priority policies over the same profile and period with
+     different actions and no exception: an unresolved conflict. *)
+  let sc = Qos.schema () in
+  let scaffold =
+    [
+      Qos.profile_entry ~name:"web" ~src_port:80 ();
+      Qos.period_entry ~name:"always" ~start_time:0 ~end_time:99999999999999
+        ~days:[];
+      Qos.action_entry ~name:"allow" ~permission:"Permit" ~peak_rate:10
+        ~drop_priority:1;
+      Qos.action_entry ~name:"block" ~permission:"Deny" ~peak_rate:0
+        ~drop_priority:0;
+      Qos.policy_entry ~name:"p1" ~scope:"DataTraffic" ~priority:1
+        ~exceptions:[] ~profiles:[ "web" ] ~periods:[ "always" ] ~action:"allow";
+      Qos.policy_entry ~name:"p2" ~scope:"DataTraffic" ~priority:1
+        ~exceptions:[] ~profiles:[ "web" ] ~periods:[ "always" ] ~action:"block";
+    ]
+  in
+  let bases =
+    List.map
+      (fun (d, ou) ->
+        Entry.make (Dn.of_string d)
+          [ ("ou", Value.Str ou); (Schema.object_class, Value.Str "organizationalUnit") ])
+      [
+        (Qos.domain, "networkPolicies");
+        (Qos.policies_base, "SLAPolicyRules");
+        (Qos.profiles_base, "trafficProfile");
+        (Qos.periods_base, "policyValidityPeriod");
+        (Qos.actions_base, "SLADSAction");
+      ]
+  in
+  let dcs =
+    List.map
+      (fun (d, v) ->
+        Entry.make (Dn.of_string d)
+          [ ("dc", Value.Str v); (Schema.object_class, Value.Str "dcObject") ])
+      [ ("dc=com", "com"); ("dc=att, dc=com", "att");
+        ("dc=research, dc=att, dc=com", "research") ]
+  in
+  let i = Instance.of_entries sc (dcs @ bases @ scaffold) in
+  let cs = Qos.conflicts i in
+  Alcotest.(check int) "one conflict" 1 (List.length cs);
+  (* resolving it with an exception clears the audit *)
+  let resolved =
+    Instance.replace i
+      (Qos.policy_entry ~name:"p1" ~scope:"DataTraffic" ~priority:1
+         ~exceptions:[ "p2" ] ~profiles:[ "web" ] ~periods:[ "always" ]
+         ~action:"allow")
+  in
+  Alcotest.(check int) "resolved by exception" 0
+    (List.length (Qos.conflicts resolved));
+  (* ... or by distinct priorities *)
+  let reprioritized =
+    Instance.replace i
+      (Qos.policy_entry ~name:"p1" ~scope:"DataTraffic" ~priority:2
+         ~exceptions:[] ~profiles:[ "web" ] ~periods:[ "always" ]
+         ~action:"allow")
+  in
+  Alcotest.(check int) "resolved by priority" 0
+    (List.length (Qos.conflicts reprioritized))
+
+let test_overlap_primitives () =
+  let t = Alcotest.(check bool) in
+  t "prefix patterns overlap" true
+    (Qos.patterns_may_overlap "204.178.*" "204.178.16.*");
+  t "disjoint prefixes do not" false
+    (Qos.patterns_may_overlap "204.178.*" "207.140.*");
+  t "exact equal" true (Qos.patterns_may_overlap "1.2.3.4" "1.2.3.4");
+  t "exact disjoint" false (Qos.patterns_may_overlap "1.2.3.4" "5.6.7.8");
+  let p1 = Qos.period_entry ~name:"a" ~start_time:100 ~end_time:200 ~days:[ 1 ] in
+  let p2 = Qos.period_entry ~name:"b" ~start_time:150 ~end_time:300 ~days:[ 1; 2 ] in
+  let p3 = Qos.period_entry ~name:"c" ~start_time:250 ~end_time:300 ~days:[ 1 ] in
+  let p4 = Qos.period_entry ~name:"d" ~start_time:100 ~end_time:300 ~days:[ 5 ] in
+  t "time overlap" true (Qos.periods_may_overlap p1 p2);
+  t "time disjoint" false (Qos.periods_may_overlap p1 p3);
+  t "day disjoint" false (Qos.periods_may_overlap p1 p4)
+
+let test_generated_qos_valid () =
+  let i = Qos.generate () in
+  Alcotest.(check int) "well-formed" 0 (List.length (Instance.validate i))
+
+(* --- TOPS: Figure 11 -------------------------------------------------------- *)
+
+let tops_engine () = Engine.create ~block:8 (Tops.figure_11 ())
+
+let ca_numbers r =
+  List.concat_map (fun e -> Entry.string_values e "CANumber") r.Tops.appearances
+
+let test_working_hours_call () =
+  (* Tuesday 10:30: the working-hours QHP wins; office phone first, then
+     secretary, then voice mail. *)
+  let r = Tops.resolve (tops_engine ()) ~uid:"jag" ~time:1030 ~day:2 in
+  (match r.Tops.qhp with
+  | Some q ->
+      Alcotest.(check (list string)) "workinghours chosen" [ "workinghours" ]
+        (Entry.string_values q "QHPName")
+  | None -> Alcotest.fail "expected a QHP");
+  Alcotest.(check (list string)) "priority order"
+    [ "9733608750"; "9733608751"; "9733608752" ]
+    (ca_numbers r)
+
+let test_weekend_call () =
+  (* Saturday: the weekend QHP (priority 1) applies and routes straight
+     to voice mail.  Note 10:30 Saturday also matches working hours, but
+     weekend has higher priority. *)
+  let r = Tops.resolve (tops_engine ()) ~uid:"jag" ~time:1030 ~day:6 in
+  (match r.Tops.qhp with
+  | Some q ->
+      Alcotest.(check (list string)) "weekend chosen" [ "weekend" ]
+        (Entry.string_values q "QHPName")
+  | None -> Alcotest.fail "expected a QHP");
+  Alcotest.(check (list string)) "voice mail only" [ "9733608752" ] (ca_numbers r)
+
+let test_night_weekday_call () =
+  (* Wednesday 23:00: working hours has lapsed and weekend needs day 6/7:
+     no QHP matches, the call cannot be resolved. *)
+  let r = Tops.resolve (tops_engine ()) ~uid:"jag" ~time:2300 ~day:3 in
+  Alcotest.(check bool) "no QHP" true (r.Tops.qhp = None);
+  Alcotest.(check (list string)) "no appearances" [] (ca_numbers r)
+
+let test_caller_groups () =
+  (* A VIP-only QHP at priority 0: family callers ring the home phone
+     first; strangers fall through to the normal working-hours QHP. *)
+  let sc = Tops.schema () in
+  let base = Tops.figure_11 () in
+  let i =
+    List.fold_left (Instance.add ~validate:true)
+      (Instance.of_entries sc (Instance.to_list base))
+      [
+        Tops.qhp_entry ~uid:"jag" ~name:"vip" ~groups:[ "family"; "managers" ]
+          ~priority:0 ();
+        Tops.appearance_entry ~uid:"jag" ~qhp:"vip" ~number:"9085550000"
+          ~priority:1 ~description:"home" ();
+      ]
+  in
+  let eng = Engine.create ~block:8 i in
+  let r_family =
+    Tops.resolve eng ~caller_groups:[ "family" ] ~uid:"jag" ~time:1030 ~day:2
+  in
+  (match r_family.Tops.qhp with
+  | Some q ->
+      Alcotest.(check (list string)) "family reaches vip" [ "vip" ]
+        (Entry.string_values q "QHPName")
+  | None -> Alcotest.fail "family should match");
+  Alcotest.(check (list string)) "home phone" [ "9085550000" ]
+    (ca_numbers r_family);
+  let r_stranger = Tops.resolve eng ~uid:"jag" ~time:1030 ~day:2 in
+  (match r_stranger.Tops.qhp with
+  | Some q ->
+      Alcotest.(check (list string)) "stranger gets working hours"
+        [ "workinghours" ]
+        (Entry.string_values q "QHPName")
+  | None -> Alcotest.fail "stranger should still match workinghours");
+  (* the restriction query itself is plain L0 *)
+  Alcotest.(check string) "matching query is L0" "L0"
+    (Lang.level_to_string
+       (Lang.level
+          (Tops.matching_qhps_query ~caller_groups:[ "family" ] ~uid:"jag"
+             ~time:1030 ~day:2 ())))
+
+let test_unknown_subscriber () =
+  let r = Tops.resolve (tops_engine ()) ~uid:"nobody" ~time:1030 ~day:2 in
+  Alcotest.(check bool) "no QHP" true (r.Tops.qhp = None)
+
+(* Independent reference for generated TOPS directories. *)
+let reference_resolve instance ~uid ~time ~day =
+  let under_sub e =
+    Dn.is_self_or_descendant_of ~descendant:(Entry.dn e)
+      ~ancestor:(Dn.of_string (Tops.subscriber_dn uid))
+  in
+  let qhps =
+    Instance.fold
+      (fun acc e ->
+        if Entry.has_class e "QHP" && under_sub e then e :: acc else acc)
+      [] instance
+  in
+  let matches e =
+    (match Entry.int_values e "startTime" with [] -> true | ts -> List.exists (fun t -> t <= time) ts)
+    && (match Entry.int_values e "endTime" with [] -> true | ts -> List.exists (fun t -> time <= t) ts)
+    && (match Entry.int_values e "daysOfWeek" with [] -> true | ds -> List.mem day ds)
+  in
+  let applicable = List.filter matches qhps in
+  let prio e = match Entry.int_values e "priority" with p :: _ -> p | [] -> max_int in
+  match applicable with
+  | [] -> None
+  | _ ->
+      let best = List.fold_left (fun m e -> min m (prio e)) max_int applicable in
+      List.find_opt (fun e -> prio e = best) (List.sort Entry.compare_rev applicable)
+
+let prop_tops_resolution_matches seed =
+  let i = Tops.generate ~params:{ Tops.default_gen with seed; subscribers = 20 } () in
+  let eng = Engine.create ~block:8 i in
+  let rng = Prng.create (seed * 7) in
+  List.for_all
+    (fun _ ->
+      let uid = Printf.sprintf "user%d" (Prng.int rng 20) in
+      let time = Prng.int rng 2400 and day = 1 + Prng.int rng 7 in
+      let r = Tops.resolve eng ~uid ~time ~day in
+      let expected = reference_resolve i ~uid ~time ~day in
+      match (r.Tops.qhp, expected) with
+      | None, None -> true
+      | Some a, Some b ->
+          (* several QHPs may tie on priority; compare priorities *)
+          Entry.int_values a "priority" = Entry.int_values b "priority"
+      | Some _, None | None, Some _ -> false)
+    (List.init 15 Fun.id)
+
+let test_generated_tops_valid () =
+  let i = Tops.generate () in
+  Alcotest.(check int) "well-formed" 0 (List.length (Instance.validate i));
+  Alcotest.(check int) "expected size"
+    (4 + (50 * (1 + (3 * (1 + 2)))))
+    (Instance.size i)
+
+let test_figures_valid () =
+  Alcotest.(check int) "figure 11 well-formed" 0
+    (List.length (Instance.validate (Tops.figure_11 ())));
+  Alcotest.(check int) "figure 12 well-formed" 0
+    (List.length (Instance.validate (Qos.figure_12 ())))
+
+let () =
+  Alcotest.run "den"
+    [
+      ( "qos",
+        [
+          Alcotest.test_case "dso denies weekend traffic" `Quick
+            test_dso_denies_weekend_traffic;
+          Alcotest.test_case "exception overrides" `Quick
+            test_exception_overrides_dso;
+          Alcotest.test_case "priority wins" `Quick test_higher_priority_wins;
+          Alcotest.test_case "smtp weekday" `Quick test_smtp_policy;
+          Alcotest.test_case "no policy applies" `Quick test_no_policy_applies;
+          Alcotest.test_case "Example 7.1 query" `Quick
+            test_example_7_1_query_runs;
+          Testkit.qtest ~count:20 "decide = reference on generated"
+            (QCheck2.Gen.int_range 0 10_000) prop_decide_matches_reference;
+          Alcotest.test_case "generated valid" `Quick test_generated_qos_valid;
+          Alcotest.test_case "figure 12 conflict-free" `Quick
+            test_figure_12_conflict_free;
+          Alcotest.test_case "conflict detected and resolved" `Quick
+            test_conflict_detected;
+          Alcotest.test_case "overlap primitives" `Quick test_overlap_primitives;
+        ] );
+      ( "tops",
+        [
+          Alcotest.test_case "working hours" `Quick test_working_hours_call;
+          Alcotest.test_case "weekend" `Quick test_weekend_call;
+          Alcotest.test_case "weekday night" `Quick test_night_weekday_call;
+          Alcotest.test_case "unknown subscriber" `Quick test_unknown_subscriber;
+          Alcotest.test_case "caller groups (access control)" `Quick
+            test_caller_groups;
+          Testkit.qtest ~count:20 "resolve = reference on generated"
+            (QCheck2.Gen.int_range 0 10_000) prop_tops_resolution_matches;
+          Alcotest.test_case "generated valid" `Quick test_generated_tops_valid;
+        ] );
+      ("figures", [ Alcotest.test_case "figures valid" `Quick test_figures_valid ]);
+    ]

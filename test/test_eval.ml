@@ -1,0 +1,415 @@
+(* Differential tests: the external-memory algorithms against the
+   reference semantics (Definitions 4.1, 5.1, 6.1, 6.2, 7.1), on both
+   hand-built and randomly generated directories and queries.
+
+   This is the central correctness argument of the reproduction: for any
+   query in L3 and any instance, Engine.eval must produce exactly the
+   entry set the denotational semantics prescribes, in canonical order. *)
+
+let dn = Dn.of_string
+
+(* A small hand-built directory mirroring the shape of Figure 1. *)
+let tiny () =
+  let sc = Dif_gen.schema () in
+  let e d attrs = Entry.make (dn d) attrs in
+  let oc c = (Schema.object_class, Value.Str c) in
+  Instance.of_entries sc
+    [
+      e "dc=com" [ ("dc", Value.Str "com"); oc "dcObject" ];
+      e "dc=att, dc=com" [ ("dc", Value.Str "att"); oc "dcObject" ];
+      e "dc=research, dc=att, dc=com"
+        [ ("dc", Value.Str "research"); oc "dcObject" ];
+      e "ou=people, dc=att, dc=com"
+        [ ("ou", Value.Str "people"); oc "organizationalUnit" ];
+      e "id=1, ou=people, dc=att, dc=com"
+        [
+          ("id", Value.Int 1);
+          ("surName", Value.Str "jagadish");
+          ("priority", Value.Int 2);
+          oc "person";
+        ];
+      e "id=2, ou=people, dc=att, dc=com"
+        [
+          ("id", Value.Int 2);
+          ("surName", Value.Str "srivastava");
+          ("priority", Value.Int 1);
+          oc "person";
+        ];
+      e "ou=people, dc=research, dc=att, dc=com"
+        [ ("ou", Value.Str "people"); oc "organizationalUnit" ];
+      e "id=3, ou=people, dc=research, dc=att, dc=com"
+        [
+          ("id", Value.Int 3);
+          ("surName", Value.Str "jagadish");
+          ("priority", Value.Int 5);
+          oc "person";
+        ];
+    ]
+
+let run_both ?algorithms instance q =
+  let eng = Testkit.engine ?algorithms instance in
+  let actual = Engine.eval_entries eng q in
+  let expected = Testkit.oracle instance q in
+  (expected, actual)
+
+let check_query ?algorithms instance q =
+  let expected, actual = run_both ?algorithms instance q in
+  Testkit.check_entries (Qprinter.to_string q) expected actual
+
+(* --- Hand-written cases ------------------------------------------------- *)
+
+let test_atomic_scopes () =
+  let i = tiny () in
+  let q scope base filter =
+    Ast.Atomic { Ast.base = dn base; scope; filter }
+  in
+  (* sub finds both jagadish entries *)
+  let expected, actual =
+    run_both i (q Ast.Sub "dc=com" (Afilter.Str_eq ("surName", "jagadish")))
+  in
+  Alcotest.(check int) "two jagadish entries" 2 (List.length actual);
+  Testkit.check_entries "sub scope" expected actual;
+  (* base scope matches only the base *)
+  check_query i (q Ast.Base "dc=att, dc=com" (Afilter.Present "dc"));
+  (* one scope includes the base and its children *)
+  check_query i (q Ast.One "dc=att, dc=com" (Afilter.Present Schema.object_class));
+  (* base that is not an entry *)
+  check_query i (q Ast.Sub "dc=nosuch" (Afilter.Present "dc"))
+
+let test_example_4_1 () =
+  (* Example 4.1: jagadish in AT&T except Research. *)
+  let i = tiny () in
+  let q =
+    Qparser.of_string
+      "(- (dc=att, dc=com ? sub ? surName=jagadish) (dc=research, dc=att, \
+       dc=com ? sub ? surName=jagadish))"
+  in
+  let expected, actual = run_both i q in
+  Testkit.check_entries "example 4.1" expected actual;
+  Alcotest.(check (list string))
+    "only the non-research entry"
+    [ "id=1, ou=people, dc=att, dc=com" ]
+    (Testkit.dns_of actual)
+
+let test_example_5_1 () =
+  (* Example 5.1: organizational units directly containing a jagadish. *)
+  let i = tiny () in
+  let q =
+    Qparser.of_string
+      "(c (dc=com ? sub ? objectClass=organizationalUnit) (dc=com ? sub ? \
+       surName=jagadish))"
+  in
+  let expected, actual = run_both i q in
+  Testkit.check_entries "example 5.1" expected actual;
+  Alcotest.(check int) "both ou=people qualify" 2 (List.length actual)
+
+let test_hier_operators () =
+  let i = tiny () in
+  let all = "(dc=com ? sub ? objectClass=*)" in
+  let people = "(dc=com ? sub ? objectClass=person)" in
+  let ous = "(dc=com ? sub ? objectClass=organizationalUnit)" in
+  let dcs = "(dc=com ? sub ? objectClass=dcObject)" in
+  List.iter
+    (fun s -> check_query i (Qparser.of_string s))
+    [
+      Printf.sprintf "(p %s %s)" people ous;
+      Printf.sprintf "(c %s %s)" ous people;
+      Printf.sprintf "(a %s %s)" people dcs;
+      Printf.sprintf "(d %s %s)" dcs people;
+      Printf.sprintf "(ac %s %s %s)" people dcs ous;
+      Printf.sprintf "(dc %s %s %s)" dcs people ous;
+      Printf.sprintf "(ac %s %s %s)" people dcs dcs;
+      Printf.sprintf "(dc %s %s %s)" dcs people all;
+    ]
+
+let test_closest_ancestor_blocking () =
+  (* dc-entries with a person descendant not below an intervening dc:
+     research blocks att for id=3. *)
+  let i = tiny () in
+  let q =
+    Qparser.of_string
+      "(dc (dc=com ? sub ? objectClass=dcObject) (dc=com ? sub ? \
+       objectClass=person) (dc=com ? sub ? objectClass=dcObject))"
+  in
+  let expected, actual = run_both i q in
+  Testkit.check_entries "dc blocking" expected actual;
+  (* att has id=1/2 via ou=people (no dc between); research has id=3;
+     com has no person without att in between. *)
+  Alcotest.(check (list string))
+    "att and research, not com"
+    [ "dc=att, dc=com"; "dc=research, dc=att, dc=com" ]
+    (Testkit.dns_of actual)
+
+let test_simple_agg () =
+  let i = tiny () in
+  List.iter
+    (fun s -> check_query i (Qparser.of_string s))
+    [
+      "(g (dc=com ? sub ? objectClass=person) min(priority) < 3)";
+      "(g (dc=com ? sub ? objectClass=person) count($$) >= 3)";
+      "(g (dc=com ? sub ? objectClass=person) min(priority) = \
+       min(min(priority)))";
+      "(g (dc=com ? sub ? objectClass=person) average(priority) > 2)";
+      "(g (dc=com ? sub ? objectClass=person) sum(priority) <= \
+       max(max(priority)))";
+    ]
+
+let test_structural_agg () =
+  let i = tiny () in
+  let ous = "(dc=com ? sub ? objectClass=organizationalUnit)" in
+  let people = "(dc=com ? sub ? objectClass=person)" in
+  List.iter
+    (fun s -> check_query i (Qparser.of_string s))
+    [
+      Printf.sprintf "(c %s %s count($2) > 1)" ous people;
+      Printf.sprintf "(c %s %s count($2) = max(count($2)))" ous people;
+      Printf.sprintf "(c %s %s min($2.priority) <= 2)" ous people;
+      Printf.sprintf "(a %s %s sum($2.priority) > min($1.priority))" people ous;
+      Printf.sprintf "(d (dc=com ? sub ? objectClass=dcObject) %s \
+                      average($2.priority) >= 2)" people;
+    ]
+
+let test_eref () =
+  (* Build a directory where nodes reference each other. *)
+  let i =
+    Dif_gen.generate
+      ~params:{ Dif_gen.default_params with size = 60; seed = 7; ref_fanout = 3 }
+      ()
+  in
+  let nodes = "( ? sub ? objectClass=node)" in
+  let all = "( ? sub ? objectClass=*)" in
+  List.iter
+    (fun s -> check_query i (Qparser.of_string s))
+    [
+      Printf.sprintf "(vd %s %s ref)" nodes all;
+      Printf.sprintf "(dv %s %s ref)" all nodes;
+      Printf.sprintf "(vd %s %s ref count($2) >= 2)" nodes all;
+      Printf.sprintf "(dv %s %s ref count($2) = max(count($2)))" all nodes;
+      Printf.sprintf "(dv %s %s ref min($2.priority) <= 3)" all nodes;
+    ]
+
+let test_example_7_1_shape () =
+  (* The composed query of Example 7.1: dv over a g over a vd. *)
+  let i =
+    Dif_gen.generate
+      ~params:{ Dif_gen.default_params with size = 80; seed = 11; ref_fanout = 2 }
+      ()
+  in
+  let q =
+    Qparser.of_string
+      "(dv ( ? sub ? objectClass=node) (g (vd ( ? sub ? objectClass=node) ( ? \
+       sub ? priority>=5) ref) min(priority) = min(min(priority))) ref)"
+  in
+  check_query i q
+
+(* Paged results: concatenating all pages reproduces the full result,
+   for any page size, and the cookie chain terminates. *)
+let prop_paging_reassembles (instance, q) =
+  let eng = Testkit.engine instance in
+  let full = Engine.eval_entries eng q in
+  List.for_all
+    (fun page_size ->
+      let rec collect acc cookie guard =
+        if guard > 500 then acc  (* cookie chain must terminate *)
+        else
+          let page = Engine.eval_paged eng ~page_size ?cookie q in
+          let acc = acc @ page.Engine.entries in
+          match page.Engine.cookie with
+          | None -> acc
+          | Some _ when page.Engine.entries = [] -> acc
+          | Some _ -> collect acc page.Engine.cookie (guard + 1)
+      in
+      let paged = collect [] None 0 in
+      List.length paged = List.length full
+      && List.for_all2 Entry.equal_dn paged full
+      && List.for_all
+           (fun p -> List.length p.Engine.entries <= page_size)
+           [ Engine.eval_paged eng ~page_size q ])
+    [ 1; 3; 7; 1000 ]
+
+(* A mixed soak: interleaved updates, queries, paging and re-indexing
+   keep engine results equal to the oracle and the directory valid. *)
+let test_update_query_soak () =
+  let base =
+    Dif_gen.generate
+      ~params:{ Dif_gen.default_params with size = 120; seed = 91; roots = 1 }
+      ()
+  in
+  let d = Directory.create base in
+  let rng = Prng.create 77 in
+  let queries =
+    List.map Qparser.of_string
+      [
+        "( ? sub ? objectClass=person)";
+        "(c ( ? sub ? objectClass=organizationalUnit) ( ? sub ? priority>=5))";
+        "(g ( ? sub ? objectClass=node) min(priority) = min(min(priority)))";
+        "(vd ( ? sub ? objectClass=node) ( ? sub ? priority<=3) ref)";
+      ]
+  in
+  for step = 1 to 60 do
+    (* random mutation *)
+    let entries = Instance.to_list (Directory.instance d) in
+    let pick () = List.nth entries (Prng.int rng (List.length entries)) in
+    (match Prng.int rng 4 with
+    | 0 ->
+        let parent = pick () in
+        ignore
+          (Directory.add d
+             (Entry.make
+                (Dn.child (Entry.dn parent)
+                   (Rdn.single "id" (Value.Int (10_000 + step))))
+                [
+                  ("id", Value.Int (10_000 + step));
+                  ("priority", Value.Int (Prng.int rng 10));
+                  (Schema.object_class, Value.Str "person");
+                ]))
+    | 1 -> ignore (Directory.delete d (Entry.dn (pick ())))
+    | 2 ->
+        ignore
+          (Directory.modify d
+             (Entry.dn (pick ()))
+             [ Directory.Add_value ("priority", Value.Int (Prng.int rng 10)) ])
+    | _ -> ignore (Directory.delete ~subtree:true d (Entry.dn (pick ()))));
+    (* the directory never leaves the model *)
+    Alcotest.(check int)
+      (Printf.sprintf "valid after step %d" step)
+      0
+      (List.length (Directory.validate d));
+    (* a fresh engine agrees with the oracle on every query *)
+    if step mod 10 = 0 then begin
+      let eng = Testkit.engine (Directory.instance d) in
+      List.iter
+        (fun q ->
+          Testkit.check_entries
+            (Printf.sprintf "step %d: %s" step (Qprinter.to_string q))
+            (Testkit.oracle (Directory.instance d) q)
+            (Engine.eval_entries eng q))
+        queries
+    end
+  done
+
+(* --- Randomized differential property ----------------------------------- *)
+
+let prop_engine_matches_oracle (instance, q) =
+  let expected = Testkit.oracle instance q in
+  let eng = Testkit.engine instance in
+  let actual = Engine.eval_entries eng q in
+  if
+    List.length expected = List.length actual
+    && List.for_all2 Entry.equal_dn expected actual
+  then true
+  else
+    QCheck2.Test.fail_reportf
+      "query %s@.expected: %a@.actual:   %a"
+      (Qprinter.to_string q)
+      Fmt.(list ~sep:comma string)
+      (Testkit.dns_of expected)
+      Fmt.(list ~sep:comma string)
+      (Testkit.dns_of actual)
+
+let prop_naive_matches_oracle (instance, q) =
+  let expected = Testkit.oracle instance q in
+  let eng = Testkit.engine ~algorithms:Engine.Naive_nested_loop instance in
+  let actual = List.sort Entry.compare_rev (Engine.eval_entries eng q) in
+  List.length expected = List.length actual
+  && List.for_all2 Entry.equal_dn expected actual
+
+let prop_no_index_matches (instance, q) =
+  let expected = Testkit.oracle instance q in
+  let eng = Testkit.engine ~with_attr_index:false instance in
+  let actual = Engine.eval_entries eng q in
+  List.length expected = List.length actual
+  && List.for_all2 Entry.equal_dn expected actual
+
+let prop_cached_engine_matches (instance, q) =
+  let expected = Testkit.oracle instance q in
+  let eng = Engine.create ~block:8 ~cache_pages:16 instance in
+  (* run twice: the warm run must agree too *)
+  ignore (Engine.eval_entries eng q);
+  let actual = Engine.eval_entries eng q in
+  List.length expected = List.length actual
+  && List.for_all2 Entry.equal_dn expected actual
+
+let prop_output_sorted (instance, q) =
+  let eng = Testkit.engine instance in
+  let actual = Engine.eval_entries eng q in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> Entry.compare_rev a b < 0 && sorted rest
+    | [ _ ] | [] -> true
+  in
+  sorted actual
+
+(* Results are sub-instances: closure property (Section 4.1). *)
+let prop_er_hash_matches_oracle (instance, q) =
+  (* only eref nodes differ; rewrite evaluation to use the hash variant
+     by comparing on whole eref queries drawn from the generator *)
+  match q with
+  | Ast.Eref (op, q1, q2, attr, agg) ->
+      let eng = Testkit.engine instance in
+      let l1 = Engine.eval eng q1 and l2 = Engine.eval eng q2 in
+      let merge = Ext_list.to_list (Er.compute ?agg op l1 l2 attr) in
+      let hash = Ext_list.to_list (Er_hash.compute ?agg op l1 l2 attr) in
+      List.length merge = List.length hash
+      && List.for_all2 Entry.equal_dn merge hash
+  | _ -> true
+
+let prop_fused_matches_oracle (instance, q) =
+  let expected = Testkit.oracle instance q in
+  let eng = Testkit.engine instance in
+  let actual = Fuse.eval_entries eng q in
+  List.length expected = List.length actual
+  && List.for_all2 Entry.equal_dn expected actual
+
+let prop_fusion_never_more_scans (instance, q) =
+  ignore instance;
+  Fuse.scan_count (Fuse.plan_of q) <= List.length (Ast.atomic_subqueries q)
+
+let prop_closure (instance, q) =
+  let eng = Testkit.engine instance in
+  let result = Engine.eval_instance eng q in
+  Instance.validate result = []
+  && Instance.fold
+       (fun ok e -> ok && Instance.mem instance (Entry.dn e))
+       true result
+
+let () =
+  Alcotest.run "eval"
+    [
+      ( "paper-examples",
+        [
+          Alcotest.test_case "atomic scopes" `Quick test_atomic_scopes;
+          Alcotest.test_case "example 4.1 (diff)" `Quick test_example_4_1;
+          Alcotest.test_case "example 5.1 (children)" `Quick test_example_5_1;
+          Alcotest.test_case "hier operators" `Quick test_hier_operators;
+          Alcotest.test_case "dc blocking" `Quick test_closest_ancestor_blocking;
+          Alcotest.test_case "simple aggregate selection" `Quick test_simple_agg;
+          Alcotest.test_case "structural aggregate selection" `Quick
+            test_structural_agg;
+          Alcotest.test_case "embedded references" `Quick test_eref;
+          Alcotest.test_case "example 7.1 shape" `Quick test_example_7_1_shape;
+          Alcotest.test_case "update/query soak" `Quick test_update_query_soak;
+        ] );
+      ( "differential",
+        [
+          Testkit.qtest ~count:300 "engine = oracle" Testkit.gen_instance_and_query
+            prop_engine_matches_oracle;
+          Testkit.qtest ~count:100 "naive = oracle" Testkit.gen_instance_and_query
+            prop_naive_matches_oracle;
+          Testkit.qtest ~count:100 "engine without attr indexes = oracle"
+            Testkit.gen_instance_and_query prop_no_index_matches;
+          Testkit.qtest ~count:150 "outputs strictly sorted"
+            Testkit.gen_instance_and_query prop_output_sorted;
+          Testkit.qtest ~count:100 "closure: results are valid sub-instances"
+            Testkit.gen_instance_and_query prop_closure;
+          Testkit.qtest ~count:150 "fused evaluation = oracle"
+            Testkit.gen_instance_and_query prop_fused_matches_oracle;
+          Testkit.qtest ~count:150 "fusion never adds scans"
+            Testkit.gen_instance_and_query prop_fusion_never_more_scans;
+          Testkit.qtest ~count:200 "hash eref = sort-merge eref"
+            Testkit.gen_instance_and_query prop_er_hash_matches_oracle;
+          Testkit.qtest ~count:100 "cached engine = oracle (cold and warm)"
+            Testkit.gen_instance_and_query prop_cached_engine_matches;
+          Testkit.qtest ~count:100 "paging reassembles the result"
+            Testkit.gen_instance_and_query prop_paging_reassembles;
+        ] );
+    ]

@@ -1,0 +1,207 @@
+(* Tests for the secondary indexes: B+tree, tries, substring index and
+   the clustering dn-index. *)
+
+let fresh ?(block = 8) () =
+  let stats = Io_stats.create () in
+  (stats, Pager.create ~block stats)
+
+(* --- B+tree ----------------------------------------------------------------- *)
+
+module Imap = Map.Make (Int)
+
+let gen_kvs =
+  QCheck2.Gen.(
+    list_size (int_range 0 800) (pair (int_range 0 200) (int_range 0 10_000)))
+
+let prop_btree_vs_map kvs =
+  let _, pager = fresh () in
+  let bt = Btree.create ~order:2 pager in
+  let model =
+    List.fold_left
+      (fun m (k, v) ->
+        Btree.insert bt k v;
+        Imap.update k (function None -> Some [ v ] | Some vs -> Some (vs @ [ v ])) m)
+      Imap.empty kvs
+  in
+  Btree.check_invariants bt;
+  Imap.for_all (fun k vs -> Btree.find bt k = vs) model
+  && List.for_all (fun k -> Btree.find bt k = []) [ -1; 201; 1000 ]
+  && Btree.cardinal bt = List.length kvs
+
+let prop_btree_range kvs =
+  let _, pager = fresh () in
+  let bt = Btree.create ~order:2 pager in
+  List.iter (fun (k, v) -> Btree.insert bt k v) kvs;
+  let model =
+    List.fold_left
+      (fun m (k, v) ->
+        Imap.update k (function None -> Some [ v ] | Some vs -> Some (vs @ [ v ])) m)
+      Imap.empty kvs
+  in
+  List.for_all
+    (fun (lo, hi) ->
+      let got = Btree.range bt ~lo ~hi in
+      let expect =
+        Imap.bindings model |> List.filter (fun (k, _) -> lo <= k && k <= hi)
+      in
+      got = expect)
+    [ (0, 200); (50, 60); (100, 100); (150, 10); (-5, 500) ]
+
+let prop_btree_fold kvs =
+  let _, pager = fresh () in
+  let bt = Btree.create ~order:3 pager in
+  List.iter (fun (k, v) -> Btree.insert bt k v) kvs;
+  let keys = Btree.fold_all (fun acc k _ -> k :: acc) [] bt |> List.rev in
+  let expect = List.sort_uniq Int.compare (List.map fst kvs) in
+  keys = expect
+
+let test_btree_io_logarithmic () =
+  let stats, pager = fresh () in
+  let bt = Btree.create ~order:8 pager in
+  for i = 1 to 10_000 do
+    Btree.insert bt i i
+  done;
+  Io_stats.reset stats;
+  ignore (Btree.find bt 5_000);
+  (* Height of a 10k-key tree of order 8 is tiny; a point lookup must not
+     scan. *)
+  Alcotest.(check bool) "point lookup reads < 8 pages" true
+    (stats.Io_stats.page_reads < 8)
+
+(* --- Tries ------------------------------------------------------------------- *)
+
+let words =
+  [ "jagadish"; "jag"; "lakshmanan"; "milo"; "mil"; "srivastava"; "vista"; "" ]
+
+let test_trie_exact_prefix () =
+  let _, pager = fresh () in
+  let t = Str_trie.create pager in
+  List.iteri (fun i w -> Str_trie.add t w i) words;
+  List.iteri
+    (fun i w ->
+      Alcotest.(check (list int)) ("exact " ^ w) [ i ] (Str_trie.find_exact t w))
+    words;
+  Alcotest.(check (list int)) "no match" [] (Str_trie.find_exact t "nope");
+  let prefix_hits p =
+    List.sort Int.compare (Str_trie.find_prefix t p)
+  in
+  Alcotest.(check (list int)) "prefix jag" [ 0; 1 ] (prefix_hits "jag");
+  Alcotest.(check (list int)) "prefix mil" [ 3; 4 ] (prefix_hits "mil");
+  Alcotest.(check (list int)) "prefix empty = all" [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    (prefix_hits "")
+
+let gen_strings =
+  QCheck2.Gen.(
+    list_size (int_range 0 60)
+      (string_size ~gen:(oneofl [ 'a'; 'b'; 'c' ]) (int_range 0 8)))
+
+let prop_substr_index strs =
+  let _, pager = fresh () in
+  let idx = Str_trie.Substr.create pager in
+  List.iteri (fun i s -> Str_trie.Substr.add idx s i) strs;
+  let contains sub s =
+    let n = String.length s and m = String.length sub in
+    let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+    loop 0
+  in
+  List.for_all
+    (fun sub ->
+      let got = List.sort Int.compare (Str_trie.Substr.find_substring idx sub) in
+      let expect =
+        List.mapi (fun i s -> (i, s)) strs
+        |> List.filter (fun (_, s) -> contains sub s)
+        |> List.map fst
+      in
+      got = expect)
+    [ "a"; "ab"; "abc"; "cc"; "" ]
+
+(* --- Dn_index ------------------------------------------------------------------ *)
+
+let test_dn_index_scans () =
+  let stats, pager = fresh ~block:4 () in
+  let i = Dif_gen.karily ~fanout:3 ~size:50 () in
+  let idx = Dn_index.build pager i in
+  Io_stats.reset stats;
+  let root = Dn.of_string "dc=kroot" in
+  Alcotest.(check int) "length" 50 (Dn_index.length idx);
+  Alcotest.(check int) "subtree scan = all" 50
+    (Ext_list.length (Dn_index.scan_subtree idx root));
+  Alcotest.(check bool) "find present" true (Dn_index.find idx root <> None);
+  Alcotest.(check bool) "find absent" true
+    (Dn_index.find idx (Dn.of_string "dc=nothing") = None);
+  (* children scope = base + its children *)
+  let one = Dn_index.scan_children idx root in
+  Alcotest.(check int) "one scope" 4 (Ext_list.length one);
+  (* base scope via dedicated scan *)
+  Alcotest.(check int) "base scope" 1
+    (Ext_list.length (Dn_index.scan_base idx root));
+  Alcotest.(check bool) "io was charged" true (Io_stats.total_io stats > 0)
+
+let prop_dn_index_subtree_matches_instance seed =
+  let i =
+    Dif_gen.generate ~params:{ Dif_gen.default_params with seed; size = 120 } ()
+  in
+  let _, pager = fresh () in
+  let idx = Dn_index.build pager i in
+  List.for_all
+    (fun e ->
+      let base = Entry.dn e in
+      let got = Ext_list.to_list (Dn_index.scan_subtree idx base) in
+      let expect = Instance.subtree i base in
+      List.length got = List.length expect
+      && List.for_all2 Entry.equal_dn got expect)
+    (Instance.to_list i)
+
+(* --- Attr_index ------------------------------------------------------------------ *)
+
+let test_attr_index_lookups () =
+  let _, pager = fresh () in
+  let i = Dif_gen.karily ~fanout:2 ~size:64 () in
+  let idx = Attr_index.build pager i in
+  (* id is unique: equality range returns one posting *)
+  (match Attr_index.lookup_int_range idx "id" ~lo:10 ~hi:10 with
+  | Some [ e ] -> Alcotest.(check bool) "right entry" true (Entry.int_values e "id" = [ 10 ])
+  | _ -> Alcotest.fail "expected exactly one id=10");
+  (* range over priorities covers everything *)
+  (match Attr_index.lookup_int_range idx "priority" ~lo:0 ~hi:6 with
+  | Some es -> Alcotest.(check int) "all non-root entries" 63 (List.length es)
+  | None -> Alcotest.fail "priority should be indexed");
+  (match Attr_index.lookup_str_eq idx "tag" "even" with
+  | Some es ->
+      Alcotest.(check bool) "some evens" true (List.length es > 0);
+      Alcotest.(check bool) "all even" true
+        (List.for_all (fun e -> Entry.string_values e "tag" = [ "even" ]) es)
+  | None -> Alcotest.fail "tag should be indexed");
+  (match Attr_index.lookup_substring idx "tag" "ve" with
+  | Some es -> Alcotest.(check bool) "substring hits" true (List.length es > 0)
+  | None -> Alcotest.fail "substring index missing");
+  Alcotest.(check bool) "unindexed attribute yields empty" true
+    (Attr_index.lookup_int_range idx "nosuch" ~lo:0 ~hi:9 = Some [])
+
+let () =
+  Alcotest.run "index"
+    [
+      ( "btree",
+        [
+          Testkit.qtest ~count:200 "vs map oracle" gen_kvs prop_btree_vs_map;
+          Testkit.qtest ~count:100 "range scans" gen_kvs prop_btree_range;
+          Testkit.qtest ~count:100 "fold in key order" gen_kvs prop_btree_fold;
+          Alcotest.test_case "lookup io logarithmic" `Quick
+            test_btree_io_logarithmic;
+        ] );
+      ( "trie",
+        [
+          Alcotest.test_case "exact and prefix" `Quick test_trie_exact_prefix;
+          Testkit.qtest ~count:200 "substring index vs naive" gen_strings
+            prop_substr_index;
+        ] );
+      ( "dn-index",
+        [
+          Alcotest.test_case "scans and scopes" `Quick test_dn_index_scans;
+          Testkit.qtest ~count:30 "subtree = instance oracle"
+            (QCheck2.Gen.int_range 0 10_000)
+            prop_dn_index_subtree_matches_instance;
+        ] );
+      ( "attr-index",
+        [ Alcotest.test_case "typed lookups" `Quick test_attr_index_lookups ] );
+    ]

@@ -1,0 +1,180 @@
+(* Tests for the distribution-lists application: direct membership as
+   single queries, transitive membership over nesting and cycles, and
+   the synthetic generator. *)
+
+let dn = Dn.of_string
+let engine () = Engine.create ~block:8 (Lists.sample ())
+
+let names entries attr =
+  List.concat_map (fun e -> Entry.string_values e attr) entries
+  |> List.sort String.compare
+
+(* --- Direct membership ------------------------------------------------------ *)
+
+let test_lists_containing_direct () =
+  let eng = engine () in
+  (* divesh is directly in dbgroup and oncall *)
+  let ls =
+    Engine.eval_entries eng
+      (Lists.lists_containing_query (dn (Lists.person_dn "divesh")))
+  in
+  Alcotest.(check (list string)) "divesh's direct lists" [ "dbgroup"; "oncall" ]
+    (names ls "listName");
+  (* laks only via the nested theory list *)
+  let ls =
+    Engine.eval_entries eng
+      (Lists.lists_containing_query (dn (Lists.person_dn "laks")))
+  in
+  Alcotest.(check (list string)) "laks only in theory" [ "theory" ]
+    (names ls "listName")
+
+let test_direct_members () =
+  let eng = engine () in
+  let ms =
+    Engine.eval_entries eng
+      (Lists.direct_members_query (dn (Lists.list_dn "dbgroup")))
+  in
+  (* two persons plus the nested theory list *)
+  Alcotest.(check (list string)) "persons" [ "divesh"; "jag" ]
+    (names (List.filter (fun e -> Entry.has_class e "person") ms) "uid");
+  Alcotest.(check (list string)) "nested list" [ "theory" ]
+    (names (List.filter (fun e -> Entry.has_class e "groupOfNames") ms) "listName")
+
+let test_empty_lists () =
+  let eng = engine () in
+  let ls = Engine.eval_entries eng Lists.empty_lists_query in
+  Alcotest.(check (list string)) "only the empty list" [ "empty" ]
+    (names ls "listName")
+
+let test_lists_with_surname () =
+  let eng = engine () in
+  let ls =
+    Engine.eval_entries eng (Lists.lists_with_surname_query "milo")
+  in
+  Alcotest.(check (list string)) "tova is in theory" [ "theory" ]
+    (names ls "listName");
+  Alcotest.(check string) "it is an L3 query" "L3"
+    (Lang.level_to_string (Lang.level (Lists.lists_with_surname_query "milo")))
+
+(* --- Transitive membership ---------------------------------------------------- *)
+
+let test_transitive_members_nested () =
+  let eng = engine () in
+  let persons, traversed, rounds =
+    Lists.transitive_members eng (dn (Lists.list_dn "dbgroup"))
+  in
+  (* dbgroup -> {jag, divesh} + theory -> {tova, laks} *)
+  Alcotest.(check (list string)) "all four members"
+    [ "divesh"; "jag"; "laks"; "tova" ]
+    (names persons "uid");
+  Alcotest.(check (list string)) "both lists traversed" [ "dbgroup"; "theory" ]
+    (names traversed "listName");
+  Alcotest.(check bool) "two rounds of nesting" true (rounds >= 2)
+
+let test_transitive_members_cycle () =
+  let eng = engine () in
+  (* staff <-> oncall cycle: the closure terminates and finds both
+     persons exactly once *)
+  let persons, traversed, _ =
+    Lists.transitive_members eng (dn (Lists.list_dn "staff"))
+  in
+  Alcotest.(check (list string)) "cycle members" [ "dimitra"; "divesh" ]
+    (names persons "uid");
+  Alcotest.(check (list string)) "cycle traversed once"
+    [ "oncall"; "staff" ]
+    (names traversed "listName")
+
+let test_lists_containing_transitive () =
+  let eng = engine () in
+  (* laks is in theory; theory is nested in dbgroup *)
+  let direct =
+    Lists.lists_containing eng ~transitive:false (dn (Lists.person_dn "laks"))
+  in
+  let all =
+    Lists.lists_containing eng ~transitive:true (dn (Lists.person_dn "laks"))
+  in
+  Alcotest.(check (list string)) "direct" [ "theory" ] (names direct "listName");
+  Alcotest.(check (list string)) "transitive adds dbgroup"
+    [ "dbgroup"; "theory" ]
+    (names all "listName");
+  (* a person inside the cycle is transitively in both cycle lists *)
+  let cycle =
+    Lists.lists_containing eng ~transitive:true (dn (Lists.person_dn "divesh"))
+  in
+  Alcotest.(check (list string)) "cycle closure terminates"
+    [ "dbgroup"; "oncall"; "staff" ]
+    (names cycle "listName")
+
+(* --- Generated webs: closure matches a graph-reachability oracle --------------- *)
+
+module Sset = Set.Make (String)
+
+let reference_transitive instance list_dn_v =
+  let find d = Instance.find instance d in
+  let rec go visited persons = function
+    | [] -> persons
+    | d :: rest -> (
+        let key = Dn.rev_key d in
+        if Sset.mem key visited then go visited persons rest
+        else
+          let visited = Sset.add key visited in
+          match find d with
+          | None -> go visited persons rest
+          | Some e ->
+              let members = Entry.dn_values e "member" in
+              let persons, frontier =
+                List.fold_left
+                  (fun (ps, fs) m ->
+                    match find m with
+                    | Some me when Entry.has_class me "groupOfNames" ->
+                        (ps, m :: fs)
+                    | Some me -> (Sset.add (Entry.key me) ps, fs)
+                    | None -> (ps, fs))
+                  (persons, rest) members
+              in
+              go visited persons frontier)
+  in
+  go Sset.empty Sset.empty [ list_dn_v ]
+
+let prop_transitive_matches_reference seed =
+  let i =
+    Lists.generate
+      ~params:{ Lists.default_gen with seed; lists = 15; people = 40; nesting_prob = 0.5 }
+      ()
+  in
+  let eng = Engine.create ~block:16 i in
+  List.for_all
+    (fun k ->
+      let d = dn (Lists.list_dn (Printf.sprintf "l%d" k)) in
+      let persons, _, _ = Lists.transitive_members eng d in
+      let expected = reference_transitive i d in
+      List.length persons = Sset.cardinal expected
+      && List.for_all (fun p -> Sset.mem (Entry.key p) expected) persons)
+    [ 0; 3; 7; 11 ]
+
+let test_generated_valid () =
+  let i = Lists.generate () in
+  Alcotest.(check int) "well-formed" 0 (List.length (Instance.validate i))
+
+let () =
+  Alcotest.run "lists"
+    [
+      ( "direct",
+        [
+          Alcotest.test_case "lists containing" `Quick test_lists_containing_direct;
+          Alcotest.test_case "direct members" `Quick test_direct_members;
+          Alcotest.test_case "empty lists (count=0)" `Quick test_empty_lists;
+          Alcotest.test_case "by surname (Example 5.1 flavour)" `Quick
+            test_lists_with_surname;
+        ] );
+      ( "transitive",
+        [
+          Alcotest.test_case "nested closure" `Quick test_transitive_members_nested;
+          Alcotest.test_case "cycle safe" `Quick test_transitive_members_cycle;
+          Alcotest.test_case "reverse closure" `Quick
+            test_lists_containing_transitive;
+          Testkit.qtest ~count:20 "closure = reachability oracle"
+            (QCheck2.Gen.int_range 0 10_000) prop_transitive_matches_reference;
+        ] );
+      ("generator", [ Alcotest.test_case "valid" `Quick test_generated_valid ]);
+    ]

@@ -1,0 +1,360 @@
+(* Tests for the data model: values, rdn's, dn's and their canonical
+   order, schemas, entries and instance well-formedness (Section 3). *)
+
+let dn = Dn.of_string
+
+(* --- Dn parsing and printing --------------------------------------------- *)
+
+let test_dn_roundtrip () =
+  List.iter
+    (fun s ->
+      let d = dn s in
+      Alcotest.(check string) ("roundtrip " ^ s) s (Dn.to_string d))
+    [
+      "dc=com";
+      "dc=att, dc=com";
+      "SLAPolicyName=dso, ou=SLAPolicyRules, ou=networkPolicies, dc=research, dc=att, dc=com";
+      "cn=doe\\, john, dc=com";  (* escaped comma in a value *)
+      "id=1+ou=x, dc=com";  (* multi-valued rdn *)
+    ]
+
+let test_dn_empty_and_errors () =
+  Alcotest.(check int) "empty string is the root" 0 (Dn.depth (dn ""));
+  Alcotest.(check bool) "missing = rejected" true
+    (Dn.of_string_opt "nonsense, dc=com" = None);
+  Alcotest.(check bool) "empty rdn rejected" true
+    (Dn.of_string_opt "dc=a, , dc=com" = None)
+
+let test_dn_untyped_values () =
+  let d = dn "id=42, dc=com" in
+  match Dn.rdn d with
+  | Some [ ("id", Value.Int 42) ] -> ()
+  | _ -> Alcotest.fail "numeric rdn value should parse as int"
+
+let test_multi_valued_rdn_normalization () =
+  (* rdn components are a set: order does not matter. *)
+  let a = dn "b=2+a=1, dc=com" and b = dn "a=1+b=2, dc=com" in
+  Alcotest.(check bool) "set semantics" true (Dn.equal a b)
+
+(* --- Hierarchy predicates -------------------------------------------------- *)
+
+let test_hierarchy_predicates () =
+  let c = dn "dc=com" in
+  let att = dn "dc=att, dc=com" in
+  let r = dn "dc=research, dc=att, dc=com" in
+  Alcotest.(check bool) "parent" true (Dn.is_parent_of ~parent:att ~child:r);
+  Alcotest.(check bool) "not grandparent" false
+    (Dn.is_parent_of ~parent:c ~child:r);
+  Alcotest.(check bool) "ancestor" true (Dn.is_ancestor_of ~ancestor:c ~descendant:r);
+  Alcotest.(check bool) "not self-ancestor" false
+    (Dn.is_ancestor_of ~ancestor:r ~descendant:r);
+  Alcotest.(check bool) "self-or-descendant" true
+    (Dn.is_self_or_descendant_of ~descendant:r ~ancestor:r);
+  Alcotest.(check (list string)) "ancestors nearest first"
+    [ "dc=att, dc=com"; "dc=com" ]
+    (List.map Dn.to_string (Dn.ancestors r));
+  Alcotest.(check bool) "child builds parent" true
+    (Dn.parent r = Some att)
+
+(* --- Canonical order -------------------------------------------------------- *)
+
+let gen_dn =
+  let open QCheck2.Gen in
+  let ( let* ) = ( >>= ) in
+  let gen_value =
+    oneof
+      [
+        map (fun i -> Value.Int i) (int_range 0 20);
+        map (fun s -> Value.Str s) (oneofl [ "a"; "b"; "x,y"; "p+q"; "2" ]);
+      ]
+  in
+  let gen_rdn =
+    let* n = int_range 1 2 in
+    let* pairs =
+      list_repeat n (pair (oneofl [ "id"; "ou"; "dc" ]) gen_value)
+    in
+    return (Rdn.normalize pairs)
+  in
+  let* depth = int_range 0 5 in
+  list_repeat depth gen_rdn
+
+let prop_ancestor_sorts_first d =
+  match d with
+  | [] -> true
+  | _ :: rest ->
+      rest = [] || Dn.compare_rev rest d < 0
+
+let prop_ancestor_key_prefix d =
+  List.for_all
+    (fun a ->
+      let ka = Dn.rev_key a and kd = Dn.rev_key d in
+      String.length ka < String.length kd
+      && String.sub kd 0 (String.length ka) = ka)
+    (Dn.ancestors d)
+
+let prop_order_total (a, b) =
+  let c1 = Dn.compare_rev a b and c2 = Dn.compare_rev b a in
+  (c1 = 0) = (c2 = 0) && (c1 > 0) = (c2 < 0) && (c1 = 0) = Dn.equal a b
+
+(* Distinct dn's get distinct keys even when their printed forms agree
+   (int vs string values). *)
+let test_key_injective_across_types () =
+  let a = Dn.child Dn.root (Rdn.single "x" (Value.Int 2)) in
+  let b = Dn.child Dn.root (Rdn.single "x" (Value.Str "2")) in
+  Alcotest.(check bool) "different keys" true (Dn.rev_key a <> Dn.rev_key b)
+
+(* Siblings' subtrees never interleave: if x < y are siblings then every
+   descendant of x sorts before y. *)
+let prop_subtree_contiguous (parent, r1, r2) =
+  let x = Dn.child parent r1 and y = Dn.child parent r2 in
+  if Dn.compare_rev x y >= 0 then true
+  else
+    let deep = Dn.child x (Rdn.single "id" (Value.Int 7)) in
+    Dn.compare_rev deep y < 0
+
+(* --- Schema ------------------------------------------------------------------ *)
+
+let test_schema_declarations () =
+  let s = Schema.empty () in
+  Schema.declare_attr s "age" Value.T_int;
+  Schema.declare_class s "person" [ "age" ];
+  Alcotest.(check bool) "attr typed" true
+    (Schema.attr_type s "age" = Some Value.T_int);
+  Alcotest.(check bool) "objectClass implicit" true
+    (Schema.attr_type s Schema.object_class = Some Value.T_string);
+  Alcotest.(check bool) "class exists" true (Schema.has_class s "person");
+  Alcotest.(check bool) "objectClass allowed everywhere" true
+    (Schema.attr_allowed_by s ~class_names:[ "person" ] Schema.object_class);
+  Alcotest.check_raises "retyping rejected"
+    (Invalid_argument "Schema.declare_attr: age already typed int") (fun () ->
+      Schema.declare_attr s "age" Value.T_string);
+  Alcotest.check_raises "undeclared attr in class"
+    (Invalid_argument "Schema.declare_class: undeclared attribute \"ghost\"")
+    (fun () -> Schema.declare_class s "thing" [ "ghost" ])
+
+(* --- Instance well-formedness (Definition 3.2) -------------------------------- *)
+
+let person_schema () =
+  let s = Schema.empty () in
+  Schema.declare_attr s "uid" Value.T_string;
+  Schema.declare_attr s "age" Value.T_int;
+  Schema.declare_class s "person" [ "uid"; "age" ];
+  s
+
+let person ?(extra = []) uid =
+  Entry.make
+    (dn (Printf.sprintf "uid=%s" uid))
+    ([ ("uid", Value.Str uid); (Schema.object_class, Value.Str "person") ] @ extra)
+
+let expect_violation name mk =
+  let s = person_schema () in
+  match Instance.add (Instance.empty s) (mk s) with
+  | exception Instance.Invalid _ -> ()
+  | _ -> Alcotest.failf "%s: expected a violation" name
+
+let test_validation_violations () =
+  (* rdn value must be among the entry's values *)
+  expect_violation "rdn not in values" (fun _ ->
+      Entry.make (dn "uid=zoe")
+        [ ("uid", Value.Str "notzoe"); (Schema.object_class, Value.Str "person") ]);
+  (* entries must belong to at least one class *)
+  expect_violation "no class" (fun _ ->
+      Entry.make (dn "uid=zoe") [ ("uid", Value.Str "zoe") ]);
+  (* classes must be declared *)
+  expect_violation "unknown class" (fun _ ->
+      Entry.make (dn "uid=zoe")
+        [ ("uid", Value.Str "zoe"); (Schema.object_class, Value.Str "robot") ]);
+  (* attributes must be allowed by some class of the entry *)
+  expect_violation "unknown attribute" (fun _ ->
+      person ~extra:[ ("ghost", Value.Str "boo") ] "zoe");
+  (* values must have the attribute's declared type *)
+  expect_violation "wrong type" (fun _ ->
+      person ~extra:[ ("age", Value.Str "old") ] "zoe")
+
+let test_duplicate_dn_rejected () =
+  let s = person_schema () in
+  let i = Instance.add (Instance.empty s) (person "zoe") in
+  match Instance.add i (person "zoe") with
+  | exception Instance.Invalid (Instance.Duplicate_dn _) -> ()
+  | _ -> Alcotest.fail "duplicate dn must be rejected"
+
+let test_multi_valued_attrs () =
+  let s = person_schema () in
+  let e =
+    Entry.make (dn "uid=zoe")
+      [
+        ("uid", Value.Str "zoe");
+        ("age", Value.Int 30);
+        ("age", Value.Int 31);
+        ("age", Value.Int 30);  (* duplicate pair collapses: val(r) is a set *)
+        (Schema.object_class, Value.Str "person");
+      ]
+  in
+  ignore (Instance.add (Instance.empty s) e);
+  Alcotest.(check (list int)) "multi-valued, set semantics" [ 30; 31 ]
+    (Entry.int_values e "age");
+  Alcotest.(check (list string)) "classes from objectClass" [ "person" ]
+    (Entry.classes e)
+
+(* --- Instance navigation -------------------------------------------------------- *)
+
+let test_navigation () =
+  let i = Dif_gen.karily ~fanout:3 ~size:40 () in
+  Alcotest.(check int) "size" 40 (Instance.size i);
+  Alcotest.(check (list string)) "roots" [ "dc=kroot" ]
+    (List.map (fun e -> Dn.to_string (Entry.dn e)) (Instance.roots i));
+  let root = dn "dc=kroot" in
+  Alcotest.(check int) "whole subtree" 40 (List.length (Instance.subtree i root));
+  let kids = Instance.children i root in
+  (* children of the root: ids 1..3 plus the root itself is excluded *)
+  Alcotest.(check int) "fanout children" 3
+    (List.length (List.filter (fun e -> not (Dn.equal (Entry.dn e) root)) kids));
+  (* subtree matches the predicate-based oracle *)
+  let base = Entry.dn (List.nth (Instance.to_list i) 5) in
+  let expected =
+    Instance.fold
+      (fun acc e ->
+        if Dn.is_self_or_descendant_of ~descendant:(Entry.dn e) ~ancestor:base
+        then e :: acc
+        else acc)
+      [] i
+    |> List.rev |> List.length
+  in
+  Alcotest.(check int) "subtree = oracle" expected
+    (List.length (Instance.subtree i base));
+  Alcotest.(check int) "validate clean" 0 (List.length (Instance.validate i))
+
+let test_generated_instances_valid () =
+  List.iter
+    (fun seed ->
+      let i =
+        Dif_gen.generate
+          ~params:{ Dif_gen.default_params with seed; size = 300 }
+          ()
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d valid" seed)
+        0
+        (List.length (Instance.validate i));
+      Alcotest.(check int) "requested size" 300 (Instance.size i))
+    [ 1; 2; 3; 99 ]
+
+let test_generator_deterministic () =
+  let gen () =
+    Dif_gen.generate ~params:{ Dif_gen.default_params with size = 150 } ()
+  in
+  let a = Instance.to_list (gen ()) and b = Instance.to_list (gen ()) in
+  Alcotest.(check bool) "same entries" true
+    (List.for_all2
+       (fun x y -> Entry.equal_dn x y && Entry.attrs x = Entry.attrs y)
+       a b)
+
+(* --- Std_schema --------------------------------------------------------------- *)
+
+let test_std_schema () =
+  let s = Std_schema.netscape_ds3 () in
+  Alcotest.(check bool) "inetOrgPerson declared" true
+    (Schema.has_class s "inetOrgPerson");
+  Alcotest.(check bool) "manager is dn-typed" true
+    (Schema.attr_type s "manager" = Some Value.T_dn);
+  (* classes compose without subclassing: inetOrgPerson + ntUser *)
+  let root = Dn.of_string "dc=example" in
+  let e =
+    Entry.make
+      (Dn.child root (Rdn.single "uid" (Value.Str "kim")))
+      [
+        ("uid", Value.Str "kim");
+        ("cn", Value.Str "kim lee");
+        ("sn", Value.Str "lee");
+        ("ntUserDomainId", Value.Str "EXAMPLE\\kim");
+        (Schema.object_class, Value.Str "inetOrgPerson");
+        (Schema.object_class, Value.Str "ntUser");
+      ]
+  in
+  let i =
+    Instance.of_entries s
+      [
+        Std_schema.dc_entry ~parent:Dn.root "example";
+        Std_schema.ou_entry ~parent:root "people";
+        e;
+        Std_schema.inet_org_person
+          ~parent:(Dn.of_string "ou=people, dc=example")
+          ~uid:"jo" ~cn:"jo doe" ~sn:"doe" ~mail:"jo@example.com" ();
+      ]
+  in
+  Alcotest.(check int) "multi-class entry validates" 0
+    (List.length (Instance.validate i));
+  Alcotest.(check (list string)) "both classes" [ "inetOrgPerson"; "ntUser" ]
+    (List.sort String.compare (Entry.classes e))
+
+(* --- Entry misc -------------------------------------------------------------------- *)
+
+let test_entry_accessors () =
+  let e =
+    Entry.make
+      (dn "id=1, dc=com")
+      [
+        ("id", Value.Int 1);
+        ("ref", Value.Dn (dn "dc=com"));
+        ("name", Value.Str "x");
+        (Schema.object_class, Value.Str "node");
+      ]
+  in
+  Alcotest.(check bool) "has_attr" true (Entry.has_attr e "ref");
+  Alcotest.(check bool) "has_pair" true (Entry.has_pair e "id" (Value.Int 1));
+  Alcotest.(check bool) "dn value" true
+    (Entry.dn_values e "ref" = [ dn "dc=com" ]);
+  Alcotest.(check bool) "byte size positive" true (Entry.byte_size e > 0);
+  Alcotest.(check bool) "key parent test" true
+    (Entry.key_parent_of
+       ~parent:(Entry.make (dn "dc=com") [ (Schema.object_class, Value.Str "node"); ("dc", Value.Str "com") ])
+       ~child:e)
+
+let () =
+  Alcotest.run "model"
+    [
+      ( "dn",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_dn_roundtrip;
+          Alcotest.test_case "empty and errors" `Quick test_dn_empty_and_errors;
+          Alcotest.test_case "untyped int values" `Quick test_dn_untyped_values;
+          Alcotest.test_case "multi-valued rdn sets" `Quick
+            test_multi_valued_rdn_normalization;
+          Alcotest.test_case "hierarchy predicates" `Quick test_hierarchy_predicates;
+          Alcotest.test_case "key injective across value types" `Quick
+            test_key_injective_across_types;
+        ] );
+      ( "order",
+        [
+          Testkit.qtest ~count:300 "ancestor sorts first" gen_dn
+            prop_ancestor_sorts_first;
+          Testkit.qtest ~count:300 "ancestor key is a prefix" gen_dn
+            prop_ancestor_key_prefix;
+          Testkit.qtest ~count:300 "total order"
+            (QCheck2.Gen.pair gen_dn gen_dn) prop_order_total;
+          Testkit.qtest ~count:300 "subtrees contiguous"
+            (QCheck2.Gen.triple gen_dn
+               (QCheck2.Gen.map (fun i -> Rdn.single "id" (Value.Int i))
+                  (QCheck2.Gen.int_range 0 5))
+               (QCheck2.Gen.map (fun i -> Rdn.single "id" (Value.Int i))
+                  (QCheck2.Gen.int_range 6 12)))
+            prop_subtree_contiguous;
+        ] );
+      ( "schema",
+        [ Alcotest.test_case "declarations" `Quick test_schema_declarations ] );
+      ( "instance",
+        [
+          Alcotest.test_case "violations of Def 3.2" `Quick
+            test_validation_violations;
+          Alcotest.test_case "duplicate dn" `Quick test_duplicate_dn_rejected;
+          Alcotest.test_case "multi-valued attributes" `Quick
+            test_multi_valued_attrs;
+          Alcotest.test_case "navigation" `Quick test_navigation;
+          Alcotest.test_case "generated instances valid" `Quick
+            test_generated_instances_valid;
+          Alcotest.test_case "generator deterministic" `Quick
+            test_generator_deterministic;
+          Alcotest.test_case "entry accessors" `Quick test_entry_accessors;
+          Alcotest.test_case "standard schema presets" `Quick test_std_schema;
+        ] );
+    ]
