@@ -4,7 +4,10 @@
 module Dir = Instance
 (* Bechamel's Toolkit shadows the directory [Instance] module below. *)
 
-open Bechamel
+(* This compilation unit is itself named [Bechamel], which shadows the
+   library's umbrella module; reach the library through its alias module
+   instead. *)
+open Bechamel__
 open Toolkit
 
 let size = 4_000

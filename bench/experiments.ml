@@ -21,8 +21,8 @@ let e1 () =
       let stats, pager = fresh_pager () in
       let l1, l2 = even_odd pager (karily ~fanout:4 ~size:n ()) in
       let n1 = Ext_list.length l1 and n2 = Ext_list.length l2 in
-      let _, io_p, _ = measure stats (fun () -> Hs_pc.parents l1 l2) in
-      let _, io_c, _ = measure stats (fun () -> Hs_pc.children l1 l2) in
+      let _, io_p, _ = measure ~size:n stats (fun () -> Hs_pc.parents l1 l2) in
+      let _, io_c, _ = measure ~size:n stats (fun () -> Hs_pc.children l1 l2) in
       let inp = pages n1 + pages n2 in
       row "%8d %8d %8d %10d %10d %12.2f %12.2f@." n n1 n2 io_p io_c
         (ratio io_p inp) (ratio io_c inp))
@@ -43,8 +43,8 @@ let e2 () =
         let stats, pager = fresh_pager () in
         let l1, l2 = even_odd pager instance in
         let inp = pages (Ext_list.length l1) + pages (Ext_list.length l2) in
-        let _, io_a, _ = measure stats (fun () -> Hs_ad.ancestors ~window l1 l2) in
-        let _, io_d, _ = measure stats (fun () -> Hs_ad.descendants ~window l1 l2) in
+        let _, io_a, _ = measure ~size:n stats (fun () -> Hs_ad.ancestors ~window l1 l2) in
+        let _, io_d, _ = measure ~size:n stats (fun () -> Hs_ad.descendants ~window l1 l2) in
         (shape, io_a, io_d, inp)
       in
       let shape, io_a, io_d, inp = run "bushy" (karily ~fanout:8 ~size:n ()) 2 in
@@ -76,8 +76,8 @@ let e3 () =
         pages (Ext_list.length l1) + pages (Ext_list.length l2)
         + pages (Ext_list.length l3)
       in
-      let _, io_ac, _ = measure stats (fun () -> Hs_adc.ancestors_c l1 l2 l3) in
-      let _, io_dc, _ = measure stats (fun () -> Hs_adc.descendants_c l1 l2 l3) in
+      let _, io_ac, _ = measure ~size:n stats (fun () -> Hs_adc.ancestors_c l1 l2 l3) in
+      let _, io_dc, _ = measure ~size:n stats (fun () -> Hs_adc.descendants_c l1 l2 l3) in
       row "%8d %8d %8d %8d %10d %10d %12.2f@." n (Ext_list.length l1)
         (Ext_list.length l2) (Ext_list.length l3) io_ac io_dc
         (ratio (io_ac + io_dc) (2 * inp)))
@@ -181,8 +181,8 @@ let e6 () =
           (fun acc e -> acc + List.length (Entry.dn_values e "ref"))
           0 nodes
       in
-      let _, io_dv, _ = measure stats (fun () -> Er.compute_dv all nodes "ref") in
-      let _, io_vd, _ = measure stats (fun () -> Er.compute_vd nodes all "ref") in
+      let _, io_dv, _ = measure ~size:n stats (fun () -> Er.compute_dv all nodes "ref") in
+      let _, io_vd, _ = measure ~size:n stats (fun () -> Er.compute_vd nodes all "ref") in
       let p = max 1 (pages (n + npairs)) in
       let logp = max 1 (int_of_float (ceil (log (float_of_int p) /. log 2.))) in
       row "%8d %4d %8d %10d %10d %14.2f@." n m npairs io_dv io_vd
@@ -207,7 +207,7 @@ let e7 () =
       let instance = karily ~fanout:4 ~size:n () in
       let eng = Engine.create ~block ~with_attr_index:false instance in
       Engine.reset_stats eng;
-      ignore (Engine.eval eng q);
+      ignore (Telemetry.with_stats ~size:n (Engine.stats eng) (fun () -> Engine.eval eng q));
       let stats = Engine.stats eng in
       row "%8d %6d %10d %12.2f %14d@." n (Ast.size q) (Io_stats.total_io stats)
         (ratio (Io_stats.total_io stats) (pages n))
@@ -236,7 +236,7 @@ let e8 () =
       in
       let eng = Engine.create ~block ~with_attr_index:false instance in
       Engine.reset_stats eng;
-      ignore (Engine.eval eng q);
+      ignore (Telemetry.with_stats ~size:n (Engine.stats eng) (fun () -> Engine.eval eng q));
       let io = Io_stats.total_io (Engine.stats eng) in
       let p = max 1 (pages n) in
       let logp = max 1. (log (float_of_int p) /. log 2.) in
@@ -259,9 +259,9 @@ let e9 () =
       let instance = karily ~fanout:4 ~size:n () in
       let stats, pager = fresh_pager () in
       let l1, l2 = even_odd pager instance in
-      let _, io_s, t_s = measure stats (fun () -> Hs_ad.descendants l1 l2) in
+      let _, io_s, t_s = measure ~size:n stats (fun () -> Hs_ad.descendants l1 l2) in
       let _, io_n, t_n =
-        measure stats (fun () -> Naive.compute_hier Ast.D l1 l2)
+        measure ~size:n stats (fun () -> Naive.compute_hier Ast.D l1 l2)
       in
       row "%8d %12d %12d %10.1f %14.4f %14.4f@." n io_s io_n (ratio io_n io_s)
         t_s t_n)
@@ -277,9 +277,9 @@ let e9 () =
       in
       let stats, pager = fresh_pager () in
       let all = Ext_list.of_list_resident pager (Instance.to_list instance) in
-      let _, io_s, _ = measure stats (fun () -> Er.compute_dv all all "ref") in
+      let _, io_s, _ = measure ~size:n stats (fun () -> Er.compute_dv all all "ref") in
       let _, io_n, _ =
-        measure stats (fun () -> Naive.compute_eref Ast.Dv all all "ref")
+        measure ~size:n stats (fun () -> Naive.compute_eref Ast.Dv all all "ref")
       in
       row "%8d %12d %12d %10.1f@." n io_s io_n (ratio io_n io_s))
     [ 256; 1_024; 4_096 ]
@@ -367,9 +367,9 @@ let e11 () =
       let l1 = select (fun e -> Entry.string_values e "surName" = [ "milo" ]) in
       let l2 = select (fun e -> Entry.int_values e "priority" = [ 7 ]) in
       let l3 = Instance.to_ext_list pager instance in
-      let direct, io_p, _ = measure stats (fun () -> Hs_pc.parents l1 l2) in
+      let direct, io_p, _ = measure ~size:n stats (fun () -> Hs_pc.parents l1 l2) in
       let rewritten, io_ac, _ =
-        measure stats (fun () -> Hs_adc.ancestors_c l1 l2 l3)
+        measure ~size:n stats (fun () -> Hs_adc.ancestors_c l1 l2 l3)
       in
       let a = Ext_list.to_list direct and b = Ext_list.to_list rewritten in
       row "%8d %8d %8d %10d %10d %11.1fx %10b@." n (Ext_list.length l1)
@@ -582,7 +582,7 @@ let e16 () =
   let run window =
     let stats, pager = fresh_pager () in
     let l1, l2 = even_odd pager instance in
-    let _, io, _ = measure stats (fun () -> Hs_ad.descendants ~window l1 l2) in
+    let _, io, _ = measure ~size:n stats (fun () -> Hs_ad.descendants ~window l1 l2) in
     io
   in
   let unbounded = run 4_096 (* window larger than any chain: no spills *) in
@@ -638,7 +638,7 @@ let e18 () =
       let stats = Io_stats.create () in
       let pager = Pager.create ~block:b stats in
       let l1, l2 = even_odd pager instance in
-      let _, io, _ = measure stats (fun () -> Hs_ad.descendants l1 l2) in
+      let _, io, _ = measure ~size:n stats (fun () -> Hs_ad.descendants l1 l2) in
       row "%8d %8d %12d %12d@." n b io (io * b))
     [ 8; 16; 32; 64; 128; 256 ]
 
@@ -788,9 +788,9 @@ let e22 () =
       in
       let stats, pager = fresh_pager () in
       let all = Ext_list.of_list_resident pager (Instance.to_list instance) in
-      let _, io_merge, _ = measure stats (fun () -> Er.compute_dv all all "ref") in
+      let _, io_merge, _ = measure ~size:n stats (fun () -> Er.compute_dv all all "ref") in
       let _, io_hash, _ =
-        measure stats (fun () -> Er_hash.compute_dv all all "ref")
+        measure ~size:n stats (fun () -> Er_hash.compute_dv all all "ref")
       in
       row "%8d %4d %12d %12d %12.2f@." n m io_merge io_hash
         (ratio io_hash io_merge))

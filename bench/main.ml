@@ -22,5 +22,6 @@ let () =
       | Some f -> f ()
       | None -> Fmt.epr "unknown experiment %S (e1..e15, bechamel)@." id)
     selected;
-  if run_micro then Bech.run ();
+  if run_micro then Bechamel.run ();
+  Telemetry.write "BENCH_results.json";
   Fmt.pr "@.done.@."

@@ -1,0 +1,62 @@
+(* Structured results for the experiment harness.
+
+   Every [Util.measure] call (and the explicit records in the
+   engine-level experiments) appends one row; [write] dumps them all as
+   a JSON array so the numbers behind EXPERIMENTS.md can be diffed and
+   plotted without scraping the pretty-printed tables. *)
+
+type row = {
+  id : string;  (* experiment id, e.g. "E1" *)
+  size : int option;  (* instance size N, when the experiment has one *)
+  reads : int;
+  writes : int;
+  wall_ns : int;
+  max_resident_pages : int;
+}
+
+let rows : row list ref = ref []
+let current = ref "startup"
+
+(* Keep just the experiment tag out of header ids like
+   "E1 (Thm 5.1, Fig 2)". *)
+let set_experiment id =
+  current := (match String.index_opt id ' ' with
+              | Some i -> String.sub id 0 i
+              | None -> id)
+
+let record ?size ~reads ~writes ~wall_ns ~max_resident_pages () =
+  rows :=
+    { id = !current; size; reads; writes; wall_ns; max_resident_pages }
+    :: !rows
+
+(* Snapshot [stats] around [f], timing it with the monotonic clock. *)
+let with_stats ?size stats f =
+  let reads0 = stats.Io_stats.page_reads
+  and writes0 = stats.Io_stats.page_writes in
+  let t0 = Mclock.now_ns () in
+  let r = f () in
+  let wall_ns = Mclock.now_ns () - t0 in
+  record ?size
+    ~reads:(stats.Io_stats.page_reads - reads0)
+    ~writes:(stats.Io_stats.page_writes - writes0)
+    ~wall_ns ~max_resident_pages:stats.Io_stats.max_resident_pages ();
+  (r, wall_ns)
+
+let row_json r =
+  Printf.sprintf
+    "{\"id\":\"%s\",\"size\":%s,\"reads\":%d,\"writes\":%d,\"wall_ns\":%d,\"max_resident_pages\":%d}"
+    r.id
+    (match r.size with Some n -> string_of_int n | None -> "null")
+    r.reads r.writes r.wall_ns r.max_resident_pages
+
+let write path =
+  let oc = open_out path in
+  output_string oc "[\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then output_string oc ",\n";
+      output_string oc ("  " ^ row_json r))
+    (List.rev !rows);
+  output_string oc "\n]\n";
+  close_out oc;
+  Fmt.pr "@.wrote %d result rows to %s@." (List.length !rows) path

@@ -3,6 +3,7 @@
 let block = 64
 
 let header ~id ~claim =
+  Telemetry.set_experiment id;
   Fmt.pr "@.%s@.%s  %s@.%s@." (String.make 78 '=') id claim (String.make 78 '-')
 
 let row fmt = Fmt.pr fmt
@@ -13,13 +14,12 @@ let fresh_pager () =
   let stats = Io_stats.create () in
   (stats, Pager.create ~block stats)
 
-(* Measure total I/O and wall-clock seconds of [f]. *)
-let measure stats f =
+(* Measure total I/O and wall-clock seconds of [f]; every measurement
+   also lands as a structured row in [Telemetry]. *)
+let measure ?size stats f =
   Io_stats.reset stats;
-  let t0 = Sys.time () in
-  let r = f () in
-  let dt = Sys.time () -. t0 in
-  (r, Io_stats.total_io stats, dt)
+  let r, wall_ns = Telemetry.with_stats ?size stats f in
+  (r, Io_stats.total_io stats, float_of_int wall_ns /. 1e9)
 
 (* Two disjoint lists spanning a karily instance (even/odd tags). *)
 let even_odd pager instance =

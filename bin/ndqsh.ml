@@ -61,7 +61,11 @@ let help () =
     \  :size            number of entries@,\
     \  :verbose         toggle printing full entries@,\
     \  :stats           show accumulated io counters@,\
+    \  :stats reset     reset io counters, metrics and traces@,\
     \  :reset           reset io counters@,\
+    \  :metrics [json]  show the metrics registry (text or JSON lines)@,\
+    \  :trace on|off    toggle span tracing of queries@,\
+    \  :trace last      show the span tree of the last traced query@,\
     \  :explain <query> estimated vs measured plan@,\
     \  :add <ldif>      add one entry (dn: ...; attr: value; ...)@,\
     \  :delete <dn>     delete a leaf entry ( :deltree for subtrees )@,\
@@ -89,22 +93,31 @@ let run_query st line =
   let eng = engine st in
   let schema = Directory.schema st.directory in
   try
-    if String.length line >= 5 && String.sub line 0 5 = "ldap:" then begin
-      let q = Ldap.of_string ~schema line in
-      (* evaluate via the L0 translation so the same engine serves it *)
-      let entries = Engine.eval_entries eng (Ldap.to_l0 q) in
-      show_result st entries
-    end
-    else begin
-      let q = Qparser.of_string ~schema line in
-      (match Lang.check q with
-      | Ok () -> ()
-      | Error errs ->
-          List.iter (fun e -> Fmt.pr "warning: %a@." Lang.pp_error e) errs);
-      Fmt.pr "[%s] " (Lang.level_to_string (Lang.level q));
-      let entries = Engine.eval_entries eng q in
-      show_result st entries
-    end
+    (* One root span per shell query: parse and execute become children,
+       so :trace last shows the full pipeline. *)
+    Trace.with_span ~detail:line ~stats:(Engine.stats eng) "query" (fun () ->
+        if String.length line >= 5 && String.sub line 0 5 = "ldap:" then begin
+          let q =
+            Trace.with_span ~detail:line "parse" (fun () ->
+                Ldap.of_string ~schema line)
+          in
+          (* evaluate via the L0 translation so the same engine serves it *)
+          let entries = Engine.eval_entries eng (Ldap.to_l0 q) in
+          show_result st entries
+        end
+        else begin
+          let q =
+            Trace.with_span ~detail:line "parse" (fun () ->
+                Qparser.of_string ~schema line)
+          in
+          (match Lang.check q with
+          | Ok () -> ()
+          | Error errs ->
+              List.iter (fun e -> Fmt.pr "warning: %a@." Lang.pp_error e) errs);
+          Fmt.pr "[%s] " (Lang.level_to_string (Lang.level q));
+          let entries = Engine.eval_entries eng q in
+          show_result st entries
+        end)
   with
   | Qparser.Parse_error m -> Fmt.pr "parse error: %s@." m
   | Ldap.Parse_error m -> Fmt.pr "ldap parse error: %s@." m
@@ -126,10 +139,30 @@ let run_command st line =
   | ":verbose" :: _ ->
       st.verbose <- not st.verbose;
       Fmt.pr "verbose = %b@." st.verbose
+  | ":stats" :: "reset" :: _ ->
+      Engine.reset_stats (engine st);
+      Metrics.reset Metrics.default;
+      Trace.clear ();
+      Fmt.pr "io counters, metrics and traces reset@."
   | ":stats" :: _ -> Fmt.pr "%a@." Io_stats.pp (Engine.stats (engine st))
   | ":reset" :: _ ->
       Engine.reset_stats (engine st);
       Fmt.pr "counters reset@."
+  | ":metrics" :: "json" :: _ -> print_string (Metrics.to_json_lines Metrics.default)
+  | ":metrics" :: _ -> Fmt.pr "%a" Metrics.pp Metrics.default
+  | ":trace" :: "on" :: _ ->
+      Trace.set_enabled true;
+      Fmt.pr "tracing on@."
+  | ":trace" :: "off" :: _ ->
+      Trace.set_enabled false;
+      Fmt.pr "tracing off@."
+  | ":trace" :: "last" :: _ -> (
+      match Trace.last () with
+      | Some span -> Fmt.pr "%a@." Trace.pp_span span
+      | None -> Fmt.pr "no trace recorded (try :trace on, then a query)@.")
+  | ":trace" :: _ ->
+      Fmt.pr "tracing is %s (usage: :trace on|off|last)@."
+        (if Trace.enabled () then "on" else "off")
   | ":entry" :: rest -> (
       let dn_text = String.concat " " rest in
       match Instance.find instance (parse_dn st dn_text) with

@@ -100,6 +100,17 @@ module Dist = Dist
 module Replicated = Replicated
 (** Primary/secondary replication of domain partitions (Section 3.3). *)
 
+(** {1 Observability} *)
+
+module Metrics = Metrics
+(** Process-wide registry of counters, gauges and latency histograms. *)
+
+module Trace = Trace
+(** Per-query span trees (wall-clock + I/O deltas), recent-trace ring. *)
+
+module Mclock = Mclock
+(** Nanosecond clock and duration formatting. *)
+
 (** {1 External-memory substrate} *)
 
 module Io_stats = Io_stats

@@ -123,28 +123,49 @@ let involved_servers t (a : Ast.atomic) =
 
 let query_bytes q = String.length (Qprinter.to_string (Ast.Atomic q))
 
+(* Cross-server traffic also feeds the process-wide metrics registry,
+   labeled by the answering server, so the shipping profile survives
+   across queries and coordinators. *)
+let m_messages server =
+  Metrics.counter ~help:"messages shipped between directory servers"
+    ~labels:[ ("server", server) ]
+    "dist_messages_total"
+
+let m_bytes server =
+  Metrics.counter ~help:"payload bytes shipped between directory servers"
+    ~labels:[ ("server", server) ]
+    "dist_bytes_shipped_total"
+
+let ship t server ~bytes =
+  Io_stats.message ~bytes t.stats;
+  Metrics.incr (m_messages server.name);
+  Metrics.add (m_bytes server.name) bytes
+
 let eval_atomic t (a : Ast.atomic) =
   let shards =
     List.map
       (fun s ->
-        let local = Dn.equal s.domain t.home.domain in
-        if not local then
-          (* Ship the atomic query out and the result back. *)
-          Io_stats.message ~bytes:(query_bytes a) t.stats;
-        let result = Engine.eval s.engine (Ast.Atomic a) in
-        let entries = Ext_list.to_list result in
-        if not local then
-          Io_stats.message
-            ~bytes:(List.fold_left (fun n e -> n + Entry.byte_size e) 0 entries)
-            t.stats;
-        (* Materialize the shipped list at the coordinator. *)
-        Ext_list.materialize t.pager (Array.of_list entries))
+        (* One child span per involved server, remote or not. *)
+        Trace.with_span ~detail:s.name ~stats:t.stats "ship" (fun () ->
+            let local = Dn.equal s.domain t.home.domain in
+            if not local then
+              (* Ship the atomic query out and the result back. *)
+              ship t s ~bytes:(query_bytes a);
+            let result = Engine.eval s.engine (Ast.Atomic a) in
+            let entries = Ext_list.to_list result in
+            if not local then
+              ship t s
+                ~bytes:
+                  (List.fold_left (fun n e -> n + Entry.byte_size e) 0 entries);
+            (* Materialize the shipped list at the coordinator. *)
+            Ext_list.materialize t.pager (Array.of_list entries)))
       (involved_servers t a)
   in
   (* Merge the sorted shards (pairwise unions). *)
-  match shards with
-  | [] -> Ext_list.materialize t.pager [||]
-  | first :: rest -> List.fold_left Bool_ops.or_ first rest
+  Trace.with_span ~stats:t.stats "combine" (fun () ->
+      match shards with
+      | [] -> Ext_list.materialize t.pager [||]
+      | first :: rest -> List.fold_left Bool_ops.or_ first rest)
 
 (* Bottom-up evaluation with remote atomic queries and local operators. *)
 let rec eval t (q : Ast.t) =

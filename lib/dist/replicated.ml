@@ -106,12 +106,31 @@ let apply_to directory = function
   | Delete_subtree d -> Directory.delete ~subtree:true directory d
   | Modify (d, mods) -> Directory.modify directory d mods
 
+(* Replication traffic also feeds the metrics registry, labeled per
+   replica group, so update/replication load is visible in [:metrics]
+   alongside the query-side counters. *)
+let m_updates domain =
+  Metrics.counter ~help:"updates accepted by primaries"
+    ~labels:[ ("domain", Dn.to_string domain) ]
+    "repl_updates_total"
+
+let m_messages domain =
+  Metrics.counter ~help:"replication messages pushed to secondaries"
+    ~labels:[ ("domain", Dn.to_string domain) ]
+    "repl_messages_total"
+
+let m_lost domain =
+  Metrics.counter ~help:"updates lost at failover"
+    ~labels:[ ("domain", Dn.to_string domain) ]
+    "repl_lost_updates_total"
+
 (* Route an update to the owning primary; on success it is appended to
    the group's replication log. *)
 let update t u =
   let g = group_of t (update_dn u) in
   (* client -> primary *)
   Io_stats.message ~bytes:(update_bytes u) t.stats;
+  Metrics.incr (m_updates g.domain);
   match apply_to g.primary.directory u with
   | Ok () ->
       g.log <- u :: g.log;
@@ -132,21 +151,24 @@ let replicate_group t g =
   List.iter
     (fun r ->
       let pending = lag g r in
-      if pending > 0 then begin
-        let to_apply =
-          (* log is newest-first: take the pending prefix, oldest first *)
-          List.filteri (fun i _ -> i < pending) g.log |> List.rev
-        in
-        List.iter
-          (fun u ->
-            Io_stats.message ~bytes:(update_bytes u) t.stats;
-            match apply_to r.directory u with
-            | Ok () -> r.applied <- r.applied + 1
-            | Error e ->
-                Fmt.failwith "replication divergence at %s: %a" r.replica_name
-                  Directory.pp_error e)
-          to_apply
-      end)
+      if pending > 0 then
+        (* one span per secondary pushed to *)
+        Trace.with_span ~detail:r.replica_name ~stats:t.stats "replicate"
+          (fun () ->
+            let to_apply =
+              (* log is newest-first: take the pending prefix, oldest first *)
+              List.filteri (fun i _ -> i < pending) g.log |> List.rev
+            in
+            List.iter
+              (fun u ->
+                Io_stats.message ~bytes:(update_bytes u) t.stats;
+                Metrics.incr (m_messages g.domain);
+                match apply_to r.directory u with
+                | Ok () -> r.applied <- r.applied + 1
+                | Error e ->
+                    Fmt.failwith "replication divergence at %s: %a"
+                      r.replica_name Directory.pp_error e)
+              to_apply))
     g.secondaries
 
 let replicate t = List.iter (replicate_group t) t.groups
@@ -172,6 +194,7 @@ let fail_primary t domain =
   | [] -> raise (No_secondary domain)
   | best :: rest ->
       let lost = g.log_length - best.applied in
+      Metrics.add (m_lost g.domain) lost;
       g.primary <- best;
       g.secondaries <- rest;
       (* drop the lost suffix (newest entries) *)

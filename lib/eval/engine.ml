@@ -115,26 +115,49 @@ let eval_atomic t (a : Ast.atomic) =
 
 (* --- Query trees --------------------------------------------------------- *)
 
-let rec eval t (q : Ast.t) =
+(* Span labels for the tracer: one span per operator in the query tree. *)
+let span_label : Ast.t -> string = function
+  | Ast.Atomic _ -> "atomic"
+  | Ast.And _ -> "&"
+  | Ast.Or _ -> "|"
+  | Ast.Diff _ -> "-"
+  | Ast.Hier (op, _, _, _) -> Qprinter.hier_op_to_string op
+  | Ast.Hier3 (op, _, _, _, _) -> Qprinter.hier_op3_to_string op
+  | Ast.Gsel _ -> "g"
+  | Ast.Eref (op, _, _, _, _) -> Qprinter.ref_op_to_string op
+
+let span_detail : Ast.t -> string = function
+  | Ast.Atomic a -> Afilter.to_string a.Ast.filter
+  | _ -> ""
+
+let rec eval_node t (q : Ast.t) =
+  Trace.with_span
+    ~detail:(span_detail q)
+    ~stats:(stats t) (span_label q)
+    (fun () -> eval_op t q)
+
+and eval_op t (q : Ast.t) =
   match q with
   | Ast.Atomic a -> eval_atomic t a
   | Ast.And (q1, q2) ->
-      apply_bool t `And (eval t q1) (eval t q2)
-  | Ast.Or (q1, q2) -> apply_bool t `Or (eval t q1) (eval t q2)
-  | Ast.Diff (q1, q2) -> apply_bool t `Diff (eval t q1) (eval t q2)
+      apply_bool t `And (eval_node t q1) (eval_node t q2)
+  | Ast.Or (q1, q2) -> apply_bool t `Or (eval_node t q1) (eval_node t q2)
+  | Ast.Diff (q1, q2) -> apply_bool t `Diff (eval_node t q1) (eval_node t q2)
   | Ast.Hier (op, q1, q2, agg) -> (
-      let l1 = eval t q1 and l2 = eval t q2 in
+      let l1 = eval_node t q1 and l2 = eval_node t q2 in
       match t.algorithms with
       | Stack_based -> Hs_agg.compute_hier ~window:t.window ?agg op l1 l2
       | Naive_nested_loop -> naive_hier op agg l1 l2)
   | Ast.Hier3 (op, q1, q2, q3, agg) -> (
-      let l1 = eval t q1 and l2 = eval t q2 and l3 = eval t q3 in
+      let l1 = eval_node t q1
+      and l2 = eval_node t q2
+      and l3 = eval_node t q3 in
       match t.algorithms with
       | Stack_based -> Hs_agg.compute_hier3 ~window:t.window ?agg op l1 l2 l3
       | Naive_nested_loop -> naive_hier3 op agg l1 l2 l3)
-  | Ast.Gsel (q1, f) -> Simple_agg.compute f (eval t q1)
+  | Ast.Gsel (q1, f) -> Simple_agg.compute f (eval_node t q1)
   | Ast.Eref (op, q1, q2, attr, agg) -> (
-      let l1 = eval t q1 and l2 = eval t q2 in
+      let l1 = eval_node t q1 and l2 = eval_node t q2 in
       match t.algorithms with
       | Stack_based -> Er.compute ?agg op l1 l2 attr
       | Naive_nested_loop -> naive_eref op agg l1 l2 attr)
@@ -163,6 +186,44 @@ and naive_eref op agg l1 l2 attr =
   match agg with
   | None -> Naive.compute_eref op l1 l2 attr
   | Some _ -> Er.compute ?agg op l1 l2 attr
+
+(* Top-level entry point: one "execute" span per query tree (with one
+   child span per operator, when tracing is on) plus process-wide
+   metrics, so cross-query aggregates survive after individual traces
+   are evicted. *)
+
+let m_queries =
+  Metrics.counter ~help:"query trees evaluated" "engine_queries_total"
+
+let m_latency =
+  Metrics.histogram ~help:"wall-clock nanoseconds per query tree"
+    "engine_query_ns"
+
+let m_reads =
+  Metrics.counter ~help:"pages read while evaluating queries"
+    "engine_page_reads_total"
+
+let m_writes =
+  Metrics.counter ~help:"pages written while evaluating queries"
+    "engine_page_writes_total"
+
+let query_detail q =
+  let s = Qprinter.to_string q in
+  if String.length s > 60 then String.sub s 0 59 ^ "…" else s
+
+let eval t q =
+  let s = stats t in
+  let reads0 = s.Io_stats.page_reads and writes0 = s.Io_stats.page_writes in
+  let t0 = Mclock.now_ns () in
+  let detail = if Trace.enabled () then query_detail q else "" in
+  let out =
+    Trace.with_span ~detail ~stats:s "execute" (fun () -> eval_node t q)
+  in
+  Metrics.incr m_queries;
+  Metrics.observe_ns m_latency (Mclock.now_ns () - t0);
+  Metrics.add m_reads (s.Io_stats.page_reads - reads0);
+  Metrics.add m_writes (s.Io_stats.page_writes - writes0);
+  out
 
 let eval_entries t q = Ext_list.to_list (eval t q)
 
@@ -207,5 +268,8 @@ let eval_paged t ?(page_size = 100) ?cookie q =
 
 (* Parse-and-run convenience for the shell and examples. *)
 let eval_string t s =
-  let q = Qparser.of_string ~schema:(Instance.schema t.instance) s in
+  let q =
+    Trace.with_span ~detail:s "parse" (fun () ->
+        Qparser.of_string ~schema:(Instance.schema t.instance) s)
+  in
   (q, eval_entries t q)

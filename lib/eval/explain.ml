@@ -16,6 +16,7 @@ type node = {
   est_io : int;
   actual_rows : int option;
   actual_io : int option;
+  actual_ns : int option;  (* wall-clock, excluding children *)
   children : node list;
 }
 
@@ -60,6 +61,7 @@ let rec estimate_node engine (q : Ast.t) =
         est_io = 1 + pages pager scope_size + pages pager est_rows;
         actual_rows = None;
         actual_io = None;
+        actual_ns = None;
         children = [];
       }
   | Ast.And (q1, q2) -> binary engine "&" q1 q2 (fun n1 n2 -> min n1 n2 / 2)
@@ -79,6 +81,7 @@ let rec estimate_node engine (q : Ast.t) =
           + pages pager c1.est_rows + pages pager est_rows;
         actual_rows = None;
         actual_io = None;
+        actual_ns = None;
         children = [ c1; c2 ];
       }
   | Ast.Hier3 (op, q1, q2, q3, agg) ->
@@ -96,6 +99,7 @@ let rec estimate_node engine (q : Ast.t) =
           + pages pager est_rows;
         actual_rows = None;
         actual_io = None;
+        actual_ns = None;
         children = [ c1; c2; c3 ];
       }
   | Ast.Gsel (q1, f) ->
@@ -109,6 +113,7 @@ let rec estimate_node engine (q : Ast.t) =
         est_io = (scans * pages pager c1.est_rows) + pages pager est_rows;
         actual_rows = None;
         actual_io = None;
+        actual_ns = None;
         children = [ c1 ];
       }
   | Ast.Eref (op, q1, q2, attr, agg) ->
@@ -129,6 +134,7 @@ let rec estimate_node engine (q : Ast.t) =
           + pages pager est_rows;
         actual_rows = None;
         actual_io = None;
+        actual_ns = None;
         children = [ c1; c2 ];
       }
 
@@ -146,6 +152,7 @@ and binary engine label q1 q2 rows =
       + Pager.pages_of pager est_rows;
     actual_rows = None;
     actual_io = None;
+    actual_ns = None;
     children = [ c1; c2 ];
   }
 
@@ -157,21 +164,29 @@ let estimate engine q = estimate_node engine q
 
 (* --- Profiled execution ---------------------------------------------------- *)
 
-(* Evaluate bottom-up, attributing the I/O of each operator (excluding
-   its children) to its plan node. *)
+(* Evaluate bottom-up, attributing the I/O and wall-clock time of each
+   operator (excluding its children) to its plan node. *)
 let profile engine q =
   let stats = Engine.stats engine in
+  (* measure [f], annotating [est] with actual rows / io / ns *)
+  let measured est children f =
+    let before = Io_stats.total_io stats in
+    let t0 = Mclock.now_ns () in
+    let out = f () in
+    let ns = Mclock.now_ns () - t0 in
+    ( out,
+      {
+        est with
+        actual_rows = Some (Ext_list.length out);
+        actual_io = Some (Io_stats.total_io stats - before);
+        actual_ns = Some ns;
+        children;
+      } )
+  in
   let rec go (q : Ast.t) (est : node) =
     match (q, est.children) with
-    | Ast.Atomic _, _ ->
-        let before = Io_stats.total_io stats in
-        let out = Engine.eval engine q in
-        ( out,
-          {
-            est with
-            actual_rows = Some (Ext_list.length out);
-            actual_io = Some (Io_stats.total_io stats - before);
-          } )
+    | Ast.Atomic a, _ ->
+        measured est est.children (fun () -> Engine.eval_atomic engine a)
     | Ast.And (q1, q2), [ e1; e2 ] -> binop Bool_ops.and_ q1 q2 e1 e2 est
     | Ast.Or (q1, q2), [ e1; e2 ] -> binop Bool_ops.or_ q1 q2 e1 e2 est
     | Ast.Diff (q1, q2), [ e1; e2 ] -> binop Bool_ops.diff q1 q2 e1 e2 est
@@ -181,52 +196,37 @@ let profile engine q =
         let l1, n1 = go q1 e1 in
         let l2, n2 = go q2 e2 in
         let l3, n3 = go q3 e3 in
-        let before = Io_stats.total_io stats in
-        let out = Hs_agg.compute_hier3 ?agg op l1 l2 l3 in
-        ( out,
-          {
-            est with
-            actual_rows = Some (Ext_list.length out);
-            actual_io = Some (Io_stats.total_io stats - before);
-            children = [ n1; n2; n3 ];
-          } )
+        measured est [ n1; n2; n3 ] (fun () ->
+            Hs_agg.compute_hier3 ?agg op l1 l2 l3)
     | Ast.Gsel (q1, f), [ e1 ] ->
         let l1, n1 = go q1 e1 in
-        let before = Io_stats.total_io stats in
-        let out = Simple_agg.compute f l1 in
-        ( out,
-          {
-            est with
-            actual_rows = Some (Ext_list.length out);
-            actual_io = Some (Io_stats.total_io stats - before);
-            children = [ n1 ];
-          } )
+        measured est [ n1 ] (fun () -> Simple_agg.compute f l1)
     | Ast.Eref (op, q1, q2, attr, agg), [ e1; e2 ] ->
         binop (fun l1 l2 -> Er.compute ?agg op l1 l2 attr) q1 q2 e1 e2 est
     | _ -> assert false
   and binop f q1 q2 e1 e2 est =
     let l1, n1 = go q1 e1 in
     let l2, n2 = go q2 e2 in
-    let before = Io_stats.total_io stats in
-    let out = f l1 l2 in
-    ( out,
-      {
-        est with
-        actual_rows = Some (Ext_list.length out);
-        actual_io = Some (Io_stats.total_io stats - before);
-        children = [ n1; n2 ];
-      } )
+    measured est [ n1; n2 ] (fun () -> f l1 l2)
   in
-  let result, annotated = go q (estimate engine q) in
+  let est =
+    Trace.with_span ~stats "plan" (fun () -> estimate engine q)
+  in
+  let result, annotated =
+    Trace.with_span ~stats "profile" (fun () -> go q est)
+  in
   (result, annotated)
 
 (* --- Rendering --------------------------------------------------------------- *)
 
 let rec pp_node ppf (n : node) =
   let opt = function None -> "-" | Some v -> string_of_int v in
-  Fmt.pf ppf "@[<v2>%s%s  [rows est=%d got=%s | io est=%d got=%s]%a@]" n.label
+  let time = function None -> "-" | Some ns -> Mclock.ns_to_string ns in
+  Fmt.pf ppf "@[<v2>%s%s  [rows est=%d got=%s | io est=%d got=%s | t=%s]%a@]"
+    n.label
     (if n.detail = "" then "" else " " ^ n.detail)
     n.est_rows (opt n.actual_rows) n.est_io (opt n.actual_io)
+    (time n.actual_ns)
     (fun ppf children ->
       List.iter (fun c -> Fmt.pf ppf "@,%a" pp_node c) children)
     n.children
@@ -236,5 +236,12 @@ let pp ppf n = Fmt.pf ppf "%a@." pp_node n
 let total_actual_io n =
   let rec sum n =
     Option.value ~default:0 n.actual_io + List.fold_left (fun a c -> a + sum c) 0 n.children
+  in
+  sum n
+
+let total_actual_ns n =
+  let rec sum n =
+    Option.value ~default:0 n.actual_ns
+    + List.fold_left (fun a c -> a + sum c) 0 n.children
   in
   sum n

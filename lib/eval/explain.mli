@@ -13,6 +13,7 @@ type node = {
   est_io : int;
   actual_rows : int option;
   actual_io : int option;
+  actual_ns : int option;  (** wall-clock nanoseconds, excluding children *)
   children : node list;
 }
 
@@ -20,11 +21,15 @@ val estimate : Engine.t -> Ast.t -> node
 (** Predicted plan, no execution. *)
 
 val profile : Engine.t -> Ast.t -> Entry.t Ext_list.t * node
-(** Execute the query, attributing actual rows and I/O to each
-    operator (children's costs excluded from their parents). *)
+(** Execute the query, attributing actual rows, I/O and wall-clock time
+    to each operator (children's costs excluded from their parents).
+    When tracing is on, also records "plan" and "profile" spans. *)
 
 val pp_node : Format.formatter -> node -> unit
 val pp : Format.formatter -> node -> unit
 
 val total_actual_io : node -> int
 (** Sum of the per-operator actual I/O over the whole plan. *)
+
+val total_actual_ns : node -> int
+(** Sum of the per-operator wall-clock time over the whole plan. *)

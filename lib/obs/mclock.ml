@@ -1,0 +1,24 @@
+(* A nanosecond clock for the observability layer.
+
+   [Unix.gettimeofday] is wall-clock and can jump backwards (NTP); the
+   instrumentation that consumes these timestamps subtracts pairs of
+   them, so we clamp the reading to be non-decreasing within the
+   process.  Resolution is microseconds, which is ample for the
+   operator-level spans this layer measures. *)
+
+let last = ref 0
+
+let now_ns () =
+  let t = int_of_float (Unix.gettimeofday () *. 1e9) in
+  let t = if t > !last then t else !last in
+  last := t;
+  t
+
+(* Render a nanosecond duration with an adaptive unit. *)
+let pp_ns ppf ns =
+  if ns < 1_000 then Fmt.pf ppf "%dns" ns
+  else if ns < 1_000_000 then Fmt.pf ppf "%.1fus" (float_of_int ns /. 1e3)
+  else if ns < 1_000_000_000 then Fmt.pf ppf "%.2fms" (float_of_int ns /. 1e6)
+  else Fmt.pf ppf "%.2fs" (float_of_int ns /. 1e9)
+
+let ns_to_string ns = Fmt.str "%a" pp_ns ns

@@ -1,0 +1,12 @@
+(** Nanosecond timestamps for spans and latency histograms.
+
+    Backed by [Unix.gettimeofday], clamped to be non-decreasing within
+    the process so span durations are never negative. *)
+
+val now_ns : unit -> int
+(** Current time in nanoseconds since the epoch (non-decreasing). *)
+
+val pp_ns : Format.formatter -> int -> unit
+(** Render a duration with an adaptive unit (ns / us / ms / s). *)
+
+val ns_to_string : int -> string

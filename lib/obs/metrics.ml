@@ -1,0 +1,260 @@
+(* A process-wide metrics registry: named, labeled counters, gauges and
+   log-scale histograms, with text and JSON-lines exporters.
+
+   Zero dependencies beyond the stdlib by design: the registry is a
+   hashtable of metric families, each holding one series per label set.
+   Histograms bucket observations by powers of two (64 buckets cover
+   everything from 1 to ~9e18, i.e. sub-nanosecond to centuries when
+   observations are nanoseconds), so quantile estimates carry at most a
+   factor-of-two bucketing error — plenty for the order-of-magnitude
+   questions this layer answers.  Handles returned by {!counter},
+   {!gauge} and {!histogram} stay valid across {!reset}: resetting
+   zeroes series in place rather than dropping them. *)
+
+type labels = (string * string) list
+
+let normalize labels =
+  List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) labels
+
+(* --- Series ---------------------------------------------------------------- *)
+
+let hbuckets = 64
+
+type histogram = {
+  buckets : int array;  (* buckets.(i): observations in [2^i, 2^(i+1)) *)
+  mutable hcount : int;
+  mutable hsum : float;
+  mutable hmin : float;
+  mutable hmax : float;
+}
+
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type series = C of counter | G of gauge | H of histogram
+
+type metric = {
+  mname : string;
+  help : string;
+  kind : string;  (* "counter" | "gauge" | "histogram" *)
+  series : (labels, series) Hashtbl.t;
+}
+
+type t = { tbl : (string, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 32 }
+let default = create ()
+
+let family registry ~kind ~help name =
+  match Hashtbl.find_opt registry.tbl name with
+  | Some m ->
+      if m.kind <> kind then
+        invalid_arg
+          (Printf.sprintf "Metrics: %s already registered as a %s" name m.kind);
+      m
+  | None ->
+      let m = { mname = name; help; kind; series = Hashtbl.create 4 } in
+      Hashtbl.replace registry.tbl name m;
+      m
+
+let series_of m labels mk =
+  let labels = normalize labels in
+  match Hashtbl.find_opt m.series labels with
+  | Some s -> s
+  | None ->
+      let s = mk () in
+      Hashtbl.replace m.series labels s;
+      s
+
+(* --- Counters ---------------------------------------------------------------- *)
+
+let counter ?(registry = default) ?(help = "") ?(labels = []) name =
+  let m = family registry ~kind:"counter" ~help name in
+  match series_of m labels (fun () -> C { c = 0 }) with
+  | C c -> c
+  | G _ | H _ -> assert false
+
+let add c n = c.c <- c.c + n
+let incr c = add c 1
+let counter_value c = c.c
+
+(* --- Gauges ------------------------------------------------------------------- *)
+
+let gauge ?(registry = default) ?(help = "") ?(labels = []) name =
+  let m = family registry ~kind:"gauge" ~help name in
+  match series_of m labels (fun () -> G { g = 0. }) with
+  | G g -> g
+  | C _ | H _ -> assert false
+
+let set g v = g.g <- v
+let gauge_value g = g.g
+
+(* --- Histograms ----------------------------------------------------------------- *)
+
+let histogram ?(registry = default) ?(help = "") ?(labels = []) name =
+  let m = family registry ~kind:"histogram" ~help name in
+  let mk () =
+    H
+      {
+        buckets = Array.make hbuckets 0;
+        hcount = 0;
+        hsum = 0.;
+        hmin = infinity;
+        hmax = neg_infinity;
+      }
+  in
+  match series_of m labels mk with
+  | H h -> h
+  | C _ | G _ -> assert false
+
+let bucket_index v =
+  if v < 1. then 0
+  else min (hbuckets - 1) (int_of_float (Float.log2 v))
+
+let observe h v =
+  let v = Float.max v 0. in
+  h.buckets.(bucket_index v) <- h.buckets.(bucket_index v) + 1;
+  h.hcount <- h.hcount + 1;
+  h.hsum <- h.hsum +. v;
+  if v < h.hmin then h.hmin <- v;
+  if v > h.hmax then h.hmax <- v
+
+let observe_ns h ns = observe h (float_of_int ns)
+
+let histogram_count h = h.hcount
+let histogram_sum h = h.hsum
+
+(* Quantile estimate: find the bucket holding the rank, interpolate
+   linearly inside it, clamp to the observed min/max. *)
+let quantile h q =
+  if h.hcount = 0 then 0.
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int h.hcount))) in
+    let rec go i cum =
+      if i >= hbuckets then h.hmax
+      else
+        let c = h.buckets.(i) in
+        if cum + c >= rank then begin
+          let lo = if i = 0 then 0. else ldexp 1. i in
+          let hi = ldexp 1. (i + 1) in
+          let frac = float_of_int (rank - cum) /. float_of_int c in
+          Float.min h.hmax (Float.max h.hmin (lo +. (frac *. (hi -. lo))))
+        end
+        else go (i + 1) (cum + c)
+    in
+    go 0 0
+  end
+
+(* --- Reset ------------------------------------------------------------------------ *)
+
+let reset_series = function
+  | C c -> c.c <- 0
+  | G g -> g.g <- 0.
+  | H h ->
+      Array.fill h.buckets 0 hbuckets 0;
+      h.hcount <- 0;
+      h.hsum <- 0.;
+      h.hmin <- infinity;
+      h.hmax <- neg_infinity
+
+let reset registry =
+  Hashtbl.iter
+    (fun _ m -> Hashtbl.iter (fun _ s -> reset_series s) m.series)
+    registry.tbl
+
+(* --- Exporters ---------------------------------------------------------------------- *)
+
+let sorted_families registry =
+  Hashtbl.fold (fun _ m acc -> m :: acc) registry.tbl []
+  |> List.sort (fun a b -> String.compare a.mname b.mname)
+
+let sorted_series m =
+  Hashtbl.fold (fun labels s acc -> (labels, s) :: acc) m.series []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let pp_labels ppf = function
+  | [] -> ()
+  | labels ->
+      Fmt.pf ppf "{%a}"
+        (Fmt.list ~sep:(Fmt.any ",") (fun ppf (k, v) ->
+             Fmt.pf ppf "%s=%S" k v))
+        labels
+
+let finite v = if Float.is_finite v then v else 0.
+
+let pp ppf registry =
+  List.iter
+    (fun m ->
+      if m.help <> "" then Fmt.pf ppf "# %s: %s@." m.mname m.help;
+      List.iter
+        (fun (labels, s) ->
+          match s with
+          | C c -> Fmt.pf ppf "%s%a %d@." m.mname pp_labels labels c.c
+          | G g -> Fmt.pf ppf "%s%a %g@." m.mname pp_labels labels g.g
+          | H h ->
+              Fmt.pf ppf
+                "%s%a count=%d sum=%g min=%g p50=%g p90=%g p99=%g max=%g@."
+                m.mname pp_labels labels h.hcount h.hsum (finite h.hmin)
+                (quantile h 0.5) (quantile h 0.9) (quantile h 0.99)
+                (finite h.hmax))
+        (sorted_series m))
+    (sorted_families registry)
+
+(* Minimal JSON string escaping (quotes, backslashes, control chars). *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_labels labels =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+         labels)
+  ^ "}"
+
+let json_num v = Printf.sprintf "%.17g" (finite v)
+
+(* One JSON object per line per series. *)
+let to_json_lines registry =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (labels, s) ->
+          let head =
+            Printf.sprintf "{\"name\":\"%s\",\"type\":\"%s\",\"labels\":%s"
+              (json_escape m.mname) m.kind (json_labels labels)
+          in
+          (match s with
+          | C c -> Buffer.add_string b (Printf.sprintf "%s,\"value\":%d}" head c.c)
+          | G g ->
+              Buffer.add_string b
+                (Printf.sprintf "%s,\"value\":%s}" head (json_num g.g))
+          | H h ->
+              Buffer.add_string b
+                (Printf.sprintf
+                   "%s,\"count\":%d,\"sum\":%s,\"min\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s,\"max\":%s}"
+                   head h.hcount (json_num h.hsum) (json_num h.hmin)
+                   (json_num (quantile h 0.5))
+                   (json_num (quantile h 0.9))
+                   (json_num (quantile h 0.99))
+                   (json_num h.hmax)));
+          Buffer.add_char b '\n')
+        (sorted_series m))
+    (sorted_families registry);
+  Buffer.contents b

@@ -1,0 +1,58 @@
+(** Process-wide metrics registry: labeled counters, gauges and
+    log-scale latency histograms, with text and JSON-lines exporters.
+
+    Families are keyed by name, series by (sorted) label sets.  Handles
+    stay valid across {!reset}, which zeroes series in place.  All
+    implementations are stdlib-only; histograms use 64 power-of-two
+    buckets, so quantiles carry at most a factor-of-two bucketing
+    error. *)
+
+type labels = (string * string) list
+
+type t
+(** A registry. *)
+
+val create : unit -> t
+
+val default : t
+(** The registry the instrumented subsystems report to. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : ?registry:t -> ?help:string -> ?labels:labels -> string -> counter
+(** Register (or look up) a counter series.
+    @raise Invalid_argument if [name] exists with a different kind. *)
+
+val add : counter -> int -> unit
+val incr : counter -> unit
+val counter_value : counter -> int
+
+val gauge : ?registry:t -> ?help:string -> ?labels:labels -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram :
+  ?registry:t -> ?help:string -> ?labels:labels -> string -> histogram
+
+val observe : histogram -> float -> unit
+(** Record one observation (negative values clamp to zero). *)
+
+val observe_ns : histogram -> int -> unit
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val quantile : histogram -> float -> float
+(** [quantile h q] for [q] in [0,1]: linear interpolation inside the
+    covering bucket, clamped to the observed min/max; [0.] when empty. *)
+
+val reset : t -> unit
+(** Zero every series in place (registrations and handles survive). *)
+
+val pp : Format.formatter -> t -> unit
+(** Text exporter: one line per series, sorted by name then labels. *)
+
+val to_json_lines : t -> string
+(** JSON-lines exporter: one JSON object per series per line. *)

@@ -1,0 +1,102 @@
+(* Per-query span tracing.
+
+   A span is one timed region of query processing (parse, plan, one
+   operator's execution, one remote ship, ...).  Spans nest: opening a
+   span while another is active makes it a child, so a traced query
+   produces a tree mirroring the work actually done.  Each span carries
+   wall-clock nanoseconds and, when an [Io_stats] sink is supplied, the
+   page/message delta charged to that sink while the span was open
+   (children included — this is the inclusive cost, like any
+   distributed-tracing system).
+
+   Tracing is off by default and costs one branch per instrumentation
+   point when off.  Completed root spans land in a bounded ring of
+   recent traces (oldest evicted first), which the shell exposes as
+   [:trace last].
+
+   Single-threaded by design, like the rest of the system: the span
+   stack is a plain ref cell. *)
+
+type span = {
+  name : string;
+  detail : string;
+  mutable elapsed_ns : int;
+  mutable io : Io_stats.t;  (* delta while the span was open *)
+  mutable children : span list;  (* execution order once closed *)
+}
+
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+(* --- The ring of recent root traces ------------------------------------- *)
+
+let ring_capacity = ref 16
+let ring : span list ref = ref []  (* newest first, length <= capacity *)
+
+let truncate n l = List.filteri (fun i _ -> i < n) l
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Trace.set_capacity: capacity must be positive";
+  ring_capacity := n;
+  ring := truncate n !ring
+
+let capacity () = !ring_capacity
+let push_root s = ring := truncate !ring_capacity (s :: !ring)
+let recent () = !ring
+let last () = match !ring with [] -> None | s :: _ -> Some s
+let clear () = ring := []
+
+(* --- Recording ------------------------------------------------------------ *)
+
+let stack : span list ref = ref []
+
+let with_span ?(detail = "") ?stats name f =
+  if not !enabled_flag then f ()
+  else begin
+    let span =
+      { name; detail; elapsed_ns = 0; io = Io_stats.create (); children = [] }
+    in
+    let snap = Option.map Io_stats.copy stats in
+    let start = Mclock.now_ns () in
+    let parent = !stack in
+    stack := span :: parent;
+    let finish () =
+      span.elapsed_ns <- Mclock.now_ns () - start;
+      (match (stats, snap) with
+      | Some s, Some s0 -> span.io <- Io_stats.diff s s0
+      | _ -> ());
+      (* children were pushed newest-first while open *)
+      span.children <- List.rev span.children;
+      stack := parent;
+      match parent with
+      | p :: _ -> p.children <- span :: p.children
+      | [] -> push_root span
+    in
+    Fun.protect ~finally:finish f
+  end
+
+(* --- Inspection ------------------------------------------------------------- *)
+
+let total_io s = Io_stats.total_io s.io
+
+let rec depth s =
+  1 + List.fold_left (fun acc c -> max acc (depth c)) 0 s.children
+
+let rec span_count s =
+  1 + List.fold_left (fun acc c -> acc + span_count c) 0 s.children
+
+let rec pp_span ppf s =
+  Fmt.pf ppf "@[<v2>%s%s  %a  [reads=%d writes=%d%s]%a@]" s.name
+    (if s.detail = "" then "" else " " ^ s.detail)
+    Mclock.pp_ns s.elapsed_ns s.io.Io_stats.page_reads
+    s.io.Io_stats.page_writes
+    (if s.io.Io_stats.messages > 0 then
+       Printf.sprintf " msgs=%d bytes=%d" s.io.Io_stats.messages
+         s.io.Io_stats.bytes_shipped
+     else "")
+    (fun ppf children ->
+      List.iter (fun c -> Fmt.pf ppf "@,%a" pp_span c) children)
+    s.children
+
+let pp ppf s = Fmt.pf ppf "%a@." pp_span s

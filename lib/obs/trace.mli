@@ -1,0 +1,46 @@
+(** Per-query span tracing.
+
+    Spans nest through dynamic extent: a span opened while another is
+    active becomes its child, so one traced query yields a span tree
+    (parse → plan → per-operator execute → remote ships).  Each span
+    carries wall-clock nanoseconds and, when an [Io_stats] sink is
+    given, the inclusive I/O delta charged to that sink while the span
+    was open.  Completed root spans land in a bounded ring of recent
+    traces.  Off by default; one branch per instrumentation point when
+    off.  Single-threaded, like the rest of the system. *)
+
+type span = {
+  name : string;
+  detail : string;
+  mutable elapsed_ns : int;
+  mutable io : Io_stats.t;  (** I/O delta while the span was open *)
+  mutable children : span list;  (** in execution order *)
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val with_span : ?detail:string -> ?stats:Io_stats.t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span named [name].  When tracing is off this
+    is just an application.  The span closes even if the thunk raises. *)
+
+val last : unit -> span option
+(** The most recently completed root span. *)
+
+val recent : unit -> span list
+(** Recently completed root spans, newest first (bounded ring). *)
+
+val clear : unit -> unit
+
+val set_capacity : int -> unit
+(** Resize the ring (evicting oldest traces).
+    @raise Invalid_argument when the capacity is not positive. *)
+
+val capacity : unit -> int
+
+val total_io : span -> int
+val depth : span -> int
+val span_count : span -> int
+
+val pp_span : Format.formatter -> span -> unit
+val pp : Format.formatter -> span -> unit

@@ -27,14 +27,18 @@ let create () =
     max_resident_pages = 0;
   }
 
+(* [resident_pages] is a live gauge, not a counter: pages held by a
+   pager, buffer pool or stack window at reset time are still held
+   afterwards, so zeroing it would make every later [shrink_resident]
+   bias the gauge negative.  Keep the gauge and restart the high-water
+   mark from the current working set. *)
 let reset t =
   t.page_reads <- 0;
   t.page_writes <- 0;
   t.comparisons <- 0;
   t.messages <- 0;
   t.bytes_shipped <- 0;
-  t.resident_pages <- 0;
-  t.max_resident_pages <- 0
+  t.max_resident_pages <- t.resident_pages
 
 let copy t = { t with page_reads = t.page_reads }
 

@@ -19,7 +19,9 @@ val create : unit -> t
 (** Fresh counters, all zero. *)
 
 val reset : t -> unit
-(** Zero every counter in place. *)
+(** Zero every counter in place.  [resident_pages] is a live gauge of
+    pages currently held, not a counter, so it is preserved; the
+    high-water mark restarts from the current working set. *)
 
 val copy : t -> t
 (** Snapshot of the current values. *)

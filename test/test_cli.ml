@@ -97,6 +97,39 @@ let test_ldif_save_load () =
       Alcotest.(check int) "load ok" 0 code;
       check_contains text [ "loaded 23 entries"; "23 entries" ])
 
+let test_metrics_and_trace () =
+  let code, text =
+    run
+      [
+        "-d"; "figure12";
+        "-e"; ":trace on";
+        "-e"; "( ? sub ? SourcePort=25)";
+        "-e"; ":trace last";
+        "-e"; ":metrics";
+        "-e"; ":metrics json";
+        "-e"; ":stats reset";
+      ]
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains text
+    [
+      "tracing on";
+      (* the span tree: root query span with parse and execute children,
+         each carrying wall-clock time and an I/O delta *)
+      "query ( ? sub ? SourcePort=25)";
+      "parse";
+      "execute";
+      "reads=";
+      (* text exporter: engine counters and the latency histogram *)
+      "engine_queries_total 1";
+      "engine_query_ns count=1";
+      "p99=";
+      (* JSON-lines exporter *)
+      "{\"name\":\"engine_queries_total\",\"type\":\"counter\"";
+      "\"value\":1}";
+      "io counters, metrics and traces reset";
+    ]
+
 let test_generated_directories () =
   List.iter
     (fun kind ->
@@ -121,6 +154,7 @@ let () =
           Alcotest.test_case "updates + explain" `Quick test_updates_and_explain;
           Alcotest.test_case "bad input reported" `Quick test_bad_input_reported;
           Alcotest.test_case "ldif save/load" `Quick test_ldif_save_load;
+          Alcotest.test_case "metrics + trace" `Quick test_metrics_and_trace;
           Alcotest.test_case "generated directories" `Quick
             test_generated_directories;
         ] );

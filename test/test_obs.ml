@@ -1,0 +1,244 @@
+(* Tests for the observability layer: metrics registry semantics,
+   span-tree nesting, the recent-trace ring, and per-operator profiling
+   through Explain. *)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec loop i = i + n <= h && (String.sub hay i n = needle || loop (i + 1)) in
+  loop 0
+
+(* --- Metrics ---------------------------------------------------------------- *)
+
+let test_counter_basics () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "requests_total" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "value" 5 (Metrics.counter_value c);
+  let again = Metrics.counter ~registry:r "requests_total" in
+  Metrics.incr again;
+  Alcotest.(check int) "same series" 6 (Metrics.counter_value c)
+
+let test_counter_labels () =
+  let r = Metrics.create () in
+  let a = Metrics.counter ~registry:r ~labels:[ ("server", "s0") ] "msgs" in
+  let b = Metrics.counter ~registry:r ~labels:[ ("server", "s1") ] "msgs" in
+  Metrics.add a 3;
+  Metrics.incr b;
+  Alcotest.(check int) "label set s0" 3 (Metrics.counter_value a);
+  Alcotest.(check int) "label set s1" 1 (Metrics.counter_value b);
+  (* label order does not matter: same sorted set, same series *)
+  let c1 =
+    Metrics.counter ~registry:r ~labels:[ ("x", "1"); ("y", "2") ] "pair"
+  in
+  let c2 =
+    Metrics.counter ~registry:r ~labels:[ ("y", "2"); ("x", "1") ] "pair"
+  in
+  Metrics.incr c1;
+  Metrics.incr c2;
+  Alcotest.(check int) "order-insensitive" 2 (Metrics.counter_value c1)
+
+let test_kind_mismatch () =
+  let r = Metrics.create () in
+  ignore (Metrics.counter ~registry:r "dual");
+  Alcotest.check_raises "gauge over counter"
+    (Invalid_argument "Metrics: dual already registered as a counter")
+    (fun () -> ignore (Metrics.gauge ~registry:r "dual"))
+
+let test_histogram_quantiles () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r "latency" in
+  for v = 1 to 100 do
+    Metrics.observe h (float_of_int v)
+  done;
+  Alcotest.(check int) "count" 100 (Metrics.histogram_count h);
+  Alcotest.(check (float 0.001)) "sum" 5050. (Metrics.histogram_sum h);
+  (* rank 50 of 1..100 lands in the [32,64) bucket: the estimate may be
+     off by the bucketing factor of two, never more *)
+  let p50 = Metrics.quantile h 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p50 in [32,64] (got %g)" p50)
+    true
+    (p50 >= 32. && p50 <= 64.);
+  let p99 = Metrics.quantile h 0.99 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p99 in [64,100] (got %g)" p99)
+    true
+    (p99 >= 64. && p99 <= 100.);
+  (* quantiles clamp to the observed extremes (modulo bucket width) *)
+  let p0 = Metrics.quantile h 0. in
+  Alcotest.(check bool)
+    (Printf.sprintf "q=0 within first bucket (got %g)" p0)
+    true
+    (p0 >= 1. && p0 <= 2.);
+  Alcotest.(check (float 0.001)) "q=1 is max" 100. (Metrics.quantile h 1.)
+
+let test_reset_keeps_handles () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "c" in
+  let h = Metrics.histogram ~registry:r "h" in
+  Metrics.add c 7;
+  Metrics.observe h 9.;
+  Metrics.reset r;
+  Alcotest.(check int) "counter zeroed" 0 (Metrics.counter_value c);
+  Alcotest.(check int) "histogram zeroed" 0 (Metrics.histogram_count h);
+  Metrics.incr c;
+  Alcotest.(check int) "handle still live" 1 (Metrics.counter_value c)
+
+let test_exporters () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r ~labels:[ ("k", "v") ] "exported" in
+  Metrics.add c 2;
+  let text = Fmt.str "%a" Metrics.pp r in
+  Alcotest.(check bool) "text has series" true
+    (contains text "exported{k=\"v\"} 2");
+  let json = Metrics.to_json_lines r in
+  Alcotest.(check bool) "json has name" true
+    (contains json "\"name\":\"exported\"");
+  Alcotest.(check bool) "json has value" true
+    (contains json "\"value\":2")
+
+(* --- Trace -------------------------------------------------------------------- *)
+
+let with_tracing f =
+  Trace.clear ();
+  Trace.set_enabled true;
+  Fun.protect ~finally:(fun () -> Trace.set_enabled false) f
+
+let test_span_nesting () =
+  with_tracing (fun () ->
+      let stats = Io_stats.create () in
+      Trace.with_span ~stats "root" (fun () ->
+          Trace.with_span ~stats "child1" (fun () ->
+              Io_stats.read_page ~n:2 stats;
+              Trace.with_span ~stats "grandchild" (fun () ->
+                  Io_stats.write_page stats));
+          Trace.with_span ~stats "child2" (fun () ->
+              Io_stats.read_page stats));
+      match Trace.last () with
+      | None -> Alcotest.fail "no trace recorded"
+      | Some root ->
+          Alcotest.(check string) "root name" "root" root.Trace.name;
+          Alcotest.(check (list string))
+            "children in execution order" [ "child1"; "child2" ]
+            (List.map (fun s -> s.Trace.name) root.Trace.children);
+          Alcotest.(check int) "span count" 4 (Trace.span_count root);
+          Alcotest.(check int) "depth" 3 (Trace.depth root);
+          (* inclusive I/O rolls up: root saw all 4 transfers *)
+          Alcotest.(check int) "root io" 4 (Trace.total_io root);
+          let c1 = List.hd root.Trace.children in
+          Alcotest.(check int) "child1 reads" 2 c1.Trace.io.Io_stats.page_reads;
+          Alcotest.(check int) "child1 writes" 1 c1.Trace.io.Io_stats.page_writes)
+
+let test_span_closes_on_raise () =
+  with_tracing (fun () ->
+      (try
+         Trace.with_span "boom" (fun () ->
+             Trace.with_span "inner" (fun () -> failwith "expected"))
+       with Failure _ -> ());
+      match Trace.last () with
+      | None -> Alcotest.fail "raising span not recorded"
+      | Some root ->
+          Alcotest.(check string) "root recorded" "boom" root.Trace.name;
+          Alcotest.(check int) "inner recorded too" 2 (Trace.span_count root);
+      (* the span stack is clean: a new root lands as a root *)
+      Trace.with_span "after" (fun () -> ());
+      match Trace.last () with
+      | Some s -> Alcotest.(check string) "stack unwound" "after" s.Trace.name
+      | None -> Alcotest.fail "no span after recovery")
+
+let test_ring_eviction () =
+  with_tracing (fun () ->
+      let old = Trace.capacity () in
+      Fun.protect
+        ~finally:(fun () -> Trace.set_capacity old)
+        (fun () ->
+          Trace.set_capacity 3;
+          for i = 1 to 5 do
+            Trace.with_span (Printf.sprintf "t%d" i) (fun () -> ())
+          done;
+          Alcotest.(check (list string))
+            "newest first, oldest evicted" [ "t5"; "t4"; "t3" ]
+            (List.map (fun s -> s.Trace.name) (Trace.recent ()));
+          Alcotest.check_raises "positive capacity only"
+            (Invalid_argument "Trace.set_capacity: capacity must be positive")
+            (fun () -> Trace.set_capacity 0)))
+
+let test_disabled_records_nothing () =
+  Trace.clear ();
+  Trace.set_enabled false;
+  let r = Trace.with_span "ghost" (fun () -> 41 + 1) in
+  Alcotest.(check int) "thunk still runs" 42 r;
+  Alcotest.(check (list string)) "nothing recorded" []
+    (List.map (fun s -> s.Trace.name) (Trace.recent ()))
+
+(* --- Explain.profile wall-clock attribution ------------------------------------- *)
+
+let test_profile_actual_ns () =
+  let instance = Dif_gen.karily ~fanout:4 ~size:400 () in
+  let eng = Engine.create ~block:16 instance in
+  let q =
+    Qparser.of_string
+      "(g (& ( ? sub ? tag=even) ( ? sub ? priority>=1)) count($$) >= 0)"
+  in
+  let _, plan = Explain.profile eng q in
+  let rec walk n =
+    (match n.Explain.actual_ns with
+    | None -> Alcotest.failf "node %s has no actual_ns" n.Explain.label
+    | Some ns ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: actual_ns %d >= 0" n.Explain.label ns)
+          true (ns >= 0));
+    (match n.Explain.actual_io with
+    | None -> Alcotest.failf "node %s has no actual_io" n.Explain.label
+    | Some io ->
+        Alcotest.(check bool) (n.Explain.label ^ ": io >= 0") true (io >= 0));
+    List.iter walk n.Explain.children
+  in
+  walk plan;
+  Alcotest.(check bool) "total ns non-negative" true
+    (Explain.total_actual_ns plan >= 0)
+
+let test_engine_metrics () =
+  let instance = Dif_gen.karily ~fanout:4 ~size:200 () in
+  let eng = Engine.create ~block:16 instance in
+  (* the engine reports to the default registry; re-registering by name
+     returns the same live handles *)
+  let queries = Metrics.counter "engine_queries_total" in
+  let reads = Metrics.counter "engine_page_reads_total" in
+  let q0 = Metrics.counter_value queries in
+  let r0 = Metrics.counter_value reads in
+  ignore (Engine.eval_entries eng (Qparser.of_string "( ? sub ? tag=even)"));
+  Alcotest.(check int) "one query counted" (q0 + 1)
+    (Metrics.counter_value queries);
+  Alcotest.(check bool) "reads counted" true (Metrics.counter_value reads > r0)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "counter labels" `Quick test_counter_labels;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+          Alcotest.test_case "histogram quantiles" `Quick
+            test_histogram_quantiles;
+          Alcotest.test_case "reset keeps handles" `Quick
+            test_reset_keeps_handles;
+          Alcotest.test_case "exporters" `Quick test_exporters;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "closes on raise" `Quick test_span_closes_on_raise;
+          Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_disabled_records_nothing;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "actual_ns on every node" `Quick
+            test_profile_actual_ns;
+          Alcotest.test_case "engine metrics" `Quick test_engine_metrics;
+        ] );
+    ]

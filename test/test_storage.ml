@@ -42,6 +42,24 @@ let test_stats_counters () =
   Io_stats.reset s;
   Alcotest.(check int) "reset" 0 (Io_stats.total_io s)
 
+(* [resident_pages] is a gauge over live allocations, not a counter:
+   reset must keep it (the pages are still resident) and restart the
+   high-water mark from it, while zeroing the transfer counters. *)
+let test_reset_keeps_resident_gauge () =
+  let s = Io_stats.create () in
+  Io_stats.read_page ~n:4 s;
+  Io_stats.write_page s;
+  Io_stats.grow_resident ~n:5 s;
+  Io_stats.shrink_resident ~n:2 s;
+  Alcotest.(check int) "max before reset" 5 s.Io_stats.max_resident_pages;
+  Io_stats.reset s;
+  Alcotest.(check int) "counters zeroed" 0 (Io_stats.total_io s);
+  Alcotest.(check int) "resident survives reset" 3 s.Io_stats.resident_pages;
+  Alcotest.(check int) "high-water restarts at live set" 3
+    s.Io_stats.max_resident_pages;
+  Io_stats.grow_resident ~n:2 s;
+  Alcotest.(check int) "high-water grows again" 5 s.Io_stats.max_resident_pages
+
 (* --- Ext_list --------------------------------------------------------------- *)
 
 let test_cursor_charges () =
@@ -273,7 +291,12 @@ let () =
           Alcotest.test_case "pages_of" `Quick test_pages_of;
           Alcotest.test_case "validation" `Quick test_pager_validation;
         ] );
-      ("io-stats", [ Alcotest.test_case "counters" `Quick test_stats_counters ]);
+      ( "io-stats",
+        [
+          Alcotest.test_case "counters" `Quick test_stats_counters;
+          Alcotest.test_case "reset keeps resident gauge" `Quick
+            test_reset_keeps_resident_gauge;
+        ] );
       ( "ext-list",
         [
           Alcotest.test_case "cursor charges" `Quick test_cursor_charges;
