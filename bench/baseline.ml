@@ -1,0 +1,146 @@
+(* The perf-regression gate: compare a fresh BENCH_results.json against
+   the committed BENCH_baseline.json.
+
+     dune exec bench/baseline.exe BENCH_baseline.json BENCH_results.json [MULT]
+
+   Rows are aggregated per experiment id (summing reads, writes and
+   wall_ns over the id's rows) and compared with tolerance bands:
+
+   - page reads and writes are deterministic in the simulated cost
+     model, so any *increase* over the baseline fails the gate
+     (a decrease is reported as a stale baseline, not a failure);
+   - wall-clock time is machine-dependent, so the band is a generous
+     multiplier (default 50x) plus an absolute slack of 250ms — the
+     gate catches order-of-magnitude blowups, not jitter.
+
+   Exit status 0 when every id is within its band, 1 on any regression,
+   2 on unusable input. *)
+
+let wall_slack_ns = 250_000_000
+let default_multiplier = 50.
+
+type agg = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable wall_ns : int;
+  mutable rows : int;
+}
+
+(* Sum the telemetry rows of each experiment id, preserving first-seen
+   order (the files are chronological). *)
+let aggregate path =
+  let text = In_channel.with_open_text path In_channel.input_all in
+  let rows =
+    match Json.of_string text with
+    | Json.Arr l -> l
+    | _ -> failwith (path ^ ": expected a JSON array of telemetry rows")
+  in
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      let id = Json.str (Json.member "id" r) in
+      let a =
+        match Hashtbl.find_opt tbl id with
+        | Some a -> a
+        | None ->
+            let a = { reads = 0; writes = 0; wall_ns = 0; rows = 0 } in
+            Hashtbl.add tbl id a;
+            order := id :: !order;
+            a
+      in
+      a.reads <- a.reads + Json.to_int (Json.member "reads" r);
+      a.writes <- a.writes + Json.to_int (Json.member "writes" r);
+      a.wall_ns <- a.wall_ns + Json.to_int (Json.member "wall_ns" r);
+      a.rows <- a.rows + 1)
+    rows;
+  (List.rev !order, tbl)
+
+type verdict = Pass | Stale of string | Regression of string
+
+let check ~multiplier ~(base : agg) ~(fresh : agg) =
+  if fresh.reads > base.reads then
+    Regression
+      (Printf.sprintf "reads %d -> %d (band: exact)" base.reads fresh.reads)
+  else if fresh.writes > base.writes then
+    Regression
+      (Printf.sprintf "writes %d -> %d (band: exact)" base.writes fresh.writes)
+  else if
+    float_of_int fresh.wall_ns > multiplier *. float_of_int base.wall_ns
+    && fresh.wall_ns - base.wall_ns > wall_slack_ns
+  then
+    Regression
+      (Printf.sprintf "wall %s -> %s (band: %gx + %dms)"
+         (Mclock.ns_to_string base.wall_ns)
+         (Mclock.ns_to_string fresh.wall_ns)
+         multiplier
+         (wall_slack_ns / 1_000_000))
+  else if fresh.reads < base.reads || fresh.writes < base.writes then
+    Stale
+      (Printf.sprintf "io improved (reads %d -> %d, writes %d -> %d): refresh \
+                       the baseline"
+         base.reads fresh.reads base.writes fresh.writes)
+  else Pass
+
+let () =
+  let args =
+    match Array.to_list Sys.argv with
+    | _ :: rest -> rest
+    | [] -> []
+  in
+  let baseline_path, results_path, multiplier =
+    match args with
+    | [ b; r ] -> (b, r, default_multiplier)
+    | [ b; r; m ] -> (
+        match float_of_string_opt m with
+        | Some m when m >= 1. -> (b, r, m)
+        | _ ->
+            Fmt.epr "bad multiplier %S@." m;
+            exit 2)
+    | _ ->
+        Fmt.epr
+          "usage: baseline.exe BASELINE.json RESULTS.json [WALL_MULTIPLIER]@.";
+        exit 2
+  in
+  match (aggregate baseline_path, aggregate results_path) with
+  | exception (Sys_error m | Failure m) ->
+      Fmt.epr "%s@." m;
+      exit 2
+  | exception Json.Parse_error m ->
+      Fmt.epr "%s@." m;
+      exit 2
+  | (base_order, base), (fresh_order, fresh) ->
+      let regressions = ref 0 in
+      List.iter
+        (fun id ->
+          let f = Hashtbl.find fresh id in
+          match Hashtbl.find_opt base id with
+          | None ->
+              Fmt.pr "%-10s NEW        no baseline (%d rows, reads=%d \
+                      writes=%d wall=%s)@."
+                id f.rows f.reads f.writes
+                (Mclock.ns_to_string f.wall_ns)
+          | Some b -> (
+              match check ~multiplier ~base:b ~fresh:f with
+              | Pass ->
+                  Fmt.pr "%-10s ok         reads=%d writes=%d wall=%s (base \
+                          %s)@."
+                    id f.reads f.writes
+                    (Mclock.ns_to_string f.wall_ns)
+                    (Mclock.ns_to_string b.wall_ns)
+              | Stale why -> Fmt.pr "%-10s STALE      %s@." id why
+              | Regression why ->
+                  incr regressions;
+                  Fmt.pr "%-10s REGRESSION %s@." id why))
+        fresh_order;
+      List.iter
+        (fun id ->
+          if not (Hashtbl.mem fresh id) then
+            Fmt.pr "%-10s skipped    in baseline but not in this run@." id)
+        base_order;
+      if !regressions > 0 then begin
+        Fmt.pr "@.%d experiment id(s) regressed against %s@." !regressions
+          baseline_path;
+        exit 1
+      end
+      else Fmt.pr "@.all experiment ids within the baseline tolerance bands@."

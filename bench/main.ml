@@ -16,6 +16,10 @@ let () =
     "Querying Network Directories — experiment harness (blocking factor B = \
      %d)@."
     Util.block;
+  (* Journal every engine query of the run; at threshold 0 each one is
+     "slow", so the slowlog retains the costliest captures. *)
+  Qlog.enable ~append:false "BENCH_journal.jsonl";
+  Qlog.set_threshold_ns 0;
   List.iter
     (fun id ->
       match List.assoc_opt id Experiments.all with
@@ -24,4 +28,9 @@ let () =
     selected;
   if run_micro then Bechamel.run ();
   Telemetry.write "BENCH_results.json";
+  let captures = Qlog.write_slowlog "BENCH_slow_queries.jsonl" in
+  Qlog.disable ();
+  Fmt.pr "wrote %d slow-query captures to BENCH_slow_queries.jsonl (journal: \
+          BENCH_journal.jsonl)@."
+    captures;
   Fmt.pr "@.done.@."

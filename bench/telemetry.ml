@@ -42,6 +42,11 @@ let with_stats ?size stats f =
     ~wall_ns ~max_resident_pages:stats.Io_stats.max_resident_pages ();
   (r, wall_ns)
 
+let chronological () = List.rev !rows
+(* [rows] accumulates newest-first (cons); everything that leaves this
+   module is chronological, so BENCH_results.json is stable across runs
+   and diffs cleanly against BENCH_baseline.json. *)
+
 let row_json r =
   Printf.sprintf
     "{\"id\":\"%s\",\"size\":%s,\"reads\":%d,\"writes\":%d,\"wall_ns\":%d,\"max_resident_pages\":%d}"
@@ -56,7 +61,7 @@ let write path =
     (fun i r ->
       if i > 0 then output_string oc ",\n";
       output_string oc ("  " ^ row_json r))
-    (List.rev !rows);
+    (chronological ());
   output_string oc "\n]\n";
   close_out oc;
   Fmt.pr "@.wrote %d result rows to %s@." (List.length !rows) path

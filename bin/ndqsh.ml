@@ -66,6 +66,10 @@ let help () =
     \  :metrics [json]  show the metrics registry (text or JSON lines)@,\
     \  :trace on|off    toggle span tracing of queries@,\
     \  :trace last      show the span tree of the last traced query@,\
+    \  :journal on|off|<path>   journal every query as JSON lines@,\
+    \  :slowlog [n]     show the n slowest captured queries@,\
+    \  :slowlog threshold <ms>  set the slow-query capture threshold@,\
+    \  :replay <path>   re-run a journal, diffing result counts and io@,\
     \  :explain <query> estimated vs measured plan@,\
     \  :add <ldif>      add one entry (dn: ...; attr: value; ...)@,\
     \  :delete <dn>     delete a leaf entry ( :deltree for subtrees )@,\
@@ -128,6 +132,67 @@ let report_update st = function
   | Ok () -> Fmt.pr "ok (%d entries)@." (Directory.size st.directory)
   | Error e -> Fmt.pr "rejected: %a@." Directory.pp_error e
 
+(* Re-execute a recorded journal against the current build and diff
+   what changed: result counts (a correctness regression) and I/O cost
+   (a performance shift).  Journaled failures are skipped; queries that
+   no longer parse or now fail are reported as errors. *)
+let replay st path =
+  match Qlog.load path with
+  | exception Sys_error m -> Fmt.pr "%s@." m
+  | exception Json.Parse_error m -> Fmt.pr "bad journal %s: %s@." path m
+  | events ->
+      let eng = engine st in
+      let schema = Directory.schema st.directory in
+      let stats = Engine.stats eng in
+      (* Don't journal the replay itself (least surprise, and replaying
+         a journal into itself would never terminate the diff). *)
+      let journal_was = Qlog.path () in
+      Qlog.disable ();
+      Fun.protect
+        ~finally:(fun () ->
+          match journal_was with Some p -> Qlog.enable p | None -> ())
+        (fun () ->
+          let total = ref 0
+          and count_diffs = ref 0
+          and io_diffs = ref 0
+          and errors = ref 0 in
+          List.iter
+            (fun (ev : Qlog.event) ->
+              match ev.Qlog.outcome with
+              | Qlog.Failed _ -> ()
+              | Qlog.Ok -> (
+                  incr total;
+                  let reads0 = stats.Io_stats.page_reads
+                  and writes0 = stats.Io_stats.page_writes in
+                  match
+                    Engine.eval eng (Qparser.of_string ~schema ev.Qlog.query)
+                  with
+                  | exception e ->
+                      incr errors;
+                      Fmt.pr "#%d now fails (%s): %s@." ev.Qlog.seq
+                        (Printexc.to_string e) ev.Qlog.query
+                  | out ->
+                      let n = Ext_list.length out in
+                      let reads = stats.Io_stats.page_reads - reads0
+                      and writes = stats.Io_stats.page_writes - writes0 in
+                      if n <> ev.Qlog.result_count then begin
+                        incr count_diffs;
+                        Fmt.pr "#%d result count %d -> %d: %s@." ev.Qlog.seq
+                          ev.Qlog.result_count n ev.Qlog.query
+                      end;
+                      if reads <> ev.Qlog.reads || writes <> ev.Qlog.writes
+                      then begin
+                        incr io_diffs;
+                        Fmt.pr "#%d io %d+%d -> %d+%d: %s@." ev.Qlog.seq
+                          ev.Qlog.reads ev.Qlog.writes reads writes
+                          ev.Qlog.query
+                      end))
+            events;
+          Fmt.pr
+            "replayed %d queries from %s: %d result-count diffs, %d io \
+             diffs, %d errors@."
+            !total path !count_diffs !io_diffs !errors)
+
 let run_command st line =
   let instance = Directory.instance st.directory in
   match String.split_on_char ' ' line with
@@ -163,6 +228,59 @@ let run_command st line =
   | ":trace" :: _ ->
       Fmt.pr "tracing is %s (usage: :trace on|off|last)@."
         (if Trace.enabled () then "on" else "off")
+  | ":journal" :: "on" :: _ ->
+      Qlog.enable "ndq_journal.jsonl";
+      Fmt.pr "journaling to ndq_journal.jsonl@."
+  | ":journal" :: "off" :: _ ->
+      Qlog.disable ();
+      Fmt.pr "journal off@."
+  | ":journal" :: path :: _ when path <> "" ->
+      Qlog.enable path;
+      Fmt.pr "journaling to %s@." path
+  | ":journal" :: _ -> (
+      match Qlog.path () with
+      | Some p -> Fmt.pr "journaling to %s (usage: :journal on|off|<path>)@." p
+      | None -> Fmt.pr "journal is off (usage: :journal on|off|<path>)@.")
+  | ":slowlog" :: "threshold" :: ms :: _ -> (
+      match int_of_string_opt ms with
+      | Some v when v >= 0 ->
+          Qlog.set_threshold_ns (v * 1_000_000);
+          Fmt.pr "slow-query threshold = %dms@." v
+      | _ -> Fmt.pr "usage: :slowlog threshold <milliseconds>@.")
+  | ":slowlog" :: rest -> (
+      let n =
+        match rest with
+        | s :: _ -> Option.value ~default:10 (int_of_string_opt s)
+        | [] -> 10
+      in
+      match Qlog.slowest n with
+      | [] ->
+          Fmt.pr
+            "no slow-query captures (threshold %a; enable the journal with \
+             :journal on)@."
+            Mclock.pp_ns (Qlog.threshold_ns ())
+      | events ->
+          let indented text =
+            List.iter
+              (fun l -> if l <> "" then Fmt.pr "    %s@." l)
+              (String.split_on_char '\n' text)
+          in
+          List.iter
+            (fun (ev : Qlog.event) ->
+              Fmt.pr "%a@." Qlog.pp_event ev;
+              match ev.Qlog.capture with
+              | None -> ()
+              | Some c ->
+                  if c.Qlog.span_text <> "" then begin
+                    Fmt.pr "  spans:@.";
+                    indented c.Qlog.span_text
+                  end;
+                  if c.Qlog.plan_text <> "" then begin
+                    Fmt.pr "  plan:@.";
+                    indented c.Qlog.plan_text
+                  end)
+            events)
+  | ":replay" :: path :: _ -> replay st path
   | ":entry" :: rest -> (
       let dn_text = String.concat " " rest in
       match Instance.find instance (parse_dn st dn_text) with

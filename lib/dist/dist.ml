@@ -145,20 +145,25 @@ let eval_atomic t (a : Ast.atomic) =
   let shards =
     List.map
       (fun s ->
-        (* One child span per involved server, remote or not. *)
+        (* One child span per involved server, remote or not; journal
+           events recorded by the server's engine (the remote side of
+           the shipped sub-query) are attributed to that server. *)
         Trace.with_span ~detail:s.name ~stats:t.stats "ship" (fun () ->
-            let local = Dn.equal s.domain t.home.domain in
-            if not local then
-              (* Ship the atomic query out and the result back. *)
-              ship t s ~bytes:(query_bytes a);
-            let result = Engine.eval s.engine (Ast.Atomic a) in
-            let entries = Ext_list.to_list result in
-            if not local then
-              ship t s
-                ~bytes:
-                  (List.fold_left (fun n e -> n + Entry.byte_size e) 0 entries);
-            (* Materialize the shipped list at the coordinator. *)
-            Ext_list.materialize t.pager (Array.of_list entries)))
+            Qlog.with_server s.name (fun () ->
+                let local = Dn.equal s.domain t.home.domain in
+                if not local then
+                  (* Ship the atomic query out and the result back. *)
+                  ship t s ~bytes:(query_bytes a);
+                let result = Engine.eval s.engine (Ast.Atomic a) in
+                let entries = Ext_list.to_list result in
+                if not local then
+                  ship t s
+                    ~bytes:
+                      (List.fold_left
+                         (fun n e -> n + Entry.byte_size e)
+                         0 entries);
+                (* Materialize the shipped list at the coordinator. *)
+                Ext_list.materialize t.pager (Array.of_list entries))))
       (involved_servers t a)
   in
   (* Merge the sorted shards (pairwise unions). *)
@@ -168,19 +173,115 @@ let eval_atomic t (a : Ast.atomic) =
       | first :: rest -> List.fold_left Bool_ops.or_ first rest)
 
 (* Bottom-up evaluation with remote atomic queries and local operators. *)
-let rec eval t (q : Ast.t) =
+let rec eval_tree t (q : Ast.t) =
   match q with
   | Ast.Atomic a -> eval_atomic t a
-  | Ast.And (q1, q2) -> Bool_ops.and_ (eval t q1) (eval t q2)
-  | Ast.Or (q1, q2) -> Bool_ops.or_ (eval t q1) (eval t q2)
-  | Ast.Diff (q1, q2) -> Bool_ops.diff (eval t q1) (eval t q2)
+  | Ast.And (q1, q2) -> Bool_ops.and_ (eval_tree t q1) (eval_tree t q2)
+  | Ast.Or (q1, q2) -> Bool_ops.or_ (eval_tree t q1) (eval_tree t q2)
+  | Ast.Diff (q1, q2) -> Bool_ops.diff (eval_tree t q1) (eval_tree t q2)
   | Ast.Hier (op, q1, q2, agg) ->
-      Hs_agg.compute_hier ?agg op (eval t q1) (eval t q2)
+      Hs_agg.compute_hier ?agg op (eval_tree t q1) (eval_tree t q2)
   | Ast.Hier3 (op, q1, q2, q3, agg) ->
-      Hs_agg.compute_hier3 ?agg op (eval t q1) (eval t q2) (eval t q3)
-  | Ast.Gsel (q1, f) -> Simple_agg.compute f (eval t q1)
+      Hs_agg.compute_hier3 ?agg op (eval_tree t q1) (eval_tree t q2)
+        (eval_tree t q3)
+  | Ast.Gsel (q1, f) -> Simple_agg.compute f (eval_tree t q1)
   | Ast.Eref (op, q1, q2, attr, agg) ->
-      Er.compute ?agg op (eval t q1) (eval t q2) attr
+      Er.compute ?agg op (eval_tree t q1) (eval_tree t q2) attr
+
+(* --- The coordinator's own journal entry --------------------------------- *)
+
+let m_dist_queries =
+  Metrics.counter ~help:"coordinator query trees evaluated" "dist_queries_total"
+
+let m_dist_latency =
+  Metrics.histogram ~help:"wall-clock nanoseconds per coordinator query"
+    "dist_query_ns"
+
+(* Per-server cumulative shipping counters, snapshotted around a query
+   so the coordinator's journal event attributes traffic per server. *)
+let shipping_snapshot t =
+  List.map
+    (fun s ->
+      ( s.name,
+        Metrics.counter_value (m_messages s.name),
+        Metrics.counter_value (m_bytes s.name) ))
+    t.network.servers
+
+let shipping_delta before after =
+  List.filter_map
+    (fun (name, msgs1, bytes1) ->
+      match List.assoc_opt name (List.map (fun (n, m, b) -> (n, (m, b))) before) with
+      | Some (msgs0, bytes0) when msgs1 > msgs0 || bytes1 > bytes0 ->
+          Some (name, msgs1 - msgs0, bytes1 - bytes0)
+      | Some _ -> None
+      | None -> Some (name, msgs1, bytes1))
+    after
+
+let query_detail q =
+  let s = Qprinter.to_string q in
+  if String.length s > 60 then String.sub s 0 59 ^ "…" else s
+
+let journal_event t q ~result_count ~reads ~writes ~wall_ns ~outcome ~shipped
+    span =
+  let ops = match span with Some sp -> Qlog.ops_of_span sp | None -> [] in
+  let capture =
+    if wall_ns >= Qlog.threshold_ns () then
+      Some
+        {
+          Qlog.span_text =
+            (match span with
+            | Some sp -> Fmt.str "%a" Trace.pp_span sp
+            | None -> "");
+          (* Estimated over the home partition — the coordinator never
+             materializes the global instance. *)
+          plan_text =
+            Plan.to_string
+              (Plan.estimate ~pager:t.pager ~instance:t.home.instance q);
+        }
+    else None
+  in
+  ignore
+    (Qlog.record ~server:t.home.name ~shipped ~ops ?capture
+       ~query:(Qprinter.to_string q)
+       ~fingerprint:(Plan.fingerprint q) ~result_count ~reads ~writes ~wall_ns
+       ~outcome ())
+
+let eval t q =
+  let reads0 = t.stats.Io_stats.page_reads
+  and writes0 = t.stats.Io_stats.page_writes in
+  let t0 = Mclock.now_ns () in
+  let journal = Qlog.enabled () in
+  Engine.with_forced_tracing journal (fun () ->
+      let ship0 = if journal then shipping_snapshot t else [] in
+      let detail = if Trace.enabled () then query_detail q else "" in
+      match
+        Trace.with_span_out ~detail ~stats:t.stats "coordinate" (fun () ->
+            let out = eval_tree t q in
+            Trace.set_rows (Ext_list.length out);
+            out)
+      with
+      | exception e ->
+          if journal then
+            journal_event t q ~result_count:0
+              ~reads:(t.stats.Io_stats.page_reads - reads0)
+              ~writes:(t.stats.Io_stats.page_writes - writes0)
+              ~wall_ns:(Mclock.now_ns () - t0)
+              ~outcome:(Qlog.Failed (Printexc.to_string e))
+              ~shipped:[] None;
+          raise e
+      | out, span ->
+          let wall_ns = Mclock.now_ns () - t0 in
+          Metrics.incr m_dist_queries;
+          Metrics.observe_ns m_dist_latency wall_ns;
+          if journal then
+            journal_event t q
+              ~result_count:(Ext_list.length out)
+              ~reads:(t.stats.Io_stats.page_reads - reads0)
+              ~writes:(t.stats.Io_stats.page_writes - writes0)
+              ~wall_ns ~outcome:Qlog.Ok
+              ~shipped:(shipping_delta ship0 (shipping_snapshot t))
+              span;
+          out)
 
 let eval_entries t q = Ext_list.to_list (eval t q)
 

@@ -41,7 +41,15 @@ val involved_servers : coordinator -> Ast.atomic -> server list
     base's subtree. *)
 
 val eval_atomic : coordinator -> Ast.atomic -> Entry.t Ext_list.t
+
 val eval : coordinator -> Ast.t -> Entry.t Ext_list.t
+(** Evaluate a query tree at this coordinator.  When the query journal
+    ({!Qlog}) is enabled, the coordinator records one event per query —
+    attributed to the home server, with per-server shipped
+    messages/bytes — and each involved server's engine records its own
+    event for the atomic sub-query it answered, attributed to that
+    server. *)
+
 val eval_entries : coordinator -> Ast.t -> Entry.t list
 
 val server_stats : network -> (string * Io_stats.t) list

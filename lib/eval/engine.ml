@@ -134,7 +134,11 @@ let rec eval_node t (q : Ast.t) =
   Trace.with_span
     ~detail:(span_detail q)
     ~stats:(stats t) (span_label q)
-    (fun () -> eval_op t q)
+    (fun () ->
+      let out = eval_op t q in
+      (* rows per operator, for :trace and the journal's op rows *)
+      Trace.set_rows (Ext_list.length out);
+      out)
 
 and eval_op t (q : Ast.t) =
   match q with
@@ -211,19 +215,71 @@ let query_detail q =
   let s = Qprinter.to_string q in
   if String.length s > 60 then String.sub s 0 59 ^ "…" else s
 
+(* A journaled query needs the span tree for per-operator attribution,
+   so the journal forces tracing for the query's extent even when
+   :trace is off. *)
+let with_forced_tracing journal f =
+  let forced = journal && not (Trace.enabled ()) in
+  if forced then Trace.set_enabled true;
+  Fun.protect ~finally:(fun () -> if forced then Trace.set_enabled false) f
+
+let journal_event t q ~result_count ~reads ~writes ~wall_ns ~outcome span =
+  let ops = match span with Some sp -> Qlog.ops_of_span sp | None -> [] in
+  let capture =
+    if wall_ns >= Qlog.threshold_ns () then
+      Some
+        {
+          Qlog.span_text =
+            (match span with
+            | Some sp -> Fmt.str "%a" Trace.pp_span sp
+            | None -> "");
+          plan_text =
+            Plan.to_string
+              (Plan.estimate ~pager:t.pager ~instance:t.instance q);
+        }
+    else None
+  in
+  ignore
+    (Qlog.record
+       ~query:(Qprinter.to_string q)
+       ~fingerprint:(Plan.fingerprint q) ~result_count ~reads ~writes ~wall_ns
+       ~outcome ~ops ?capture ())
+
 let eval t q =
   let s = stats t in
   let reads0 = s.Io_stats.page_reads and writes0 = s.Io_stats.page_writes in
   let t0 = Mclock.now_ns () in
-  let detail = if Trace.enabled () then query_detail q else "" in
-  let out =
-    Trace.with_span ~detail ~stats:s "execute" (fun () -> eval_node t q)
-  in
-  Metrics.incr m_queries;
-  Metrics.observe_ns m_latency (Mclock.now_ns () - t0);
-  Metrics.add m_reads (s.Io_stats.page_reads - reads0);
-  Metrics.add m_writes (s.Io_stats.page_writes - writes0);
-  out
+  let journal = Qlog.enabled () in
+  with_forced_tracing journal (fun () ->
+      let detail = if Trace.enabled () then query_detail q else "" in
+      match
+        Trace.with_span_out ~detail ~stats:s "execute" (fun () ->
+            let out = eval_node t q in
+            Trace.set_rows (Ext_list.length out);
+            out)
+      with
+      | exception e ->
+          if journal then
+            journal_event t q ~result_count:0
+              ~reads:(s.Io_stats.page_reads - reads0)
+              ~writes:(s.Io_stats.page_writes - writes0)
+              ~wall_ns:(Mclock.now_ns () - t0)
+              ~outcome:(Qlog.Failed (Printexc.to_string e))
+              None;
+          raise e
+      | out, span ->
+          let wall_ns = Mclock.now_ns () - t0 in
+          let reads = s.Io_stats.page_reads - reads0
+          and writes = s.Io_stats.page_writes - writes0 in
+          Metrics.incr m_queries;
+          Metrics.observe_ns m_latency wall_ns;
+          Metrics.add m_reads reads;
+          Metrics.add m_writes writes;
+          if journal then
+            journal_event t q
+              ~result_count:(Ext_list.length out)
+              ~reads ~writes ~wall_ns ~outcome:Qlog.Ok span;
+          out)
 
 let eval_entries t q = Ext_list.to_list (eval t q)
 

@@ -42,7 +42,18 @@ val eval_atomic : t -> Ast.atomic -> Entry.t Ext_list.t
 (** One atomic query, answered from the indexes, sorted. *)
 
 val eval : t -> Ast.t -> Entry.t Ext_list.t
-(** Evaluate a query tree; the result list is canonically sorted. *)
+(** Evaluate a query tree; the result list is canonically sorted.
+    When the query journal ({!Qlog}) is enabled, every call records one
+    journal event — query text, plan fingerprint, result count, I/O and
+    wall time, per-operator rows from the span tree — and queries at or
+    above the slow threshold carry a full capture (span tree + rendered
+    estimated plan).  Tracing is forced on for the extent of a
+    journaled query. *)
+
+val with_forced_tracing : bool -> (unit -> 'a) -> 'a
+(** [with_forced_tracing journal f] runs [f] with span tracing enabled
+    when [journal] asks for it and tracing is off, restoring the
+    previous state after.  Shared with the distributed coordinator. *)
 
 val eval_entries : t -> Ast.t -> Entry.t list
 

@@ -1,166 +1,31 @@
-(* Query plans: cost estimation and per-operator profiling.
+(* Query plans at the engine level: estimation and per-operator
+   profiling.
 
-   The paper's Section 8.2 evaluation strategy is fixed (bottom-up,
-   sorted pipeline), so a "plan" here is the query tree annotated with
-   costs.  [estimate] predicts cardinalities and page I/O from the
-   instance's statistics and the theorems' cost formulas; [profile]
-   executes the query and attributes the actual rows and I/O to each
-   operator.  The estimated vs. measured columns side by side are the
-   closest thing this system has to an optimizer debugging view, and the
-   shell exposes them as :explain. *)
+   The plan representation, the cost estimator and the normalized plan
+   fingerprint live in [Plan] (below the engine, so the query journal
+   can also use them); this module binds them to an [Engine.t] and adds
+   [profile], which executes the query and attributes the actual rows,
+   I/O and wall-clock time to each operator.  The estimated vs.
+   measured columns side by side are the closest thing this system has
+   to an optimizer debugging view, and the shell exposes them as
+   :explain. *)
 
-type node = {
-  label : string;  (* operator name *)
-  detail : string;  (* filter / aggregate text *)
+type node = Plan.node = {
+  label : string;
+  detail : string;
   est_rows : int;
   est_io : int;
   actual_rows : int option;
   actual_io : int option;
-  actual_ns : int option;  (* wall-clock, excluding children *)
+  actual_ns : int option;
   children : node list;
 }
 
-(* --- Cardinality estimation ---------------------------------------------- *)
+let estimate engine q =
+  Plan.estimate ~pager:(Engine.pager engine)
+    ~instance:(Engine.instance engine) q
 
-(* Crude textbook selectivities; the point is order-of-magnitude cost
-   attribution, not a real optimizer. *)
-let filter_selectivity = function
-  | Afilter.Present _ -> 0.6
-  | Afilter.Str_eq (a, _) when String.equal a Schema.object_class -> 0.4
-  | Afilter.Str_eq _ -> 0.1
-  | Afilter.Substr _ -> 0.2
-  | Afilter.Int_cmp (_, Afilter.Eq, _) -> 0.05
-  | Afilter.Int_cmp _ -> 0.33
-  | Afilter.Dn_eq _ -> 0.01
-
-let pages pager n = Pager.pages_of pager n
-
-let rec estimate_node engine (q : Ast.t) =
-  let pager = Engine.pager engine in
-  match q with
-  | Ast.Atomic a ->
-      let scope_size =
-        match a.Ast.scope with
-        | Ast.Base -> 1
-        | Ast.One | Ast.Sub ->
-            List.length (Instance.subtree (Engine.instance engine) a.Ast.base)
-      in
-      let est_rows =
-        max 0
-          (int_of_float
-             (float_of_int scope_size *. filter_selectivity a.Ast.filter))
-      in
-      {
-        label = "atomic";
-        detail =
-          Printf.sprintf "%s ? %s ? %s"
-            (Dn.to_string a.Ast.base)
-            (Ast.scope_to_string a.Ast.scope)
-            (Afilter.to_string a.Ast.filter);
-        est_rows;
-        est_io = 1 + pages pager scope_size + pages pager est_rows;
-        actual_rows = None;
-        actual_io = None;
-        actual_ns = None;
-        children = [];
-      }
-  | Ast.And (q1, q2) -> binary engine "&" q1 q2 (fun n1 n2 -> min n1 n2 / 2)
-  | Ast.Or (q1, q2) -> binary engine "|" q1 q2 (fun n1 n2 -> n1 + n2)
-  | Ast.Diff (q1, q2) -> binary engine "-" q1 q2 (fun n1 _ -> n1 / 2)
-  | Ast.Hier (op, q1, q2, agg) ->
-      let c1 = estimate_node engine q1 and c2 = estimate_node engine q2 in
-      let est_rows = c1.est_rows / 2 in
-      {
-        label = Qprinter.hier_op_to_string op;
-        detail = agg_detail agg;
-        est_rows;
-        (* merged scan + annotated copy + annotation scans + output *)
-        est_io =
-          (2 * pages pager c1.est_rows)
-          + pages pager c2.est_rows
-          + pages pager c1.est_rows + pages pager est_rows;
-        actual_rows = None;
-        actual_io = None;
-        actual_ns = None;
-        children = [ c1; c2 ];
-      }
-  | Ast.Hier3 (op, q1, q2, q3, agg) ->
-      let c1 = estimate_node engine q1
-      and c2 = estimate_node engine q2
-      and c3 = estimate_node engine q3 in
-      let est_rows = c1.est_rows / 2 in
-      {
-        label = Qprinter.hier_op3_to_string op;
-        detail = agg_detail agg;
-        est_rows;
-        est_io =
-          (3 * pages pager c1.est_rows)
-          + pages pager c2.est_rows + pages pager c3.est_rows
-          + pages pager est_rows;
-        actual_rows = None;
-        actual_io = None;
-        actual_ns = None;
-        children = [ c1; c2; c3 ];
-      }
-  | Ast.Gsel (q1, f) ->
-      let c1 = estimate_node engine q1 in
-      let scans = if Simple_agg.needs_global f then 2 else 1 in
-      let est_rows = c1.est_rows / 2 in
-      {
-        label = "g";
-        detail = Qprinter.agg_filter_to_string f;
-        est_rows;
-        est_io = (scans * pages pager c1.est_rows) + pages pager est_rows;
-        actual_rows = None;
-        actual_io = None;
-        actual_ns = None;
-        children = [ c1 ];
-      }
-  | Ast.Eref (op, q1, q2, attr, agg) ->
-      let c1 = estimate_node engine q1 and c2 = estimate_node engine q2 in
-      let m = 2 (* assumed mean reference fan-out *) in
-      let source = match op with Ast.Vd -> c1.est_rows | Ast.Dv -> c2.est_rows in
-      let p = max 1 (pages pager (source * m)) in
-      let rec log2 n = if n <= 1 then 1 else 1 + log2 (n / 2) in
-      let est_rows = c1.est_rows / 2 in
-      {
-        label = Qprinter.ref_op_to_string op;
-        detail =
-          attr ^ (match agg with None -> "" | Some f -> " " ^ Qprinter.agg_filter_to_string f);
-        est_rows;
-        est_io =
-          (2 * p * log2 p)
-          + pages pager c1.est_rows + pages pager c2.est_rows
-          + pages pager est_rows;
-        actual_rows = None;
-        actual_io = None;
-        actual_ns = None;
-        children = [ c1; c2 ];
-      }
-
-and binary engine label q1 q2 rows =
-  let pager = Engine.pager engine in
-  let c1 = estimate_node engine q1 and c2 = estimate_node engine q2 in
-  let est_rows = rows c1.est_rows c2.est_rows in
-  {
-    label;
-    detail = "";
-    est_rows;
-    est_io =
-      Pager.pages_of pager c1.est_rows
-      + Pager.pages_of pager c2.est_rows
-      + Pager.pages_of pager est_rows;
-    actual_rows = None;
-    actual_io = None;
-    actual_ns = None;
-    children = [ c1; c2 ];
-  }
-
-and agg_detail = function
-  | None -> "count($2) > 0"
-  | Some f -> Qprinter.agg_filter_to_string f
-
-let estimate engine q = estimate_node engine q
+let fingerprint = Plan.fingerprint
 
 (* --- Profiled execution ---------------------------------------------------- *)
 
@@ -209,9 +74,7 @@ let profile engine q =
     let l2, n2 = go q2 e2 in
     measured est [ n1; n2 ] (fun () -> f l1 l2)
   in
-  let est =
-    Trace.with_span ~stats "plan" (fun () -> estimate engine q)
-  in
+  let est = Trace.with_span ~stats "plan" (fun () -> estimate engine q) in
   let result, annotated =
     Trace.with_span ~stats "profile" (fun () -> go q est)
   in
@@ -219,29 +82,7 @@ let profile engine q =
 
 (* --- Rendering --------------------------------------------------------------- *)
 
-let rec pp_node ppf (n : node) =
-  let opt = function None -> "-" | Some v -> string_of_int v in
-  let time = function None -> "-" | Some ns -> Mclock.ns_to_string ns in
-  Fmt.pf ppf "@[<v2>%s%s  [rows est=%d got=%s | io est=%d got=%s | t=%s]%a@]"
-    n.label
-    (if n.detail = "" then "" else " " ^ n.detail)
-    n.est_rows (opt n.actual_rows) n.est_io (opt n.actual_io)
-    (time n.actual_ns)
-    (fun ppf children ->
-      List.iter (fun c -> Fmt.pf ppf "@,%a" pp_node c) children)
-    n.children
-
-let pp ppf n = Fmt.pf ppf "%a@." pp_node n
-
-let total_actual_io n =
-  let rec sum n =
-    Option.value ~default:0 n.actual_io + List.fold_left (fun a c -> a + sum c) 0 n.children
-  in
-  sum n
-
-let total_actual_ns n =
-  let rec sum n =
-    Option.value ~default:0 n.actual_ns
-    + List.fold_left (fun a c -> a + sum c) 0 n.children
-  in
-  sum n
+let pp_node = Plan.pp_node
+let pp = Plan.pp
+let total_actual_io = Plan.total_actual_io
+let total_actual_ns = Plan.total_actual_ns

@@ -4,9 +4,11 @@
     pipeline), so a plan is the query tree annotated with predicted
     cardinality and page-I/O (from the theorems' formulas and crude
     selectivities) and, after {!profile}, the measured values per
-    operator.  The shell's [:explain] renders it. *)
+    operator.  The representation, estimator and fingerprint live in
+    {!Plan}; this module binds them to an engine.  The shell's
+    [:explain] renders it. *)
 
-type node = {
+type node = Plan.node = {
   label : string;
   detail : string;
   est_rows : int;
@@ -19,6 +21,11 @@ type node = {
 
 val estimate : Engine.t -> Ast.t -> node
 (** Predicted plan, no execution. *)
+
+val fingerprint : Ast.t -> string
+(** The normalized plan fingerprint ({!Plan.fingerprint}): a digest of
+    the operator tree with literal constants elided — the key the query
+    journal groups events by. *)
 
 val profile : Engine.t -> Ast.t -> Entry.t Ext_list.t * node
 (** Execute the query, attributing actual rows, I/O and wall-clock time

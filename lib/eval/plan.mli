@@ -1,0 +1,41 @@
+(** Query plans below the engine: the annotated-tree representation,
+    cost estimation, a normalized plan fingerprint, and rendering.
+
+    Section 8.2's evaluation strategy is fixed (bottom-up sorted
+    pipeline), so a plan is the query tree annotated with predicted
+    cardinality and page-I/O and, after profiling, measured values.
+    Everything here works from a pager and an instance rather than an
+    engine, so both {!Explain} and {!Engine} (slow-query captures in
+    the journal) can use it without a dependency cycle. *)
+
+type node = {
+  label : string;
+  detail : string;
+  est_rows : int;
+  est_io : int;
+  actual_rows : int option;
+  actual_io : int option;
+  actual_ns : int option;  (** wall-clock nanoseconds, excluding children *)
+  children : node list;
+}
+
+val estimate : pager:Pager.t -> instance:Instance.t -> Ast.t -> node
+(** Predicted plan, no execution. *)
+
+val shape : Ast.t -> string
+(** The normalized plan: the operator tree with literal constants
+    elided, so equal shapes mean "the same plan with different
+    constants". *)
+
+val fingerprint : Ast.t -> string
+(** 16-hex-digit FNV-1a digest of {!shape} — the journal's plan key. *)
+
+val pp_node : Format.formatter -> node -> unit
+val pp : Format.formatter -> node -> unit
+val to_string : node -> string
+
+val total_actual_io : node -> int
+(** Sum of the per-operator actual I/O over the whole plan. *)
+
+val total_actual_ns : node -> int
+(** Sum of the per-operator wall-clock time over the whole plan. *)

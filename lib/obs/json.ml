@@ -1,0 +1,256 @@
+(* A minimal JSON value type with a parser and printer.
+
+   The observability layer emits JSON (metrics export, the query
+   journal, bench telemetry) and now also reads it back (journal
+   replay, the bench perf-regression gate), so it needs a real parser —
+   but only for machine-generated documents, so this stays deliberately
+   small: stdlib-only, strings are UTF-8, numbers are floats (every
+   value we round-trip — counts, page transfers, span nanoseconds —
+   fits a double exactly). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* --- Printing ------------------------------------------------------------- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let num_to_string v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let rec add_to b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (string_of_bool v)
+  | Num v ->
+      Buffer.add_string b (if Float.is_finite v then num_to_string v else "null")
+  | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+  | Arr l ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          add_to b v)
+        l;
+      Buffer.add_char b ']'
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\":";
+          add_to b v)
+        kvs;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  add_to b v;
+  Buffer.contents b
+
+(* --- Parsing ---------------------------------------------------------------- *)
+
+type cursor = { src : string; mutable pos : int }
+
+let fail c msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg c.pos))
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < String.length c.src
+    && match c.src.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some g when g = ch -> c.pos <- c.pos + 1
+  | _ -> fail c (Printf.sprintf "expected %C" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail c ("expected " ^ word)
+
+let hex4 c =
+  if c.pos + 4 > String.length c.src then fail c "truncated \\u escape";
+  let v = int_of_string ("0x" ^ String.sub c.src c.pos 4) in
+  c.pos <- c.pos + 4;
+  v
+
+let parse_string c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> c.pos <- c.pos + 1
+    | Some '\\' -> (
+        c.pos <- c.pos + 1;
+        (match peek c with
+        | Some 'u' ->
+            c.pos <- c.pos + 1;
+            let v = hex4 c in
+            Buffer.add_utf_8_uchar b
+              (if Uchar.is_valid v then Uchar.of_int v else Uchar.rep)
+        | Some ch ->
+            let unescaped =
+              match ch with
+              | '"' -> '"'
+              | '\\' -> '\\'
+              | '/' -> '/'
+              | 'n' -> '\n'
+              | 'r' -> '\r'
+              | 't' -> '\t'
+              | 'b' -> '\b'
+              | 'f' -> '\012'
+              | _ -> fail c "bad escape"
+            in
+            Buffer.add_char b unescaped;
+            c.pos <- c.pos + 1
+        | None -> fail c "bad escape");
+        go ())
+    | Some ch ->
+        Buffer.add_char b ch;
+        c.pos <- c.pos + 1;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while c.pos < String.length c.src && is_num_char c.src.[c.pos] do
+    c.pos <- c.pos + 1
+  done;
+  match float_of_string_opt (String.sub c.src start (c.pos - start)) with
+  | Some v -> v
+  | None -> fail c "bad number"
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '"' -> Str (parse_string c)
+  | Some '{' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        c.pos <- c.pos + 1;
+        Obj []
+      end
+      else
+        let rec members acc =
+          skip_ws c;
+          let k = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.pos <- c.pos + 1;
+              members ((k, v) :: acc)
+          | Some '}' ->
+              c.pos <- c.pos + 1;
+              List.rev ((k, v) :: acc)
+          | _ -> fail c "expected ',' or '}'"
+        in
+        Obj (members [])
+  | Some '[' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        c.pos <- c.pos + 1;
+        Arr []
+      end
+      else
+        let rec elements acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.pos <- c.pos + 1;
+              elements (v :: acc)
+          | Some ']' ->
+              c.pos <- c.pos + 1;
+              List.rev (v :: acc)
+          | _ -> fail c "expected ',' or ']'"
+        in
+        Arr (elements [])
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some ('-' | '0' .. '9') -> Num (parse_number c)
+  | Some ch -> fail c (Printf.sprintf "unexpected %C" ch)
+
+let of_string s =
+  let c = { src = s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then fail c "trailing garbage";
+  v
+
+let lines s =
+  String.split_on_char '\n' s
+  |> List.filter_map (fun line ->
+         if String.trim line = "" then None else Some (of_string line))
+
+(* --- Accessors ----------------------------------------------------------------- *)
+
+let member k = function
+  | Obj kvs -> ( match List.assoc_opt k kvs with Some v -> v | None -> Null)
+  | _ -> Null
+
+let to_float = function
+  | Num v -> v
+  | Null -> 0.
+  | v -> raise (Parse_error ("not a number: " ^ to_string v))
+
+let to_int v = int_of_float (to_float v)
+
+let str = function
+  | Str s -> s
+  | Null -> ""
+  | v -> raise (Parse_error ("not a string: " ^ to_string v))
+
+let arr = function
+  | Arr l -> l
+  | Null -> []
+  | v -> raise (Parse_error ("not an array: " ^ to_string v))

@@ -112,7 +112,9 @@ let bucket_index v =
   else min (hbuckets - 1) (int_of_float (Float.log2 v))
 
 let observe h v =
-  let v = Float.max v 0. in
+  (* NaN would flow through Float.max unchanged and hand int_of_float an
+     unspecified value in bucket_index; clamp it to zero like negatives. *)
+  let v = if Float.is_nan v then 0. else Float.max v 0. in
   h.buckets.(bucket_index v) <- h.buckets.(bucket_index v) + 1;
   h.hcount <- h.hcount + 1;
   h.hsum <- h.hsum +. v;
@@ -246,14 +248,27 @@ let to_json_lines registry =
               Buffer.add_string b
                 (Printf.sprintf "%s,\"value\":%s}" head (json_num g.g))
           | H h ->
+              (* The full cumulative bucket array (bucket i covers values
+                 below 2^(i+1)), so offline tooling can recompute any
+                 quantile, not just the three summarized here. *)
+              let cum = Buffer.create (4 * hbuckets) in
+              let running = ref 0 in
+              Buffer.add_char cum '[';
+              Array.iteri
+                (fun i c ->
+                  running := !running + c;
+                  if i > 0 then Buffer.add_char cum ',';
+                  Buffer.add_string cum (string_of_int !running))
+                h.buckets;
+              Buffer.add_char cum ']';
               Buffer.add_string b
                 (Printf.sprintf
-                   "%s,\"count\":%d,\"sum\":%s,\"min\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s,\"max\":%s}"
+                   "%s,\"count\":%d,\"sum\":%s,\"min\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s,\"max\":%s,\"buckets\":%s}"
                    head h.hcount (json_num h.hsum) (json_num h.hmin)
                    (json_num (quantile h 0.5))
                    (json_num (quantile h 0.9))
                    (json_num (quantile h 0.99))
-                   (json_num h.hmax)));
+                   (json_num h.hmax) (Buffer.contents cum)));
           Buffer.add_char b '\n')
         (sorted_series m))
     (sorted_families registry);

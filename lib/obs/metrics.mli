@@ -37,7 +37,7 @@ val histogram :
   ?registry:t -> ?help:string -> ?labels:labels -> string -> histogram
 
 val observe : histogram -> float -> unit
-(** Record one observation (negative values clamp to zero). *)
+(** Record one observation (negative and NaN values clamp to zero). *)
 
 val observe_ns : histogram -> int -> unit
 
@@ -55,4 +55,7 @@ val pp : Format.formatter -> t -> unit
 (** Text exporter: one line per series, sorted by name then labels. *)
 
 val to_json_lines : t -> string
-(** JSON-lines exporter: one JSON object per series per line. *)
+(** JSON-lines exporter: one JSON object per series per line.
+    Histogram objects carry the summary quantiles plus the full
+    cumulative [buckets] array (entry [i] counts observations below
+    [2^(i+1)]), so offline tooling can recompute arbitrary quantiles. *)

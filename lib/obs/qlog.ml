@@ -1,0 +1,301 @@
+(* The query journal: an append-only, JSON-lines record of every query
+   the engine (or the distributed coordinator) evaluates.
+
+   Where Metrics aggregates and Trace keeps a small ring of recent span
+   trees, the journal is the durable per-query account: query text, a
+   normalized plan fingerprint, result cardinality, page reads/writes,
+   wall-clock nanoseconds, outcome, and the per-operator cost rows
+   lifted from the span tree.  Queries slower than a configurable
+   threshold are promoted to a full capture — the rendered span tree
+   plus the rendered estimated plan — and the slowest captures are kept
+   in memory for the shell's [:slowlog].
+
+   The module is a sink: instrumented layers call [record]; they decide
+   what goes into an event (this keeps lib/obs free of any dependency
+   on the query layers above it).  One journal per process, like the
+   default metrics registry. *)
+
+type op = {
+  op_name : string;
+  op_detail : string;
+  op_rows : int option;  (* result cardinality, when the span was annotated *)
+  op_reads : int;
+  op_writes : int;
+  op_ns : int;
+  op_depth : int;  (* 0 = the query's root span *)
+}
+
+type outcome = Ok | Failed of string
+
+type capture = {
+  span_text : string;  (* rendered span tree *)
+  plan_text : string;  (* rendered estimated plan *)
+}
+
+type event = {
+  seq : int;  (* monotonic per process *)
+  ts : float;  (* unix seconds at record time *)
+  query : string;
+  fingerprint : string;  (* normalized plan fingerprint *)
+  result_count : int;
+  reads : int;
+  writes : int;
+  wall_ns : int;
+  outcome : outcome;
+  server : string option;  (* answering server, in distributed evaluation *)
+  shipped : (string * int * int) list;  (* per-server (name, messages, bytes) *)
+  ops : op list;  (* flattened span tree, preorder *)
+  capture : capture option;  (* present iff the query was slow *)
+}
+
+(* --- Journal state -------------------------------------------------------- *)
+
+let seq_counter = ref 0
+let sink : (string * out_channel) option ref = ref None
+let threshold = ref 100_000_000 (* 100ms *)
+let slow_capacity = 64
+let slow : event list ref = ref []  (* slowest first, bounded *)
+let current_server : string option ref = ref None
+
+let enabled () = !sink <> None
+let path () = Option.map fst !sink
+
+let disable () =
+  match !sink with
+  | None -> ()
+  | Some (_, oc) ->
+      close_out oc;
+      sink := None
+
+let enable ?(append = true) p =
+  disable ();
+  let flags =
+    [ Open_wronly; Open_creat; (if append then Open_append else Open_trunc) ]
+  in
+  sink := Some (p, open_out_gen flags 0o644 p)
+
+let set_threshold_ns n = threshold := max 0 n
+let threshold_ns () = !threshold
+
+let with_server name f =
+  let saved = !current_server in
+  current_server := Some name;
+  Fun.protect ~finally:(fun () -> current_server := saved) f
+
+let slowest n = List.filteri (fun i _ -> i < n) !slow
+
+let clear () =
+  slow := [];
+  seq_counter := 0
+
+(* --- Lifting per-operator rows from a span tree ----------------------------- *)
+
+let ops_of_span span =
+  let rec go depth (s : Trace.span) acc =
+    let row =
+      {
+        op_name = s.Trace.name;
+        op_detail = s.Trace.detail;
+        op_rows = s.Trace.rows;
+        op_reads = s.Trace.io.Io_stats.page_reads;
+        op_writes = s.Trace.io.Io_stats.page_writes;
+        op_ns = s.Trace.elapsed_ns;
+        op_depth = depth;
+      }
+    in
+    List.fold_left (fun acc c -> go (depth + 1) c acc) (row :: acc)
+      s.Trace.children
+  in
+  List.rev (go 0 span [])
+
+(* --- JSON encoding / decoding ------------------------------------------------- *)
+
+let op_to_json o =
+  Json.Obj
+    ([ ("op", Json.Str o.op_name) ]
+    @ (if o.op_detail = "" then [] else [ ("detail", Json.Str o.op_detail) ])
+    @ (match o.op_rows with
+      | None -> []
+      | Some n -> [ ("rows", Json.Num (float_of_int n)) ])
+    @ [
+        ("reads", Json.Num (float_of_int o.op_reads));
+        ("writes", Json.Num (float_of_int o.op_writes));
+        ("ns", Json.Num (float_of_int o.op_ns));
+        ("depth", Json.Num (float_of_int o.op_depth));
+      ])
+
+let to_json ev =
+  Json.Obj
+    ([
+       ("seq", Json.Num (float_of_int ev.seq));
+       ("ts", Json.Num ev.ts);
+       ("query", Json.Str ev.query);
+       ("fingerprint", Json.Str ev.fingerprint);
+       ( "outcome",
+         Json.Str (match ev.outcome with Ok -> "ok" | Failed _ -> "error") );
+     ]
+    @ (match ev.outcome with
+      | Ok -> []
+      | Failed msg -> [ ("error", Json.Str msg) ])
+    @ [
+        ("result_count", Json.Num (float_of_int ev.result_count));
+        ("reads", Json.Num (float_of_int ev.reads));
+        ("writes", Json.Num (float_of_int ev.writes));
+        ("wall_ns", Json.Num (float_of_int ev.wall_ns));
+      ]
+    @ (match ev.server with
+      | None -> []
+      | Some s -> [ ("server", Json.Str s) ])
+    @ (match ev.shipped with
+      | [] -> []
+      | shipped ->
+          [
+            ( "shipped",
+              Json.Arr
+                (List.map
+                   (fun (name, msgs, bytes) ->
+                     Json.Obj
+                       [
+                         ("server", Json.Str name);
+                         ("messages", Json.Num (float_of_int msgs));
+                         ("bytes", Json.Num (float_of_int bytes));
+                       ])
+                   shipped) );
+          ])
+    @ (match ev.ops with
+      | [] -> []
+      | ops -> [ ("ops", Json.Arr (List.map op_to_json ops)) ])
+    @
+    match ev.capture with
+    | None -> []
+    | Some c ->
+        [
+          ( "capture",
+            Json.Obj
+              [ ("span", Json.Str c.span_text); ("plan", Json.Str c.plan_text) ]
+          );
+        ])
+
+let op_of_json j =
+  {
+    op_name = Json.str (Json.member "op" j);
+    op_detail = Json.str (Json.member "detail" j);
+    op_rows =
+      (match Json.member "rows" j with
+      | Json.Null -> None
+      | v -> Some (Json.to_int v));
+    op_reads = Json.to_int (Json.member "reads" j);
+    op_writes = Json.to_int (Json.member "writes" j);
+    op_ns = Json.to_int (Json.member "ns" j);
+    op_depth = Json.to_int (Json.member "depth" j);
+  }
+
+let of_json j =
+  {
+    seq = Json.to_int (Json.member "seq" j);
+    ts = Json.to_float (Json.member "ts" j);
+    query = Json.str (Json.member "query" j);
+    fingerprint = Json.str (Json.member "fingerprint" j);
+    result_count = Json.to_int (Json.member "result_count" j);
+    reads = Json.to_int (Json.member "reads" j);
+    writes = Json.to_int (Json.member "writes" j);
+    wall_ns = Json.to_int (Json.member "wall_ns" j);
+    outcome =
+      (match Json.str (Json.member "outcome" j) with
+      | "error" -> Failed (Json.str (Json.member "error" j))
+      | _ -> Ok);
+    server =
+      (match Json.member "server" j with
+      | Json.Null -> None
+      | v -> Some (Json.str v));
+    shipped =
+      List.map
+        (fun s ->
+          ( Json.str (Json.member "server" s),
+            Json.to_int (Json.member "messages" s),
+            Json.to_int (Json.member "bytes" s) ))
+        (Json.arr (Json.member "shipped" j));
+    ops = List.map op_of_json (Json.arr (Json.member "ops" j));
+    capture =
+      (match Json.member "capture" j with
+      | Json.Null -> None
+      | c ->
+          Some
+            {
+              span_text = Json.str (Json.member "span" c);
+              plan_text = Json.str (Json.member "plan" c);
+            });
+  }
+
+let load p =
+  let text = In_channel.with_open_text p In_channel.input_all in
+  List.map of_json (Json.lines text)
+
+(* --- Recording ------------------------------------------------------------------ *)
+
+let m_events =
+  Metrics.counter ~help:"query-journal events recorded" "qlog_events_total"
+
+let m_slow =
+  Metrics.counter ~help:"journal events promoted to slow-query captures"
+    "qlog_slow_total"
+
+let record ?server ?(shipped = []) ?(ops = []) ?capture ~query ~fingerprint
+    ~result_count ~reads ~writes ~wall_ns ~outcome () =
+  incr seq_counter;
+  let server = match server with Some _ as s -> s | None -> !current_server in
+  let ev =
+    {
+      seq = !seq_counter;
+      ts = Unix.gettimeofday ();
+      query;
+      fingerprint;
+      result_count;
+      reads;
+      writes;
+      wall_ns;
+      outcome;
+      server;
+      shipped;
+      ops;
+      capture;
+    }
+  in
+  Metrics.incr m_events;
+  (match !sink with
+  | Some (_, oc) ->
+      output_string oc (Json.to_string (to_json ev));
+      output_char oc '\n';
+      flush oc
+  | None -> ());
+  if ev.capture <> None then begin
+    Metrics.incr m_slow;
+    slow :=
+      List.filteri
+        (fun i _ -> i < slow_capacity)
+        (List.stable_sort
+           (fun a b -> compare b.wall_ns a.wall_ns)
+           (ev :: !slow))
+  end;
+  ev
+
+let write_slowlog p =
+  let oc = open_out p in
+  List.iter
+    (fun ev ->
+      output_string oc (Json.to_string (to_json ev));
+      output_char oc '\n')
+    !slow;
+  close_out oc;
+  List.length !slow
+
+(* --- Rendering -------------------------------------------------------------------- *)
+
+let pp_event ppf ev =
+  Fmt.pf ppf "#%d %a %s  [rows=%d reads=%d writes=%d]%s%s  %s"
+    ev.seq Mclock.pp_ns ev.wall_ns
+    (match ev.outcome with Ok -> "ok" | Failed m -> "ERROR " ^ m)
+    ev.result_count ev.reads ev.writes
+    (match ev.server with None -> "" | Some s -> "  @" ^ s)
+    (" plan=" ^ ev.fingerprint)
+    ev.query

@@ -1,0 +1,114 @@
+(** The query journal: an append-only, JSON-lines record of every query
+    evaluated, with slow-query promotion to full captures.
+
+    One event per query: text, normalized plan fingerprint, result
+    cardinality, page reads/writes, wall nanoseconds, outcome, and
+    per-operator cost rows lifted from the {!Trace} span tree.  Queries
+    at or above the threshold additionally carry a capture (rendered
+    span tree + rendered estimated plan) and enter the bounded
+    in-memory slowlog.  Instrumented layers call {!record}; this module
+    never inspects queries itself, so [lib/obs] stays below the query
+    and evaluation layers.  One journal per process. *)
+
+type op = {
+  op_name : string;
+  op_detail : string;
+  op_rows : int option;  (** result cardinality, when annotated *)
+  op_reads : int;
+  op_writes : int;
+  op_ns : int;
+  op_depth : int;  (** 0 = the query's root span *)
+}
+
+type outcome = Ok | Failed of string
+
+type capture = {
+  span_text : string;  (** rendered span tree *)
+  plan_text : string;  (** rendered estimated plan *)
+}
+
+type event = {
+  seq : int;  (** monotonic per process *)
+  ts : float;  (** unix seconds at record time *)
+  query : string;
+  fingerprint : string;
+  result_count : int;
+  reads : int;
+  writes : int;
+  wall_ns : int;
+  outcome : outcome;
+  server : string option;  (** answering server (distributed evaluation) *)
+  shipped : (string * int * int) list;
+      (** per-server (name, messages, bytes) attribution *)
+  ops : op list;  (** flattened span tree, preorder *)
+  capture : capture option;  (** present iff the query was slow *)
+}
+
+(** {1 The journal sink} *)
+
+val enable : ?append:bool -> string -> unit
+(** Open (creating if needed) the journal file; [append] defaults to
+    [true], the journal being append-only by design.  Closes any
+    previously open journal. *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+val path : unit -> string option
+
+val set_threshold_ns : int -> unit
+(** Queries with [wall_ns >=] this are promoted to full captures
+    (default 100ms; clamped to be non-negative). *)
+
+val threshold_ns : unit -> int
+
+val with_server : string -> (unit -> 'a) -> 'a
+(** Attribute every event recorded inside the thunk to the named
+    server (the distributed coordinator wraps per-server evaluation). *)
+
+(** {1 Recording} *)
+
+val ops_of_span : Trace.span -> op list
+(** Flatten a span tree into per-operator cost rows (preorder). *)
+
+val record :
+  ?server:string ->
+  ?shipped:(string * int * int) list ->
+  ?ops:op list ->
+  ?capture:capture ->
+  query:string ->
+  fingerprint:string ->
+  result_count:int ->
+  reads:int ->
+  writes:int ->
+  wall_ns:int ->
+  outcome:outcome ->
+  unit ->
+  event
+(** Assign the next sequence number, append one JSON line to the open
+    journal (if any), and stash the event in the slowlog when it
+    carries a capture.  Safe to call with no journal open (the slowlog
+    still collects). *)
+
+(** {1 The slowlog} *)
+
+val slowest : int -> event list
+(** The [n] slowest captured events, slowest first (bounded at 64). *)
+
+val write_slowlog : string -> int
+(** Dump the slowlog as JSON lines; returns the number of captures. *)
+
+val clear : unit -> unit
+(** Drop the slowlog and restart sequence numbering. *)
+
+(** {1 Reading a journal back} *)
+
+val to_json : event -> Json.t
+val of_json : Json.t -> event
+
+val load : string -> event list
+(** Parse a JSON-lines journal file.
+    @raise Sys_error / Json.Parse_error on unreadable input. *)
+
+val pp_event : Format.formatter -> event -> unit
+(** One-line summary (seq, wall time, outcome, cardinality, I/O,
+    fingerprint, query). *)

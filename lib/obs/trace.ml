@@ -22,6 +22,7 @@ type span = {
   detail : string;
   mutable elapsed_ns : int;
   mutable io : Io_stats.t;  (* delta while the span was open *)
+  mutable rows : int option;  (* result cardinality, when annotated *)
   mutable children : span list;  (* execution order once closed *)
 }
 
@@ -51,11 +52,21 @@ let clear () = ring := []
 
 let stack : span list ref = ref []
 
-let with_span ?(detail = "") ?stats name f =
-  if not !enabled_flag then f ()
+let set_rows n =
+  match !stack with [] -> () | s :: _ -> s.rows <- Some n
+
+let with_span_out ?(detail = "") ?stats name f =
+  if not !enabled_flag then (f (), None)
   else begin
     let span =
-      { name; detail; elapsed_ns = 0; io = Io_stats.create (); children = [] }
+      {
+        name;
+        detail;
+        elapsed_ns = 0;
+        io = Io_stats.create ();
+        rows = None;
+        children = [];
+      }
     in
     let snap = Option.map Io_stats.copy stats in
     let start = Mclock.now_ns () in
@@ -73,8 +84,10 @@ let with_span ?(detail = "") ?stats name f =
       | p :: _ -> p.children <- span :: p.children
       | [] -> push_root span
     in
-    Fun.protect ~finally:finish f
+    (Fun.protect ~finally:finish f, Some span)
   end
+
+let with_span ?detail ?stats name f = fst (with_span_out ?detail ?stats name f)
 
 (* --- Inspection ------------------------------------------------------------- *)
 
@@ -87,10 +100,11 @@ let rec span_count s =
   1 + List.fold_left (fun acc c -> acc + span_count c) 0 s.children
 
 let rec pp_span ppf s =
-  Fmt.pf ppf "@[<v2>%s%s  %a  [reads=%d writes=%d%s]%a@]" s.name
+  Fmt.pf ppf "@[<v2>%s%s  %a  [%sreads=%d writes=%d%s]%a@]" s.name
     (if s.detail = "" then "" else " " ^ s.detail)
-    Mclock.pp_ns s.elapsed_ns s.io.Io_stats.page_reads
-    s.io.Io_stats.page_writes
+    Mclock.pp_ns s.elapsed_ns
+    (match s.rows with None -> "" | Some n -> Printf.sprintf "rows=%d " n)
+    s.io.Io_stats.page_reads s.io.Io_stats.page_writes
     (if s.io.Io_stats.messages > 0 then
        Printf.sprintf " msgs=%d bytes=%d" s.io.Io_stats.messages
          s.io.Io_stats.bytes_shipped

@@ -14,6 +14,7 @@ type span = {
   detail : string;
   mutable elapsed_ns : int;
   mutable io : Io_stats.t;  (** I/O delta while the span was open *)
+  mutable rows : int option;  (** result cardinality, when annotated *)
   mutable children : span list;  (** in execution order *)
 }
 
@@ -23,6 +24,17 @@ val enabled : unit -> bool
 val with_span : ?detail:string -> ?stats:Io_stats.t -> string -> (unit -> 'a) -> 'a
 (** Run the thunk inside a span named [name].  When tracing is off this
     is just an application.  The span closes even if the thunk raises. *)
+
+val with_span_out :
+  ?detail:string -> ?stats:Io_stats.t -> string -> (unit -> 'a) -> 'a * span option
+(** Like {!with_span}, additionally returning the completed span (for
+    callers that attribute costs after the fact, like the query
+    journal).  [None] when tracing is off.  A raising thunk still
+    closes and attaches the span, but the exception propagates. *)
+
+val set_rows : int -> unit
+(** Annotate the innermost open span with its result cardinality.
+    No-op when tracing is off. *)
 
 val last : unit -> span option
 (** The most recently completed root span. *)

@@ -1,0 +1,173 @@
+(* End-to-end tests of the perf-regression gate binary: the CI bench
+   step (`baseline.exe BENCH_baseline.json BENCH_results.json`) must
+   pass identical runs, flag stale baselines without failing, and exit
+   non-zero when a row exceeds its tolerance band. *)
+
+let exe =
+  List.find_opt Sys.file_exists
+    [
+      "../bench/baseline.exe";
+      "_build/default/bench/baseline.exe";
+      "bench/baseline.exe";
+    ]
+  |> Option.value ~default:"../bench/baseline.exe"
+
+let run args =
+  let out = Filename.temp_file "baseline" ".out" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1" (Filename.quote exe)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let text = In_channel.with_open_text out In_channel.input_all in
+  Sys.remove out;
+  (code, text)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec loop i = i + n <= h && (String.sub hay i n = needle || loop (i + 1)) in
+  loop 0
+
+let check_contains text needles =
+  List.iter
+    (fun needle ->
+      if not (contains text needle) then
+        Alcotest.failf "expected output to contain %S; got:@.%s" needle text)
+    needles
+
+(* Write a telemetry file of (id, reads, writes, wall_ns) rows in the
+   BENCH_results.json shape. *)
+let telemetry rows =
+  let path = Filename.temp_file "bench_rows" ".json" in
+  at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+  let oc = open_out path in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (id, reads, writes, wall_ns) ->
+      if i > 0 then output_string oc ",\n";
+      Printf.fprintf oc
+        "  {\"id\":\"%s\",\"size\":null,\"reads\":%d,\"writes\":%d,\"wall_ns\":%d,\"max_resident_pages\":0}"
+        id reads writes wall_ns)
+    rows;
+  output_string oc "\n]\n";
+  close_out oc;
+  path
+
+let base_rows =
+  [ ("E1", 100, 10, 1_000_000); ("E1", 50, 5, 500_000); ("E7", 900, 0, 2_000_000) ]
+
+let test_identical_passes () =
+  let b = telemetry base_rows in
+  let code, text = run [ b; b ] in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains text
+    [
+      (* E1's two rows aggregate before comparison *)
+      "E1";
+      "reads=150 writes=15";
+      "E7";
+      "all experiment ids within the baseline tolerance bands";
+    ]
+
+let test_reads_regression_fails () =
+  let b = telemetry base_rows in
+  (* one extra page read on E7: the io band is exact *)
+  let f =
+    telemetry
+      [ ("E1", 100, 10, 1_000_000); ("E1", 50, 5, 500_000);
+        ("E7", 901, 0, 2_000_000) ]
+  in
+  let code, text = run [ b; f ] in
+  Alcotest.(check int) "exit 1" 1 code;
+  check_contains text
+    [ "E7"; "REGRESSION reads 900 -> 901 (band: exact)";
+      "1 experiment id(s) regressed" ]
+
+let test_writes_regression_fails () =
+  let b = telemetry base_rows in
+  let f =
+    telemetry
+      [ ("E1", 100, 16, 1_000_000); ("E1", 50, 5, 500_000);
+        ("E7", 900, 0, 2_000_000) ]
+  in
+  let code, text = run [ b; f ] in
+  Alcotest.(check int) "exit 1" 1 code;
+  check_contains text [ "E1"; "REGRESSION writes 15 -> 21 (band: exact)" ]
+
+let test_wall_blowup_fails () =
+  let b = telemetry base_rows in
+  (* wall is machine-dependent: only fails beyond the multiplier AND the
+     250ms absolute slack.  500ms against a 1.5ms baseline at 2x: both. *)
+  let f =
+    telemetry
+      [ ("E1", 100, 10, 400_000_000); ("E1", 50, 5, 100_000_000);
+        ("E7", 900, 0, 2_000_000) ]
+  in
+  let code, text = run [ b; f; "2" ] in
+  Alcotest.(check int) "exit 1" 1 code;
+  check_contains text [ "E1"; "REGRESSION wall" ]
+
+let test_wall_within_band_passes () =
+  let b = telemetry base_rows in
+  (* 3x slower than baseline: inside the default 50x band *)
+  let f =
+    telemetry
+      [ ("E1", 100, 10, 3_000_000); ("E1", 50, 5, 1_500_000);
+        ("E7", 900, 0, 6_000_000) ]
+  in
+  let code, _ = run [ b; f ] in
+  Alcotest.(check int) "exit 0" 0 code
+
+let test_io_improvement_is_stale_not_failure () =
+  let b = telemetry base_rows in
+  let f =
+    telemetry
+      [ ("E1", 80, 10, 1_000_000); ("E1", 50, 5, 500_000);
+        ("E7", 900, 0, 2_000_000) ]
+  in
+  let code, text = run [ b; f ] in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains text [ "E1"; "STALE"; "refresh"; "all experiment ids within" ]
+
+let test_new_and_skipped_ids () =
+  let b = telemetry [ ("E1", 100, 10, 1_000_000); ("E9", 7, 0, 1_000) ] in
+  let f = telemetry [ ("E1", 100, 10, 1_000_000); ("E2", 5, 0, 1_000) ] in
+  let code, text = run [ b; f ] in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains text
+    [ "E2"; "NEW"; "no baseline"; "E9"; "skipped"; "in baseline but not" ]
+
+let test_unusable_input () =
+  let b = telemetry base_rows in
+  let code, _ = run [ b; "/nonexistent/results.json" ] in
+  Alcotest.(check int) "missing file: exit 2" 2 code;
+  let code, _ = run [ b ] in
+  Alcotest.(check int) "usage: exit 2" 2 code;
+  let code, _ = run [ b; b; "0.5" ] in
+  Alcotest.(check int) "bad multiplier: exit 2" 2 code
+
+let () =
+  if not (Sys.file_exists exe) then begin
+    print_endline "baseline.exe not built; skipping gate tests";
+    exit 0
+  end;
+  Alcotest.run "baseline"
+    [
+      ( "gate",
+        [
+          Alcotest.test_case "identical run passes" `Quick test_identical_passes;
+          Alcotest.test_case "reads regression fails" `Quick
+            test_reads_regression_fails;
+          Alcotest.test_case "writes regression fails" `Quick
+            test_writes_regression_fails;
+          Alcotest.test_case "wall blowup fails" `Quick test_wall_blowup_fails;
+          Alcotest.test_case "wall within band passes" `Quick
+            test_wall_within_band_passes;
+          Alcotest.test_case "io improvement is stale" `Quick
+            test_io_improvement_is_stale_not_failure;
+          Alcotest.test_case "new and skipped ids" `Quick
+            test_new_and_skipped_ids;
+          Alcotest.test_case "unusable input" `Quick test_unusable_input;
+        ] );
+    ]

@@ -130,6 +130,53 @@ let test_metrics_and_trace () =
       "io counters, metrics and traces reset";
     ]
 
+let test_journal_slowlog_replay () =
+  let path = Filename.temp_file "ndq_cli_journal" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let code, text =
+        run
+          [
+            "-d"; "figure12";
+            "-e"; ":slowlog threshold 0";
+            "-e"; ":journal " ^ path;
+            "-e"; "( ? sub ? SourcePort=25)";
+            "-e"; "( ? sub ? objectClass=SLAPolicyRules)";
+            "-e"; ":journal off";
+            "-e"; ":slowlog 2";
+            "-e"; ":replay " ^ path;
+          ]
+      in
+      Alcotest.(check int) "exit 0" 0 code;
+      check_contains text
+        [
+          "slow-query threshold = 0ms";
+          "journaling to " ^ path;
+          "journal off";
+          (* slowlog: one-line summaries plus the promoted captures *)
+          "plan=";
+          "spans:";
+          "execute";
+          "plan:";
+          (* acceptance: replaying a journal against the same build
+             reports zero result-count diffs *)
+          "replayed 2 queries from " ^ path
+          ^ ": 0 result-count diffs, 0 io diffs, 0 errors";
+        ];
+      (* the journal file itself is JSON lines with one event per query *)
+      let lines =
+        In_channel.with_open_text path In_channel.input_all
+        |> String.split_on_char '\n'
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      Alcotest.(check int) "one JSON line per query" 2 (List.length lines);
+      List.iter
+        (fun l ->
+          check_contains l
+            [ "\"seq\":"; "\"fingerprint\":"; "\"ops\":"; "\"outcome\":\"ok\"" ])
+        lines)
+
 let test_generated_directories () =
   List.iter
     (fun kind ->
@@ -155,6 +202,8 @@ let () =
           Alcotest.test_case "bad input reported" `Quick test_bad_input_reported;
           Alcotest.test_case "ldif save/load" `Quick test_ldif_save_load;
           Alcotest.test_case "metrics + trace" `Quick test_metrics_and_trace;
+          Alcotest.test_case "journal + slowlog + replay" `Quick
+            test_journal_slowlog_replay;
           Alcotest.test_case "generated directories" `Quick
             test_generated_directories;
         ] );

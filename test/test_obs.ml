@@ -164,6 +164,64 @@ let test_ring_eviction () =
             (Invalid_argument "Trace.set_capacity: capacity must be positive")
             (fun () -> Trace.set_capacity 0)))
 
+let test_capacity_truncates_ring () =
+  (* shrinking the ring below its population keeps only the newest *)
+  with_tracing (fun () ->
+      let old = Trace.capacity () in
+      Fun.protect
+        ~finally:(fun () -> Trace.set_capacity old)
+        (fun () ->
+          Trace.set_capacity 8;
+          for i = 1 to 6 do
+            Trace.with_span (Printf.sprintf "t%d" i) (fun () -> ())
+          done;
+          Trace.set_capacity 2;
+          Alcotest.(check (list string))
+            "truncated to newest two" [ "t6"; "t5" ]
+            (List.map (fun s -> s.Trace.name) (Trace.recent ()));
+          (* and the shrunken ring still rotates correctly *)
+          Trace.with_span "t7" (fun () -> ());
+          Alcotest.(check (list string))
+            "rotation after truncation" [ "t7"; "t6" ]
+            (List.map (fun s -> s.Trace.name) (Trace.recent ()))))
+
+let test_failing_child_attached () =
+  (* a child whose thunk raises is still attached to its parent, with
+     its elapsed time recorded, and the parent completes normally *)
+  with_tracing (fun () ->
+      Trace.with_span "parent" (fun () ->
+          (try Trace.with_span "bad child" (fun () -> failwith "expected")
+           with Failure _ -> ());
+          Trace.with_span "good child" (fun () -> ()));
+      match Trace.last () with
+      | None -> Alcotest.fail "no trace recorded"
+      | Some root ->
+          Alcotest.(check string) "parent completed" "parent" root.Trace.name;
+          Alcotest.(check (list string))
+            "failing child kept, in order" [ "bad child"; "good child" ]
+            (List.map (fun s -> s.Trace.name) root.Trace.children);
+          let bad = List.hd root.Trace.children in
+          Alcotest.(check bool) "elapsed recorded on failing child" true
+            (bad.Trace.elapsed_ns >= 0))
+
+let test_set_rows () =
+  with_tracing (fun () ->
+      let r, span =
+        Trace.with_span_out "op" (fun () ->
+            Trace.set_rows 17;
+            "result")
+      in
+      Alcotest.(check string) "value through" "result" r;
+      match span with
+      | None -> Alcotest.fail "tracing on: span expected"
+      | Some s ->
+          Alcotest.(check (option int)) "rows annotated" (Some 17) s.Trace.rows);
+  (* off: set_rows and with_span_out are no-ops *)
+  Trace.set_enabled false;
+  let r, span = Trace.with_span_out "ghost" (fun () -> Trace.set_rows 3; 9) in
+  Alcotest.(check int) "thunk still runs" 9 r;
+  Alcotest.(check bool) "no span when disabled" true (span = None)
+
 let test_disabled_records_nothing () =
   Trace.clear ();
   Trace.set_enabled false;
@@ -171,6 +229,292 @@ let test_disabled_records_nothing () =
   Alcotest.(check int) "thunk still runs" 42 r;
   Alcotest.(check (list string)) "nothing recorded" []
     (List.map (fun s -> s.Trace.name) (Trace.recent ()))
+
+(* --- Json --------------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("n", Json.Num 42.);
+        ("neg", Json.Num (-1.5));
+        ("s", Json.Str "a \"quoted\"\nline");
+        ("b", Json.Bool true);
+        ("z", Json.Null);
+        ("a", Json.Arr [ Json.Num 1.; Json.Str "x"; Json.Obj [] ]);
+      ]
+  in
+  let text = Json.to_string doc in
+  Alcotest.(check bool) "roundtrip" true (Json.of_string text = doc);
+  (* integral floats print without a fraction *)
+  Alcotest.(check string) "integral rendering" "42" (Json.to_string (Json.Num 42.));
+  Alcotest.(check string) "fraction kept" "-1.5" (Json.to_string (Json.Num (-1.5)))
+
+let test_json_parse_errors () =
+  let fails s =
+    match Json.of_string s with
+    | exception Json.Parse_error _ -> ()
+    | v -> Alcotest.failf "%S parsed as %s" s (Json.to_string v)
+  in
+  fails "";
+  fails "{";
+  fails "[1,]";
+  fails "{\"a\":1,}";
+  fails "\"unterminated";
+  fails "1 2";
+  (* trailing garbage *)
+  fails "nul"
+
+let test_json_lines_and_accessors () =
+  let docs = Json.lines "{\"a\":1}\n\n  {\"a\":2}\n" in
+  Alcotest.(check int) "two docs, blank skipped" 2 (List.length docs);
+  Alcotest.(check (list int)) "members" [ 1; 2 ]
+    (List.map (fun d -> Json.to_int (Json.member "a" d)) docs);
+  (* Null-tolerant accessors *)
+  let d = List.hd docs in
+  Alcotest.(check int) "absent member -> 0" 0
+    (Json.to_int (Json.member "missing" d));
+  Alcotest.(check string) "absent member -> \"\"" ""
+    (Json.str (Json.member "missing" d));
+  Alcotest.(check int) "absent member -> []" 0
+    (List.length (Json.arr (Json.member "missing" d)));
+  (* unicode escapes decode to UTF-8 *)
+  Alcotest.(check string) "\\u escape" "\xc3\xa9"
+    (Json.str (Json.of_string "\"\\u00e9\""))
+
+(* --- Qlog --------------------------------------------------------------------- *)
+
+(* Every Qlog test saves and restores the journal's global state. *)
+let with_qlog f =
+  let old_threshold = Qlog.threshold_ns () in
+  Qlog.disable ();
+  Qlog.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Qlog.disable ();
+      Qlog.clear ();
+      Qlog.set_threshold_ns old_threshold)
+    f
+
+let temp_journal () =
+  let path = Filename.temp_file "ndq_test_journal" ".jsonl" in
+  at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+  path
+
+let test_qlog_roundtrip () =
+  with_qlog (fun () ->
+      let path = temp_journal () in
+      Qlog.enable ~append:false path;
+      let ops =
+        [
+          {
+            Qlog.op_name = "execute";
+            op_detail = "";
+            op_rows = Some 3;
+            op_reads = 5;
+            op_writes = 0;
+            op_ns = 1200;
+            op_depth = 0;
+          };
+          {
+            Qlog.op_name = "atomic";
+            op_detail = "( ? sub ? tag=?)";
+            op_rows = Some 3;
+            op_reads = 5;
+            op_writes = 0;
+            op_ns = 1000;
+            op_depth = 1;
+          };
+        ]
+      in
+      let e1 =
+        Qlog.record ~ops ~query:"( ? sub ? tag=even)" ~fingerprint:"abc"
+          ~result_count:3 ~reads:5 ~writes:0 ~wall_ns:1200 ~outcome:Qlog.Ok ()
+      in
+      let e2 =
+        Qlog.record ~server:"s0"
+          ~shipped:[ ("s1", 2, 900) ]
+          ~capture:{ Qlog.span_text = "span"; plan_text = "plan" }
+          ~query:"bad" ~fingerprint:"def" ~result_count:0 ~reads:1 ~writes:0
+          ~wall_ns:9 ~outcome:(Qlog.Failed "boom") ()
+      in
+      Alcotest.(check int) "monotonic seq" (e1.Qlog.seq + 1) e2.Qlog.seq;
+      Qlog.disable ();
+      match Qlog.load path with
+      | [ r1; r2 ] ->
+          Alcotest.(check bool) "event 1 roundtrips" true (r1 = e1);
+          Alcotest.(check bool) "event 2 roundtrips" true (r2 = e2);
+          Alcotest.(check bool) "outcome preserved" true
+            (r2.Qlog.outcome = Qlog.Failed "boom");
+          Alcotest.(check (option string)) "server preserved" (Some "s0")
+            r2.Qlog.server;
+          Alcotest.(check int) "ops preserved" 2 (List.length r1.Qlog.ops)
+      | l -> Alcotest.failf "expected 2 journal lines, got %d" (List.length l))
+
+let test_qlog_append_mode () =
+  with_qlog (fun () ->
+      let path = temp_journal () in
+      let record_one q =
+        ignore
+          (Qlog.record ~query:q ~fingerprint:"f" ~result_count:0 ~reads:0
+             ~writes:0 ~wall_ns:0 ~outcome:Qlog.Ok ())
+      in
+      Qlog.enable ~append:false path;
+      record_one "first";
+      Qlog.disable ();
+      Qlog.enable path;
+      (* default: append *)
+      record_one "second";
+      Qlog.disable ();
+      Alcotest.(check (list string)) "append keeps history" [ "first"; "second" ]
+        (List.map (fun e -> e.Qlog.query) (Qlog.load path));
+      Qlog.enable ~append:false path;
+      record_one "fresh";
+      Qlog.disable ();
+      Alcotest.(check (list string)) "truncate restarts" [ "fresh" ]
+        (List.map (fun e -> e.Qlog.query) (Qlog.load path)))
+
+let test_qlog_slowlog () =
+  with_qlog (fun () ->
+      (* captures enter the slowlog; slowest wins, regardless of order *)
+      let record ?capture wall_ns =
+        ignore
+          (Qlog.record ?capture
+             ~query:(Printf.sprintf "q%d" wall_ns)
+             ~fingerprint:"f" ~result_count:0 ~reads:0 ~writes:0 ~wall_ns
+             ~outcome:Qlog.Ok ())
+      in
+      let cap = { Qlog.span_text = "s"; plan_text = "p" } in
+      record ~capture:cap 300;
+      record 9999;
+      (* no capture: fast path, not in the slowlog *)
+      record ~capture:cap 100;
+      record ~capture:cap 200;
+      Alcotest.(check (list int))
+        "slowest first, uncaptured excluded" [ 300; 200 ]
+        (List.map (fun e -> e.Qlog.wall_ns) (Qlog.slowest 2));
+      Alcotest.(check int) "bounded request" 3
+        (List.length (Qlog.slowest 50));
+      let path = temp_journal () in
+      Alcotest.(check int) "write_slowlog count" 3 (Qlog.write_slowlog path);
+      Alcotest.(check int) "slowlog file readable" 3
+        (List.length (Qlog.load path));
+      Qlog.clear ();
+      Alcotest.(check int) "clear drops captures" 0
+        (List.length (Qlog.slowest 50)))
+
+let test_qlog_ops_of_span () =
+  with_tracing (fun () ->
+      let stats = Io_stats.create () in
+      let (), span =
+        Trace.with_span_out ~stats "execute" (fun () ->
+            Trace.set_rows 2;
+            Trace.with_span ~stats ~detail:"inner" "atomic" (fun () ->
+                Io_stats.read_page ~n:3 stats))
+      in
+      match span with
+      | None -> Alcotest.fail "span expected"
+      | Some s -> (
+          match Qlog.ops_of_span s with
+          | [ root; child ] ->
+              Alcotest.(check string) "preorder root" "execute"
+                root.Qlog.op_name;
+              Alcotest.(check int) "root depth" 0 root.Qlog.op_depth;
+              Alcotest.(check (option int)) "root rows" (Some 2)
+                root.Qlog.op_rows;
+              Alcotest.(check int) "root reads (inclusive)" 3
+                root.Qlog.op_reads;
+              Alcotest.(check string) "child detail" "inner"
+                child.Qlog.op_detail;
+              Alcotest.(check int) "child depth" 1 child.Qlog.op_depth
+          | l -> Alcotest.failf "expected 2 ops, got %d" (List.length l)))
+
+(* --- Engine / Dist journaling -------------------------------------------------- *)
+
+let test_engine_journals_queries () =
+  with_qlog (fun () ->
+      let instance = Dif_gen.karily ~fanout:4 ~size:200 () in
+      let eng = Engine.create ~block:16 instance in
+      let path = temp_journal () in
+      Qlog.enable ~append:false path;
+      Qlog.set_threshold_ns 0;
+      (* everything is "slow": captures everywhere *)
+      let n1 =
+        List.length (Engine.eval_entries eng (Qparser.of_string "( ? sub ? tag=even)"))
+      in
+      ignore (Engine.eval_entries eng (Qparser.of_string "( ? sub ? tag=odd)"));
+      Qlog.set_threshold_ns max_int;
+      (* fast path: no capture *)
+      ignore (Engine.eval_entries eng (Qparser.of_string "( ? sub ? priority>=1)"));
+      Alcotest.(check bool) "journaling leaves tracing off" false
+        (Trace.enabled ());
+      Qlog.disable ();
+      match Qlog.load path with
+      | [ e1; e2; e3 ] ->
+          Alcotest.(check int) "result_count journaled" n1 e1.Qlog.result_count;
+          Alcotest.(check bool) "reads journaled" true (e1.Qlog.reads > 0);
+          Alcotest.(check bool) "per-operator rows present" true
+            (List.exists (fun o -> o.Qlog.op_rows <> None) e1.Qlog.ops);
+          (* same plan shape, different constant: same fingerprint *)
+          Alcotest.(check string) "normalized fingerprint"
+            e1.Qlog.fingerprint e2.Qlog.fingerprint;
+          Alcotest.(check bool) "distinct shape, distinct fingerprint" true
+            (e3.Qlog.fingerprint <> e1.Qlog.fingerprint);
+          Alcotest.(check bool) "slow query captured" true
+            (e1.Qlog.capture <> None);
+          (match e1.Qlog.capture with
+          | Some c ->
+              Alcotest.(check bool) "capture has span tree" true
+                (contains c.Qlog.span_text "execute");
+              Alcotest.(check bool) "capture has plan" true
+                (String.length c.Qlog.plan_text > 0)
+          | None -> ());
+          Alcotest.(check bool) "fast query not captured" true
+            (e3.Qlog.capture = None)
+      | l -> Alcotest.failf "expected 3 journal events, got %d" (List.length l))
+
+let test_dist_journals_attribution () =
+  with_qlog (fun () ->
+      let instance =
+        Dif_gen.generate
+          ~params:
+            {
+              Dif_gen.default_params with
+              size = 200;
+              seed = 3;
+              roots = 2;
+              depth_bias = 0.4;
+            }
+          ()
+      in
+      let domains = [ Dn.of_string "dc=root0"; Dn.of_string "dc=root1" ] in
+      let net = Dist.deploy instance domains in
+      let coord = Dist.coordinator net (Dn.of_string "dc=root0") in
+      let path = temp_journal () in
+      Qlog.enable ~append:false path;
+      Qlog.set_threshold_ns max_int;
+      (* a root-scoped query touches both servers *)
+      ignore
+        (Dist.eval_entries coord
+           (Qparser.of_string "( ? sub ? objectClass=person)"));
+      Qlog.disable ();
+      let events = Qlog.load path in
+      (* per-server engine events, then the coordinator's own event last *)
+      Alcotest.(check bool) "per-server events + coordinator event" true
+        (List.length events >= 3);
+      let coord_ev = List.nth events (List.length events - 1) in
+      Alcotest.(check (option string)) "coordinator attributed to home"
+        (Some coord.Dist.home.Dist.name)
+        coord_ev.Qlog.server;
+      Alcotest.(check bool) "shipping attribution recorded" true
+        (List.length coord_ev.Qlog.shipped > 0);
+      let inner = List.filteri (fun i _ -> i < List.length events - 1) events in
+      let servers =
+        List.sort_uniq compare
+          (List.filter_map (fun e -> e.Qlog.server) inner)
+      in
+      Alcotest.(check bool) "inner events attributed to both servers" true
+        (List.length servers >= 2))
 
 (* --- Explain.profile wall-clock attribution ------------------------------------- *)
 
@@ -199,6 +543,53 @@ let test_profile_actual_ns () =
   Alcotest.(check bool) "total ns non-negative" true
     (Explain.total_actual_ns plan >= 0)
 
+let test_observe_nan_guard () =
+  (* a NaN observation must not poison count/sum/quantiles: it clamps
+     to 0 like any other non-positive value *)
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r "guarded" in
+  Metrics.observe h Float.nan;
+  Metrics.observe h 8.;
+  Alcotest.(check int) "both observations counted" 2
+    (Metrics.histogram_count h);
+  Alcotest.(check (float 0.001)) "sum unaffected by NaN" 8.
+    (Metrics.histogram_sum h);
+  let p100 = Metrics.quantile h 1. in
+  Alcotest.(check bool)
+    (Printf.sprintf "max quantile finite (got %g)" p100)
+    true
+    (Float.is_finite p100 && p100 >= 8.)
+
+let test_json_lines_buckets () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r "hist" in
+  Metrics.observe h 1.;
+  (* bucket 0: [0,2) *)
+  Metrics.observe h 3.;
+  (* bucket 1: [2,4) *)
+  Metrics.observe h 100.;
+  (* bucket 6: [64,128) *)
+  let line =
+    match
+      List.find_opt
+        (fun l -> contains l "\"name\":\"hist\"")
+        (String.split_on_char '\n' (Metrics.to_json_lines r))
+    with
+    | Some l -> l
+    | None -> Alcotest.fail "no json line for histogram"
+  in
+  let buckets =
+    Json.arr (Json.member "buckets" (Json.of_string line))
+    |> List.map Json.to_int
+  in
+  Alcotest.(check int) "full bucket array exported" 64 (List.length buckets);
+  (* entries are cumulative: entry i counts observations below 2^(i+1) *)
+  Alcotest.(check int) "cumulative below 2" 1 (List.nth buckets 0);
+  Alcotest.(check int) "cumulative below 4" 2 (List.nth buckets 1);
+  Alcotest.(check int) "cumulative below 64" 2 (List.nth buckets 5);
+  Alcotest.(check int) "cumulative below 128" 3 (List.nth buckets 6);
+  Alcotest.(check int) "top of array sees everything" 3 (List.nth buckets 63)
+
 let test_engine_metrics () =
   let instance = Dif_gen.karily ~fanout:4 ~size:200 () in
   let eng = Engine.create ~block:16 instance in
@@ -226,14 +617,41 @@ let () =
           Alcotest.test_case "reset keeps handles" `Quick
             test_reset_keeps_handles;
           Alcotest.test_case "exporters" `Quick test_exporters;
+          Alcotest.test_case "NaN observation guard" `Quick
+            test_observe_nan_guard;
+          Alcotest.test_case "cumulative bucket export" `Quick
+            test_json_lines_buckets;
         ] );
       ( "trace",
         [
           Alcotest.test_case "span nesting" `Quick test_span_nesting;
           Alcotest.test_case "closes on raise" `Quick test_span_closes_on_raise;
           Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
+          Alcotest.test_case "capacity truncation" `Quick
+            test_capacity_truncates_ring;
+          Alcotest.test_case "failing child attached" `Quick
+            test_failing_child_attached;
+          Alcotest.test_case "set_rows annotation" `Quick test_set_rows;
           Alcotest.test_case "disabled is a no-op" `Quick
             test_disabled_records_nothing;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "lines and accessors" `Quick
+            test_json_lines_and_accessors;
+        ] );
+      ( "qlog",
+        [
+          Alcotest.test_case "record/load roundtrip" `Quick test_qlog_roundtrip;
+          Alcotest.test_case "append vs truncate" `Quick test_qlog_append_mode;
+          Alcotest.test_case "slowlog ordering" `Quick test_qlog_slowlog;
+          Alcotest.test_case "ops_of_span" `Quick test_qlog_ops_of_span;
+          Alcotest.test_case "engine journals queries" `Quick
+            test_engine_journals_queries;
+          Alcotest.test_case "dist journals attribution" `Quick
+            test_dist_journals_attribution;
         ] );
       ( "profile",
         [
