@@ -407,7 +407,10 @@ let e12 () =
   List.iter
     (fun text ->
       let coord = Dist.coordinator net (Dn.of_string "dc=root0") in
-      let result = Dist.eval_entries coord (Qparser.of_string text) in
+      let result, _ =
+        Telemetry.with_stats coord.Dist.stats (fun () ->
+            Dist.eval_entries coord (Qparser.of_string text))
+      in
       row "%-52s %6d %6d %10d@."
         (if String.length text > 50 then String.sub text 0 49 ^ "…" else text)
         coord.Dist.stats.Io_stats.messages (List.length result)
@@ -796,11 +799,201 @@ let e22 () =
         (ratio io_hash io_merge))
     [ (2_000, 1); (2_000, 4); (8_000, 1); (8_000, 4); (8_000, 16) ]
 
+(* --- E23: the semantic result cache on a repeat-skewed workload --------------- *)
+
+let e23 () =
+  header ~id:"E23 (result cache)"
+    ~claim:
+      "on a repeat-skewed workload with interleaved updates, the semantic \
+       result cache cuts page reads >= 2x (and coordinator messages, \
+       distributed) without changing any result";
+  (* Engine variant: TOPS call resolution, 85% of the traffic aimed at 16
+     hot subscribers with small time/day pools (so query texts repeat
+     exactly), one directory update every 20 steps. *)
+  let subscribers = 400 and steps = 600 in
+  let instance =
+    Tops.generate
+      ~params:
+        {
+          Tops.seed = 31;
+          subscribers;
+          qhps_per_subscriber = 3;
+          appearances_per_qhp = 2;
+        }
+      ()
+  in
+  let rng = Prng.create 97 in
+  let times = [| 900; 1130; 1415 |] and days = [| 2; 6 |] in
+  let ops =
+    List.init steps (fun i ->
+        if i mod 20 = 19 then
+          `Update
+            ( Printf.sprintf "user%d" (Prng.int rng subscribers),
+              Prng.int rng 3,
+              1 + Prng.int rng 5 )
+        else
+          let uid =
+            Printf.sprintf "user%d"
+              (Prng.int rng (if Prng.flip rng 0.85 then 16 else subscribers))
+          in
+          `Query
+            ( uid,
+              times.(Prng.int rng (Array.length times)),
+              days.(Prng.int rng (Array.length days)) ))
+  in
+  let replay result_cache =
+    let d = Directory.create instance in
+    Option.iter (fun c -> Cache.attach c d) result_cache;
+    let stats = Io_stats.create () in
+    (* One stats handle across engine rebuilds, so reads accumulate over
+       the whole stream (index construction is never charged). *)
+    let eng = ref None and eng_gen = ref (-1) in
+    let engine () =
+      if !eng_gen <> Directory.generation d then begin
+        eng :=
+          Some
+            (Engine.create ~block ~with_attr_index:false ?result_cache ~stats
+               (Directory.instance d));
+        eng_gen := Directory.generation d
+      end;
+      Option.get !eng
+    in
+    let rows = ref [] in
+    ignore
+      (Telemetry.with_stats ~size:steps stats (fun () ->
+           List.iter
+             (fun op ->
+               match op with
+               | `Query (uid, time, day) ->
+                   let q = Tops.resolution_query ~uid ~time ~day () in
+                   rows := Ext_list.length (Engine.eval (engine ()) q) :: !rows
+               | `Update (uid, j, p) ->
+                   let dn =
+                     Dn.of_string
+                       (Printf.sprintf "QHPName=qhp%d, %s" j
+                          (Tops.subscriber_dn uid))
+                   in
+                   (match
+                      Directory.modify d dn
+                        [ Directory.Replace ("priority", [ Value.Int p ]) ]
+                    with
+                   | Ok () -> ()
+                   | Error e ->
+                       Fmt.failwith "E23 update: %a" Directory.pp_error e))
+             ops));
+    (stats, List.rev !rows)
+  in
+  let off, off_rows = replay None in
+  let cache = Cache.create ~admit_min_io:1 () in
+  let on, on_rows = replay (Some cache) in
+  if off_rows <> on_rows then failwith "E23: cached results differ from uncached";
+  let cs = Cache.stats cache in
+  row "engine: %d TOPS resolutions + %d updates over %d entries@."
+    (List.length off_rows)
+    (steps - List.length off_rows)
+    (Instance.size instance);
+  row "%12s %10s %10s %12s %10s@." "" "reads" "writes" "reduction" "hit rate";
+  row "%12s %10d %10d %12s %10s@." "cache off" off.Io_stats.page_reads
+    off.Io_stats.page_writes "-" "-";
+  row "%12s %10d %10d %11.1fx %9.0f%%  (target >= 2x)@." "cache on"
+    on.Io_stats.page_reads on.Io_stats.page_writes
+    (ratio off.Io_stats.page_reads (max 1 on.Io_stats.page_reads))
+    (100. *. Cache.hit_rate cs);
+  (* Distributed variant: the coordinator's shipped-result cache on a
+     repeat-skewed query pool, with periodic remote-write notices. *)
+  let dinst =
+    Dif_gen.generate
+      ~params:{ Dif_gen.default_params with size = 6_000; roots = 2; seed = 23 }
+      ()
+  in
+  let net =
+    Dist.deploy ~block dinst [ Dn.of_string "dc=root0"; Dn.of_string "dc=root1" ]
+  in
+  let pool =
+    Array.map Qparser.of_string
+      [|
+        "(dc=root1 ? sub ? surName=milo)";
+        "(dc=root1 ? sub ? priority>=5)";
+        "(| (dc=root0 ? sub ? surName=smith) (dc=root1 ? sub ? surName=smith))";
+        "(dc=root1 ? sub ? weight>=3)";
+        "(dc=root0 ? sub ? surName=milo)";
+        "(dc=root0 ? sub ? priority>=5)";
+        "(dc=root1 ? sub ? tag=gr*)";
+        "(dc=root1 ? sub ? id<500)";
+        "(dc=root0 ? sub ? objectClass=person)";
+        "(dc=root1 ? sub ? objectClass=organizationalUnit)";
+      |]
+  in
+  let drng = Prng.create 53 in
+  let dops =
+    List.init 300 (fun i ->
+        if i mod 25 = 24 then `Notice (Prng.int drng 2)
+        else if Prng.flip drng 0.85 then `Pick (Prng.int drng 4)
+        else `Pick (Prng.int drng (Array.length pool)))
+  in
+  let dreplay result_cache =
+    let coord =
+      Dist.coordinator ?result_cache net (Dn.of_string "dc=root0")
+    in
+    let rows = ref [] in
+    ignore
+      (Telemetry.with_stats ~size:300 coord.Dist.stats (fun () ->
+           List.iter
+             (fun op ->
+               match op with
+               | `Pick i ->
+                   rows :=
+                     List.length (Dist.eval_entries coord pool.(i)) :: !rows
+               | `Notice r ->
+                   Dist.note_update ~subtree:true coord
+                     (Dn.of_string (Printf.sprintf "dc=root%d" r)))
+             dops));
+    (coord.Dist.stats, List.rev !rows)
+  in
+  let doff, doff_rows = dreplay None in
+  let dcache = Cache.create () in
+  let don, don_rows = dreplay (Some dcache) in
+  if doff_rows <> don_rows then
+    failwith "E23: distributed cached results differ from uncached";
+  let ds = Cache.stats dcache in
+  row "@.distributed: %d queries + %d write notices, 2 servers, %d entries@."
+    (List.length doff_rows)
+    (300 - List.length doff_rows)
+    (Instance.size dinst);
+  row "%12s %10s %12s %12s %10s@." "" "msgs" "bytes" "saved msgs" "hit rate";
+  row "%12s %10d %12d %12s %10s@." "cache off" doff.Io_stats.messages
+    doff.Io_stats.bytes_shipped "-" "-";
+  row "%12s %10d %12d %12d %9.0f%%@." "cache on" don.Io_stats.messages
+    don.Io_stats.bytes_shipped
+    (doff.Io_stats.messages - don.Io_stats.messages)
+    (100. *. Cache.hit_rate ds);
+  (* Structured stats for the CI artifact. *)
+  let out = open_out "BENCH_cache_stats.json" in
+  Printf.fprintf out
+    "{\n\
+    \  \"engine\": {\"hits\": %d, \"misses\": %d, \"stale\": %d, \"evictions\": \
+     %d, \"rejects\": %d,\n\
+    \    \"hit_rate\": %.3f, \"reads_off\": %d, \"reads_on\": %d, \
+     \"read_reduction\": %.2f},\n\
+    \  \"dist\": {\"hits\": %d, \"misses\": %d, \"stale\": %d,\n\
+    \    \"hit_rate\": %.3f, \"messages_off\": %d, \"messages_on\": %d, \
+     \"bytes_off\": %d, \"bytes_on\": %d}\n\
+     }\n"
+    cs.Cache.hits cs.Cache.misses cs.Cache.stale cs.Cache.evictions
+    cs.Cache.rejects (Cache.hit_rate cs) off.Io_stats.page_reads
+    on.Io_stats.page_reads
+    (ratio off.Io_stats.page_reads (max 1 on.Io_stats.page_reads))
+    ds.Cache.hits ds.Cache.misses ds.Cache.stale (Cache.hit_rate ds)
+    doff.Io_stats.messages don.Io_stats.messages doff.Io_stats.bytes_shipped
+    don.Io_stats.bytes_shipped;
+  close_out out;
+  row "wrote cache stats to BENCH_cache_stats.json@."
+
 let all : (string * (unit -> unit)) list =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
     ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21);
-    ("e22", e22);
+    ("e22", e22); ("e23", e23);
   ]

@@ -17,15 +17,25 @@ type state = {
   mutable engine_generation : int;
   mutable block : int;
   mutable verbose : bool;
+  mutable cache : Cache.t;  (* survives engine rebuilds, off by default *)
+  mutable cache_on : bool;
 }
 
-(* Rebuild the engine's indexes after updates. *)
+(* Rebuild the engine's indexes after updates.  The result cache is
+   attached to the directory's update hooks, so it survives the rebuild
+   with footprint-precise invalidation instead of being dropped. *)
 let engine st =
   if st.engine_generation <> Directory.generation st.directory then begin
-    st.engine <- Engine.create ~block:st.block (Directory.instance st.directory);
+    st.engine <-
+      Engine.create ~block:st.block
+        ?result_cache:(if st.cache_on then Some st.cache else None)
+        (Directory.instance st.directory);
     st.engine_generation <- Directory.generation st.directory
   end;
   st.engine
+
+(* Force the next [engine] call to rebuild (generations are >= 0). *)
+let invalidate_engine st = st.engine_generation <- -1
 
 let load_directory kind size seed =
   match kind with
@@ -70,6 +80,11 @@ let help () =
     \  :slowlog [n]     show the n slowest captured queries@,\
     \  :slowlog threshold <ms>  set the slow-query capture threshold@,\
     \  :replay <path>   re-run a journal, diffing result counts and io@,\
+    \  :cache on|off    toggle the semantic query-result cache@,\
+    \  :cache stats     hit/miss/stale counters and residency@,\
+    \  :cache clear     drop every cached result@,\
+    \  :cache budget <pages>    set the cache's page budget@,\
+    \  :cache threshold <io>    min evaluation io to admit a result@,\
     \  :explain <query> estimated vs measured plan@,\
     \  :add <ldif>      add one entry (dn: ...; attr: value; ...)@,\
     \  :delete <dn>     delete a leaf entry ( :deltree for subtrees )@,\
@@ -281,6 +296,40 @@ let run_command st line =
                   end)
             events)
   | ":replay" :: path :: _ -> replay st path
+  | ":cache" :: "on" :: _ ->
+      st.cache_on <- true;
+      invalidate_engine st;
+      Fmt.pr "result cache on (budget %d pages, admission io>=%d)@."
+        (Cache.budget_pages st.cache)
+        (Cache.admit_min_io st.cache)
+  | ":cache" :: "off" :: _ ->
+      st.cache_on <- false;
+      invalidate_engine st;
+      Fmt.pr "result cache off (entries kept; :cache clear to drop)@."
+  | ":cache" :: "stats" :: _ ->
+      Fmt.pr "@[<v>result cache %s@,%a@]@."
+        (if st.cache_on then "on" else "off")
+        Cache.pp st.cache
+  | ":cache" :: "clear" :: _ ->
+      Cache.clear st.cache;
+      Fmt.pr "result cache cleared@."
+  | ":cache" :: "budget" :: n :: _ -> (
+      match int_of_string_opt n with
+      | Some v when v >= 0 ->
+          Cache.set_budget_pages st.cache v;
+          Fmt.pr "result-cache budget = %d pages@." v
+      | _ -> Fmt.pr "usage: :cache budget <pages>@.")
+  | ":cache" :: "threshold" :: n :: _ -> (
+      match int_of_string_opt n with
+      | Some v ->
+          Cache.set_admit_min_io st.cache v;
+          Fmt.pr "result-cache admission threshold = io>=%d@." v
+      | _ -> Fmt.pr "usage: :cache threshold <io>@.")
+  | ":cache" :: _ ->
+      Fmt.pr
+        "result cache is %s (usage: :cache \
+         on|off|stats|clear|budget <pages>|threshold <io>)@."
+        (if st.cache_on then "on" else "off")
   | ":entry" :: rest -> (
       let dn_text = String.concat " " rest in
       match Instance.find instance (parse_dn st dn_text) with
@@ -349,6 +398,15 @@ let run_command st line =
       match Ldif.load path with
       | loaded ->
           st.directory <- Directory.create loaded;
+          (* fresh directory, fresh hooks: re-home the cache (settings
+             survive, stale entries don't) *)
+          st.cache <-
+            Cache.create
+              ~budget_pages:(Cache.budget_pages st.cache)
+              ~admit_min_io:(Cache.admit_min_io st.cache)
+              ();
+          Cache.attach st.cache st.directory;
+          invalidate_engine st;
           Fmt.pr "loaded %d entries@." (Instance.size loaded)
       | exception Ldif.Parse_error m -> Fmt.pr "ldif error: %s@." m
       | exception Sys_error m -> Fmt.pr "%s@." m
@@ -378,6 +436,8 @@ let main kind size seed block queries =
   let dir = load_directory kind size seed in
   Fmt.pr "loaded %S: %d entries (block %d)@." kind (Instance.size dir) block;
   let directory = Directory.create dir in
+  let cache = Cache.create () in
+  Cache.attach cache directory;
   let st =
     {
       directory;
@@ -385,6 +445,8 @@ let main kind size seed block queries =
       engine_generation = Directory.generation directory;
       block;
       verbose = false;
+      cache;
+      cache_on = false;
     }
   in
   match queries with

@@ -1,0 +1,52 @@
+(* The dn-subtree footprint of a query: the parts of the namespace its
+   result can depend on.
+
+   Every operator of L0..L3 — boolean, hierarchy, aggregate-selection
+   and entity-reference — is a pure function of its operand lists, and
+   every leaf is an atomic query reading the subtree below its base dn
+   (base and one scopes read subsets of that subtree, so widening them
+   to the full subtree is sound).  A query's footprint is therefore the
+   union of the subtrees rooted at its atomic bases.  Those bases are
+   exactly the rev-dn key ranges the plan touches: in the canonical
+   reverse order an ancestor's key is a proper prefix of its
+   descendants', so each base denotes one contiguous range.
+
+   A footprint with too many ranges to check cheaply degrades to the
+   whole instance ([Whole]), matching the coarse
+   [Directory.generation] fallback. *)
+
+type t =
+  | Whole  (* depends on the whole instance *)
+  | Bases of Dn.t list  (* union of the subtrees rooted at these dns *)
+
+(* Above this many distinct ranges, per-range staleness checks cost
+   more than they save over the whole-instance stamp. *)
+let max_bases = 16
+
+let of_query (q : Ast.t) =
+  let bases =
+    Ast.atomic_subqueries q
+    |> List.map (fun (a : Ast.atomic) -> a.Ast.base)
+    |> List.sort_uniq Dn.compare_rev
+  in
+  (* Drop any base already covered by another base's subtree. *)
+  let minimal =
+    List.filter
+      (fun b ->
+        not
+          (List.exists
+             (fun b' ->
+               (not (Dn.equal b b'))
+               && Dn.is_self_or_descendant_of ~descendant:b ~ancestor:b')
+             bases))
+      bases
+  in
+  match minimal with
+  | [] -> Whole
+  | _ when List.length minimal > max_bases -> Whole
+  | _ when List.exists (fun b -> Dn.equal b Dn.root) minimal -> Whole
+  | bs -> Bases bs
+
+let pp ppf = function
+  | Whole -> Fmt.string ppf "<whole instance>"
+  | Bases bs -> Fmt.(list ~sep:(any " | ") (any "sub(" ++ Dn.pp ++ any ")")) ppf bs

@@ -1,0 +1,18 @@
+(** The dn-subtree footprint of a query: the set of rev-dn base ranges
+    its result can depend on.
+
+    Sound by construction: every L0..L3 operator is a pure function of
+    its operand lists, and every leaf reads inside the subtree below
+    its base dn (base/one scopes are widened to the subtree), so a
+    query's result depends only on the union of the subtrees rooted at
+    its atomic bases.  Queries touching the namespace root, or too many
+    distinct ranges, degrade to {!Whole}. *)
+
+type t =
+  | Whole  (** depends on the whole instance *)
+  | Bases of Dn.t list
+      (** union of the subtrees rooted at these dns; none is an
+          ancestor of another, none is the root *)
+
+val of_query : Ast.t -> t
+val pp : Format.formatter -> t -> unit

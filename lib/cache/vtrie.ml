@@ -1,0 +1,79 @@
+(* A version trie over the dn hierarchy, for footprint-precise cache
+   invalidation.
+
+   Nodes mirror the namespace: the path to the node for [dn] is the
+   root-first list of [dn]'s rdn strings (the same root-first order as
+   [Dn.rev_key], so a subtree is exactly the set of paths extending its
+   root's path).  Two counters live on each node:
+
+   - [version] counts updates *at or below* the node.  A single-entry
+     update at [d] bumps it on every node along root..d — those nodes
+     are precisely the ones whose subtree contains [d].
+   - [deep] counts subtree-wide updates *rooted at* the node (subtree
+     deletion, subtree rename): every dn below is potentially touched,
+     including dns whose trie nodes don't exist.
+
+   The stamp of a base [b] is [version(b)] plus the sum of [deep] along
+   root..b: it advances iff some update could have touched an entry in
+   subtree(b).  Missing nodes contribute zero, so stamps are stable
+   under trie growth.  [epoch] counts every update and stamps
+   whole-instance footprints. *)
+
+type node = {
+  mutable version : int;  (* updates at or below this node *)
+  mutable deep : int;  (* subtree-wide updates rooted here *)
+  children : (string, node) Hashtbl.t;
+}
+
+type t = { root : node; mutable epoch : int }
+
+let make_node () = { version = 0; deep = 0; children = Hashtbl.create 4 }
+let create () = { root = make_node (); epoch = 0 }
+let epoch t = t.epoch
+
+(* Root-first component path of a dn (a Dn.t lists rdns most specific
+   first). *)
+let path (dn : Dn.t) = List.rev_map Rdn.to_string dn
+
+let bump ?(subtree = false) t dn =
+  t.epoch <- t.epoch + 1;
+  let rec go node = function
+    | [] ->
+        node.version <- node.version + 1;
+        if subtree then node.deep <- node.deep + 1
+    | c :: rest ->
+        node.version <- node.version + 1;
+        let child =
+          match Hashtbl.find_opt node.children c with
+          | Some n -> n
+          | None ->
+              let n = make_node () in
+              Hashtbl.add node.children c n;
+              n
+        in
+        go child rest
+  in
+  go t.root (path dn)
+
+(* Coarse fallback: invalidate every stamp (all paths cross the root). *)
+let bump_all t =
+  t.epoch <- t.epoch + 1;
+  t.root.version <- t.root.version + 1;
+  t.root.deep <- t.root.deep + 1
+
+let stamp t dn =
+  let rec go acc node = function
+    | [] -> acc + node.deep + node.version
+    | c :: rest -> (
+        let acc = acc + node.deep in
+        match Hashtbl.find_opt node.children c with
+        | None -> acc
+        | Some child -> go acc child rest)
+  in
+  go 0 t.root (path dn)
+
+let node_count t =
+  let rec go node =
+    Hashtbl.fold (fun _ child n -> n + go child) node.children 1
+  in
+  go t.root

@@ -88,6 +88,15 @@ module Naive = Naive
 module Engine = Engine
 (** The bottom-up pipelined query engine (Section 8.2). *)
 
+module Cache = Cache
+(** Semantic query-result cache with footprint-precise invalidation. *)
+
+module Footprint = Footprint
+(** The dn-subtree footprint of a query (the ranges its result reads). *)
+
+module Vtrie = Vtrie
+(** Subtree version counters over the dn hierarchy. *)
+
 module Explain = Explain
 (** Query plans: cost estimation and per-operator profiling. *)
 

@@ -98,12 +98,24 @@ type coordinator = {
   home : server;  (* the server the query was posed to *)
   stats : Io_stats.t;  (* coordinator-side cost, incl. shipping *)
   pager : Pager.t;
+  result_cache : Cache.t option;  (* shipped sub-query results, per server *)
 }
 
-let coordinator network home_dn =
+let coordinator ?result_cache network home_dn =
   let home = find_server network home_dn in
   let stats = Io_stats.create () in
-  { network; home; stats; pager = Pager.create ~block:network.block stats }
+  {
+    network;
+    home;
+    stats;
+    pager = Pager.create ~block:network.block stats;
+    result_cache;
+  }
+
+let note_update ?subtree t dn =
+  match t.result_cache with
+  | Some c -> Cache.note_update ?subtree c dn
+  | None -> ()
 
 (* An atomic query generally spans several domains: the owner of the base
    dn plus every server whose domain lies inside the base's subtree.
@@ -141,6 +153,20 @@ let ship t server ~bytes =
   Metrics.incr (m_messages server.name);
   Metrics.add (m_bytes server.name) bytes
 
+(* Traffic the result cache saved: counted per answering server, like
+   the shipping counters it offsets. *)
+let m_saved_messages server =
+  Metrics.counter ~help:"messages saved by the coordinator result cache"
+    ~labels:[ ("server", server) ]
+    "dist_cache_saved_messages_total"
+
+let m_saved_bytes server =
+  Metrics.counter ~help:"shipped bytes saved by the coordinator result cache"
+    ~labels:[ ("server", server) ]
+    "dist_cache_saved_bytes_total"
+
+let entries_bytes = Array.fold_left (fun n e -> n + Entry.byte_size e) 0
+
 let eval_atomic t (a : Ast.atomic) =
   let shards =
     List.map
@@ -151,19 +177,48 @@ let eval_atomic t (a : Ast.atomic) =
         Trace.with_span ~detail:s.name ~stats:t.stats "ship" (fun () ->
             Qlog.with_server s.name (fun () ->
                 let local = Dn.equal s.domain t.home.domain in
-                if not local then
-                  (* Ship the atomic query out and the result back. *)
-                  ship t s ~bytes:(query_bytes a);
-                let result = Engine.eval s.engine (Ast.Atomic a) in
-                let entries = Ext_list.to_list result in
-                if not local then
-                  ship t s
-                    ~bytes:
-                      (List.fold_left
-                         (fun n e -> n + Entry.byte_size e)
-                         0 entries);
-                (* Materialize the shipped list at the coordinator. *)
-                Ext_list.materialize t.pager (Array.of_list entries))))
+                (* Remote shards can be answered from the coordinator's
+                   result cache, skipping the round trip entirely; the
+                   key scopes the sub-query's text to the server. *)
+                let probe =
+                  if local then None
+                  else
+                    match t.result_cache with
+                    | None -> None
+                    | Some c ->
+                        let fingerprint = Plan.fingerprint (Ast.Atomic a) in
+                        let ckey =
+                          Qprinter.to_string (Ast.Atomic a) ^ " @" ^ s.name
+                        in
+                        Some (c, fingerprint, ckey,
+                              Cache.find c ~fingerprint ~query:ckey)
+                in
+                match probe with
+                | Some (_, _, _, Cache.Hit arr) ->
+                    Metrics.add (m_saved_messages s.name) 2;
+                    Metrics.add (m_saved_bytes s.name)
+                      (query_bytes a + entries_bytes arr);
+                    Ext_list.materialize t.pager arr
+                | _ ->
+                    (* Ship the atomic query out and the result back. *)
+                    if not local then ship t s ~bytes:(query_bytes a);
+                    let result = Engine.eval s.engine (Ast.Atomic a) in
+                    let arr = Array.of_list (Ext_list.to_list result) in
+                    if not local then ship t s ~bytes:(entries_bytes arr);
+                    (match probe with
+                    | Some (c, fingerprint, ckey, (Cache.Miss | Cache.Stale))
+                      ->
+                        (* Cost is counted in messages: a hit saves the
+                           two of a round trip. *)
+                        ignore
+                          (Cache.store c ~fingerprint ~query:ckey
+                             ~footprint:(Footprint.of_query (Ast.Atomic a))
+                             ~cost_io:2
+                             ~pages:(Pager.pages_of t.pager (Array.length arr))
+                             arr)
+                    | _ -> ());
+                    (* Materialize the shipped list at the coordinator. *)
+                    Ext_list.materialize t.pager arr)))
       (involved_servers t a)
   in
   (* Merge the sorted shards (pairwise unions). *)
@@ -221,8 +276,30 @@ let query_detail q =
   let s = Qprinter.to_string q in
   if String.length s > 60 then String.sub s 0 59 ^ "…" else s
 
-let journal_event t q ~result_count ~reads ~writes ~wall_ns ~outcome ~shipped
-    span =
+(* Summarize the per-shard cache outcomes of one query tree from the
+   cache's counter deltas: all lookups hit -> "hit", any invalidated ->
+   "stale", otherwise "miss" (including trees with no remote shard). *)
+let cache_probe_snapshot t =
+  match t.result_cache with
+  | None -> None
+  | Some c ->
+      let s = Cache.stats c in
+      Some (s.Cache.hits, s.Cache.misses, s.Cache.stale)
+
+let cache_note t before =
+  match (t.result_cache, before) with
+  | None, _ | _, None -> "bypass"
+  | Some c, Some (h0, m0, s0) ->
+      let s = Cache.stats c in
+      let hits = s.Cache.hits - h0
+      and misses = s.Cache.misses - m0
+      and stale = s.Cache.stale - s0 in
+      if stale > 0 then "stale"
+      else if misses > 0 || hits = 0 then "miss"
+      else "hit"
+
+let journal_event t q ~cache ~result_count ~reads ~writes ~wall_ns ~outcome
+    ~shipped span =
   let ops = match span with Some sp -> Qlog.ops_of_span sp | None -> [] in
   let capture =
     if wall_ns >= Qlog.threshold_ns () then
@@ -241,7 +318,7 @@ let journal_event t q ~result_count ~reads ~writes ~wall_ns ~outcome ~shipped
     else None
   in
   ignore
-    (Qlog.record ~server:t.home.name ~shipped ~ops ?capture
+    (Qlog.record ~cache ~server:t.home.name ~shipped ~ops ?capture
        ~query:(Qprinter.to_string q)
        ~fingerprint:(Plan.fingerprint q) ~result_count ~reads ~writes ~wall_ns
        ~outcome ())
@@ -253,6 +330,7 @@ let eval t q =
   let journal = Qlog.enabled () in
   Engine.with_forced_tracing journal (fun () ->
       let ship0 = if journal then shipping_snapshot t else [] in
+      let probe0 = cache_probe_snapshot t in
       let detail = if Trace.enabled () then query_detail q else "" in
       match
         Trace.with_span_out ~detail ~stats:t.stats "coordinate" (fun () ->
@@ -262,7 +340,7 @@ let eval t q =
       with
       | exception e ->
           if journal then
-            journal_event t q ~result_count:0
+            journal_event t q ~cache:(cache_note t probe0) ~result_count:0
               ~reads:(t.stats.Io_stats.page_reads - reads0)
               ~writes:(t.stats.Io_stats.page_writes - writes0)
               ~wall_ns:(Mclock.now_ns () - t0)
@@ -274,7 +352,7 @@ let eval t q =
           Metrics.incr m_dist_queries;
           Metrics.observe_ns m_dist_latency wall_ns;
           if journal then
-            journal_event t q
+            journal_event t q ~cache:(cache_note t probe0)
               ~result_count:(Ext_list.length out)
               ~reads:(t.stats.Io_stats.page_reads - reads0)
               ~writes:(t.stats.Io_stats.page_writes - writes0)

@@ -31,10 +31,21 @@ type coordinator = {
   home : server;  (** the server the query was posed to *)
   stats : Io_stats.t;  (** coordinator-side cost including shipping *)
   pager : Pager.t;
+  result_cache : Cache.t option;
+      (** shipped sub-query results, keyed per answering server *)
 }
 
-val coordinator : network -> Dn.t -> coordinator
-(** A coordinator at the server owning the given dn. *)
+val coordinator : ?result_cache:Cache.t -> network -> Dn.t -> coordinator
+(** A coordinator at the server owning the given dn.  With a
+    [result_cache], remote atomic sub-query results are cached per
+    answering server: a fresh entry skips the round trip (the saved
+    messages and bytes are counted under
+    [dist_cache_saved_messages_total] / [dist_cache_saved_bytes_total]),
+    and {!note_update} invalidates by footprint. *)
+
+val note_update : ?subtree:bool -> coordinator -> Dn.t -> unit
+(** Tell the coordinator's result cache an entry at [dn] changed on
+    some server (no-op without a cache). *)
 
 val involved_servers : coordinator -> Ast.atomic -> server list
 (** The owner of the base plus every server whose domain lies inside the

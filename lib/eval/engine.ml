@@ -21,10 +21,12 @@ type t = {
   pool : Buffer_pool.t option;  (* page cache behind the dn-index *)
   window : int;  (* in-memory pages for each operator's stack *)
   algorithms : algorithms;
+  result_cache : Cache.t option;  (* semantic query-result cache *)
 }
 
 let create ?(block = 64) ?(window = 2) ?(with_attr_index = true)
-    ?(algorithms = Stack_based) ?(cache_pages = 0) ?stats instance =
+    ?(algorithms = Stack_based) ?(cache_pages = 0) ?result_cache ?stats
+    instance =
   let stats = match stats with Some s -> s | None -> Io_stats.create () in
   let pager = Pager.create ~block stats in
   let pool =
@@ -37,13 +39,15 @@ let create ?(block = 64) ?(window = 2) ?(with_attr_index = true)
   in
   (* Index construction is setup cost, not query cost. *)
   Io_stats.reset stats;
-  { instance; pager; dn_index; attr_index; pool; window; algorithms }
+  { instance; pager; dn_index; attr_index; pool; window; algorithms;
+    result_cache }
 
 let stats t = Pager.stats t.pager
 let pager t = t.pager
 let instance t = t.instance
 let dn_index t = t.dn_index
 let cache t = t.pool
+let result_cache t = t.result_cache
 let reset_stats t = Io_stats.reset (stats t)
 
 (* --- Atomic queries ----------------------------------------------------- *)
@@ -223,7 +227,20 @@ let with_forced_tracing journal f =
   if forced then Trace.set_enabled true;
   Fun.protect ~finally:(fun () -> if forced then Trace.set_enabled false) f
 
-let journal_event t q ~result_count ~reads ~writes ~wall_ns ~outcome span =
+(* Hit-vs-miss latency: the histograms behind the "is the cache worth
+   it" question. *)
+let m_hit_ns =
+  Metrics.histogram ~help:"wall ns per query by result-cache outcome"
+    ~labels:[ ("cache", "hit") ]
+    "engine_cache_query_ns"
+
+let m_miss_ns =
+  Metrics.histogram ~help:"wall ns per query by result-cache outcome"
+    ~labels:[ ("cache", "miss") ]
+    "engine_cache_query_ns"
+
+let journal_event t q ~cache ~result_count ~reads ~writes ~wall_ns ~outcome
+    span =
   let ops = match span with Some sp -> Qlog.ops_of_span sp | None -> [] in
   let capture =
     if wall_ns >= Qlog.threshold_ns () then
@@ -240,16 +257,23 @@ let journal_event t q ~result_count ~reads ~writes ~wall_ns ~outcome span =
     else None
   in
   ignore
-    (Qlog.record
+    (Qlog.record ~cache
        ~query:(Qprinter.to_string q)
        ~fingerprint:(Plan.fingerprint q) ~result_count ~reads ~writes ~wall_ns
        ~outcome ~ops ?capture ())
 
-let eval t q =
+(* Full evaluation.  [probe] says how the result cache answered the
+   lookup ([`Bypass] when there is none): a [`Miss] or [`Stale] result
+   is offered back to the cache — admission decides — with the measured
+   io as its cost and its dn-subtree footprint for invalidation. *)
+let eval_uncached t q ~probe =
   let s = stats t in
   let reads0 = s.Io_stats.page_reads and writes0 = s.Io_stats.page_writes in
   let t0 = Mclock.now_ns () in
   let journal = Qlog.enabled () in
+  let cache_note =
+    match probe with `Bypass -> "bypass" | `Miss -> "miss" | `Stale -> "stale"
+  in
   with_forced_tracing journal (fun () ->
       let detail = if Trace.enabled () then query_detail q else "" in
       match
@@ -260,7 +284,7 @@ let eval t q =
       with
       | exception e ->
           if journal then
-            journal_event t q ~result_count:0
+            journal_event t q ~cache:cache_note ~result_count:0
               ~reads:(s.Io_stats.page_reads - reads0)
               ~writes:(s.Io_stats.page_writes - writes0)
               ~wall_ns:(Mclock.now_ns () - t0)
@@ -275,11 +299,51 @@ let eval t q =
           Metrics.observe_ns m_latency wall_ns;
           Metrics.add m_reads reads;
           Metrics.add m_writes writes;
+          (match t.result_cache with
+          | Some c when probe <> `Bypass ->
+              Metrics.observe_ns m_miss_ns wall_ns;
+              let arr = Ext_list.to_array out in
+              ignore
+                (Cache.store c ~fingerprint:(Plan.fingerprint q)
+                   ~query:(Qprinter.to_string q)
+                   ~footprint:(Footprint.of_query q)
+                   ~cost_io:(reads + writes)
+                   ~pages:(Pager.pages_of t.pager (Array.length arr))
+                   arr)
+          | _ -> ());
           if journal then
-            journal_event t q
+            journal_event t q ~cache:cache_note
               ~result_count:(Ext_list.length out)
               ~reads ~writes ~wall_ns ~outcome:Qlog.Ok span;
           out)
+
+(* A hit re-serves the materialized result as a disk-resident list:
+   creation is free (the pages are already paid for in the cache's
+   budget), downstream scans charge normally. *)
+let serve_hit t q ~fingerprint arr =
+  let t0 = Mclock.now_ns () in
+  let out = Ext_list.of_array_resident t.pager arr in
+  let wall_ns = Mclock.now_ns () - t0 in
+  Metrics.incr m_queries;
+  Metrics.observe_ns m_latency wall_ns;
+  Metrics.observe_ns m_hit_ns wall_ns;
+  if Qlog.enabled () then
+    ignore
+      (Qlog.record ~cache:"hit"
+         ~query:(Qprinter.to_string q)
+         ~fingerprint ~result_count:(Array.length arr) ~reads:0 ~writes:0
+         ~wall_ns ~outcome:Qlog.Ok ());
+  out
+
+let eval t q =
+  match t.result_cache with
+  | None -> eval_uncached t q ~probe:`Bypass
+  | Some c -> (
+      let fingerprint = Plan.fingerprint q in
+      match Cache.find c ~fingerprint ~query:(Qprinter.to_string q) with
+      | Cache.Hit arr -> serve_hit t q ~fingerprint arr
+      | Cache.Miss -> eval_uncached t q ~probe:`Miss
+      | Cache.Stale -> eval_uncached t q ~probe:`Stale)
 
 let eval_entries t q = Ext_list.to_list (eval t q)
 

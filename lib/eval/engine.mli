@@ -17,14 +17,16 @@ val create :
   ?with_attr_index:bool ->
   ?algorithms:algorithms ->
   ?cache_pages:int ->
+  ?result_cache:Cache.t ->
   ?stats:Io_stats.t ->
   Instance.t ->
   t
 (** Build an engine over an instance.  [block] is the blocking factor
     (default 64), [window] the per-operator stack window in pages
     (default 2), [with_attr_index] controls secondary-index-assisted
-    atomic evaluation (default on).  Index construction cost is not
-    charged to the query counters. *)
+    atomic evaluation (default on), [result_cache] plugs in a semantic
+    query-result cache (default none — caching is opt-in).  Index
+    construction cost is not charged to the query counters. *)
 
 val stats : t -> Io_stats.t
 val pager : t -> Pager.t
@@ -35,6 +37,9 @@ val dn_index : t -> Dn_index.t
 
 val cache : t -> Buffer_pool.t option
 (** The buffer pool, when [cache_pages > 0]. *)
+
+val result_cache : t -> Cache.t option
+(** The semantic result cache handed to {!create}, if any. *)
 
 val reset_stats : t -> unit
 
@@ -48,7 +53,13 @@ val eval : t -> Ast.t -> Entry.t Ext_list.t
     wall time, per-operator rows from the span tree — and queries at or
     above the slow threshold carry a full capture (span tree + rendered
     estimated plan).  Tracing is forced on for the extent of a
-    journaled query. *)
+    journaled query.
+
+    With a [result_cache], the evaluation is preceded by a cache lookup
+    (a fresh entry is served as a resident list, charging no page io)
+    and followed by a store offer on miss or staleness; every journal
+    event then carries the cache outcome ([hit|miss|stale], or
+    [bypass] without a cache). *)
 
 val with_forced_tracing : bool -> (unit -> 'a) -> 'a
 (** [with_forced_tracing journal f] runs [f] with span tracing enabled

@@ -12,7 +12,13 @@
    Every mutation revalidates the affected entries, so a directory can
    never leave the model. *)
 
-type t = { mutable instance : Instance.t; mutable generation : int }
+type update = { dn : Dn.t; subtree : bool }
+
+type t = {
+  mutable instance : Instance.t;
+  mutable generation : int;
+  mutable hooks : (update -> unit) list;
+}
 
 type error =
   | Invalid of Instance.violation
@@ -29,7 +35,7 @@ let pp_error ppf = function
   | Rdn_would_change dn ->
       Fmt.pf ppf "modification would remove an rdn value of %a" Dn.pp dn
 
-let create instance = { instance; generation = 0 }
+let create instance = { instance; generation = 0; hooks = [] }
 let of_schema schema = create (Instance.empty schema)
 let instance t = t.instance
 let schema t = Instance.schema t.instance
@@ -39,9 +45,12 @@ let generation t = t.generation
 (* bumped on every successful mutation; engines use it to know when
    their indexes are stale *)
 
-let commit t instance =
+let on_update t f = t.hooks <- t.hooks @ [ f ]
+
+let commit t instance updates =
   t.instance <- instance;
   t.generation <- t.generation + 1;
+  List.iter (fun f -> List.iter f updates) t.hooks;
   Ok ()
 
 (* --- Add ----------------------------------------------------------------- *)
@@ -58,7 +67,7 @@ let add ?(as_root = false) t entry =
   if not parent_ok then Error (Parent_missing dn)
   else
     match Instance.add t.instance entry with
-    | updated -> commit t updated
+    | updated -> commit t updated [ { dn; subtree = false } ]
     | exception Instance.Invalid v -> Error (Invalid v)
 
 (* --- Delete -------------------------------------------------------------- *)
@@ -76,8 +85,9 @@ let delete ?(subtree = false) t dn =
       (List.fold_left
          (fun acc e -> Instance.remove acc (Entry.dn e))
          t.instance doomed)
+      [ { dn; subtree = true } ]
   else if has_children t dn then Error (Has_children dn)
-  else commit t (Instance.remove t.instance dn)
+  else commit t (Instance.remove t.instance dn) [ { dn; subtree = false } ]
 
 (* --- Modify -------------------------------------------------------------- *)
 
@@ -116,7 +126,7 @@ let modify t dn mods =
       if not rdn_ok then Error (Rdn_would_change dn)
       else begin
         match Instance.replace t.instance updated with
-        | updated_instance -> commit t updated_instance
+        | updated_instance -> commit t updated_instance [ { dn; subtree = false } ]
         | exception Instance.Invalid v -> Error (Invalid v)
       end
 
@@ -203,7 +213,10 @@ let modify_dn ?(delete_old_rdn = true) ?new_superior t dn ~new_rdn =
                 Instance.add acc (Entry.make moved_dn (Entry.attrs d)))
               with_renamed descendants
           with
-          | updated -> commit t updated
+          | updated ->
+              (* the whole subtree moved: both roots' subtrees changed *)
+              commit t updated
+                [ { dn; subtree = true }; { dn = new_dn; subtree = true } ]
           | exception Instance.Invalid v -> Error (Invalid v))
 
 (* --- Convenience ------------------------------------------------------------ *)
@@ -223,6 +236,9 @@ let batch t (ops : (t -> (unit, error) result) list) =
         | Error e ->
             t.instance <- saved;
             t.generation <- saved_gen;
+            (* the successful prefix already notified; the rollback
+               reverses it, so re-notify conservatively for everything *)
+            List.iter (fun f -> f { dn = Dn.root; subtree = true }) t.hooks;
             Error e)
   in
   run ops

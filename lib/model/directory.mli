@@ -28,6 +28,18 @@ val generation : t -> int
 (** Bumped on every successful mutation; engines use it to detect stale
     indexes. *)
 
+type update = { dn : Dn.t; subtree : bool }
+(** The locus of a successful mutation: the entry at [dn] changed, and
+    when [subtree] the whole subtree below it may have (subtree
+    deletion, rename). *)
+
+val on_update : t -> (update -> unit) -> unit
+(** Register a hook called after every successful mutation, in
+    registration order (result caches use this for footprint-precise
+    invalidation).  [modify_dn] notifies both the old and the new
+    subtree roots; a rolled-back {!batch} notifies for its successful
+    prefix and then conservatively for the whole namespace. *)
+
 val add : ?as_root:bool -> t -> Entry.t -> (unit, error) result
 (** Insert a new entry; its parent must exist unless [as_root]. *)
 

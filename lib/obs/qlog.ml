@@ -42,6 +42,7 @@ type event = {
   writes : int;
   wall_ns : int;
   outcome : outcome;
+  cache : string option;  (* result-cache outcome: hit|miss|stale|bypass *)
   server : string option;  (* answering server, in distributed evaluation *)
   shipped : (string * int * int) list;  (* per-server (name, messages, bytes) *)
   ops : op list;  (* flattened span tree, preorder *)
@@ -143,6 +144,9 @@ let to_json ev =
         ("writes", Json.Num (float_of_int ev.writes));
         ("wall_ns", Json.Num (float_of_int ev.wall_ns));
       ]
+    @ (match ev.cache with
+      | None -> []
+      | Some c -> [ ("cache", Json.Str c) ])
     @ (match ev.server with
       | None -> []
       | Some s -> [ ("server", Json.Str s) ])
@@ -204,6 +208,10 @@ let of_json j =
       (match Json.str (Json.member "outcome" j) with
       | "error" -> Failed (Json.str (Json.member "error" j))
       | _ -> Ok);
+    cache =
+      (match Json.member "cache" j with
+      | Json.Null -> None
+      | v -> Some (Json.str v));
     server =
       (match Json.member "server" j with
       | Json.Null -> None
@@ -240,8 +248,8 @@ let m_slow =
   Metrics.counter ~help:"journal events promoted to slow-query captures"
     "qlog_slow_total"
 
-let record ?server ?(shipped = []) ?(ops = []) ?capture ~query ~fingerprint
-    ~result_count ~reads ~writes ~wall_ns ~outcome () =
+let record ?cache ?server ?(shipped = []) ?(ops = []) ?capture ~query
+    ~fingerprint ~result_count ~reads ~writes ~wall_ns ~outcome () =
   incr seq_counter;
   let server = match server with Some _ as s -> s | None -> !current_server in
   let ev =
@@ -255,6 +263,7 @@ let record ?server ?(shipped = []) ?(ops = []) ?capture ~query ~fingerprint
       writes;
       wall_ns;
       outcome;
+      cache;
       server;
       shipped;
       ops;
@@ -292,10 +301,11 @@ let write_slowlog p =
 (* --- Rendering -------------------------------------------------------------------- *)
 
 let pp_event ppf ev =
-  Fmt.pf ppf "#%d %a %s  [rows=%d reads=%d writes=%d]%s%s  %s"
+  Fmt.pf ppf "#%d %a %s  [rows=%d reads=%d writes=%d]%s%s%s  %s"
     ev.seq Mclock.pp_ns ev.wall_ns
     (match ev.outcome with Ok -> "ok" | Failed m -> "ERROR " ^ m)
     ev.result_count ev.reads ev.writes
+    (match ev.cache with None -> "" | Some c -> "  cache=" ^ c)
     (match ev.server with None -> "" | Some s -> "  @" ^ s)
     (" plan=" ^ ev.fingerprint)
     ev.query

@@ -37,6 +37,9 @@ type event = {
   writes : int;
   wall_ns : int;
   outcome : outcome;
+  cache : string option;
+      (** result-cache outcome ([hit|miss|stale|bypass]), when the
+          evaluating layer reports one *)
   server : string option;  (** answering server (distributed evaluation) *)
   shipped : (string * int * int) list;
       (** per-server (name, messages, bytes) attribution *)
@@ -71,6 +74,7 @@ val ops_of_span : Trace.span -> op list
 (** Flatten a span tree into per-operator cost rows (preorder). *)
 
 val record :
+  ?cache:string ->
   ?server:string ->
   ?shipped:(string * int * int) list ->
   ?ops:op list ->

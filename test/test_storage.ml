@@ -276,6 +276,47 @@ let test_pool_integration_dn_index () =
     (Printf.sprintf "warm (%d) < cold (%d)" warm cold)
     true (warm = 0 && cold > 0)
 
+(* Eviction follows exact LRU recency, with hits refreshing recency. *)
+let test_pool_eviction_order () =
+  let stats, pager = fresh ~block:4 () in
+  let pool = Buffer_pool.create ~capacity:3 pager in
+  let r page = Buffer_pool.read pool ~file:"f" ~page in
+  r 0;
+  r 1;
+  r 2;
+  Alcotest.(check int) "cold fill misses" 3 (Buffer_pool.misses pool);
+  (* Touching 0 makes 1 the LRU page, so reading 3 must evict 1. *)
+  r 0;
+  r 3;
+  r 0;
+  r 2;
+  r 3;
+  Alcotest.(check int) "survivors all hit" 4 (Buffer_pool.hits pool);
+  Alcotest.(check int) "charged reads = misses" 4 stats.Io_stats.page_reads;
+  r 1;
+  Alcotest.(check int) "the evicted page faults again" 5
+    (Buffer_pool.misses pool);
+  Alcotest.(check int) "a fault is not a hit" 4 (Buffer_pool.hits pool)
+
+let test_pool_hits_counter () =
+  let stats, pager = fresh ~block:4 () in
+  let pool = Buffer_pool.create ~capacity:2 pager in
+  let r page = Buffer_pool.read pool ~file:"f" ~page in
+  Alcotest.(check int) "fresh pool has no hits" 0 (Buffer_pool.hits pool);
+  r 0;
+  Alcotest.(check int) "a miss is not a hit" 0 (Buffer_pool.hits pool);
+  for _ = 1 to 5 do
+    r 0
+  done;
+  Alcotest.(check int) "five repeats, five hits" 5 (Buffer_pool.hits pool);
+  Alcotest.(check int) "still one miss" 1 (Buffer_pool.misses pool);
+  Alcotest.(check int) "hits charge no reads" 1 stats.Io_stats.page_reads;
+  (* [clear] drops the contents but keeps the lifetime counters. *)
+  Buffer_pool.clear pool;
+  r 0;
+  Alcotest.(check int) "clear keeps hit count" 5 (Buffer_pool.hits pool);
+  Alcotest.(check int) "re-read after clear faults" 2 (Buffer_pool.misses pool)
+
 let test_spill_resident_accounting () =
   let stats, pager = fresh ~block:4 () in
   let stack = Spill_stack.create ~window_pages:3 pager in
@@ -315,6 +356,8 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_pool_basics;
           Alcotest.test_case "zero capacity" `Quick test_pool_zero_capacity;
+          Alcotest.test_case "eviction order" `Quick test_pool_eviction_order;
+          Alcotest.test_case "hits counter" `Quick test_pool_hits_counter;
           Testkit.qtest ~count:300 "matches LRU model" gen_accesses
             prop_pool_matches_lru_model;
           Alcotest.test_case "dn-index integration" `Quick
