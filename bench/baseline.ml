@@ -31,8 +31,14 @@ type agg = {
 let aggregate path =
   let text = In_channel.with_open_text path In_channel.input_all in
   let rows =
+    (* Either the legacy bare array of rows, or the current results
+       document {"rows": [...], "monitor": [...]}. *)
     match Json.of_string text with
     | Json.Arr l -> l
+    | Json.Obj _ as o -> (
+        match Json.member "rows" o with
+        | Json.Arr l -> l
+        | _ -> failwith (path ^ ": expected telemetry rows under \"rows\""))
     | _ -> failwith (path ^ ": expected a JSON array of telemetry rows")
   in
   let tbl = Hashtbl.create 16 in

@@ -987,7 +987,24 @@ let e23 () =
     doff.Io_stats.messages don.Io_stats.messages doff.Io_stats.bytes_shipped
     don.Io_stats.bytes_shipped;
   close_out out;
-  row "wrote cache stats to BENCH_cache_stats.json@."
+  row "wrote cache stats to BENCH_cache_stats.json@.";
+  (* One stitched distributed trace for the CI artifact: trace the
+     cross-root OR query (it involves both servers), so the exported
+     Chrome trace shows the coordinator's merge spans and each server's
+     engine spans in their own lanes, all under one trace id. *)
+  let tracing_was = Trace.enabled () in
+  Trace.set_enabled true;
+  let coord = Dist.coordinator net (Dn.of_string "dc=root0") in
+  ignore (Dist.eval_entries coord pool.(2));
+  Trace.set_enabled tracing_was;
+  (match Trace.last () with
+  | Some span ->
+      let out = open_out "BENCH_dist_trace.json" in
+      output_string out (Chrome_trace.to_string [ span ]);
+      output_char out '\n';
+      close_out out;
+      row "wrote a stitched 2-server trace to BENCH_dist_trace.json@."
+  | None -> row "no trace captured for BENCH_dist_trace.json@.")
 
 let all : (string * (unit -> unit)) list =
   [

@@ -2,10 +2,39 @@
 
      dune exec bench/main.exe              run everything (E1-E15 + micro)
      dune exec bench/main.exe e6 e9        run selected experiments
-     dune exec bench/main.exe bechamel     run only the micro-benchmarks *)
+     dune exec bench/main.exe bechamel     run only the micro-benchmarks
+
+   Flags:
+     --monitor PORT   serve live introspection during the run and scrape
+                      the harness's own /metrics after each experiment
+                      (the snapshots land in the results file)
+     --journal PATH   query-journal path (default _build/BENCH_journal.jsonl)
+     --out PATH       results path (default BENCH_results.json) *)
+
+let ensure_parent path =
+  let dir = Filename.dirname path in
+  if dir <> "." && dir <> "/" && not (Sys.file_exists dir) then
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let monitor_port = ref None
+  and journal = ref "_build/BENCH_journal.jsonl"
+  and out = ref "BENCH_results.json" in
+  let rec parse = function
+    | "--monitor" :: p :: tl ->
+        monitor_port := int_of_string_opt p;
+        parse tl
+    | "--journal" :: p :: tl ->
+        journal := p;
+        parse tl
+    | "--out" :: p :: tl ->
+        out := p;
+        parse tl
+    | a :: tl -> a :: parse tl
+    | [] -> []
+  in
+  let args = parse args in
   let run_micro = args = [] || List.mem "bechamel" args in
   let selected =
     match List.filter (fun a -> a <> "bechamel") args with
@@ -16,21 +45,44 @@ let () =
     "Querying Network Directories — experiment harness (blocking factor B = \
      %d)@."
     Util.block;
+  let monitor =
+    match !monitor_port with
+    | None -> None
+    | Some port ->
+        let m = Monitor.start ~port () in
+        Fmt.pr "monitoring on http://127.0.0.1:%d/@." (Monitor.port m);
+        Some m
+  in
   (* Journal every engine query of the run; at threshold 0 each one is
      "slow", so the slowlog retains the costliest captures. *)
-  Qlog.enable ~append:false "BENCH_journal.jsonl";
+  ensure_parent !journal;
+  Qlog.enable ~append:false !journal;
   Qlog.set_threshold_ns 0;
   List.iter
     (fun id ->
-      match List.assoc_opt id Experiments.all with
+      (match List.assoc_opt id Experiments.all with
       | Some f -> f ()
-      | None -> Fmt.epr "unknown experiment %S (e1..e15, bechamel)@." id)
+      | None -> Fmt.epr "unknown experiment %S (e1..e15, bechamel)@." id);
+      (* Scrape our own endpoint mid-run, like an external collector
+         would, and keep the snapshot next to the result rows. *)
+      match monitor with
+      | Some m -> (
+          match Monitor.get ~port:(Monitor.port m) "/metrics" with
+          | 200, body -> Telemetry.snapshot ~after:id body
+          | status, _ ->
+              Fmt.epr "monitor scrape after %s failed with HTTP %d@." id status
+          | exception Unix.Unix_error (e, _, _) ->
+              Fmt.epr "monitor scrape after %s failed: %s@." id
+                (Unix.error_message e))
+      | None -> ())
     selected;
   if run_micro then Bechamel.run ();
-  Telemetry.write "BENCH_results.json";
-  let captures = Qlog.write_slowlog "BENCH_slow_queries.jsonl" in
+  Telemetry.write !out;
+  let slowlog = Filename.concat (Filename.dirname !journal) "BENCH_slow_queries.jsonl" in
+  ensure_parent slowlog;
+  let captures = Qlog.write_slowlog slowlog in
   Qlog.disable ();
-  Fmt.pr "wrote %d slow-query captures to BENCH_slow_queries.jsonl (journal: \
-          BENCH_journal.jsonl)@."
-    captures;
+  Option.iter Monitor.stop monitor;
+  Fmt.pr "wrote %d slow-query captures to %s (journal: %s)@." captures slowlog
+    !journal;
   Fmt.pr "@.done.@."

@@ -47,6 +47,56 @@ let chronological () = List.rev !rows
    module is chronological, so BENCH_results.json is stable across runs
    and diffs cleanly against BENCH_baseline.json. *)
 
+(* --- Monitor-sourced snapshots -------------------------------------------- *)
+
+(* In a monitored run (main.exe --monitor PORT) the harness scrapes its
+   own /metrics endpoint after each experiment and keeps one snapshot
+   per scrape: the per-family sums parsed back out of the Prometheus
+   text, proving the live endpoint and the written results agree. *)
+
+type snapshot = { after : string; metrics : (string * float) list }
+
+let snapshots : snapshot list ref = ref []
+
+let ends_with ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+(* Sum the series of each family in an exposition page, dropping
+   comments and the cumulative histogram bucket lines (the _sum/_count
+   series carry the totals). *)
+let parse_exposition text =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line <> "" && line.[0] <> '#' then
+        match String.rindex_opt line ' ' with
+        | None -> ()
+        | Some i -> (
+            let key = String.sub line 0 i in
+            let name =
+              match String.index_opt key '{' with
+              | Some j -> String.sub key 0 j
+              | None -> key
+            in
+            if not (ends_with ~suffix:"_bucket" name) then
+              match
+                float_of_string_opt
+                  (String.sub line (i + 1) (String.length line - i - 1))
+              with
+              | Some v ->
+                  let prev =
+                    Option.value ~default:0. (Hashtbl.find_opt tbl name)
+                  in
+                  Hashtbl.replace tbl name (prev +. v)
+              | None -> ()))
+    (String.split_on_char '\n' text);
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let snapshot ~after text =
+  snapshots := { after; metrics = parse_exposition text } :: !snapshots
+
 let row_json r =
   Printf.sprintf
     "{\"id\":\"%s\",\"size\":%s,\"reads\":%d,\"writes\":%d,\"wall_ns\":%d,\"max_resident_pages\":%d}"
@@ -54,14 +104,31 @@ let row_json r =
     (match r.size with Some n -> string_of_int n | None -> "null")
     r.reads r.writes r.wall_ns r.max_resident_pages
 
+let snapshot_json s =
+  Printf.sprintf "{\"after\":\"%s\",\"metrics\":{%s}}" s.after
+    (String.concat ","
+       (List.map
+          (fun (name, v) -> Printf.sprintf "\"%s\":%.17g" name v)
+          s.metrics))
+
+(* The results document: {"rows": [...], "monitor": [...]}.  The
+   monitor array is empty in an unmonitored run; [Baseline.aggregate]
+   also still accepts the legacy bare-array shape. *)
 let write path =
   let oc = open_out path in
-  output_string oc "[\n";
+  output_string oc "{\"rows\": [\n";
   List.iteri
     (fun i r ->
       if i > 0 then output_string oc ",\n";
       output_string oc ("  " ^ row_json r))
     (chronological ());
-  output_string oc "\n]\n";
+  output_string oc "\n],\n\"monitor\": [\n";
+  List.iteri
+    (fun i s ->
+      if i > 0 then output_string oc ",\n";
+      output_string oc ("  " ^ snapshot_json s))
+    (List.rev !snapshots);
+  output_string oc "\n]}\n";
   close_out oc;
-  Fmt.pr "@.wrote %d result rows to %s@." (List.length !rows) path
+  Fmt.pr "@.wrote %d result rows (%d monitor snapshots) to %s@."
+    (List.length !rows) (List.length !snapshots) path

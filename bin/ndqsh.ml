@@ -19,7 +19,17 @@ type state = {
   mutable verbose : bool;
   mutable cache : Cache.t;  (* survives engine rebuilds, off by default *)
   mutable cache_on : bool;
+  mutable monitor : Monitor.t option;  (* live introspection server *)
 }
+
+(* Runtime artifacts (journals, slowlogs) default under _build/ so they
+   never land in the working tree. *)
+let default_journal = "_build/ndq_journal.jsonl"
+
+let ensure_parent path =
+  let dir = Filename.dirname path in
+  if dir <> "." && dir <> "/" && not (Sys.file_exists dir) then
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
 
 (* Rebuild the engine's indexes after updates.  The result cache is
    attached to the directory's update hooks, so it survives the rebuild
@@ -77,6 +87,7 @@ let help () =
     \  :trace on|off    toggle span tracing of queries@,\
     \  :trace last      show the span tree of the last traced query@,\
     \  :journal on|off|<path>   journal every query as JSON lines@,\
+    \                   (on = _build/ndq_journal.jsonl)@,\
     \  :slowlog [n]     show the n slowest captured queries@,\
     \  :slowlog threshold <ms>  set the slow-query capture threshold@,\
     \  :replay <path>   re-run a journal, diffing result counts and io@,\
@@ -85,6 +96,9 @@ let help () =
     \  :cache clear     drop every cached result@,\
     \  :cache budget <pages>    set the cache's page budget@,\
     \  :cache threshold <io>    min evaluation io to admit a result@,\
+    \  :monitor <port>  serve /metrics /healthz /slowlog /trace /cache@,\
+    \  :monitor off     stop the introspection server@,\
+    \  :top [n]         live metrics view (n one-second refreshes)@,\
     \  :explain <query> estimated vs measured plan@,\
     \  :add <ldif>      add one entry (dn: ...; attr: value; ...)@,\
     \  :delete <dn>     delete a leaf entry ( :deltree for subtrees )@,\
@@ -208,6 +222,72 @@ let replay st path =
              diffs, %d errors@."
             !total path !count_diffs !io_diffs !errors)
 
+(* The :top live view: a compact dashboard over the default registry
+   (the same numbers /metrics exposes), refreshed in place. *)
+let show_top st frames =
+  let frame i =
+    if frames > 1 then Fmt.pr "\027[2J\027[H";
+    let queries =
+      Metrics.counter_value (Metrics.counter "engine_queries_total")
+      + Metrics.counter_value (Metrics.counter "dist_queries_total")
+    in
+    let lat = Metrics.histogram "engine_query_ns" in
+    let reads = Metrics.counter_value (Metrics.counter "engine_page_reads_total")
+    and writes =
+      Metrics.counter_value (Metrics.counter "engine_page_writes_total")
+    in
+    Fmt.pr "ndq top  (frame %d/%d)@." (i + 1) frames;
+    Fmt.pr "  queries   %d total@." queries;
+    Fmt.pr "  latency   n=%d  p50=%a  p99=%a@."
+      (Metrics.histogram_count lat)
+      Mclock.pp_ns
+      (int_of_float (Metrics.quantile lat 0.5))
+      Mclock.pp_ns
+      (int_of_float (Metrics.quantile lat 0.99));
+    Fmt.pr "  io        reads=%d writes=%d@." reads writes;
+    Fmt.pr "  cache     %s  %a@."
+      (if st.cache_on then "on" else "off")
+      Cache.pp st.cache;
+    Fmt.pr "  slowlog   %d captures (threshold %a)@."
+      (List.length (Qlog.slowest 64))
+      Mclock.pp_ns (Qlog.threshold_ns ());
+    Fmt.pr "  journal   %s@."
+      (match Qlog.path () with Some p -> p | None -> "off");
+    Fmt.pr "  monitor   %s@."
+      (match st.monitor with
+      | Some m -> Printf.sprintf "http://127.0.0.1:%d/" (Monitor.port m)
+      | None -> "off")
+  in
+  for i = 0 to frames - 1 do
+    if i > 0 then Unix.sleepf 1.0;
+    frame i
+  done
+
+let stop_monitor st =
+  match st.monitor with
+  | None -> false
+  | Some m ->
+      Monitor.stop m;
+      st.monitor <- None;
+      true
+
+let start_monitor st port =
+  ignore (stop_monitor st);
+  match Monitor.start ~port () with
+  | m ->
+      (* /cache lives above lib/obs, so the shell registers it. *)
+      Monitor.add_handler m "cache" (fun path ->
+          if path = "/cache" then
+            Some
+              (Monitor.respond ~content_type:"application/json"
+                 (Json.to_string (Cache.stats_json st.cache)))
+          else None);
+      st.monitor <- Some m;
+      Fmt.pr "monitoring on http://127.0.0.1:%d/ (:monitor off to stop)@."
+        (Monitor.port m)
+  | exception Unix.Unix_error (e, _, _) ->
+      Fmt.pr "cannot listen on port %d: %s@." port (Unix.error_message e)
+
 let run_command st line =
   let instance = Directory.instance st.directory in
   match String.split_on_char ' ' line with
@@ -244,12 +324,14 @@ let run_command st line =
       Fmt.pr "tracing is %s (usage: :trace on|off|last)@."
         (if Trace.enabled () then "on" else "off")
   | ":journal" :: "on" :: _ ->
-      Qlog.enable "ndq_journal.jsonl";
-      Fmt.pr "journaling to ndq_journal.jsonl@."
+      ensure_parent default_journal;
+      Qlog.enable default_journal;
+      Fmt.pr "journaling to %s@." default_journal
   | ":journal" :: "off" :: _ ->
       Qlog.disable ();
       Fmt.pr "journal off@."
   | ":journal" :: path :: _ when path <> "" ->
+      ensure_parent path;
       Qlog.enable path;
       Fmt.pr "journaling to %s@." path
   | ":journal" :: _ -> (
@@ -330,6 +412,23 @@ let run_command st line =
         "result cache is %s (usage: :cache \
          on|off|stats|clear|budget <pages>|threshold <io>)@."
         (if st.cache_on then "on" else "off")
+  | ":monitor" :: "off" :: _ ->
+      if stop_monitor st then Fmt.pr "monitor stopped@."
+      else Fmt.pr "monitor is not running@."
+  | ":monitor" :: port :: _ when int_of_string_opt port <> None ->
+      start_monitor st (Option.get (int_of_string_opt port))
+  | ":monitor" :: _ ->
+      Fmt.pr "monitor is %s (usage: :monitor <port>|off)@."
+        (match st.monitor with
+        | Some m -> Printf.sprintf "on http://127.0.0.1:%d/" (Monitor.port m)
+        | None -> "off")
+  | ":top" :: rest ->
+      let frames =
+        match rest with
+        | s :: _ -> max 1 (Option.value ~default:1 (int_of_string_opt s))
+        | [] -> 1
+      in
+      show_top st frames
   | ":entry" :: rest -> (
       let dn_text = String.concat " " rest in
       match Instance.find instance (parse_dn st dn_text) with
@@ -432,7 +531,7 @@ let repl st =
   in
   loop ()
 
-let main kind size seed block queries =
+let main kind size seed block journal monitor_port queries =
   let dir = load_directory kind size seed in
   Fmt.pr "loaded %S: %d entries (block %d)@." kind (Instance.size dir) block;
   let directory = Directory.create dir in
@@ -447,16 +546,25 @@ let main kind size seed block queries =
       verbose = false;
       cache;
       cache_on = false;
+      monitor = None;
     }
   in
-  match queries with
+  (match journal with
+  | Some path ->
+      ensure_parent path;
+      Qlog.enable path;
+      Fmt.pr "journaling to %s@." path
+  | None -> ());
+  Option.iter (start_monitor st) monitor_port;
+  (match queries with
   | [] -> repl st
   | qs ->
       List.iter
         (fun q ->
           Fmt.pr "@.ndq> %s@." q;
           if q <> "" && q.[0] = ':' then run_command st q else run_query st q)
-        qs
+        qs);
+  ignore (stop_monitor st)
 
 open Cmdliner
 
@@ -480,6 +588,22 @@ let block =
     value & opt int 64
     & info [ "block" ] ~docv:"B" ~doc:"Blocking factor (entries per page).")
 
+let journal =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"PATH"
+        ~doc:"Journal every query to $(docv) as JSON lines.")
+
+let monitor_port =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "monitor" ] ~docv:"PORT"
+        ~doc:
+          "Serve live introspection (/metrics, /healthz, /slowlog, /trace, \
+           /cache) on 127.0.0.1:$(docv).")
+
 let queries =
   Arg.(
     value & opt_all string []
@@ -490,6 +614,6 @@ let cmd =
   let doc = "query shell for the network directory engine" in
   Cmd.v
     (Cmd.info "ndqsh" ~doc)
-    Term.(const main $ kind $ size $ seed $ block $ queries)
+    Term.(const main $ kind $ size $ seed $ block $ journal $ monitor_port $ queries)
 
 let () = exit (Cmd.eval cmd)

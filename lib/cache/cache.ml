@@ -262,6 +262,26 @@ let hit_rate s =
   let looked = s.hits + s.misses + s.stale in
   if looked = 0 then 0. else float_of_int s.hits /. float_of_int looked
 
+(* The stats record as JSON, for the introspection server's /cache
+   route (and anything else that wants a machine-readable snapshot). *)
+let stats_json (t : t) =
+  let s = stats t in
+  let num n = Json.Num (float_of_int n) in
+  Json.Obj
+    [
+      ("hits", num s.hits);
+      ("misses", num s.misses);
+      ("stale", num s.stale);
+      ("hit_rate", Json.Num (hit_rate s));
+      ("evictions", num s.evictions);
+      ("rejects", num s.rejects);
+      ("entries", num s.entries);
+      ("used_pages", num s.used_pages);
+      ("used_bytes", num s.used_bytes);
+      ("budget_pages", num s.budget_pages);
+      ("admit_min_io", num s.admit_min_io);
+    ]
+
 let pp_stats ppf s =
   Fmt.pf ppf
     "hits=%d misses=%d stale=%d (hit rate %.1f%%)@ entries=%d pages=%d/%d \

@@ -75,5 +75,9 @@ type stats = {
 
 val stats : t -> stats
 val hit_rate : stats -> float
+
+(** The stats snapshot (plus derived hit rate) as a JSON object — the
+    payload behind the introspection server's [/cache] route. *)
+val stats_json : t -> Json.t
 val pp_stats : Format.formatter -> stats -> unit
 val pp : Format.formatter -> t -> unit

@@ -115,7 +115,23 @@ module Metrics = Metrics
 (** Process-wide registry of counters, gauges and latency histograms. *)
 
 module Trace = Trace
-(** Per-query span trees (wall-clock + I/O deltas), recent-trace ring. *)
+(** Per-query span trees (wall-clock + I/O deltas), recent-trace ring,
+    trace-id propagation for distributed stitching. *)
+
+module Qlog = Qlog
+(** The query journal: JSON-lines per-query events and the slowlog. *)
+
+module Promexp = Promexp
+(** Prometheus text exposition of the metrics registry. *)
+
+module Chrome_trace = Chrome_trace
+(** Chrome trace-event (catapult) export of span trees. *)
+
+module Monitor = Monitor
+(** Live HTTP introspection server (/metrics, /healthz, /trace, ...). *)
+
+module Json = Json
+(** Minimal JSON parser/printer shared by the observability formats. *)
 
 module Mclock = Mclock
 (** Nanosecond clock and duration formatting. *)

@@ -200,9 +200,15 @@ let eval_atomic t (a : Ast.atomic) =
                       (query_bytes a + entries_bytes arr);
                     Ext_list.materialize t.pager arr
                 | _ ->
-                    (* Ship the atomic query out and the result back. *)
+                    (* Ship the atomic query out and the result back.
+                       The server's engine spans carry its name as
+                       actor, so a stitched trace shows each shard's
+                       work in its own lane. *)
                     if not local then ship t s ~bytes:(query_bytes a);
-                    let result = Engine.eval s.engine (Ast.Atomic a) in
+                    let result =
+                      Trace.with_actor s.name (fun () ->
+                          Engine.eval s.engine (Ast.Atomic a))
+                    in
                     let arr = Array.of_list (Ext_list.to_list result) in
                     if not local then ship t s ~bytes:(entries_bytes arr);
                     (match probe with
@@ -317,8 +323,13 @@ let journal_event t q ~cache ~result_count ~reads ~writes ~wall_ns ~outcome
         }
     else None
   in
+  let trace_id =
+    match span with
+    | Some sp -> Some sp.Trace.trace_id
+    | None -> Trace.current_trace_id ()
+  in
   ignore
-    (Qlog.record ~cache ~server:t.home.name ~shipped ~ops ?capture
+    (Qlog.record ~cache ~server:t.home.name ?trace_id ~shipped ~ops ?capture
        ~query:(Qprinter.to_string q)
        ~fingerprint:(Plan.fingerprint q) ~result_count ~reads ~writes ~wall_ns
        ~outcome ())
@@ -329,6 +340,18 @@ let eval t q =
   let t0 = Mclock.now_ns () in
   let journal = Qlog.enabled () in
   Engine.with_forced_tracing journal (fun () ->
+      (* Trace-context propagation: one fresh trace id per coordinated
+         query, bound for its whole extent, so the coordinator's merge
+         spans and every involved server's engine spans (and their
+         journal events) stitch into one causal tree.  The coordinator
+         itself is the root actor; eval_atomic rebinds per server. *)
+      let stitch f =
+        if Trace.enabled () then
+          Trace.with_trace_id (Trace.next_trace_id ()) (fun () ->
+              Trace.with_actor "coordinator" f)
+        else f ()
+      in
+      stitch @@ fun () ->
       let ship0 = if journal then shipping_snapshot t else [] in
       let probe0 = cache_probe_snapshot t in
       let detail = if Trace.enabled () then query_detail q else "" in

@@ -59,7 +59,12 @@ val eval : coordinator -> Ast.t -> Entry.t Ext_list.t
     attributed to the home server, with per-server shipped
     messages/bytes — and each involved server's engine records its own
     event for the atomic sub-query it answered, attributed to that
-    server. *)
+    server.  When tracing is on, the coordinator mints one {!Trace} id
+    per query and binds it for the query's whole extent: its own merge
+    spans ([actor = "coordinator"]), every server's engine spans
+    ([actor] = the server name) and all their journal events share the
+    id, so the distributed evaluation stitches into one trace
+    (exportable with {!Chrome_trace}). *)
 
 val eval_entries : coordinator -> Ast.t -> Entry.t list
 

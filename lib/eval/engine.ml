@@ -256,8 +256,13 @@ let journal_event t q ~cache ~result_count ~reads ~writes ~wall_ns ~outcome
         }
     else None
   in
+  let trace_id =
+    match span with
+    | Some sp -> Some sp.Trace.trace_id
+    | None -> Trace.current_trace_id ()
+  in
   ignore
-    (Qlog.record ~cache
+    (Qlog.record ~cache ?trace_id
        ~query:(Qprinter.to_string q)
        ~fingerprint:(Plan.fingerprint q) ~result_count ~reads ~writes ~wall_ns
        ~outcome ~ops ?capture ())
@@ -330,6 +335,7 @@ let serve_hit t q ~fingerprint arr =
   if Qlog.enabled () then
     ignore
       (Qlog.record ~cache:"hit"
+         ?trace_id:(Trace.current_trace_id ())
          ~query:(Qprinter.to_string q)
          ~fingerprint ~result_count:(Array.length arr) ~reads:0 ~writes:0
          ~wall_ns ~outcome:Qlog.Ok ());

@@ -1,0 +1,94 @@
+(* Chrome trace-event (catapult) export of Trace span trees.
+
+   The trace-event JSON format is what chrome://tracing, Perfetto and
+   speedscope load: an object with a "traceEvents" array of complete
+   ("ph":"X") events carrying microsecond timestamps and durations plus
+   pid/tid lanes.  We map the whole process to one pid and each actor
+   (the coordinator, every directory server that answered a shipped
+   sub-query) to its own tid, emitting "thread_name" metadata events so
+   the viewer labels the lanes.  Every X event carries the span's trace
+   id, I/O delta and row annotation in "args", so a stitched
+   distributed query reads as one causal tree across server lanes. *)
+
+let us_of_ns ns = float_of_int ns /. 1e3
+
+(* Deterministic tid assignment: order of first appearance in a
+   preorder walk, so the coordinator (root) is lane 0. *)
+let assign_tids spans =
+  let next = ref 0 in
+  let tids = Hashtbl.create 8 in
+  let rec walk (s : Trace.span) =
+    if not (Hashtbl.mem tids s.Trace.actor) then begin
+      Hashtbl.add tids s.Trace.actor !next;
+      incr next
+    end;
+    List.iter walk s.Trace.children
+  in
+  List.iter walk spans;
+  tids
+
+let lane_name actor = if actor = "" then "main" else actor
+
+let pid = 1
+
+let thread_metadata tids =
+  Hashtbl.fold
+    (fun actor tid acc ->
+      Json.Obj
+        [
+          ("name", Json.Str "thread_name");
+          ("ph", Json.Str "M");
+          ("pid", Json.Num (float_of_int pid));
+          ("tid", Json.Num (float_of_int tid));
+          ("args", Json.Obj [ ("name", Json.Str (lane_name actor)) ]);
+        ]
+      :: acc)
+    tids []
+  |> List.sort compare
+
+let event_of_span tids (s : Trace.span) =
+  let args =
+    [ ("trace_id", Json.Str s.Trace.trace_id) ]
+    @ (if s.Trace.detail = "" then []
+       else [ ("detail", Json.Str s.Trace.detail) ])
+    @ (match s.Trace.rows with
+      | None -> []
+      | Some n -> [ ("rows", Json.Num (float_of_int n)) ])
+    @ [
+        ("reads", Json.Num (float_of_int s.Trace.io.Io_stats.page_reads));
+        ("writes", Json.Num (float_of_int s.Trace.io.Io_stats.page_writes));
+      ]
+    @
+    if s.Trace.io.Io_stats.messages = 0 then []
+    else
+      [
+        ("messages", Json.Num (float_of_int s.Trace.io.Io_stats.messages));
+        ( "bytes_shipped",
+          Json.Num (float_of_int s.Trace.io.Io_stats.bytes_shipped) );
+      ]
+  in
+  Json.Obj
+    [
+      ("name", Json.Str s.Trace.name);
+      ("cat", Json.Str "query");
+      ("ph", Json.Str "X");
+      ("ts", Json.Num (us_of_ns s.Trace.start_ns));
+      ("dur", Json.Num (us_of_ns s.Trace.elapsed_ns));
+      ("pid", Json.Num (float_of_int pid));
+      ("tid", Json.Num (float_of_int (Hashtbl.find tids s.Trace.actor)));
+      ("args", Json.Obj args);
+    ]
+
+let of_spans spans =
+  let tids = assign_tids spans in
+  let rec walk acc (s : Trace.span) =
+    List.fold_left walk (event_of_span tids s :: acc) s.Trace.children
+  in
+  let events = List.rev (List.fold_left walk [] spans) in
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (thread_metadata tids @ events));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let to_string spans = Json.to_string (of_spans spans)

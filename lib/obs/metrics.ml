@@ -165,6 +165,42 @@ let reset registry =
     (fun _ m -> Hashtbl.iter (fun _ s -> reset_series s) m.series)
     registry.tbl
 
+(* --- Export view -------------------------------------------------------------------- *)
+
+(* A read-only snapshot of the registry for exporters that live outside
+   this module (Prometheus text exposition, the introspection server):
+   everything they need without exposing the mutable series. *)
+
+type hview = {
+  hv_count : int;
+  hv_sum : float;
+  hv_min : float;  (* infinity when empty *)
+  hv_max : float;  (* neg_infinity when empty *)
+  hv_cumulative : int array;  (* entry i counts observations below 2^(i+1) *)
+}
+
+type view = V_counter of int | V_gauge of float | V_histogram of hview
+
+type family_view = {
+  fv_name : string;
+  fv_kind : string;  (* "counter" | "gauge" | "histogram" *)
+  fv_help : string;
+  fv_series : (labels * view) list;  (* sorted by label set *)
+}
+
+let bucket_count = hbuckets
+let bucket_upper i = ldexp 1. (i + 1)
+
+let cumulative_buckets h =
+  let cum = Array.make hbuckets 0 in
+  let running = ref 0 in
+  Array.iteri
+    (fun i c ->
+      running := !running + c;
+      cum.(i) <- !running)
+    h.buckets;
+  cum
+
 (* --- Exporters ---------------------------------------------------------------------- *)
 
 let sorted_families registry =
@@ -174,6 +210,33 @@ let sorted_families registry =
 let sorted_series m =
   Hashtbl.fold (fun labels s acc -> (labels, s) :: acc) m.series []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let export registry =
+  List.map
+    (fun m ->
+      {
+        fv_name = m.mname;
+        fv_kind = m.kind;
+        fv_help = m.help;
+        fv_series =
+          List.map
+            (fun (labels, s) ->
+              ( labels,
+                match s with
+                | C c -> V_counter c.c
+                | G g -> V_gauge g.g
+                | H h ->
+                    V_histogram
+                      {
+                        hv_count = h.hcount;
+                        hv_sum = h.hsum;
+                        hv_min = h.hmin;
+                        hv_max = h.hmax;
+                        hv_cumulative = cumulative_buckets h;
+                      } ))
+            (sorted_series m);
+      })
+    (sorted_families registry)
 
 let pp_labels ppf = function
   | [] -> ()

@@ -51,6 +51,39 @@ val quantile : histogram -> float -> float
 val reset : t -> unit
 (** Zero every series in place (registrations and handles survive). *)
 
+(** {1 Export view}
+
+    A read-only snapshot for exporters living outside this module
+    (e.g. {!Promexp}, the introspection server). *)
+
+type hview = {
+  hv_count : int;
+  hv_sum : float;
+  hv_min : float;  (** [infinity] when empty *)
+  hv_max : float;  (** [neg_infinity] when empty *)
+  hv_cumulative : int array;
+      (** entry [i] counts observations below [2^(i+1)] *)
+}
+
+type view = V_counter of int | V_gauge of float | V_histogram of hview
+
+type family_view = {
+  fv_name : string;
+  fv_kind : string;  (** ["counter" | "gauge" | "histogram"] *)
+  fv_help : string;
+  fv_series : (labels * view) list;  (** sorted by label set *)
+}
+
+val export : t -> family_view list
+(** Families sorted by name, series sorted by label set. *)
+
+val bucket_count : int
+(** Histogram buckets per series (64). *)
+
+val bucket_upper : int -> float
+(** [bucket_upper i] is the exclusive upper bound [2^(i+1)] of bucket
+    [i]. *)
+
 val pp : Format.formatter -> t -> unit
 (** Text exporter: one line per series, sorted by name then labels. *)
 

@@ -1,0 +1,318 @@
+(* The live introspection server: a dependency-free HTTP/1.1 endpoint
+   over Unix sockets serving the observability surface while the
+   process runs — Prometheus-style scraping instead of post-hoc files.
+
+   One accept thread serves requests serially (handlers read shared
+   single-threaded state; OCaml sys-threads interleave at safe points,
+   so a scrape sees a consistent-enough snapshot for monitoring
+   purposes and never corrupts the registry).  Built-in routes:
+
+     /          plain-text index of the routes
+     /metrics   Prometheus text exposition of the registry
+     /healthz   {"status":"ok", uptime, served request count}
+     /slowlog   the slow-query captures, JSON lines (newest threshold)
+     /trace     summaries of the recent-trace ring, JSON
+     /trace/<n> the n-th recent trace (0 = newest; or a trace id, or
+                "last") as Chrome trace-event JSON
+
+   Extra handlers (e.g. /cache, whose stats live above this layer)
+   register with [add_handler].  Monitoring is opt-in: nothing listens
+   until [start] is called. *)
+
+type response = { status : int; content_type : string; body : string }
+
+let respond ?(status = 200) ?(content_type = "text/plain; charset=utf-8") body
+    =
+  { status; content_type; body }
+
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  registry : Metrics.t;
+  started_ns : int;
+  mutable stopping : bool;
+  mutable handlers : (string * (string -> response option)) list;
+  mutable thread : Thread.t option;
+  requests : Metrics.counter;
+}
+
+let reason = function
+  | 200 -> "OK"
+  | 404 -> "Not Found"
+  | 400 -> "Bad Request"
+  | _ -> "Internal Server Error"
+
+(* --- Built-in routes ------------------------------------------------------ *)
+
+let jsonl_of_events events =
+  String.concat ""
+    (List.map (fun ev -> Json.to_string (Qlog.to_json ev) ^ "\n") events)
+
+let trace_summaries () =
+  Json.Arr
+    (List.mapi
+       (fun i (s : Trace.span) ->
+         Json.Obj
+           [
+             ("n", Json.Num (float_of_int i));
+             ("trace_id", Json.Str s.Trace.trace_id);
+             ("name", Json.Str s.Trace.name);
+             ("detail", Json.Str s.Trace.detail);
+             ("spans", Json.Num (float_of_int (Trace.span_count s)));
+             ("actors", Json.Arr (List.map (fun a -> Json.Str (if a = "" then "main" else a)) (Trace.actors s)));
+             ("wall_ns", Json.Num (float_of_int s.Trace.elapsed_ns));
+           ])
+       (Trace.recent ()))
+
+let find_trace sel =
+  let ring = Trace.recent () in
+  match sel with
+  | "last" -> (match ring with [] -> None | s :: _ -> Some s)
+  | sel -> (
+      match int_of_string_opt sel with
+      | Some n -> List.nth_opt ring n
+      | None ->
+          List.find_opt (fun (s : Trace.span) -> s.Trace.trace_id = sel) ring)
+
+let index_body =
+  "ndq introspection server\n\
+   /metrics    Prometheus text exposition\n\
+   /healthz    liveness + uptime\n\
+   /slowlog    slow-query captures (JSON lines)\n\
+   /trace      recent traces (JSON summaries)\n\
+   /trace/<n>  one trace as Chrome trace-event JSON (n, trace id or 'last')\n"
+
+let builtin t path =
+  match path with
+  | "/" -> Some (respond index_body)
+  | "/metrics" ->
+      Some
+        (respond ~content_type:Promexp.content_type
+           (Promexp.to_text t.registry))
+  | "/healthz" ->
+      Some
+        (respond ~content_type:"application/json"
+           (Json.to_string
+              (Json.Obj
+                 [
+                   ("status", Json.Str "ok");
+                   ( "uptime_s",
+                     Json.Num
+                       (float_of_int (Mclock.now_ns () - t.started_ns) /. 1e9)
+                   );
+                   ( "requests",
+                     Json.Num (float_of_int (Metrics.counter_value t.requests))
+                   );
+                 ])))
+  | "/slowlog" ->
+      Some
+        (respond ~content_type:"application/x-ndjson"
+           (jsonl_of_events (Qlog.slowest 64)))
+  | "/trace" | "/trace/" ->
+      Some
+        (respond ~content_type:"application/json"
+           (Json.to_string (trace_summaries ())))
+  | path when String.length path > 7 && String.sub path 0 7 = "/trace/" -> (
+      let sel = String.sub path 7 (String.length path - 7) in
+      match find_trace sel with
+      | Some span ->
+          Some
+            (respond ~content_type:"application/json"
+               (Chrome_trace.to_string [ span ]))
+      | None ->
+          Some
+            (respond ~status:404 (Printf.sprintf "no trace %S\n" sel)))
+  | _ -> None
+
+(* --- HTTP plumbing -------------------------------------------------------- *)
+
+(* Strip the query string: routing is on the path alone. *)
+let route_path target =
+  match String.index_opt target '?' with
+  | Some i -> String.sub target 0 i
+  | None -> target
+
+let handle t path =
+  Metrics.incr t.requests;
+  let rec try_handlers = function
+    | [] -> respond ~status:404 (Printf.sprintf "no route %s\n" path)
+    | (_, h) :: rest -> (
+        match h path with Some r -> r | None -> try_handlers rest)
+  in
+  try try_handlers (t.handlers @ [ ("builtin", builtin t) ])
+  with e ->
+    respond ~status:500
+      (Printf.sprintf "handler error: %s\n" (Printexc.to_string e))
+
+let read_request fd =
+  (* Read until the blank line ending the header block (we never expect
+     bodies), bounded so a misbehaving client can't grow the buffer. *)
+  let b = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let rec fill () =
+    if Buffer.length b < 16_384 then begin
+      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if n > 0 then begin
+        Buffer.add_subbytes b chunk 0 n;
+        let text = Buffer.contents b in
+        let done_ =
+          (* header terminator seen? *)
+          let rec scan i =
+            i + 3 < String.length text
+            && ((text.[i] = '\r' && text.[i + 1] = '\n' && text.[i + 2] = '\r'
+                 && text.[i + 3] = '\n')
+               || scan (i + 1))
+          in
+          scan 0
+        in
+        if not done_ then fill ()
+      end
+    end
+  in
+  (try fill () with Unix.Unix_error _ -> ());
+  let text = Buffer.contents b in
+  match String.index_opt text '\n' with
+  | None -> None
+  | Some i -> (
+      let line = String.trim (String.sub text 0 i) in
+      match String.split_on_char ' ' line with
+      | meth :: target :: _ when meth = "GET" || meth = "HEAD" ->
+          Some (meth, route_path target)
+      | _ -> None)
+
+let write_response fd ~head_only { status; content_type; body } =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+      status (reason status) content_type (String.length body)
+  in
+  let payload = if head_only then head else head ^ body in
+  let bytes = Bytes.of_string payload in
+  let rec write_all off =
+    if off < Bytes.length bytes then
+      let n = Unix.write fd bytes off (Bytes.length bytes - off) in
+      if n > 0 then write_all (off + n)
+  in
+  try write_all 0 with Unix.Unix_error _ -> ()
+
+let serve_client t fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.;
+      Unix.setsockopt_float fd Unix.SO_SNDTIMEO 2.;
+      match read_request fd with
+      | None -> write_response fd ~head_only:false (respond ~status:400 "bad request\n")
+      | Some (meth, path) ->
+          write_response fd ~head_only:(meth = "HEAD") (handle t path))
+
+let accept_loop t =
+  while not t.stopping do
+    match Unix.accept t.sock with
+    | client, _ ->
+        if t.stopping then (try Unix.close client with Unix.Unix_error _ -> ())
+        else ( try serve_client t client with _ -> ())
+    | exception Unix.Unix_error _ -> ()  (* stop() closes the socket *)
+  done
+
+(* --- Lifecycle ------------------------------------------------------------ *)
+
+let start ?(registry = Metrics.default) ~port () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+     Unix.listen sock 16
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let t =
+    {
+      sock;
+      port;
+      registry;
+      started_ns = Mclock.now_ns ();
+      stopping = false;
+      handlers = [];
+      thread = None;
+      requests =
+        Metrics.counter ~registry
+          ~help:"requests served by the introspection endpoint"
+          "monitor_requests_total";
+    }
+  in
+  t.thread <- Some (Thread.create accept_loop t);
+  t
+
+let port t = t.port
+
+let add_handler t name h = t.handlers <- t.handlers @ [ (name, h) ]
+
+let stop t =
+  if not t.stopping then begin
+    t.stopping <- true;
+    (* wake a blocked accept with a throwaway connection *)
+    (try
+       let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       Fun.protect
+         ~finally:(fun () -> try Unix.close s with Unix.Unix_error _ -> ())
+         (fun () ->
+           Unix.connect s (Unix.ADDR_INET (Unix.inet_addr_loopback, t.port)))
+     with Unix.Unix_error _ -> ());
+    Option.iter Thread.join t.thread;
+    try Unix.close t.sock with Unix.Unix_error _ -> ()
+  end
+
+(* --- A minimal loopback client ---------------------------------------------- *)
+
+(* Enough HTTP to scrape our own endpoint (the bench harness does, and
+   the tests): send a GET, read to EOF, split status and body. *)
+let get ?(host = "127.0.0.1") ~port path =
+  let addr = Unix.inet_addr_of_string host in
+  let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close s with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.setsockopt_float s Unix.SO_RCVTIMEO 5.;
+      Unix.setsockopt_float s Unix.SO_SNDTIMEO 5.;
+      Unix.connect s (Unix.ADDR_INET (addr, port));
+      let req =
+        Printf.sprintf "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n"
+          path host
+      in
+      let bytes = Bytes.of_string req in
+      ignore (Unix.write s bytes 0 (Bytes.length bytes));
+      let b = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        let n = Unix.read s chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes b chunk 0 n;
+          drain ()
+        end
+      in
+      (try drain () with Unix.Unix_error _ -> ());
+      let text = Buffer.contents b in
+      let status =
+        match String.split_on_char ' ' text with
+        | _ :: code :: _ -> Option.value ~default:0 (int_of_string_opt code)
+        | _ -> 0
+      in
+      let body =
+        let rec find i =
+          if i + 3 >= String.length text then String.length text
+          else if
+            text.[i] = '\r' && text.[i + 1] = '\n' && text.[i + 2] = '\r'
+            && text.[i + 3] = '\n'
+          then i + 4
+          else find (i + 1)
+        in
+        let start = find 0 in
+        String.sub text start (String.length text - start)
+      in
+      (status, body))

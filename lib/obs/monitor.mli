@@ -1,0 +1,47 @@
+(** The live introspection server: a dependency-free HTTP endpoint over
+    [Unix] sockets, serving the observability surface while the process
+    runs.
+
+    Built-in routes: [/] (index), [/metrics] (Prometheus text
+    exposition of the registry), [/healthz] (liveness JSON),
+    [/slowlog] (slow-query captures as JSON lines), [/trace] (recent
+    trace summaries) and [/trace/<sel>] (one recent trace as Chrome
+    trace-event JSON; [sel] is an index into the recent ring, a trace
+    id, or [last]).  Layers above [lib/obs] add their own routes (the
+    shell registers [/cache]) with {!add_handler}.
+
+    The accept loop runs in one system thread and serves requests
+    serially; handlers read the process's single-threaded observability
+    state, which is safe for monitoring reads.  Monitoring is opt-in:
+    nothing listens until {!start}. *)
+
+type t
+
+type response = { status : int; content_type : string; body : string }
+
+val respond : ?status:int -> ?content_type:string -> string -> response
+(** [status] defaults to 200, [content_type] to [text/plain]. *)
+
+val start : ?registry:Metrics.t -> port:int -> unit -> t
+(** Bind the loopback interface on [port] (0 picks a free port — see
+    {!port}) and start serving.  [registry] defaults to
+    {!Metrics.default}.
+    @raise Unix.Unix_error when the port is taken. *)
+
+val port : t -> int
+(** The bound port (useful after [start ~port:0]). *)
+
+val stop : t -> unit
+(** Stop serving, join the accept thread and close the socket.
+    Idempotent. *)
+
+val add_handler : t -> string -> (string -> response option) -> unit
+(** [add_handler t name fn] consults [fn] with each request path before
+    the built-in routes; [None] falls through.  [name] only labels the
+    handler. *)
+
+val get : ?host:string -> port:int -> string -> int * string
+(** A minimal loopback HTTP client: GET the path and return
+    [(status, body)].  Used by the bench harness to scrape its own
+    [/metrics] mid-run, and by the tests.
+    @raise Unix.Unix_error when nothing listens. *)

@@ -1,0 +1,24 @@
+(** Prometheus text exposition (format 0.0.4) over a {!Metrics}
+    registry.
+
+    Metric and label names are sanitized to the exposition charset,
+    label values escaped per the grammar.  Histograms export the
+    standard cumulative form: [name_bucket{le="..."}] per power-of-two
+    boundary up to the highest populated bucket, [le="+Inf"] equal to
+    the count, plus [name_sum] and [name_count]. *)
+
+val to_text : Metrics.t -> string
+(** The full exposition document, families sorted by name. *)
+
+val content_type : string
+(** The exposition content type ([text/plain; version=0.0.4; ...]). *)
+
+val sanitize_name : string -> string
+(** To [[a-zA-Z_:][a-zA-Z0-9_:]*]: offending characters become ['_'],
+    a leading digit is replaced. *)
+
+val sanitize_label : string -> string
+(** Like {!sanitize_name} but [':'] is not allowed in label names. *)
+
+val escape_value : string -> string
+(** Label-value escaping: backslash, double quote and newline. *)

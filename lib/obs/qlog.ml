@@ -37,6 +37,7 @@ type event = {
   ts : float;  (* unix seconds at record time *)
   query : string;
   fingerprint : string;  (* normalized plan fingerprint *)
+  trace_id : string option;  (* stitches distributed events into one trace *)
   result_count : int;
   reads : int;
   writes : int;
@@ -54,6 +55,7 @@ type event = {
 let seq_counter = ref 0
 let sink : (string * out_channel) option ref = ref None
 let threshold = ref 100_000_000 (* 100ms *)
+let rotate_limit : int option ref = ref None
 let slow_capacity = 64
 let slow : event list ref = ref []  (* slowest first, bounded *)
 let current_server : string option ref = ref None
@@ -66,14 +68,30 @@ let disable () =
   | None -> ()
   | Some (_, oc) ->
       close_out oc;
-      sink := None
+      sink := None;
+      rotate_limit := None
 
-let enable ?(append = true) p =
+let enable ?(append = true) ?max_bytes p =
   disable ();
   let flags =
     [ Open_wronly; Open_creat; (if append then Open_append else Open_trunc) ]
   in
-  sink := Some (p, open_out_gen flags 0o644 p)
+  sink := Some (p, open_out_gen flags 0o644 p);
+  rotate_limit :=
+    Option.map (max 1) max_bytes (* a 0 limit would rotate forever *)
+
+(* Size-based rotation: once the journal passes the limit, the current
+   file becomes <path>.1 (replacing any previous rotation) and a fresh
+   file takes over — the journal never holds more than ~2x the limit on
+   disk.  Checked after each append, so one oversized event still lands
+   intact. *)
+let maybe_rotate () =
+  match (!sink, !rotate_limit) with
+  | Some (p, oc), Some limit when pos_out oc >= limit ->
+      close_out oc;
+      (try Sys.rename p (p ^ ".1") with Sys_error _ -> ());
+      sink := Some (p, open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 p)
+  | _ -> ()
 
 let set_threshold_ns n = threshold := max 0 n
 let threshold_ns () = !threshold
@@ -132,6 +150,11 @@ let to_json ev =
        ("ts", Json.Num ev.ts);
        ("query", Json.Str ev.query);
        ("fingerprint", Json.Str ev.fingerprint);
+     ]
+    @ (match ev.trace_id with
+      | None -> []
+      | Some id -> [ ("trace_id", Json.Str id) ])
+    @ [
        ( "outcome",
          Json.Str (match ev.outcome with Ok -> "ok" | Failed _ -> "error") );
      ]
@@ -200,6 +223,10 @@ let of_json j =
     ts = Json.to_float (Json.member "ts" j);
     query = Json.str (Json.member "query" j);
     fingerprint = Json.str (Json.member "fingerprint" j);
+    trace_id =
+      (match Json.member "trace_id" j with
+      | Json.Null -> None
+      | v -> Some (Json.str v));
     result_count = Json.to_int (Json.member "result_count" j);
     reads = Json.to_int (Json.member "reads" j);
     writes = Json.to_int (Json.member "writes" j);
@@ -248,8 +275,8 @@ let m_slow =
   Metrics.counter ~help:"journal events promoted to slow-query captures"
     "qlog_slow_total"
 
-let record ?cache ?server ?(shipped = []) ?(ops = []) ?capture ~query
-    ~fingerprint ~result_count ~reads ~writes ~wall_ns ~outcome () =
+let record ?cache ?server ?trace_id ?(shipped = []) ?(ops = []) ?capture
+    ~query ~fingerprint ~result_count ~reads ~writes ~wall_ns ~outcome () =
   incr seq_counter;
   let server = match server with Some _ as s -> s | None -> !current_server in
   let ev =
@@ -258,6 +285,7 @@ let record ?cache ?server ?(shipped = []) ?(ops = []) ?capture ~query
       ts = Unix.gettimeofday ();
       query;
       fingerprint;
+      trace_id;
       result_count;
       reads;
       writes;
@@ -275,7 +303,8 @@ let record ?cache ?server ?(shipped = []) ?(ops = []) ?capture ~query
   | Some (_, oc) ->
       output_string oc (Json.to_string (to_json ev));
       output_char oc '\n';
-      flush oc
+      flush oc;
+      maybe_rotate ()
   | None -> ());
   if ev.capture <> None then begin
     Metrics.incr m_slow;

@@ -32,6 +32,9 @@ type event = {
   ts : float;  (** unix seconds at record time *)
   query : string;
   fingerprint : string;
+  trace_id : string option;
+      (** the {!Trace} id shared by the coordinator's event and every
+          involved server's event for one distributed query *)
   result_count : int;
   reads : int;
   writes : int;
@@ -49,10 +52,13 @@ type event = {
 
 (** {1 The journal sink} *)
 
-val enable : ?append:bool -> string -> unit
+val enable : ?append:bool -> ?max_bytes:int -> string -> unit
 (** Open (creating if needed) the journal file; [append] defaults to
     [true], the journal being append-only by design.  Closes any
-    previously open journal. *)
+    previously open journal.  With [max_bytes], the journal rotates
+    once it passes that size: the file moves to [<path>.1] (replacing
+    any previous rotation) and a fresh file takes over, bounding disk
+    use at roughly twice the limit. *)
 
 val disable : unit -> unit
 val enabled : unit -> bool
@@ -76,6 +82,7 @@ val ops_of_span : Trace.span -> op list
 val record :
   ?cache:string ->
   ?server:string ->
+  ?trace_id:string ->
   ?shipped:(string * int * int) list ->
   ?ops:op list ->
   ?capture:capture ->

@@ -9,6 +9,15 @@
    (children included — this is the inclusive cost, like any
    distributed-tracing system).
 
+   Distributed stitching: every span records the trace id of the query
+   tree it belongs to and the actor (directory server) that did the
+   work.  A root span opened with no enclosing {!with_trace_id} binding
+   mints a fresh id; children inherit their parent's, so the
+   coordinator's merge spans and every involved server's engine spans
+   share one id and stitch into one causal tree (Dapper-style, scoped
+   to this in-process simulation).  [Chrome_trace] renders the result
+   with one lane per actor.
+
    Tracing is off by default and costs one branch per instrumentation
    point when off.  Completed root spans land in a bounded ring of
    recent traces (oldest evicted first), which the shell exposes as
@@ -20,6 +29,9 @@
 type span = {
   name : string;
   detail : string;
+  trace_id : string;  (* shared by every span of one query tree *)
+  actor : string;  (* "" = the local process; server name when shipped *)
+  start_ns : int;  (* Mclock reading when the span opened *)
   mutable elapsed_ns : int;
   mutable io : Io_stats.t;  (* delta while the span was open *)
   mutable rows : int option;  (* result cardinality, when annotated *)
@@ -29,6 +41,39 @@ type span = {
 let enabled_flag = ref false
 let set_enabled b = enabled_flag := b
 let enabled () = !enabled_flag
+
+(* --- Trace ids and actors ------------------------------------------------ *)
+
+(* Fresh ids come from a xorshift64 stream seeded per process, so ids
+   from concurrently journaling processes don't collide. *)
+let id_state = ref 0
+
+let next_trace_id () =
+  if !id_state = 0 then
+    id_state :=
+      (int_of_float (Unix.gettimeofday () *. 1e6) lxor (Unix.getpid () lsl 40))
+      lor 1;
+  let x = !id_state in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  id_state := x;
+  Printf.sprintf "%016x" (x land max_int)
+
+let bound_tid : string option ref = ref None
+let bound_actor = ref ""
+
+let with_trace_id id f =
+  let saved = !bound_tid in
+  bound_tid := Some id;
+  Fun.protect ~finally:(fun () -> bound_tid := saved) f
+
+let with_actor name f =
+  let saved = !bound_actor in
+  bound_actor := name;
+  Fun.protect ~finally:(fun () -> bound_actor := saved) f
+
+let current_actor () = !bound_actor
 
 (* --- The ring of recent root traces ------------------------------------- *)
 
@@ -52,16 +97,32 @@ let clear () = ring := []
 
 let stack : span list ref = ref []
 
+let current_trace_id () =
+  match !bound_tid with
+  | Some _ as s -> s
+  | None -> ( match !stack with s :: _ -> Some s.trace_id | [] -> None)
+
 let set_rows n =
   match !stack with [] -> () | s :: _ -> s.rows <- Some n
 
 let with_span_out ?(detail = "") ?stats name f =
   if not !enabled_flag then (f (), None)
   else begin
+    let trace_id =
+      match !bound_tid with
+      | Some id -> id
+      | None -> (
+          match !stack with
+          | parent :: _ -> parent.trace_id
+          | [] -> next_trace_id ())
+    in
     let span =
       {
         name;
         detail;
+        trace_id;
+        actor = !bound_actor;
+        start_ns = Mclock.now_ns ();
         elapsed_ns = 0;
         io = Io_stats.create ();
         rows = None;
@@ -69,11 +130,10 @@ let with_span_out ?(detail = "") ?stats name f =
       }
     in
     let snap = Option.map Io_stats.copy stats in
-    let start = Mclock.now_ns () in
     let parent = !stack in
     stack := span :: parent;
     let finish () =
-      span.elapsed_ns <- Mclock.now_ns () - start;
+      span.elapsed_ns <- Mclock.now_ns () - span.start_ns;
       (match (stats, snap) with
       | Some s, Some s0 -> span.io <- Io_stats.diff s s0
       | _ -> ());
@@ -99,8 +159,13 @@ let rec depth s =
 let rec span_count s =
   1 + List.fold_left (fun acc c -> acc + span_count c) 0 s.children
 
+let rec actors s =
+  List.sort_uniq String.compare
+    (s.actor :: List.concat_map actors s.children)
+
 let rec pp_span ppf s =
-  Fmt.pf ppf "@[<v2>%s%s  %a  [%sreads=%d writes=%d%s]%a@]" s.name
+  Fmt.pf ppf "@[<v2>%s%s%s  %a  [%sreads=%d writes=%d%s]%a@]" s.name
+    (if s.actor = "" then "" else "@" ^ s.actor)
     (if s.detail = "" then "" else " " ^ s.detail)
     Mclock.pp_ns s.elapsed_ns
     (match s.rows with None -> "" | Some n -> Printf.sprintf "rows=%d " n)

@@ -5,13 +5,19 @@
     (parse → plan → per-operator execute → remote ships).  Each span
     carries wall-clock nanoseconds and, when an [Io_stats] sink is
     given, the inclusive I/O delta charged to that sink while the span
-    was open.  Completed root spans land in a bounded ring of recent
-    traces.  Off by default; one branch per instrumentation point when
-    off.  Single-threaded, like the rest of the system. *)
+    was open.  For distributed stitching, every span records a trace id
+    (minted at the root, inherited by children, overridable with
+    {!with_trace_id}) and the actor that did the work
+    ({!with_actor}).  Completed root spans land in a bounded ring of
+    recent traces.  Off by default; one branch per instrumentation
+    point when off.  Single-threaded, like the rest of the system. *)
 
 type span = {
   name : string;
   detail : string;
+  trace_id : string;  (** shared by every span of one query tree *)
+  actor : string;  (** "" = the local process; server name when shipped *)
+  start_ns : int;  (** {!Mclock} reading when the span opened *)
   mutable elapsed_ns : int;
   mutable io : Io_stats.t;  (** I/O delta while the span was open *)
   mutable rows : int option;  (** result cardinality, when annotated *)
@@ -36,6 +42,27 @@ val set_rows : int -> unit
 (** Annotate the innermost open span with its result cardinality.
     No-op when tracing is off. *)
 
+(** {1 Trace-context propagation} *)
+
+val next_trace_id : unit -> string
+(** A fresh 16-hex-digit trace id (per-process xorshift stream). *)
+
+val with_trace_id : string -> (unit -> 'a) -> 'a
+(** Stamp every span opened inside the thunk (including new roots) with
+    the given trace id — the distributed coordinator binds one id per
+    query so all involved servers' spans stitch into one trace. *)
+
+val with_actor : string -> (unit -> 'a) -> 'a
+(** Attribute spans opened inside the thunk to the named actor
+    (directory server).  The default actor is [""], the local process. *)
+
+val current_trace_id : unit -> string option
+(** The bound trace id, else the innermost open span's id. *)
+
+val current_actor : unit -> string
+
+(** {1 The recent-trace ring} *)
+
 val last : unit -> span option
 (** The most recently completed root span. *)
 
@@ -53,6 +80,9 @@ val capacity : unit -> int
 val total_io : span -> int
 val depth : span -> int
 val span_count : span -> int
+
+val actors : span -> string list
+(** The distinct actors appearing in a span tree, sorted. *)
 
 val pp_span : Format.formatter -> span -> unit
 val pp : Format.formatter -> span -> unit

@@ -604,6 +604,344 @@ let test_engine_metrics () =
     (Metrics.counter_value queries);
   Alcotest.(check bool) "reads counted" true (Metrics.counter_value reads > r0)
 
+(* --- Quantile edge cases --------------------------------------------------- *)
+
+let test_quantile_edges () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r "edge" in
+  (* empty histogram: every quantile is 0 *)
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.)) (Printf.sprintf "empty q=%g" q) 0.
+        (Metrics.quantile h q))
+    [ 0.; 0.5; 1. ];
+  (* single observation: every quantile (even out-of-range q, which
+     clamps) collapses to the one observed value *)
+  Metrics.observe h 10.;
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "single q=%g" q)
+        10. (Metrics.quantile h q))
+    [ -1.; 0.; 0.5; 1.; 2. ];
+  (* all-zero observations stay in the first bucket and clamp to 0 *)
+  let z = Metrics.histogram ~registry:r "zeros" in
+  Metrics.observe z 0.;
+  Metrics.observe z 0.;
+  Alcotest.(check (float 0.)) "all zeros" 0. (Metrics.quantile z 0.9)
+
+(* --- Prometheus exposition -------------------------------------------------- *)
+
+(* A minimal exposition parser: every sample line must be
+   "name{labels} value" with a legal metric name and a parseable value.
+   Returns the samples in order. *)
+let parse_samples text =
+  let valid_name n =
+    let first c =
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+    in
+    let rest c = first c || (c >= '0' && c <= '9') in
+    n <> ""
+    && first n.[0]
+    && String.for_all rest (String.sub n 1 (String.length n - 1))
+  in
+  List.filter_map
+    (fun line ->
+      if line = "" || line.[0] = '#' then None
+      else
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "unparseable sample line %S" line
+        | Some i ->
+            let key = String.sub line 0 i in
+            let value = String.sub line (i + 1) (String.length line - i - 1) in
+            let name =
+              match String.index_opt key '{' with
+              | Some j -> String.sub key 0 j
+              | None -> key
+            in
+            if not (valid_name name) then
+              Alcotest.failf "illegal metric name %S in %S" name line;
+            (match float_of_string_opt value with
+            | Some _ -> ()
+            | None -> Alcotest.failf "unparseable value %S in %S" value line);
+            Some (name, key, float_of_string value))
+    (String.split_on_char '\n' text)
+
+let test_promexp_exposition () =
+  let r = Metrics.create () in
+  let c =
+    Metrics.counter ~registry:r ~help:"a \"quoted\" help\nsecond line"
+      ~labels:[ ("dn", "dc=a\\b\n\"c\"") ]
+      "weird-name.total"
+  in
+  Metrics.add c 3;
+  let g = Metrics.gauge ~registry:r "9gauge" in
+  Metrics.set g 2.5;
+  let h = Metrics.histogram ~registry:r "lat_ns" in
+  List.iter (Metrics.observe h) [ 1.; 3.; 9.; 100.; 5000. ];
+  let text = Promexp.to_text r in
+  Alcotest.(check bool) "content type is 0.0.4 text" true
+    (contains Promexp.content_type "version=0.0.4");
+  (* hostile names and labels are sanitized, values escaped *)
+  Alcotest.(check bool) "dots and dashes rewritten" true
+    (contains text "weird_name_total");
+  Alcotest.(check bool) "leading digit rewritten" true (contains text "_gauge");
+  Alcotest.(check bool) "label value escaped" true
+    (contains text "dc=a\\\\b\\n\\\"c\\\"");
+  Alcotest.(check bool) "help newline escaped" true
+    (contains text "a \"quoted\" help\\nsecond line");
+  (* the whole page round-trips through the minimal parser *)
+  let samples = parse_samples text in
+  Alcotest.(check bool) "samples present" true (List.length samples > 0);
+  (* histogram invariants: cumulative non-decreasing buckets, and the
+     +Inf bucket equals _count *)
+  let buckets =
+    List.filter (fun (n, _, _) -> n = "lat_ns_bucket") samples
+  in
+  Alcotest.(check bool) "bucket lines present" true (List.length buckets >= 2);
+  let values = List.map (fun (_, _, v) -> v) buckets in
+  ignore
+    (List.fold_left
+       (fun prev v ->
+         Alcotest.(check bool) "cumulative buckets non-decreasing" true
+           (v >= prev);
+         v)
+       0. values);
+  let _, inf_key, inf_v = List.nth buckets (List.length buckets - 1) in
+  Alcotest.(check bool) "last bucket is +Inf" true
+    (contains inf_key "le=\"+Inf\"");
+  let count_v =
+    match List.find_opt (fun (n, _, _) -> n = "lat_ns_count") samples with
+    | Some (_, _, v) -> v
+    | None -> Alcotest.fail "no lat_ns_count sample"
+  in
+  Alcotest.(check (float 0.)) "+Inf bucket equals count" count_v inf_v;
+  Alcotest.(check (float 0.)) "count is 5" 5. count_v
+
+(* --- Trace-context propagation ---------------------------------------------- *)
+
+let test_trace_id_propagation () =
+  with_tracing (fun () ->
+      Trace.with_span "a" (fun () -> Trace.with_span "b" (fun () -> ()));
+      Trace.with_span "c" (fun () -> ());
+      (match Trace.recent () with
+      | [ c; a ] ->
+          Alcotest.(check int) "16 hex digits" 16
+            (String.length a.Trace.trace_id);
+          let b = List.hd a.Trace.children in
+          Alcotest.(check string) "child inherits the root's id"
+            a.Trace.trace_id b.Trace.trace_id;
+          Alcotest.(check bool) "each root mints a fresh id" true
+            (a.Trace.trace_id <> c.Trace.trace_id)
+      | _ -> Alcotest.fail "expected two roots");
+      (* an explicitly bound id wins over minting *)
+      Trace.with_trace_id "deadbeefdeadbeef" (fun () ->
+          Trace.with_span "x" (fun () -> ()));
+      (match Trace.last () with
+      | Some s ->
+          Alcotest.(check string) "bound id used" "deadbeefdeadbeef"
+            s.Trace.trace_id
+      | None -> Alcotest.fail "no span recorded");
+      (* actors attach through dynamic extent *)
+      Trace.with_span "root" (fun () ->
+          Trace.with_actor "s0" (fun () -> Trace.with_span "kid" (fun () -> ())));
+      match Trace.last () with
+      | Some s ->
+          Alcotest.(check (list string)) "actors collected" [ ""; "s0" ]
+            (Trace.actors s)
+      | None -> Alcotest.fail "no span recorded")
+
+let test_dist_trace_stitching () =
+  with_qlog (fun () ->
+      with_tracing (fun () ->
+          let instance =
+            Dif_gen.generate
+              ~params:
+                {
+                  Dif_gen.default_params with
+                  size = 200;
+                  seed = 3;
+                  roots = 2;
+                  depth_bias = 0.4;
+                }
+              ()
+          in
+          let domains = [ Dn.of_string "dc=root0"; Dn.of_string "dc=root1" ] in
+          let net = Dist.deploy instance domains in
+          let coord = Dist.coordinator net (Dn.of_string "dc=root0") in
+          let path = temp_journal () in
+          Qlog.enable ~append:false path;
+          Qlog.set_threshold_ns max_int;
+          (* a root-scoped query touches both servers *)
+          ignore
+            (Dist.eval_entries coord
+               (Qparser.of_string "( ? sub ? objectClass=person)"));
+          Qlog.disable ();
+          Alcotest.(check int) "one root span per query" 1
+            (List.length (Trace.recent ()));
+          let root = Option.get (Trace.last ()) in
+          Alcotest.(check string) "root actor is the coordinator"
+            "coordinator" root.Trace.actor;
+          (* every span of the stitched tree shares the root's trace id *)
+          let rec check_ids (s : Trace.span) =
+            Alcotest.(check string) "span shares the trace id"
+              root.Trace.trace_id s.Trace.trace_id;
+            List.iter check_ids s.Trace.children
+          in
+          check_ids root;
+          let actors = Trace.actors root in
+          Alcotest.(check bool)
+            (Printf.sprintf "coordinator + both server lanes (got %s)"
+               (String.concat "," actors))
+            true
+            (List.length actors >= 3);
+          (* and so does every journal event (coordinator + per-server) *)
+          let events = Qlog.load path in
+          Alcotest.(check bool) "several journal events" true
+            (List.length events >= 3);
+          List.iter
+            (fun (ev : Qlog.event) ->
+              Alcotest.(check (option string)) "event carries the trace id"
+                (Some root.Trace.trace_id) ev.Qlog.trace_id)
+            events))
+
+(* --- Chrome trace-event export ----------------------------------------------- *)
+
+let test_chrome_trace_shape () =
+  with_tracing (fun () ->
+      let stats = Io_stats.create () in
+      Trace.with_span ~stats ~detail:"the query" "query" (fun () ->
+          Trace.with_actor "s0" (fun () ->
+              Trace.with_span ~stats "child" (fun () ->
+                  Io_stats.read_page stats)));
+      let span = Option.get (Trace.last ()) in
+      let doc = Json.of_string (Chrome_trace.to_string [ span ]) in
+      let events = Json.arr (Json.member "traceEvents" doc) in
+      let xs =
+        List.filter (fun e -> Json.str (Json.member "ph" e) = "X") events
+      and ms =
+        List.filter (fun e -> Json.str (Json.member "ph" e) = "M") events
+      in
+      Alcotest.(check int) "one X event per span" (Trace.span_count span)
+        (List.length xs);
+      Alcotest.(check int) "one thread_name lane per actor" 2 (List.length ms);
+      List.iter
+        (fun e ->
+          Alcotest.(check string) "X events stitched by trace id"
+            span.Trace.trace_id
+            (Json.str (Json.member "trace_id" (Json.member "args" e)));
+          Alcotest.(check bool) "non-negative duration" true
+            (Json.to_float (Json.member "dur" e) >= 0.);
+          Alcotest.(check bool) "pid present" true
+            (Json.member "pid" e <> Json.Null))
+        xs;
+      let tids =
+        List.sort_uniq compare
+          (List.map (fun e -> Json.to_int (Json.member "tid" e)) xs)
+      in
+      Alcotest.(check (list int)) "two lanes, root first" [ 0; 1 ] tids)
+
+(* --- Qlog rotation and trace ids ---------------------------------------------- *)
+
+let test_qlog_rotation () =
+  with_qlog (fun () ->
+      let path = temp_journal () in
+      Qlog.enable ~append:false ~max_bytes:400 path;
+      for i = 1 to 20 do
+        ignore
+          (Qlog.record
+             ~query:(Printf.sprintf "( ? sub ? id=%d)" i)
+             ~fingerprint:"f" ~result_count:i ~reads:0 ~writes:0 ~wall_ns:0
+             ~outcome:Qlog.Ok ())
+      done;
+      Qlog.disable ();
+      Alcotest.(check bool) "rotated file exists" true
+        (Sys.file_exists (path ^ ".1"));
+      let live = Qlog.load path and rotated = Qlog.load (path ^ ".1") in
+      Alcotest.(check bool) "both generations parse and are non-empty" true
+        (live <> [] && rotated <> []);
+      (* the live file always ends with the newest event *)
+      let last = List.nth live (List.length live - 1) in
+      Alcotest.(check int) "newest event in the live file" 20 last.Qlog.seq;
+      (* disk use is bounded: each generation stays near the limit
+         (rotation happens after the append that crosses it) *)
+      List.iter
+        (fun p ->
+          let size = (Unix.stat p).Unix.st_size in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s within bound (%d bytes)" p size)
+            true (size <= 700))
+        [ path; path ^ ".1" ];
+      Sys.remove (path ^ ".1"))
+
+let test_qlog_trace_id_roundtrip () =
+  with_qlog (fun () ->
+      let path = temp_journal () in
+      Qlog.enable ~append:false path;
+      ignore
+        (Qlog.record ~trace_id:"00ff00ff00ff00ff" ~query:"(a)" ~fingerprint:"f"
+           ~result_count:0 ~reads:0 ~writes:0 ~wall_ns:0 ~outcome:Qlog.Ok ());
+      ignore
+        (Qlog.record ~query:"(b)" ~fingerprint:"f" ~result_count:0 ~reads:0
+           ~writes:0 ~wall_ns:0 ~outcome:Qlog.Ok ());
+      Qlog.disable ();
+      match Qlog.load path with
+      | [ a; b ] ->
+          Alcotest.(check (option string)) "trace id preserved"
+            (Some "00ff00ff00ff00ff") a.Qlog.trace_id;
+          Alcotest.(check (option string)) "absent stays absent" None
+            b.Qlog.trace_id
+      | events -> Alcotest.failf "expected 2 events, got %d" (List.length events))
+
+(* --- Monitor ------------------------------------------------------------------- *)
+
+let test_monitor_routes () =
+  let m = Monitor.start ~port:0 () in
+  Fun.protect
+    ~finally:(fun () -> Monitor.stop m)
+    (fun () ->
+      let port = Monitor.port m in
+      let status, body = Monitor.get ~port "/healthz" in
+      Alcotest.(check int) "healthz 200" 200 status;
+      Alcotest.(check string) "healthz ok" "ok"
+        (Json.str (Json.member "status" (Json.of_string body)));
+      let status, body = Monitor.get ~port "/metrics" in
+      Alcotest.(check int) "metrics 200" 200 status;
+      Alcotest.(check bool) "serves the default registry" true
+        (contains body "monitor_requests_total");
+      ignore (parse_samples body);
+      let status, _ = Monitor.get ~port "/nope" in
+      Alcotest.(check int) "unknown route 404" 404 status;
+      Monitor.add_handler m "cache" (fun path ->
+          if path = "/cache" then
+            Some
+              (Monitor.respond ~content_type:"application/json" "{\"hits\":0}")
+          else None);
+      let status, body = Monitor.get ~port "/cache" in
+      Alcotest.(check int) "custom handler 200" 200 status;
+      Alcotest.(check bool) "custom handler body" true (contains body "hits");
+      let status, _ = Monitor.get ~port "/trace" in
+      Alcotest.(check int) "trace index 200" 200 status);
+  (* stop is idempotent *)
+  Monitor.stop m
+
+let test_monitor_trace_route () =
+  with_tracing (fun () ->
+      Trace.with_span "query" (fun () -> Trace.with_span "child" (fun () -> ()));
+      let m = Monitor.start ~port:0 () in
+      Fun.protect
+        ~finally:(fun () -> Monitor.stop m)
+        (fun () ->
+          let port = Monitor.port m in
+          let status, body = Monitor.get ~port "/trace/last" in
+          Alcotest.(check int) "trace/last 200" 200 status;
+          let events =
+            Json.arr (Json.member "traceEvents" (Json.of_string body))
+          in
+          Alcotest.(check bool) "chrome trace payload" true (events <> []);
+          let status, _ = Monitor.get ~port "/trace/zzz" in
+          Alcotest.(check int) "unknown trace 404" 404 status))
+
 let () =
   Alcotest.run "obs"
     [
@@ -621,6 +959,12 @@ let () =
             test_observe_nan_guard;
           Alcotest.test_case "cumulative bucket export" `Quick
             test_json_lines_buckets;
+          Alcotest.test_case "quantile edge cases" `Quick test_quantile_edges;
+        ] );
+      ( "promexp",
+        [
+          Alcotest.test_case "exposition round-trips" `Quick
+            test_promexp_exposition;
         ] );
       ( "trace",
         [
@@ -634,6 +978,12 @@ let () =
           Alcotest.test_case "set_rows annotation" `Quick test_set_rows;
           Alcotest.test_case "disabled is a no-op" `Quick
             test_disabled_records_nothing;
+          Alcotest.test_case "trace-id propagation" `Quick
+            test_trace_id_propagation;
+          Alcotest.test_case "distributed stitching" `Quick
+            test_dist_trace_stitching;
+          Alcotest.test_case "chrome trace export" `Quick
+            test_chrome_trace_shape;
         ] );
       ( "json",
         [
@@ -652,6 +1002,16 @@ let () =
             test_engine_journals_queries;
           Alcotest.test_case "dist journals attribution" `Quick
             test_dist_journals_attribution;
+          Alcotest.test_case "size-based rotation" `Quick test_qlog_rotation;
+          Alcotest.test_case "trace-id roundtrip" `Quick
+            test_qlog_trace_id_roundtrip;
+        ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "built-in and custom routes" `Quick
+            test_monitor_routes;
+          Alcotest.test_case "trace export route" `Quick
+            test_monitor_trace_route;
         ] );
       ( "profile",
         [
