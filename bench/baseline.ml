@@ -116,12 +116,13 @@ let () =
       Fmt.epr "%s@." m;
       exit 2
   | (base_order, base), (fresh_order, fresh) ->
-      let regressions = ref 0 in
+      let regressions = ref 0 and mismatches = ref 0 in
       List.iter
         (fun id ->
           let f = Hashtbl.find fresh id in
           match Hashtbl.find_opt base id with
           | None ->
+              incr mismatches;
               Fmt.pr "%-10s NEW        no baseline (%d rows, reads=%d \
                       writes=%d wall=%s)@."
                 id f.rows f.reads f.writes
@@ -134,9 +135,12 @@ let () =
                     id f.reads f.writes
                     (Mclock.ns_to_string f.wall_ns)
                     (Mclock.ns_to_string b.wall_ns)
-              | Stale why -> Fmt.pr "%-10s STALE      %s@." id why
+              | Stale why ->
+                  incr mismatches;
+                  Fmt.pr "%-10s STALE      %s@." id why
               | Regression why ->
                   incr regressions;
+                  incr mismatches;
                   Fmt.pr "%-10s REGRESSION %s@." id why))
         fresh_order;
       List.iter
@@ -144,6 +148,36 @@ let () =
           if not (Hashtbl.mem fresh id) then
             Fmt.pr "%-10s skipped    in baseline but not in this run@." id)
         base_order;
+      (* On any mismatch, lay the two runs side by side so re-baselining
+         is a copy-paste decision, not an archaeology session. *)
+      if !mismatches > 0 then begin
+        Fmt.pr "@.before/after (%s -> %s):@." baseline_path results_path;
+        Fmt.pr "%-28s %12s %12s %12s %12s %12s %12s@." "id" "reads(base)"
+          "reads(run)" "writes(base)" "writes(run)" "wall(base)" "wall(run)";
+        let opt_int tbl id field =
+          match Hashtbl.find_opt tbl id with
+          | Some a -> string_of_int (field a)
+          | None -> "-"
+        in
+        let opt_wall tbl id =
+          match Hashtbl.find_opt tbl id with
+          | Some a -> Mclock.ns_to_string a.wall_ns
+          | None -> "-"
+        in
+        let all_ids =
+          fresh_order
+          @ List.filter (fun id -> not (Hashtbl.mem fresh id)) base_order
+        in
+        List.iter
+          (fun id ->
+            Fmt.pr "%-28s %12s %12s %12s %12s %12s %12s@." id
+              (opt_int base id (fun a -> a.reads))
+              (opt_int fresh id (fun a -> a.reads))
+              (opt_int base id (fun a -> a.writes))
+              (opt_int fresh id (fun a -> a.writes))
+              (opt_wall base id) (opt_wall fresh id))
+          all_ids
+      end;
       if !regressions > 0 then begin
         Fmt.pr "@.%d experiment id(s) regressed against %s@." !regressions
           baseline_path;

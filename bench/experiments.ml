@@ -205,7 +205,7 @@ let e7 () =
   List.iter
     (fun n ->
       let instance = karily ~fanout:4 ~size:n () in
-      let eng = Engine.create ~block ~with_attr_index:false instance in
+      let eng = Engine.create ~mode:!eval_mode ~block ~with_attr_index:false instance in
       Engine.reset_stats eng;
       ignore (Telemetry.with_stats ~size:n (Engine.stats eng) (fun () -> Engine.eval eng q));
       let stats = Engine.stats eng in
@@ -234,7 +234,7 @@ let e8 () =
           ~params:{ Dif_gen.default_params with size = n; seed = 29; ref_fanout = 4 }
           ()
       in
-      let eng = Engine.create ~block ~with_attr_index:false instance in
+      let eng = Engine.create ~mode:!eval_mode ~block ~with_attr_index:false instance in
       Engine.reset_stats eng;
       ignore (Telemetry.with_stats ~size:n (Engine.stats eng) (fun () -> Engine.eval eng q));
       let io = Io_stats.total_io (Engine.stats eng) in
@@ -296,7 +296,7 @@ let e10 () =
       ~params:{ Dif_gen.default_params with size = 2_000; seed = 41; roots = 1 }
       ()
   in
-  let eng = Engine.create ~block instance in
+  let eng = Engine.create ~mode:!eval_mode ~block instance in
   let witnesses =
     [
       ( "L0 over LDAP (Ex 4.1: two bases + difference)",
@@ -431,7 +431,7 @@ let e13 () =
       "QoS decisions are directory queries: highest-priority matching \
        policies modulo exceptions, then their actions (the Fig 12 scenarios \
        plus a scaled decision workload)";
-  let eng = Engine.create ~block:8 (Qos.figure_12 ()) in
+  let eng = Engine.create ~mode:!eval_mode ~block:8 (Qos.figure_12 ()) in
   let weekend = { Qos.time = 19980704093000; day_of_week = 6 } in
   let weekday = { Qos.time = 19980707093000; day_of_week = 2 } in
   let scenario label pkt clock expect =
@@ -462,7 +462,7 @@ let e13 () =
   List.iter
     (fun n_policies ->
       let i = Qos.generate ~params:{ Qos.default_gen with n_policies } () in
-      let eng = Engine.create ~block i in
+      let eng = Engine.create ~mode:!eval_mode ~block i in
       let rng = Prng.create 7 in
       let k = 20 in
       Engine.reset_stats eng;
@@ -486,7 +486,7 @@ let e14 () =
       "TOPS call resolution = L2 query: highest-priority applicable QHP, \
        then its call appearances (the Fig 11 scenarios plus a scaled call \
        workload)";
-  let eng = Engine.create ~block:8 (Tops.figure_11 ()) in
+  let eng = Engine.create ~mode:!eval_mode ~block:8 (Tops.figure_11 ()) in
   let scenario label time day expect =
     let r = Tops.resolve eng ~uid:"jag" ~time ~day in
     let got =
@@ -505,7 +505,7 @@ let e14 () =
   List.iter
     (fun subscribers ->
       let i = Tops.generate ~params:{ Tops.default_gen with subscribers } () in
-      let eng = Engine.create ~block i in
+      let eng = Engine.create ~mode:!eval_mode ~block i in
       let rng = Prng.create 5 in
       let k = 50 in
       Engine.reset_stats eng;
@@ -535,7 +535,7 @@ let e15 () =
       ~params:{ Dif_gen.default_params with size = 1_500; seed = 31 }
       ()
   in
-  let eng = Engine.create ~block instance in
+  let eng = Engine.create ~mode:!eval_mode ~block instance in
   let queries =
     [
       "(& ( ? sub ? tag=red) ( ? sub ? priority>=3))";
@@ -603,8 +603,8 @@ let e17 () =
       "atomic queries through the attribute indexes vs full subtree scans: \
        selective filters win big with indexes, unselective ones do not";
   let instance = karily ~fanout:4 ~size:32_000 () in
-  let indexed = Engine.create ~block ~with_attr_index:true instance in
-  let scanning = Engine.create ~block ~with_attr_index:false instance in
+  let indexed = Engine.create ~mode:!eval_mode ~block ~with_attr_index:true instance in
+  let scanning = Engine.create ~mode:!eval_mode ~block ~with_attr_index:false instance in
   row "%-34s %12s %12s %8s@." "filter (sub scope at the root)" "io(index)"
     "io(scan)" "rows";
   List.iter
@@ -652,7 +652,7 @@ let e19 () =
     ~claim:
       "boolean subtrees over one base+scope collapse into a single fused        scan (the LDAP correspondence): k-leaf trees go from k scans +        merges to 1 scan, with identical results";
   let instance = karily ~fanout:4 ~size:16_000 () in
-  let eng = Engine.create ~block ~with_attr_index:false instance in
+  let eng = Engine.create ~mode:!eval_mode ~block ~with_attr_index:false instance in
   row "%-52s %6s %6s %10s %10s %8s@." "query" "scans" "fused" "io(plain)"
     "io(fused)" "equal";
   List.iter
@@ -691,7 +691,7 @@ let e20 () =
   row "%12s %12s %12s %12s@." "cache pages" "io/call" "hits" "misses";
   List.iter
     (fun cache_pages ->
-      let eng = Engine.create ~block ~cache_pages ~with_attr_index:false i in
+      let eng = Engine.create ~mode:!eval_mode ~block ~cache_pages ~with_attr_index:false i in
       let rng = Prng.create 5 in
       let calls = 100 in
       Engine.reset_stats eng;
@@ -852,7 +852,7 @@ let e23 () =
       if !eng_gen <> Directory.generation d then begin
         eng :=
           Some
-            (Engine.create ~block ~with_attr_index:false ?result_cache ~stats
+            (Engine.create ~mode:!eval_mode ~block ~with_attr_index:false ?result_cache ~stats
                (Directory.instance d));
         eng_gen := Directory.generation d
       end;
@@ -1006,11 +1006,127 @@ let e23 () =
       row "wrote a stitched 2-server trace to BENCH_dist_trace.json@."
   | None -> row "no trace captured for BENCH_dist_trace.json@.")
 
+(* --- E25: streaming vs materialized operator boundaries (Thm 8.3) ------------ *)
+
+let e25 () =
+  header ~id:"E25 (Thm 8.3, streaming)"
+    ~claim:
+      "the fused pipeline cuts page writes >= 1.5x on full L2 query trees \
+       with identical results, and max resident pages stay constant in N";
+  let q = Qparser.of_string l2_query in
+  (* E7's sweep, run once per mode on the same instance.  Telemetry rows
+     (and hence the perf baseline) record the streaming side; the
+     materialized side is measured with plain counters. *)
+  let run_tree mode ~record ~size instance q =
+    let eng = Engine.create ~mode ~block ~with_attr_index:false instance in
+    Engine.reset_stats eng;
+    let out =
+      if record then (
+        let r = ref [] in
+        ignore
+          (Telemetry.with_stats ~size (Engine.stats eng) (fun () ->
+               r := Engine.eval_entries eng q));
+        !r)
+      else Engine.eval_entries eng q
+    in
+    (List.map Entry.key out, Engine.stats eng)
+  in
+  row "%8s %10s %10s %8s %7s %12s %12s@." "N" "writes(m)" "writes(s)" "saved"
+    "ratio" "resident(m)" "resident(s)";
+  let sweep =
+    List.map
+      (fun n ->
+        let instance = karily ~fanout:4 ~size:n () in
+        let mkeys, m = run_tree Engine.Materialized ~record:false ~size:n instance q in
+        let skeys, s = run_tree Engine.Streaming ~record:true ~size:n instance q in
+        if mkeys <> skeys then
+          failwith "E25: streaming results differ from materialized";
+        let mw = m.Io_stats.page_writes and sw = s.Io_stats.page_writes in
+        row "%8d %10d %10d %8d %6.2fx %12d %12d@." n mw sw (mw - sw)
+          (ratio mw (max 1 sw))
+          m.Io_stats.max_resident_pages s.Io_stats.max_resident_pages;
+        (n, mw, sw, m.Io_stats.max_resident_pages, s.Io_stats.max_resident_pages))
+      sizes_linear
+  in
+  (* TOPS decision workload: repeated call resolutions, each mode. *)
+  let tops_instance =
+    Tops.generate
+      ~params:
+        {
+          Tops.seed = 31;
+          subscribers = 200;
+          qhps_per_subscriber = 3;
+          appearances_per_qhp = 2;
+        }
+      ()
+  in
+  let rng = Prng.create 41 in
+  let times = [| 900; 1130; 1415 |] and days = [| 2; 6 |] in
+  let queries =
+    List.init 200 (fun _ ->
+        Tops.resolution_query
+          ~uid:(Printf.sprintf "user%d" (Prng.int rng 200))
+          ~time:times.(Prng.int rng (Array.length times))
+          ~day:days.(Prng.int rng (Array.length days))
+          ())
+  in
+  let run_tops mode record =
+    let eng = Engine.create ~mode ~block ~with_attr_index:false tops_instance in
+    Engine.reset_stats eng;
+    let rows = ref [] in
+    let go () =
+      List.iter
+        (fun q -> rows := Ext_list.length (Engine.eval eng q) :: !rows)
+        queries
+    in
+    if record then
+      ignore
+        (Telemetry.with_stats ~size:(List.length queries) (Engine.stats eng) go)
+    else go ();
+    (List.rev !rows, Engine.stats eng)
+  in
+  let trows_m, tm = run_tops Engine.Materialized false in
+  let trows_s, ts = run_tops Engine.Streaming true in
+  if trows_m <> trows_s then
+    failwith "E25: TOPS streaming results differ from materialized";
+  row "@.TOPS decision workload: %d resolutions over %d entries@."
+    (List.length queries)
+    (Instance.size tops_instance);
+  row "%14s %10s %10s %8s %7s@." "" "writes(m)" "writes(s)" "saved" "ratio";
+  row "%14s %10d %10d %8d %6.2fx  (target >= 1.5x)@." "tops"
+    tm.Io_stats.page_writes ts.Io_stats.page_writes
+    (tm.Io_stats.page_writes - ts.Io_stats.page_writes)
+    (ratio tm.Io_stats.page_writes (max 1 ts.Io_stats.page_writes));
+  (* Structured stats for the CI artifact and the pages_written gate. *)
+  let out = open_out "BENCH_stream_stats.json" in
+  Printf.fprintf out "{\n  \"l2_sweep\": [\n";
+  List.iteri
+    (fun i (n, mw, sw, mres, sres) ->
+      Printf.fprintf out
+        "    {\"n\": %d, \"mat_writes\": %d, \"stream_writes\": %d, \
+         \"saved\": %d, \"ratio\": %.3f, \"mat_max_resident\": %d, \
+         \"stream_max_resident\": %d}%s\n"
+        n mw sw (mw - sw)
+        (ratio mw (max 1 sw))
+        mres sres
+        (if i = List.length sweep - 1 then "" else ","))
+    sweep;
+  Printf.fprintf out
+    "  ],\n\
+    \  \"tops\": {\"queries\": %d, \"mat_writes\": %d, \"stream_writes\": %d, \
+     \"saved\": %d, \"ratio\": %.3f}\n\
+     }\n"
+    (List.length queries) tm.Io_stats.page_writes ts.Io_stats.page_writes
+    (tm.Io_stats.page_writes - ts.Io_stats.page_writes)
+    (ratio tm.Io_stats.page_writes (max 1 ts.Io_stats.page_writes));
+  close_out out;
+  row "wrote streaming stats to BENCH_stream_stats.json@."
+
 let all : (string * (unit -> unit)) list =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
     ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21);
-    ("e22", e22); ("e23", e23);
+    ("e22", e22); ("e23", e23); ("e25", e25);
   ]

@@ -9,7 +9,9 @@
                       the harness's own /metrics after each experiment
                       (the snapshots land in the results file)
      --journal PATH   query-journal path (default _build/BENCH_journal.jsonl)
-     --out PATH       results path (default BENCH_results.json) *)
+     --out PATH       results path (default BENCH_results.json)
+     --mode M         operator-boundary handling for engine-level
+                      experiments: streaming (default) or materialized *)
 
 let ensure_parent path =
   let dir = Filename.dirname path in
@@ -30,6 +32,14 @@ let () =
         parse tl
     | "--out" :: p :: tl ->
         out := p;
+        parse tl
+    | "--mode" :: m :: tl ->
+        (match m with
+        | "streaming" -> Util.eval_mode := Engine.Streaming
+        | "materialized" -> Util.eval_mode := Engine.Materialized
+        | _ ->
+            Fmt.epr "bad --mode %S (streaming|materialized)@." m;
+            exit 2);
         parse tl
     | a :: tl -> a :: parse tl
     | [] -> []

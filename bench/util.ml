@@ -2,6 +2,10 @@
 
 let block = 64
 
+(* Operator-boundary handling for the engine-level experiments; set from
+   the harness's --mode flag so CI can measure both sides. *)
+let eval_mode = ref Engine.Streaming
+
 let header ~id ~claim =
   Telemetry.set_experiment id;
   Fmt.pr "@.%s@.%s  %s@.%s@." (String.make 78 '=') id claim (String.make 78 '-')

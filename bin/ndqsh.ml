@@ -20,6 +20,7 @@ type state = {
   mutable cache : Cache.t;  (* survives engine rebuilds, off by default *)
   mutable cache_on : bool;
   mutable monitor : Monitor.t option;  (* live introspection server *)
+  mutable mode : Engine.mode;  (* operator-boundary handling *)
 }
 
 (* Runtime artifacts (journals, slowlogs) default under _build/ so they
@@ -37,7 +38,7 @@ let ensure_parent path =
 let engine st =
   if st.engine_generation <> Directory.generation st.directory then begin
     st.engine <-
-      Engine.create ~block:st.block
+      Engine.create ~block:st.block ~mode:st.mode
         ?result_cache:(if st.cache_on then Some st.cache else None)
         (Directory.instance st.directory);
     st.engine_generation <- Directory.generation st.directory
@@ -99,7 +100,10 @@ let help () =
     \  :monitor <port>  serve /metrics /healthz /slowlog /trace /cache@,\
     \  :monitor off     stop the introspection server@,\
     \  :top [n]         live metrics view (n one-second refreshes)@,\
-    \  :explain <query> estimated vs measured plan@,\
+    \  :mode streaming|materialized   operator-boundary handling@,\
+    \                   (streaming pipelines the whole tree; default)@,\
+    \  :explain <query> estimated vs measured plan (est io split into@,\
+    \                   reads+writes, with the writes streaming saves)@,\
     \  :add <ldif>      add one entry (dn: ...; attr: value; ...)@,\
     \  :delete <dn>     delete a leaf entry ( :deltree for subtrees )@,\
     \  :set <dn> ; <attr> <value>   add an attribute value@,\
@@ -435,12 +439,30 @@ let run_command st line =
       | Some e -> Fmt.pr "%a@." Entry.pp e
       | None -> Fmt.pr "no entry %s@." (String.trim dn_text)
       | exception Dn.Parse_error m -> Fmt.pr "bad dn: %s@." m)
+  | ":mode" :: "streaming" :: _ ->
+      st.mode <- Engine.Streaming;
+      Engine.set_mode (engine st) Engine.Streaming;
+      Fmt.pr "mode = streaming (operator boundaries pipeline)@."
+  | ":mode" :: "materialized" :: _ ->
+      st.mode <- Engine.Materialized;
+      Engine.set_mode (engine st) Engine.Materialized;
+      Fmt.pr "mode = materialized (every intermediate result is written)@."
+  | ":mode" :: _ ->
+      Fmt.pr "mode is %s (usage: :mode streaming|materialized)@."
+        (match st.mode with
+        | Engine.Streaming -> "streaming"
+        | Engine.Materialized -> "materialized")
   | ":explain" :: rest -> (
       let text = String.trim (String.concat " " rest) in
       match Qparser.of_string ~schema:(Instance.schema instance) text with
       | q ->
-          let _, plan = Explain.profile (engine st) q in
-          Fmt.pr "%a@." Explain.pp_node plan
+          let _, plan = Explain.profile ~mode:st.mode (engine st) q in
+          Fmt.pr "%a@." Explain.pp_node plan;
+          Fmt.pr "est writes saved by streaming: %d pages (mode: %s)@."
+            (Explain.total_est_writes_saved plan)
+            (match st.mode with
+            | Engine.Streaming -> "streaming"
+            | Engine.Materialized -> "materialized")
       | exception Qparser.Parse_error m -> Fmt.pr "parse error: %s@." m)
   | ":add" :: rest -> (
       (* one-line LDIF record with ';' as the line separator:
@@ -547,6 +569,7 @@ let main kind size seed block journal monitor_port queries =
       cache;
       cache_on = false;
       monitor = None;
+      mode = Engine.Streaming;
     }
   in
   (match journal with

@@ -167,8 +167,10 @@ let m_saved_bytes server =
 
 let entries_bytes = Array.fold_left (fun n e -> n + Entry.byte_size e) 0
 
-let eval_atomic t (a : Ast.atomic) =
-  let shards =
+(* Evaluate one atomic query on every involved server.  Each shipped
+   result is materialized at the coordinator (streaming never crosses
+   the wire: a shard arrives whole before the pipeline can consume it). *)
+let eval_shards t (a : Ast.atomic) =
     List.map
       (fun s ->
         (* One child span per involved server, remote or not; journal
@@ -226,12 +228,29 @@ let eval_atomic t (a : Ast.atomic) =
                     (* Materialize the shipped list at the coordinator. *)
                     Ext_list.materialize t.pager arr)))
       (involved_servers t a)
-  in
+
+let eval_atomic t (a : Ast.atomic) =
+  let shards = eval_shards t a in
   (* Merge the sorted shards (pairwise unions). *)
   Trace.with_span ~stats:t.stats "combine" (fun () ->
       match shards with
       | [] -> Ext_list.materialize t.pager [||]
       | first :: rest -> List.fold_left Bool_ops.or_ first rest)
+
+(* Streaming variant: the shipped shards are still materialized, but the
+   merge pipelines them into the operator tree without writing the
+   merged list. *)
+let eval_atomic_src t (a : Ast.atomic) =
+  let shards = eval_shards t a in
+  Trace.with_span ~stats:t.stats "combine" (fun () ->
+      match shards with
+      | [] -> Ext_list.Source.of_array [||]
+      | first :: rest ->
+          List.fold_left
+            (fun acc l ->
+              Bool_ops.or_src t.pager acc (Ext_list.Source.of_list l))
+            (Ext_list.Source.of_list first)
+            rest)
 
 (* Bottom-up evaluation with remote atomic queries and local operators. *)
 let rec eval_tree t (q : Ast.t) =
@@ -248,6 +267,38 @@ let rec eval_tree t (q : Ast.t) =
   | Ast.Gsel (q1, f) -> Simple_agg.compute f (eval_tree t q1)
   | Ast.Eref (op, q1, q2, attr, agg) ->
       Er.compute ?agg op (eval_tree t q1) (eval_tree t q2) attr
+
+(* The fused coordinator pipeline: shipped shards stay materialized,
+   every operator boundary above them streams. *)
+let rec eval_tree_src t (q : Ast.t) =
+  match q with
+  | Ast.Atomic a -> eval_atomic_src t a
+  | Ast.And (q1, q2) ->
+      let s1 = eval_tree_src t q1 in
+      let s2 = eval_tree_src t q2 in
+      Bool_ops.and_src t.pager s1 s2
+  | Ast.Or (q1, q2) ->
+      let s1 = eval_tree_src t q1 in
+      let s2 = eval_tree_src t q2 in
+      Bool_ops.or_src t.pager s1 s2
+  | Ast.Diff (q1, q2) ->
+      let s1 = eval_tree_src t q1 in
+      let s2 = eval_tree_src t q2 in
+      Bool_ops.diff_src t.pager s1 s2
+  | Ast.Hier (op, q1, q2, agg) ->
+      let s1 = eval_tree_src t q1 in
+      let s2 = eval_tree_src t q2 in
+      Hs_agg.compute_hier_src ?agg t.pager op s1 s2
+  | Ast.Hier3 (op, q1, q2, q3, agg) ->
+      let s1 = eval_tree_src t q1 in
+      let s2 = eval_tree_src t q2 in
+      let s3 = eval_tree_src t q3 in
+      Hs_agg.compute_hier3_src ?agg t.pager op s1 s2 s3
+  | Ast.Gsel (q1, f) -> Simple_agg.compute_src t.pager f (eval_tree_src t q1)
+  | Ast.Eref (op, q1, q2, attr, agg) ->
+      let s1 = eval_tree_src t q1 in
+      let s2 = eval_tree_src t q2 in
+      Er.compute_src ?agg t.pager op s1 s2 attr
 
 (* --- The coordinator's own journal entry --------------------------------- *)
 
@@ -334,7 +385,7 @@ let journal_event t q ~cache ~result_count ~reads ~writes ~wall_ns ~outcome
        ~fingerprint:(Plan.fingerprint q) ~result_count ~reads ~writes ~wall_ns
        ~outcome ())
 
-let eval t q =
+let eval ?(mode = Engine.Streaming) t q =
   let reads0 = t.stats.Io_stats.page_reads
   and writes0 = t.stats.Io_stats.page_writes in
   let t0 = Mclock.now_ns () in
@@ -357,7 +408,12 @@ let eval t q =
       let detail = if Trace.enabled () then query_detail q else "" in
       match
         Trace.with_span_out ~detail ~stats:t.stats "coordinate" (fun () ->
-            let out = eval_tree t q in
+            let out =
+              match mode with
+              | Engine.Streaming ->
+                  Ext_list.Source.materialize t.pager (eval_tree_src t q)
+              | Engine.Materialized -> eval_tree t q
+            in
             Trace.set_rows (Ext_list.length out);
             out)
       with
@@ -384,7 +440,7 @@ let eval t q =
               span;
           out)
 
-let eval_entries t q = Ext_list.to_list (eval t q)
+let eval_entries ?mode t q = Ext_list.to_list (eval ?mode t q)
 
 (* Aggregate server-side I/O across the network, for the experiments. *)
 let server_stats network =

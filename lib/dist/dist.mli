@@ -53,8 +53,18 @@ val involved_servers : coordinator -> Ast.atomic -> server list
 
 val eval_atomic : coordinator -> Ast.atomic -> Entry.t Ext_list.t
 
-val eval : coordinator -> Ast.t -> Entry.t Ext_list.t
-(** Evaluate a query tree at this coordinator.  When the query journal
+val eval_atomic_src :
+  coordinator -> Ast.atomic -> Entry.t Ext_list.Source.src
+(** Streaming merge of the shipped shards: the per-server results are
+    still materialized at the coordinator (a shard arrives whole before
+    the pipeline can consume it), but the merged union flows out as a
+    live source. *)
+
+val eval : ?mode:Engine.mode -> coordinator -> Ast.t -> Entry.t Ext_list.t
+(** Evaluate a query tree at this coordinator (default
+    [Engine.Streaming]: operator boundaries above the shipped shards
+    pipeline, and only the root result is written at the coordinator).
+    When the query journal
     ({!Qlog}) is enabled, the coordinator records one event per query —
     attributed to the home server, with per-server shipped
     messages/bytes — and each involved server's engine records its own
@@ -66,7 +76,7 @@ val eval : coordinator -> Ast.t -> Entry.t Ext_list.t
     id, so the distributed evaluation stitches into one trace
     (exportable with {!Chrome_trace}). *)
 
-val eval_entries : coordinator -> Ast.t -> Entry.t list
+val eval_entries : ?mode:Engine.mode -> coordinator -> Ast.t -> Entry.t list
 
 val server_stats : network -> (string * Io_stats.t) list
 val reset_all : coordinator -> unit

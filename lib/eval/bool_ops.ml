@@ -3,45 +3,68 @@
    Straightforward list merging: both inputs are sorted by reverse-dn key,
    the output is produced in the same order with one sequential scan of
    each input — the "elegant table-driven algorithm" of Jacobson et al.
-   reduces to the three merge loops below.  I/O: |L1|/B + |L2|/B reads
-   plus the output writes. *)
+   reduces to the three merge loops below.
 
-let merge ~keep_left_only ~keep_both ~keep_right_only l1 l2 =
-  let pager = Ext_list.pager l1 in
-  let c1 = Ext_list.Cursor.make l1 and c2 = Ext_list.Cursor.make l2 in
-  let w = Ext_list.Writer.make pager in
+   The core works on {!Ext_list.Source} streams: inputs are pulled (a
+   list-backed source charges its scan reads, a live one charges
+   nothing) and the merged output flows on as a live source, so under
+   streaming evaluation a boolean node costs only its input reads.  The
+   list-level entry points materialize the output, recovering the
+   classic I/O bill: |L1|/B + |L2|/B reads plus the output writes. *)
+
+let merge_src ~keep_left_only ~keep_both ~keep_right_only pager s1 s2 =
   let stats = Pager.stats pager in
+  let out = ref [] in
+  let emit e = out := e :: !out in
   let rec loop () =
-    match (Ext_list.Cursor.peek c1, Ext_list.Cursor.peek c2) with
+    match (Ext_list.Source.peek s1, Ext_list.Source.peek s2) with
     | None, None -> ()
     | Some e1, None ->
-        Ext_list.Cursor.advance c1;
-        if keep_left_only then Ext_list.Writer.push w e1;
+        Ext_list.Source.advance s1;
+        if keep_left_only then emit e1;
         loop ()
     | None, Some e2 ->
-        Ext_list.Cursor.advance c2;
-        if keep_right_only then Ext_list.Writer.push w e2;
+        Ext_list.Source.advance s2;
+        if keep_right_only then emit e2;
         loop ()
     | Some e1, Some e2 ->
         Io_stats.compare_key stats;
         let c = Entry.compare_rev e1 e2 in
         if c = 0 then begin
-          Ext_list.Cursor.advance c1;
-          Ext_list.Cursor.advance c2;
-          if keep_both then Ext_list.Writer.push w e1
+          Ext_list.Source.advance s1;
+          Ext_list.Source.advance s2;
+          if keep_both then emit e1
         end
         else if c < 0 then begin
-          Ext_list.Cursor.advance c1;
-          if keep_left_only then Ext_list.Writer.push w e1
+          Ext_list.Source.advance s1;
+          if keep_left_only then emit e1
         end
         else begin
-          Ext_list.Cursor.advance c2;
-          if keep_right_only then Ext_list.Writer.push w e2
+          Ext_list.Source.advance s2;
+          if keep_right_only then emit e2
         end;
         loop ()
   in
   loop ();
-  Ext_list.Writer.close w
+  Ext_list.Source.of_array (Array.of_list (List.rev !out))
+
+let and_src pager s1 s2 =
+  merge_src ~keep_left_only:false ~keep_both:true ~keep_right_only:false pager
+    s1 s2
+
+let or_src pager s1 s2 =
+  merge_src ~keep_left_only:true ~keep_both:true ~keep_right_only:true pager s1
+    s2
+
+let diff_src pager s1 s2 =
+  merge_src ~keep_left_only:true ~keep_both:false ~keep_right_only:false pager
+    s1 s2
+
+let merge ~keep_left_only ~keep_both ~keep_right_only l1 l2 =
+  let pager = Ext_list.pager l1 in
+  Ext_list.Source.materialize pager
+    (merge_src ~keep_left_only ~keep_both ~keep_right_only pager
+       (Ext_list.Source.of_list l1) (Ext_list.Source.of_list l2))
 
 let and_ l1 l2 =
   merge ~keep_left_only:false ~keep_both:true ~keep_right_only:false l1 l2

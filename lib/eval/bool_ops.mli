@@ -1,9 +1,30 @@
 (** Boolean operators over sorted entry lists (Section 4.2).
 
     One sequential merge of the two inputs per operator; output produced
-    in the same canonical order.  I/O: [|L1|/B + |L2|/B] reads plus the
-    output writes. *)
+    in the same canonical order.  The [_src] variants consume and
+    produce {!Ext_list.Source} streams, charging only the input pulls
+    (the merged output flows on live); the list variants materialize
+    the output, costing [|L1|/B + |L2|/B] reads plus the output
+    writes. *)
 
 val and_ : Entry.t Ext_list.t -> Entry.t Ext_list.t -> Entry.t Ext_list.t
 val or_ : Entry.t Ext_list.t -> Entry.t Ext_list.t -> Entry.t Ext_list.t
 val diff : Entry.t Ext_list.t -> Entry.t Ext_list.t -> Entry.t Ext_list.t
+
+val and_src :
+  Pager.t ->
+  Entry.t Ext_list.Source.src ->
+  Entry.t Ext_list.Source.src ->
+  Entry.t Ext_list.Source.src
+
+val or_src :
+  Pager.t ->
+  Entry.t Ext_list.Source.src ->
+  Entry.t Ext_list.Source.src ->
+  Entry.t Ext_list.Source.src
+
+val diff_src :
+  Pager.t ->
+  Entry.t Ext_list.Source.src ->
+  Entry.t Ext_list.Source.src ->
+  Entry.t Ext_list.Source.src

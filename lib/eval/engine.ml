@@ -13,6 +13,12 @@
 
 type algorithms = Stack_based | Naive_nested_loop
 
+(* How operator boundaries are handled (Theorem 8.3): [Materialized]
+   writes every intermediate result to disk and re-reads it; [Streaming]
+   fuses the whole tree into one pipeline, materializing only the root
+   result, sort boundaries and double-consumed operands. *)
+type mode = Materialized | Streaming
+
 type t = {
   instance : Instance.t;
   pager : Pager.t;
@@ -22,11 +28,12 @@ type t = {
   window : int;  (* in-memory pages for each operator's stack *)
   algorithms : algorithms;
   result_cache : Cache.t option;  (* semantic query-result cache *)
+  mutable mode : mode;  (* default operator-boundary handling *)
 }
 
 let create ?(block = 64) ?(window = 2) ?(with_attr_index = true)
     ?(algorithms = Stack_based) ?(cache_pages = 0) ?result_cache ?stats
-    instance =
+    ?(mode = Streaming) instance =
   let stats = match stats with Some s -> s | None -> Io_stats.create () in
   let pager = Pager.create ~block stats in
   let pool =
@@ -40,7 +47,7 @@ let create ?(block = 64) ?(window = 2) ?(with_attr_index = true)
   (* Index construction is setup cost, not query cost. *)
   Io_stats.reset stats;
   { instance; pager; dn_index; attr_index; pool; window; algorithms;
-    result_cache }
+    result_cache; mode }
 
 let stats t = Pager.stats t.pager
 let pager t = t.pager
@@ -49,6 +56,8 @@ let dn_index t = t.dn_index
 let cache t = t.pool
 let result_cache t = t.result_cache
 let reset_stats t = Io_stats.reset (stats t)
+let mode t = t.mode
+let set_mode t mode = t.mode <- mode
 
 (* --- Atomic queries ----------------------------------------------------- *)
 
@@ -116,6 +125,29 @@ let eval_atomic t (a : Ast.atomic) =
           let w = Ext_list.Writer.make t.pager in
           List.iter (Ext_list.Writer.push w) hits;
           Ext_list.Writer.close w)
+
+(* Streaming atomic evaluation: same index charges, but the hits flow
+   out as a live source instead of being written. *)
+let eval_atomic_src t (a : Ast.atomic) =
+  let keep e = Afilter.matches a.filter e in
+  match a.scope with
+  | Ast.Base -> Dn_index.scan_base_src t.dn_index a.base ~keep
+  | Ast.One -> Dn_index.scan_children_src t.dn_index a.base ~keep
+  | Ast.Sub -> (
+      match index_candidates t a.filter with
+      | None -> Dn_index.scan_subtree_src t.dn_index a.base ~keep
+      | Some candidates ->
+          let prefix = Dn.rev_key a.base in
+          let hits =
+            List.filter
+              (fun e ->
+                Entry.key_is_prefix ~prefix (Entry.key e)
+                && Afilter.matches a.filter e)
+              candidates
+            |> List.sort_uniq Entry.compare_rev
+          in
+          Pager.charge_scan_read t.pager (List.length candidates);
+          Ext_list.Source.of_array (Array.of_list hits))
 
 (* --- Query trees --------------------------------------------------------- *)
 
@@ -195,6 +227,60 @@ and naive_eref op agg l1 l2 attr =
   | None -> Naive.compute_eref op l1 l2 attr
   | Some _ -> Er.compute ?agg op l1 l2 attr
 
+(* The fused pipeline (Theorem 8.3): each operator consumes its
+   children's sources and produces one, so no operator-boundary write or
+   re-read is ever charged.  Children are evaluated left to right so
+   span order matches the materialized evaluator's. *)
+let rec eval_node_src t (q : Ast.t) =
+  Trace.with_span
+    ~detail:(span_detail q)
+    ~stats:(stats t) (span_label q)
+    (fun () ->
+      let out = eval_op_src t q in
+      Trace.set_rows (Ext_list.Source.length out);
+      out)
+
+and eval_op_src t (q : Ast.t) =
+  match q with
+  | Ast.Atomic a -> eval_atomic_src t a
+  | Ast.And (q1, q2) ->
+      let s1 = eval_node_src t q1 in
+      let s2 = eval_node_src t q2 in
+      Bool_ops.and_src t.pager s1 s2
+  | Ast.Or (q1, q2) ->
+      let s1 = eval_node_src t q1 in
+      let s2 = eval_node_src t q2 in
+      Bool_ops.or_src t.pager s1 s2
+  | Ast.Diff (q1, q2) ->
+      let s1 = eval_node_src t q1 in
+      let s2 = eval_node_src t q2 in
+      Bool_ops.diff_src t.pager s1 s2
+  | Ast.Hier (op, q1, q2, agg) ->
+      let s1 = eval_node_src t q1 in
+      let s2 = eval_node_src t q2 in
+      Hs_agg.compute_hier_src ~window:t.window ?agg t.pager op s1 s2
+  | Ast.Hier3 (op, q1, q2, q3, agg) ->
+      let s1 = eval_node_src t q1 in
+      let s2 = eval_node_src t q2 in
+      let s3 = eval_node_src t q3 in
+      Hs_agg.compute_hier3_src ~window:t.window ?agg t.pager op s1 s2 s3
+  | Ast.Gsel (q1, f) -> Simple_agg.compute_src t.pager f (eval_node_src t q1)
+  | Ast.Eref (op, q1, q2, attr, agg) ->
+      let s1 = eval_node_src t q1 in
+      let s2 = eval_node_src t q2 in
+      Er.compute_src ?agg t.pager op s1 s2 attr
+
+(* Run a whole tree under the given boundary mode.  The root result is
+   always materialized (exception (a) of Thm 8.3): it is what the caller
+   scans, pages through, or offers to the result cache.  The naive
+   algorithms have no streaming form — E9's crossover baseline keeps its
+   classic bill. *)
+let run_root t ~mode q =
+  match (mode, t.algorithms) with
+  | Streaming, Stack_based ->
+      Ext_list.Source.materialize t.pager (eval_node_src t q)
+  | (Materialized | Streaming), _ -> eval_node t q
+
 (* Top-level entry point: one "execute" span per query tree (with one
    child span per operator, when tracing is on) plus process-wide
    metrics, so cross-query aggregates survive after individual traces
@@ -271,7 +357,7 @@ let journal_event t q ~cache ~result_count ~reads ~writes ~wall_ns ~outcome
    lookup ([`Bypass] when there is none): a [`Miss] or [`Stale] result
    is offered back to the cache — admission decides — with the measured
    io as its cost and its dn-subtree footprint for invalidation. *)
-let eval_uncached t q ~probe =
+let eval_uncached t ~mode q ~probe =
   let s = stats t in
   let reads0 = s.Io_stats.page_reads and writes0 = s.Io_stats.page_writes in
   let t0 = Mclock.now_ns () in
@@ -283,7 +369,7 @@ let eval_uncached t q ~probe =
       let detail = if Trace.enabled () then query_detail q else "" in
       match
         Trace.with_span_out ~detail ~stats:s "execute" (fun () ->
-            let out = eval_node t q in
+            let out = run_root t ~mode q in
             Trace.set_rows (Ext_list.length out);
             out)
       with
@@ -341,20 +427,22 @@ let serve_hit t q ~fingerprint arr =
          ~wall_ns ~outcome:Qlog.Ok ());
   out
 
-let eval t q =
+let eval ?mode t q =
+  let mode = Option.value mode ~default:t.mode in
   match t.result_cache with
-  | None -> eval_uncached t q ~probe:`Bypass
+  | None -> eval_uncached t ~mode q ~probe:`Bypass
   | Some c -> (
       let fingerprint = Plan.fingerprint q in
       match Cache.find c ~fingerprint ~query:(Qprinter.to_string q) with
       | Cache.Hit arr -> serve_hit t q ~fingerprint arr
-      | Cache.Miss -> eval_uncached t q ~probe:`Miss
-      | Cache.Stale -> eval_uncached t q ~probe:`Stale)
+      | Cache.Miss -> eval_uncached t ~mode q ~probe:`Miss
+      | Cache.Stale -> eval_uncached t ~mode q ~probe:`Stale)
 
-let eval_entries t q = Ext_list.to_list (eval t q)
+let eval_entries ?mode t q = Ext_list.to_list (eval ?mode t q)
 
 (* Closure: wrap the result back into an instance over the same schema. *)
-let eval_instance t q = Instance.of_result t.instance (eval_entries t q)
+let eval_instance ?mode t q =
+  Instance.of_result t.instance (eval_entries ?mode t q)
 
 (* Paged results, RFC-2696 style: evaluate once, hand back fixed-size
    pages with an opaque cookie.  The cookie encodes the key of the last
@@ -365,9 +453,9 @@ type page = {
   cookie : string option;  (* None: no more pages *)
 }
 
-let eval_paged t ?(page_size = 100) ?cookie q =
+let eval_paged ?mode t ?(page_size = 100) ?cookie q =
   if page_size <= 0 then invalid_arg "Engine.eval_paged: page_size <= 0";
-  let result = eval t q in
+  let result = eval ?mode t q in
   let n = Ext_list.length result in
   (* first index strictly after the cookie key *)
   let start =
@@ -393,9 +481,9 @@ let eval_paged t ?(page_size = 100) ?cookie q =
   { entries; cookie }
 
 (* Parse-and-run convenience for the shell and examples. *)
-let eval_string t s =
+let eval_string ?mode t s =
   let q =
     Trace.with_span ~detail:s "parse" (fun () ->
         Qparser.of_string ~schema:(Instance.schema t.instance) s)
   in
-  (q, eval_entries t q)
+  (q, eval_entries ?mode t q)

@@ -9,6 +9,12 @@
 
 type algorithms = Stack_based | Naive_nested_loop
 
+(** How operator boundaries are handled (Theorem 8.3): [Materialized]
+    writes every intermediate result and re-reads it; [Streaming] fuses
+    the tree into one pipeline, materializing only the root result, sort
+    boundaries (Eref pair lists) and double-consumed operands. *)
+type mode = Materialized | Streaming
+
 type t
 
 val create :
@@ -19,14 +25,22 @@ val create :
   ?cache_pages:int ->
   ?result_cache:Cache.t ->
   ?stats:Io_stats.t ->
+  ?mode:mode ->
   Instance.t ->
   t
 (** Build an engine over an instance.  [block] is the blocking factor
     (default 64), [window] the per-operator stack window in pages
     (default 2), [with_attr_index] controls secondary-index-assisted
     atomic evaluation (default on), [result_cache] plugs in a semantic
-    query-result cache (default none — caching is opt-in).  Index
+    query-result cache (default none — caching is opt-in), [mode] the
+    default operator-boundary handling (default [Streaming]).  Index
     construction cost is not charged to the query counters. *)
+
+val mode : t -> mode
+(** The engine's default boundary mode. *)
+
+val set_mode : t -> mode -> unit
+(** Change the default boundary mode (the shell's [:mode] command). *)
 
 val stats : t -> Io_stats.t
 val pager : t -> Pager.t
@@ -46,8 +60,22 @@ val reset_stats : t -> unit
 val eval_atomic : t -> Ast.atomic -> Entry.t Ext_list.t
 (** One atomic query, answered from the indexes, sorted. *)
 
-val eval : t -> Ast.t -> Entry.t Ext_list.t
+val eval_atomic_src : t -> Ast.atomic -> Entry.t Ext_list.Source.src
+(** Streaming atomic evaluation: same index charges, the hits flow out
+    as a live source. *)
+
+val eval_node_src : t -> Ast.t -> Entry.t Ext_list.Source.src
+(** Evaluate a tree as one fused pipeline, returning the root's live
+    source unmaterialized (one traced span per operator, as with the
+    materialized evaluator).  Used by {!Explain.profile} and the
+    distributed coordinator; {!eval} materializes the root. *)
+
+val eval : ?mode:mode -> t -> Ast.t -> Entry.t Ext_list.t
 (** Evaluate a query tree; the result list is canonically sorted.
+    [mode] overrides the engine's default boundary handling for this
+    call; under [Streaming] the whole tree runs as one pipeline and only
+    the root result is written (naive algorithms always run
+    materialized).
     When the query journal ({!Qlog}) is enabled, every call records one
     journal event — query text, plan fingerprint, result count, I/O and
     wall time, per-operator rows from the span tree — and queries at or
@@ -66,12 +94,12 @@ val with_forced_tracing : bool -> (unit -> 'a) -> 'a
     when [journal] asks for it and tracing is off, restoring the
     previous state after.  Shared with the distributed coordinator. *)
 
-val eval_entries : t -> Ast.t -> Entry.t list
+val eval_entries : ?mode:mode -> t -> Ast.t -> Entry.t list
 
-val eval_instance : t -> Ast.t -> Instance.t
+val eval_instance : ?mode:mode -> t -> Ast.t -> Instance.t
 (** Wrap the result back into an instance (closure property). *)
 
-val eval_string : t -> string -> Ast.t * Entry.t list
+val eval_string : ?mode:mode -> t -> string -> Ast.t * Entry.t list
 (** Parse (schema-aware) and evaluate. *)
 
 (** RFC-2696-style paged results. *)
@@ -80,7 +108,7 @@ type page = {
   cookie : string option;  (** [None]: no more pages *)
 }
 
-val eval_paged : t -> ?page_size:int -> ?cookie:string -> Ast.t -> page
+val eval_paged : ?mode:mode -> t -> ?page_size:int -> ?cookie:string -> Ast.t -> page
 (** Deliver the result page by page: pass each page's [cookie] back to
     get the next one.  The cookie encodes the last delivered key, so
     paging is stable across re-evaluation.

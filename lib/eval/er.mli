@@ -31,3 +31,31 @@ val compute :
   Entry.t Ext_list.t ->
   string ->
   Entry.t Ext_list.t
+
+val compute_dv_src :
+  ?agg:Ast.agg_filter ->
+  Pager.t ->
+  Entry.t Ext_list.Source.src ->
+  Entry.t Ext_list.Source.src ->
+  string ->
+  Entry.t Ext_list.Source.src
+
+val compute_vd_src :
+  ?agg:Ast.agg_filter ->
+  Pager.t ->
+  Entry.t Ext_list.Source.src ->
+  Entry.t Ext_list.Source.src ->
+  string ->
+  Entry.t Ext_list.Source.src
+(** Streaming variants: the exploded pair lists and their sorts stay
+    materialized (sort boundaries), and [vd] forces a live L1 resident
+    because it is consumed twice; everything else pipelines. *)
+
+val compute_src :
+  ?agg:Ast.agg_filter ->
+  Pager.t ->
+  Ast.ref_op ->
+  Entry.t Ext_list.Source.src ->
+  Entry.t Ext_list.Source.src ->
+  string ->
+  Entry.t Ext_list.Source.src

@@ -31,3 +31,34 @@ val compute :
   Entry.t Ext_list.t ->
   string ->
   Entry.t Ext_list.t
+
+val compute_dv_src :
+  ?agg:Ast.agg_filter ->
+  ?partitions:int ->
+  Pager.t ->
+  Entry.t Ext_list.Source.src ->
+  Entry.t Ext_list.Source.src ->
+  string ->
+  Entry.t Ext_list.Source.src
+
+val compute_vd_src :
+  ?agg:Ast.agg_filter ->
+  ?partitions:int ->
+  Pager.t ->
+  Entry.t Ext_list.Source.src ->
+  Entry.t Ext_list.Source.src ->
+  string ->
+  Entry.t Ext_list.Source.src
+(** Streaming variants: the hash partitions and the re-order sort stay
+    materialized (repartitioning boundaries), and [vd] forces a live L1
+    resident (consumed twice); only the filter output pipelines. *)
+
+val compute_src :
+  ?agg:Ast.agg_filter ->
+  ?partitions:int ->
+  Pager.t ->
+  Ast.ref_op ->
+  Entry.t Ext_list.Source.src ->
+  Entry.t Ext_list.Source.src ->
+  string ->
+  Entry.t Ext_list.Source.src

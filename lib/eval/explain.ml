@@ -15,6 +15,9 @@ type node = Plan.node = {
   detail : string;
   est_rows : int;
   est_io : int;
+  est_reads : int;
+  est_writes : int;
+  est_writes_saved : int;
   actual_rows : int option;
   actual_io : int option;
   actual_ns : int option;
@@ -30,8 +33,11 @@ let fingerprint = Plan.fingerprint
 (* --- Profiled execution ---------------------------------------------------- *)
 
 (* Evaluate bottom-up, attributing the I/O and wall-clock time of each
-   operator (excluding its children) to its plan node. *)
-let profile engine q =
+   operator (excluding its children) to its plan node.  [mode] picks the
+   operator-boundary handling; the default follows the engine. *)
+let profile ?mode engine q =
+  let mode = Option.value mode ~default:(Engine.mode engine) in
+  let pager = Engine.pager engine in
   let stats = Engine.stats engine in
   (* measure [f], annotating [est] with actual rows / io / ns *)
   let measured est children f =
@@ -43,6 +49,21 @@ let profile engine q =
       {
         est with
         actual_rows = Some (Ext_list.length out);
+        actual_io = Some (Io_stats.total_io stats - before);
+        actual_ns = Some ns;
+        children;
+      } )
+  in
+  (* as [measured], for a streaming operator producing a source *)
+  let measured_src est children f =
+    let before = Io_stats.total_io stats in
+    let t0 = Mclock.now_ns () in
+    let out = f () in
+    let ns = Mclock.now_ns () - t0 in
+    ( out,
+      {
+        est with
+        actual_rows = Some (Ext_list.Source.length out);
         actual_io = Some (Io_stats.total_io stats - before);
         actual_ns = Some ns;
         children;
@@ -74,9 +95,58 @@ let profile engine q =
     let l2, n2 = go q2 e2 in
     measured est [ n1; n2 ] (fun () -> f l1 l2)
   in
+  (* The same recursion over the fused pipeline: operators consume and
+     produce sources, so no boundary write appears in any node's io. *)
+  let rec go_src (q : Ast.t) (est : node) =
+    match (q, est.children) with
+    | Ast.Atomic a, _ ->
+        measured_src est est.children (fun () -> Engine.eval_atomic_src engine a)
+    | Ast.And (q1, q2), [ e1; e2 ] ->
+        binop_src (Bool_ops.and_src pager) q1 q2 e1 e2 est
+    | Ast.Or (q1, q2), [ e1; e2 ] ->
+        binop_src (Bool_ops.or_src pager) q1 q2 e1 e2 est
+    | Ast.Diff (q1, q2), [ e1; e2 ] ->
+        binop_src (Bool_ops.diff_src pager) q1 q2 e1 e2 est
+    | Ast.Hier (op, q1, q2, agg), [ e1; e2 ] ->
+        binop_src
+          (fun s1 s2 -> Hs_agg.compute_hier_src ?agg pager op s1 s2)
+          q1 q2 e1 e2 est
+    | Ast.Hier3 (op, q1, q2, q3, agg), [ e1; e2; e3 ] ->
+        let s1, n1 = go_src q1 e1 in
+        let s2, n2 = go_src q2 e2 in
+        let s3, n3 = go_src q3 e3 in
+        measured_src est [ n1; n2; n3 ] (fun () ->
+            Hs_agg.compute_hier3_src ?agg pager op s1 s2 s3)
+    | Ast.Gsel (q1, f), [ e1 ] ->
+        let s1, n1 = go_src q1 e1 in
+        measured_src est [ n1 ] (fun () -> Simple_agg.compute_src pager f s1)
+    | Ast.Eref (op, q1, q2, attr, agg), [ e1; e2 ] ->
+        binop_src
+          (fun s1 s2 -> Er.compute_src ?agg pager op s1 s2 attr)
+          q1 q2 e1 e2 est
+    | _ -> assert false
+  and binop_src f q1 q2 e1 e2 est =
+    let s1, n1 = go_src q1 e1 in
+    let s2, n2 = go_src q2 e2 in
+    measured_src est [ n1; n2 ] (fun () -> f s1 s2)
+  in
   let est = Trace.with_span ~stats "plan" (fun () -> estimate engine q) in
   let result, annotated =
-    Trace.with_span ~stats "profile" (fun () -> go q est)
+    Trace.with_span ~stats "profile" (fun () ->
+        match mode with
+        | Engine.Materialized -> go q est
+        | Engine.Streaming ->
+            let src, n = go_src q est in
+            (* The root result is materialized in every mode; bill its
+               write to the root operator, as eval does. *)
+            let before = Io_stats.total_io stats in
+            let out = Ext_list.Source.materialize pager src in
+            let extra = Io_stats.total_io stats - before in
+            ( out,
+              {
+                n with
+                actual_io = Option.map (fun io -> io + extra) n.actual_io;
+              } ))
   in
   (result, annotated)
 
@@ -86,3 +156,4 @@ let pp_node = Plan.pp_node
 let pp = Plan.pp
 let total_actual_io = Plan.total_actual_io
 let total_actual_ns = Plan.total_actual_ns
+let total_est_writes_saved = Plan.total_est_writes_saved

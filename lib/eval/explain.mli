@@ -12,7 +12,11 @@ type node = Plan.node = {
   label : string;
   detail : string;
   est_rows : int;
-  est_io : int;
+  est_io : int;  (** = [est_reads + est_writes] *)
+  est_reads : int;
+  est_writes : int;
+  est_writes_saved : int;
+      (** writes a streaming pipeline avoids at this node *)
   actual_rows : int option;
   actual_io : int option;
   actual_ns : int option;  (** wall-clock nanoseconds, excluding children *)
@@ -27,9 +31,12 @@ val fingerprint : Ast.t -> string
     the operator tree with literal constants elided — the key the query
     journal groups events by. *)
 
-val profile : Engine.t -> Ast.t -> Entry.t Ext_list.t * node
+val profile : ?mode:Engine.mode -> Engine.t -> Ast.t -> Entry.t Ext_list.t * node
 (** Execute the query, attributing actual rows, I/O and wall-clock time
     to each operator (children's costs excluded from their parents).
+    [mode] picks the boundary handling (default: the engine's); under
+    [Streaming] the measured io per node shows the writes the pipeline
+    avoided, and the root's write is billed to the root operator.
     When tracing is on, also records "plan" and "profile" spans. *)
 
 val pp_node : Format.formatter -> node -> unit
@@ -40,3 +47,6 @@ val total_actual_io : node -> int
 
 val total_actual_ns : node -> int
 (** Sum of the per-operator wall-clock time over the whole plan. *)
+
+val total_est_writes_saved : node -> int
+(** Sum of [est_writes_saved] over the whole plan. *)

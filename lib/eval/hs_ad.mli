@@ -16,3 +16,26 @@ val compute :
   Entry.t Ext_list.t ->
   Entry.t Ext_list.t ->
   Entry.t Ext_list.t
+
+val ancestors_src :
+  ?window:int ->
+  Pager.t ->
+  Entry.t Ext_list.Source.src ->
+  Entry.t Ext_list.Source.src ->
+  Entry.t Ext_list.Source.src
+
+val descendants_src :
+  ?window:int ->
+  Pager.t ->
+  Entry.t Ext_list.Source.src ->
+  Entry.t Ext_list.Source.src ->
+  Entry.t Ext_list.Source.src
+
+val compute_src :
+  ?window:int ->
+  Pager.t ->
+  [ `A | `D ] ->
+  Entry.t Ext_list.Source.src ->
+  Entry.t Ext_list.Source.src ->
+  Entry.t Ext_list.Source.src
+(** Streaming variants over {!Ext_list.Source} streams. *)

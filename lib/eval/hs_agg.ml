@@ -83,6 +83,26 @@ let agg_attr_value tracked direction globals (a : Hs_stack.annot) = function
       entry_agg_value tracked (states_of direction a) a.a_entry ea
   | Ast.A_entry_set esa -> List.assoc esa globals
 
+(* Does the filter mention entry-set aggregates?  If so phase 2 needs
+   two passes over the annotations, which therefore must exist as a
+   resident list even under streaming (the aggregate second-scan
+   exception of Thm 8.3). *)
+let has_entry_set_aggs (f : Ast.agg_filter) =
+  List.exists
+    (function
+      | Ast.A_entry_set _ -> true | Ast.A_const _ | Ast.A_entry _ -> false)
+    [ f.Ast.lhs; f.Ast.rhs ]
+
+(* The filter-and-emit pass, pure of I/O charges: the callers decide
+   how the annotation scan and the survivor output are accounted. *)
+let survivors tracked direction f globals annots emit =
+  Array.iter
+    (fun (a : Hs_stack.annot) ->
+      let v attr = agg_attr_value tracked direction globals a attr in
+      if Agg.cmp_holds_opt f.Ast.op (v f.Ast.lhs) (v f.Ast.rhs) then
+        emit a.a_entry)
+    annots
+
 (* --- Entry points ------------------------------------------------------ *)
 
 let finish tracked direction agg annots pager =
@@ -91,13 +111,29 @@ let finish tracked direction agg annots pager =
   (* Final pass: read the annotated list once, write survivors. *)
   Pager.charge_scan_read pager (Array.length annots);
   let w = Ext_list.Writer.make pager in
-  Array.iter
-    (fun (a : Hs_stack.annot) ->
-      let v attr = agg_attr_value tracked direction globals a attr in
-      if Agg.cmp_holds_opt f.Ast.op (v f.Ast.lhs) (v f.Ast.rhs) then
-        Ext_list.Writer.push w a.a_entry)
-    annots;
+  survivors tracked direction f globals annots (Ext_list.Writer.push w);
   Ext_list.Writer.close w
+
+(* Streaming phase 2: when the filter has no entry-set aggregates the
+   annotation stream flows straight into the filter — no annotated copy
+   is ever written or re-read; survivors flow on as a live source.
+   With entry-set aggregates the annotations are consumed twice, so the
+   annotated copy is materialized (one write) and both passes charge
+   their scan reads, exactly like the materialized operator. *)
+let finish_src tracked direction agg annots pager =
+  let f = Option.value ~default:Ast.has_witness agg in
+  let globals =
+    if has_entry_set_aggs f then begin
+      Pager.charge_scan_write pager (Array.length annots);
+      let globals = collect_globals tracked direction f annots pager in
+      Pager.charge_scan_read pager (Array.length annots);
+      globals
+    end
+    else []
+  in
+  let out = ref [] in
+  survivors tracked direction f globals annots (fun e -> out := e :: !out);
+  Ext_list.Source.of_array (Array.of_list (List.rev !out))
 
 let tracked_for agg =
   let f = Option.value ~default:Ast.has_witness agg in
@@ -114,3 +150,19 @@ let compute_hier3 ?window ?agg op l1 l2 l3 =
   let tracked = tracked_for agg in
   let annots = Hs_stack.sweep Hs_stack.Adc ?window ~tracked l1 l2 (Some l3) in
   finish tracked (direction_of_hier3 op) agg annots (Ext_list.pager l1)
+
+(* Streaming variants: sweep the input sources, pipeline the
+   annotations into phase 2. *)
+let compute_hier_src ?window ?agg pager op s1 s2 =
+  let tracked = tracked_for agg in
+  let annots =
+    Hs_stack.sweep_src (mode_of_hier op) ?window ~tracked ~pager s1 s2 None
+  in
+  finish_src tracked (direction_of_hier op) agg annots pager
+
+let compute_hier3_src ?window ?agg pager op s1 s2 s3 =
+  let tracked = tracked_for agg in
+  let annots =
+    Hs_stack.sweep_src Hs_stack.Adc ?window ~tracked ~pager s1 s2 (Some s3)
+  in
+  finish_src tracked (direction_of_hier3 op) agg annots pager

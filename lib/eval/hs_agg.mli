@@ -41,3 +41,38 @@ val compute_hier3 :
   Entry.t Ext_list.t ->
   Entry.t Ext_list.t
 (** [(op L1 L2 L3 [agg])] for op in [{ac, dc}]. *)
+
+val has_entry_set_aggs : Ast.agg_filter -> bool
+(** Does the filter mention entry-set aggregates (forcing the annotated
+    list to be materialized and scanned twice, even under streaming)? *)
+
+val finish_src :
+  Ast.entry_agg array ->
+  direction ->
+  Ast.agg_filter option ->
+  Hs_stack.annot array ->
+  Pager.t ->
+  Entry.t Ext_list.Source.src
+(** Streaming phase 2: without entry-set aggregates the annotations
+    pipeline straight into the filter (no annotated copy written or
+    re-read); with them the copy is materialized and both passes are
+    charged, like the materialized operator. *)
+
+val compute_hier_src :
+  ?window:int ->
+  ?agg:Ast.agg_filter ->
+  Pager.t ->
+  Ast.hier_op ->
+  Entry.t Ext_list.Source.src ->
+  Entry.t Ext_list.Source.src ->
+  Entry.t Ext_list.Source.src
+
+val compute_hier3_src :
+  ?window:int ->
+  ?agg:Ast.agg_filter ->
+  Pager.t ->
+  Ast.hier_op3 ->
+  Entry.t Ext_list.Source.src ->
+  Entry.t Ext_list.Source.src ->
+  Entry.t Ext_list.Source.src ->
+  Entry.t Ext_list.Source.src

@@ -94,15 +94,14 @@ let copy_states = Array.copy
 
 (* --- Merged input stream ----------------------------------------------- *)
 
-(* Stream the union of up to three sorted lists in key order, coalescing
-   entries present in several lists into one labelled frame. *)
-let make_merge tracked l1 l2 l3 =
-  let c1 = Ext_list.Cursor.make l1
-  and c2 = Ext_list.Cursor.make l2
-  and c3 = Option.map Ext_list.Cursor.make l3 in
+(* Stream the union of up to three sorted sources in key order,
+   coalescing entries present in several inputs into one labelled
+   frame.  Each input charges whatever its pulls charge: scan reads for
+   a resident list, nothing for live operator output. *)
+let make_merge tracked c1 c2 c3 =
   let ordinal = ref (-1) in
   fun () ->
-    let k cur = Option.map Entry.key (Ext_list.Cursor.peek cur) in
+    let k cur = Option.map Entry.key (Ext_list.Source.peek cur) in
     let min_key =
       List.filter_map Fun.id
         [ k c1; k c2; Option.bind c3 (fun c -> k c) ]
@@ -114,9 +113,9 @@ let make_merge tracked l1 l2 l3 =
     | None -> None
     | Some key ->
         let take cur =
-          match Ext_list.Cursor.peek cur with
+          match Ext_list.Source.peek cur with
           | Some e when String.equal (Entry.key e) key ->
-              Ext_list.Cursor.advance cur;
+              Ext_list.Source.advance cur;
               Some e
           | Some _ | None -> None
         in
@@ -142,15 +141,16 @@ let make_merge tracked l1 l2 l3 =
 
 (* --- Phase 1: the stack sweep ------------------------------------------ *)
 
-(* Run the sweep and return the annotated L1 entries, in L1 order.
-   Charges: input scans (cursors), stack spill I/O, plus one sequential
-   write of the annotated L1 copy. *)
-let sweep mode ?(window = 2) ~tracked l1 l2 l3 =
-  let pager = Ext_list.pager l1 in
-  let n1 = Ext_list.length l1 in
+(* Run the sweep over sources and return the annotated L1 entries, in
+   L1 order.  Charges: input pulls and stack spill I/O only — whether
+   the annotation stream is ever written to disk is the caller's
+   decision (the streaming phase 2 pipelines it; the materialized one
+   writes the annotated L1 copy). *)
+let sweep_src mode ?(window = 2) ~tracked ~pager s1 s2 s3 =
+  let n1 = Ext_list.Source.length s1 in
   let annots = Array.make n1 None in
   let stack = Spill_stack.create ~window_pages:window pager in
-  let next = make_merge tracked l1 l2 l3 in
+  let next = make_merge tracked s1 s2 s3 in
   let finalize rt =
     if rt.in_l1 then
       annots.(rt.ordinal) <-
@@ -222,10 +222,21 @@ let sweep mode ?(window = 2) ~tracked l1 l2 l3 =
   in
   feed (next ());
   Spill_stack.release stack;
-  (* The annotated L1 copy is written once, sequentially. *)
-  Pager.charge_scan_write pager n1;
   Array.map
     (function
       | Some a -> a
       | None -> assert false  (* every L1 entry is pushed and popped *))
     annots
+
+(* The classic materialized phase 1: sweep resident lists and write the
+   annotated L1 copy once, sequentially (|L1|/B page writes on top of
+   the input scans and spill I/O). *)
+let sweep mode ?window ~tracked l1 l2 l3 =
+  let pager = Ext_list.pager l1 in
+  let annots =
+    sweep_src mode ?window ~tracked ~pager (Ext_list.Source.of_list l1)
+      (Ext_list.Source.of_list l2)
+      (Option.map Ext_list.Source.of_list l3)
+  in
+  Pager.charge_scan_write pager (Array.length annots);
+  annots

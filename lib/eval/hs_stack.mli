@@ -56,3 +56,16 @@ val sweep :
 (** Phase 1 of the ComputeHS* algorithms: one merged scan, a
     [Spill_stack] of [window] pages, and one sequential write of the
     annotated L1 copy; returns the annotations in L1 order. *)
+
+val sweep_src :
+  mode ->
+  ?window:int ->
+  tracked:Ast.entry_agg array ->
+  pager:Pager.t ->
+  Entry.t Ext_list.Source.src ->
+  Entry.t Ext_list.Source.src ->
+  Entry.t Ext_list.Source.src option ->
+  annot array
+(** The same sweep over sources, charging only the input pulls and the
+    stack's spill I/O: whether the annotation stream is written to disk
+    is left to the caller (the streaming phase 2 pipelines it). *)

@@ -13,12 +13,33 @@ type node = {
   label : string;  (* operator name *)
   detail : string;  (* filter / aggregate text *)
   est_rows : int;
-  est_io : int;
+  est_io : int;  (* = est_reads + est_writes *)
+  est_reads : int;
+  est_writes : int;
+  est_writes_saved : int;  (* writes a streaming pipeline avoids *)
   actual_rows : int option;
   actual_io : int option;
   actual_ns : int option;  (* wall-clock, excluding children *)
   children : node list;
 }
+
+(* Assemble a node from the read/write decomposition; [est_io] stays the
+   sum so existing consumers keep one number. *)
+let mk ~label ~detail ~est_rows ~est_reads ~est_writes ~est_writes_saved
+    children =
+  {
+    label;
+    detail;
+    est_rows;
+    est_io = est_reads + est_writes;
+    est_reads;
+    est_writes;
+    est_writes_saved = max 0 est_writes_saved;
+    actual_rows = None;
+    actual_io = None;
+    actual_ns = None;
+    children;
+  }
 
 (* --- Cardinality estimation ---------------------------------------------- *)
 
@@ -48,20 +69,17 @@ let rec estimate_node ~pager ~instance (q : Ast.t) =
           (int_of_float
              (float_of_int scope_size *. filter_selectivity a.Ast.filter))
       in
-      {
-        label = "atomic";
-        detail =
-          Printf.sprintf "%s ? %s ? %s"
-            (Dn.to_string a.Ast.base)
-            (Ast.scope_to_string a.Ast.scope)
-            (Afilter.to_string a.Ast.filter);
-        est_rows;
-        est_io = 1 + pages pager scope_size + pages pager est_rows;
-        actual_rows = None;
-        actual_io = None;
-        actual_ns = None;
-        children = [];
-      }
+      (* descent + range scan; streaming skips the output write *)
+      mk ~label:"atomic"
+        ~detail:
+          (Printf.sprintf "%s ? %s ? %s"
+             (Dn.to_string a.Ast.base)
+             (Ast.scope_to_string a.Ast.scope)
+             (Afilter.to_string a.Ast.filter))
+        ~est_rows
+        ~est_reads:(1 + pages pager scope_size)
+        ~est_writes:(pages pager est_rows)
+        ~est_writes_saved:(pages pager est_rows) []
   | Ast.And (q1, q2) ->
       binary ~pager ~instance "&" q1 q2 (fun n1 n2 -> min n1 n2 / 2)
   | Ast.Or (q1, q2) -> binary ~pager ~instance "|" q1 q2 (fun n1 n2 -> n1 + n2)
@@ -70,52 +88,48 @@ let rec estimate_node ~pager ~instance (q : Ast.t) =
       let c1 = estimate_node ~pager ~instance q1
       and c2 = estimate_node ~pager ~instance q2 in
       let est_rows = c1.est_rows / 2 in
-      {
-        label = Qprinter.hier_op_to_string op;
-        detail = agg_detail agg;
-        est_rows;
-        (* merged scan + annotated copy + annotation scans + output *)
-        est_io =
-          (2 * pages pager c1.est_rows)
-          + pages pager c2.est_rows
-          + pages pager c1.est_rows + pages pager est_rows;
-        actual_rows = None;
-        actual_io = None;
-        actual_ns = None;
-        children = [ c1; c2 ];
-      }
+      let p1 = pages pager c1.est_rows in
+      (* merged scan + annotation rescan (reads); annotated copy + output
+         (writes).  A pipeline skips both writes, unless the aggregate
+         filter needs entry sets, which keeps the annotated copy. *)
+      mk
+        ~label:(Qprinter.hier_op_to_string op)
+        ~detail:(agg_detail agg) ~est_rows
+        ~est_reads:((2 * p1) + pages pager c2.est_rows)
+        ~est_writes:(p1 + pages pager est_rows)
+        ~est_writes_saved:
+          (pages pager est_rows + (if hier_keeps_annots agg then 0 else p1))
+        [ c1; c2 ]
   | Ast.Hier3 (op, q1, q2, q3, agg) ->
       let c1 = estimate_node ~pager ~instance q1
       and c2 = estimate_node ~pager ~instance q2
       and c3 = estimate_node ~pager ~instance q3 in
       let est_rows = c1.est_rows / 2 in
-      {
-        label = Qprinter.hier_op3_to_string op;
-        detail = agg_detail agg;
-        est_rows;
-        est_io =
-          (3 * pages pager c1.est_rows)
-          + pages pager c2.est_rows + pages pager c3.est_rows
-          + pages pager est_rows;
-        actual_rows = None;
-        actual_io = None;
-        actual_ns = None;
-        children = [ c1; c2; c3 ];
-      }
+      let p1 = pages pager c1.est_rows in
+      mk
+        ~label:(Qprinter.hier_op3_to_string op)
+        ~detail:(agg_detail agg) ~est_rows
+        ~est_reads:
+          ((2 * p1) + pages pager c2.est_rows + pages pager c3.est_rows)
+        ~est_writes:(p1 + pages pager est_rows)
+        ~est_writes_saved:
+          (pages pager est_rows + (if hier_keeps_annots agg then 0 else p1))
+        [ c1; c2; c3 ]
   | Ast.Gsel (q1, f) ->
       let c1 = estimate_node ~pager ~instance q1 in
       let scans = if Simple_agg.needs_global f then 2 else 1 in
       let est_rows = c1.est_rows / 2 in
-      {
-        label = "g";
-        detail = Qprinter.agg_filter_to_string f;
-        est_rows;
-        est_io = (scans * pages pager c1.est_rows) + pages pager est_rows;
-        actual_rows = None;
-        actual_io = None;
-        actual_ns = None;
-        children = [ c1 ];
-      }
+      (* A global aggregate consumes its input twice, so a pipeline must
+         force a live input resident — charging back one write. *)
+      mk ~label:"g"
+        ~detail:(Qprinter.agg_filter_to_string f)
+        ~est_rows
+        ~est_reads:(scans * pages pager c1.est_rows)
+        ~est_writes:(pages pager est_rows)
+        ~est_writes_saved:
+          (pages pager est_rows
+          - (if scans > 1 then pages pager c1.est_rows else 0))
+        [ c1 ]
   | Ast.Eref (op, q1, q2, attr, agg) ->
       let c1 = estimate_node ~pager ~instance q1
       and c2 = estimate_node ~pager ~instance q2 in
@@ -124,47 +138,51 @@ let rec estimate_node ~pager ~instance (q : Ast.t) =
       let p = max 1 (pages pager (source * m)) in
       let rec log2 n = if n <= 1 then 1 else 1 + log2 (n / 2) in
       let est_rows = c1.est_rows / 2 in
-      {
-        label = Qprinter.ref_op_to_string op;
-        detail =
-          attr
+      (* The pair list and its sort are boundaries either way; [vd]
+         consumes $1 twice, so streaming forces it resident. *)
+      mk
+        ~label:(Qprinter.ref_op_to_string op)
+        ~detail:
+          (attr
           ^ (match agg with
             | None -> ""
-            | Some f -> " " ^ Qprinter.agg_filter_to_string f);
-        est_rows;
-        est_io =
-          (2 * p * log2 p)
-          + pages pager c1.est_rows + pages pager c2.est_rows
-          + pages pager est_rows;
-        actual_rows = None;
-        actual_io = None;
-        actual_ns = None;
-        children = [ c1; c2 ];
-      }
+            | Some f -> " " ^ Qprinter.agg_filter_to_string f))
+        ~est_rows
+        ~est_reads:
+          ((p * log2 p) + pages pager c1.est_rows + pages pager c2.est_rows)
+        ~est_writes:((p * log2 p) + pages pager est_rows)
+        ~est_writes_saved:
+          (pages pager est_rows
+          - (match op with Ast.Vd -> pages pager c1.est_rows | Ast.Dv -> 0))
+        [ c1; c2 ]
 
 and binary ~pager ~instance label q1 q2 rows =
   let c1 = estimate_node ~pager ~instance q1
   and c2 = estimate_node ~pager ~instance q2 in
   let est_rows = rows c1.est_rows c2.est_rows in
-  {
-    label;
-    detail = "";
-    est_rows;
-    est_io =
-      Pager.pages_of pager c1.est_rows
-      + Pager.pages_of pager c2.est_rows
-      + Pager.pages_of pager est_rows;
-    actual_rows = None;
-    actual_io = None;
-    actual_ns = None;
-    children = [ c1; c2 ];
-  }
+  mk ~label ~detail:"" ~est_rows
+    ~est_reads:
+      (Pager.pages_of pager c1.est_rows + Pager.pages_of pager c2.est_rows)
+    ~est_writes:(Pager.pages_of pager est_rows)
+    ~est_writes_saved:(Pager.pages_of pager est_rows)
+    [ c1; c2 ]
 
 and agg_detail = function
   | None -> "count($2) > 0"
   | Some f -> Qprinter.agg_filter_to_string f
 
-let estimate ~pager ~instance q = estimate_node ~pager ~instance q
+(* Does the hierarchical operator's finish phase keep a materialized
+   annotated copy even when streaming?  Only when the filter aggregates
+   over entry sets (the copy is rescanned to collect global values). *)
+and hier_keeps_annots agg =
+  Hs_agg.has_entry_set_aggs (Option.value ~default:Ast.has_witness agg)
+
+(* The root's result is materialized in every mode (it is what the
+   caller scans), so its own output write is never saved. *)
+let estimate ~pager ~instance q =
+  let n = estimate_node ~pager ~instance q in
+  let root_out = pages pager n.est_rows in
+  { n with est_writes_saved = max 0 (n.est_writes_saved - root_out) }
 
 (* --- Normalized plan fingerprint -------------------------------------------- *)
 
@@ -230,10 +248,13 @@ let fingerprint q = Printf.sprintf "%016Lx" (fnv64 (shape q))
 let rec pp_node ppf (n : node) =
   let opt = function None -> "-" | Some v -> string_of_int v in
   let time = function None -> "-" | Some ns -> Mclock.ns_to_string ns in
-  Fmt.pf ppf "@[<v2>%s%s  [rows est=%d got=%s | io est=%d got=%s | t=%s]%a@]"
+  Fmt.pf ppf
+    "@[<v2>%s%s  [rows est=%d got=%s | io est=%d (%dr+%dw, saves %dw) \
+     got=%s | t=%s]%a@]"
     n.label
     (if n.detail = "" then "" else " " ^ n.detail)
-    n.est_rows (opt n.actual_rows) n.est_io (opt n.actual_io)
+    n.est_rows (opt n.actual_rows) n.est_io n.est_reads n.est_writes
+    n.est_writes_saved (opt n.actual_io)
     (time n.actual_ns)
     (fun ppf children ->
       List.iter (fun c -> Fmt.pf ppf "@,%a" pp_node c) children)
@@ -254,5 +275,11 @@ let total_actual_ns n =
   let rec sum n =
     Option.value ~default:0 n.actual_ns
     + List.fold_left (fun a c -> a + sum c) 0 n.children
+  in
+  sum n
+
+let total_est_writes_saved n =
+  let rec sum n =
+    n.est_writes_saved + List.fold_left (fun a c -> a + sum c) 0 n.children
   in
   sum n

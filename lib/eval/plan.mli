@@ -12,7 +12,12 @@ type node = {
   label : string;
   detail : string;
   est_rows : int;
-  est_io : int;
+  est_io : int;  (** = [est_reads + est_writes] *)
+  est_reads : int;
+  est_writes : int;
+  est_writes_saved : int;
+      (** writes a streaming pipeline avoids at this node (Theorem 8.3);
+          0 at materialized boundaries and for the root's own output *)
   actual_rows : int option;
   actual_io : int option;
   actual_ns : int option;  (** wall-clock nanoseconds, excluding children *)
@@ -39,3 +44,7 @@ val total_actual_io : node -> int
 
 val total_actual_ns : node -> int
 (** Sum of the per-operator wall-clock time over the whole plan. *)
+
+val total_est_writes_saved : node -> int
+(** Sum of {!node.est_writes_saved} over the whole plan: the page
+    writes a streaming evaluation is predicted to avoid. *)

@@ -48,13 +48,28 @@ let collect_globals (f : Ast.agg_filter) l1 =
     l1;
   List.map (fun (esa, st) -> (esa, Agg.result !st)) states
 
+let keep (f : Ast.agg_filter) globals e =
+  let v attr = entry_value e attr globals in
+  Agg.cmp_holds_opt f.Ast.op (v f.Ast.lhs) (v f.Ast.rhs)
+
 let compute (f : Ast.agg_filter) l1 =
   let globals = if needs_global f then collect_globals f l1 else [] in
   let w = Ext_list.Writer.make (Ext_list.pager l1) in
-  Ext_list.iter
-    (fun e ->
-      let v attr = entry_value e attr globals in
-      if Agg.cmp_holds_opt f.Ast.op (v f.Ast.lhs) (v f.Ast.rhs) then
-        Ext_list.Writer.push w e)
-    l1;
+  Ext_list.iter (fun e -> if keep f globals e then Ext_list.Writer.push w e) l1;
   Ext_list.Writer.close w
+
+(* Streaming variant.  Without entry-set aggregates this is a pure
+   filter on the stream: one pass, no extra I/O.  With them the input
+   is consumed twice (Theorem 6.1's two scans), so a live input is
+   forced to a resident list first — the double-consumption exception —
+   and both scans charge their reads; survivors still flow on live. *)
+let compute_src pager (f : Ast.agg_filter) s1 =
+  let out = ref [] in
+  let emit e = out := e :: !out in
+  if needs_global f then begin
+    let l1 = Ext_list.Source.force pager s1 in
+    let globals = collect_globals f l1 in
+    Ext_list.iter (fun e -> if keep f globals e then emit e) l1
+  end
+  else Ext_list.Source.iter (fun e -> if keep f [] e then emit e) s1;
+  Ext_list.Source.of_array (Array.of_list (List.rev !out))

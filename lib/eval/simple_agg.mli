@@ -9,3 +9,12 @@ val needs_global : Ast.agg_filter -> bool
     scan)? *)
 
 val compute : Ast.agg_filter -> Entry.t Ext_list.t -> Entry.t Ext_list.t
+
+val compute_src :
+  Pager.t ->
+  Ast.agg_filter ->
+  Entry.t Ext_list.Source.src ->
+  Entry.t Ext_list.Source.src
+(** Streaming variant: a pure one-pass filter on the stream unless the
+    filter has entry-set aggregates, in which case the input is forced
+    resident (double consumption) and both scans are charged. *)

@@ -78,10 +78,11 @@ let subtree_range t base =
   done;
   (lo, !hi)
 
-(* Scan a subtree, keeping entries that satisfy [keep]; charges the
-   descent plus a sequential read of the touched range, and writes the
-   output through an [Ext_list.Writer]. *)
-let scan_subtree ?(keep = fun _ -> true) t base =
+(* Scan a subtree as a stream: charges the descent plus a sequential
+   read of the touched range; the kept entries flow out as a live
+   source, ready to pipeline into an operator without ever being
+   written. *)
+let scan_subtree_src ?(keep = fun _ -> true) t base =
   charge_descent t;
   let lo, hi = subtree_range t base in
   if hi > lo then begin
@@ -90,24 +91,37 @@ let scan_subtree ?(keep = fun _ -> true) t base =
       read_page t page
     done
   end;
-  let w = Ext_list.Writer.make t.pager in
+  let out = ref [] in
   for i = lo to hi - 1 do
-    if keep t.entries.(i) then Ext_list.Writer.push w t.entries.(i)
+    if keep t.entries.(i) then out := t.entries.(i) :: !out
   done;
-  Ext_list.Writer.close w
+  Ext_list.Source.of_array (Array.of_list (List.rev !out))
 
-let scan_children ?(keep = fun _ -> true) t base =
+let scan_children_src ?(keep = fun _ -> true) t base =
   let d = Dn.depth base + 1 in
-  scan_subtree t base ~keep:(fun e ->
+  scan_subtree_src t base ~keep:(fun e ->
       let depth = Dn.depth (Entry.dn e) in
       (depth = d || depth = Dn.depth base) && keep e)
 
-let scan_base ?(keep = fun _ -> true) t base =
+let scan_base_src ?(keep = fun _ -> true) t base =
   charge_descent t;
   let key = Dn.rev_key base in
   let i = lower_bound t key in
-  let w = Ext_list.Writer.make t.pager in
-  (if i < Array.length t.entries then
-     let e = t.entries.(i) in
-     if String.equal (Entry.key e) key && keep e then Ext_list.Writer.push w e);
-  Ext_list.Writer.close w
+  let out =
+    if i < Array.length t.entries then
+      let e = t.entries.(i) in
+      if String.equal (Entry.key e) key && keep e then [| e |] else [||]
+    else [||]
+  in
+  Ext_list.Source.of_array out
+
+(* Materialized scans: the same ranges, with the output written through
+   a page-buffered writer. *)
+let scan_subtree ?keep t base =
+  Ext_list.Source.materialize t.pager (scan_subtree_src ?keep t base)
+
+let scan_children ?keep t base =
+  Ext_list.Source.materialize t.pager (scan_children_src ?keep t base)
+
+let scan_base ?keep t base =
+  Ext_list.Source.materialize t.pager (scan_base_src ?keep t base)

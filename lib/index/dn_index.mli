@@ -30,3 +30,15 @@ val scan_children : ?keep:(Entry.t -> bool) -> t -> Dn.t -> Entry.t Ext_list.t
 
 val scan_base : ?keep:(Entry.t -> bool) -> t -> Dn.t -> Entry.t Ext_list.t
 (** The [base] scope. *)
+
+val scan_subtree_src :
+  ?keep:(Entry.t -> bool) -> t -> Dn.t -> Entry.t Ext_list.Source.src
+(** Streaming [sub] scope: same descent and range-read charges, but the
+    kept entries flow out as a live source instead of being written —
+    the leaf of a pipelined plan (Section 8.2). *)
+
+val scan_children_src :
+  ?keep:(Entry.t -> bool) -> t -> Dn.t -> Entry.t Ext_list.Source.src
+
+val scan_base_src :
+  ?keep:(Entry.t -> bool) -> t -> Dn.t -> Entry.t Ext_list.Source.src

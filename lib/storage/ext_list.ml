@@ -105,6 +105,94 @@ module Writer = struct
   let count w = !(w.total)
 end
 
+(* A pull-based sorted record stream: the streaming executor's edge
+   type, unifying "cursor over a resident list" and "live operator
+   output".
+
+   A [List] source is an accounted cursor: pulls fault pages in and
+   charge reads exactly like a scan of the backing list.  A [Buf]
+   source is live operator output flowing through the pipeline: pulls
+   charge nothing, because in the modeled execution the producing
+   operator hands each page directly to its consumer without touching
+   disk (Thm 8.3's pipelined evaluation).  The in-memory array behind a
+   [Buf] models the stream, not a resident file — at any instant the
+   real pipeline holds one page of it.
+
+   [force] implements the theorem's double-consumption exception: an
+   operand that will be read more than once must exist as a resident
+   list, so a live stream is materialized (charged), while a source
+   that merely wraps an untouched resident list unwraps for free. *)
+module Source = struct
+  type 'a src =
+    | List of { cur : 'a Cursor.cur; backing : 'a t; mutable touched : bool }
+    | Buf of { data : 'a array; mutable pos : int }
+
+  let of_list backing =
+    List { cur = Cursor.make backing; backing; touched = false }
+
+  let of_array data = Buf { data; pos = 0 }
+
+  let length = function
+    | List l -> Array.length l.backing.data
+    | Buf b -> Array.length b.data
+
+  let peek = function
+    | List l ->
+        l.touched <- true;
+        Cursor.peek l.cur
+    | Buf b ->
+        if b.pos >= Array.length b.data then None else Some b.data.(b.pos)
+
+  let advance = function
+    | List l ->
+        l.touched <- true;
+        Cursor.advance l.cur
+    | Buf b -> b.pos <- b.pos + 1
+
+  let next s =
+    match peek s with
+    | None -> None
+    | Some v ->
+        advance s;
+        Some v
+
+  let iter f s =
+    let rec loop () =
+      match next s with
+      | None -> ()
+      | Some v ->
+          f v;
+          loop ()
+    in
+    loop ()
+
+  (* Drain the remaining records into a plain array, charging only what
+     the pulls themselves charge (reads for a [List], nothing for a
+     [Buf]). *)
+  let drain s =
+    let buf = ref [] in
+    iter (fun v -> buf := v :: !buf) s;
+    Array.of_list (List.rev !buf)
+
+  (* Write the stream out as a fresh resident list: one page write per
+     [B] records, like any operator output under materialized
+     evaluation.  This is how the root result (and only the root, under
+     streaming) reaches disk. *)
+  let materialize pager s =
+    let w = Writer.make pager in
+    iter (Writer.push w) s;
+    Writer.close w
+
+  (* A resident list for an operand consumed more than once.  An
+     untouched list-backed source is already resident — unwrap free; a
+     live stream must be written out first (the paper's aggregate
+     second-scan / $3 witness-list exception). *)
+  let force pager s =
+    match s with
+    | List l when not l.touched -> l.backing
+    | List _ | Buf _ -> materialize pager s
+end
+
 (* A full accounted scan. *)
 let iter f t =
   let cur = Cursor.make t in

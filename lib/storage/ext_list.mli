@@ -66,6 +66,39 @@ module Writer : sig
   (** Records pushed so far. *)
 end
 
+(** Pull-based sorted record streams — the streaming executor's edge
+    type, unifying "accounted cursor over a resident list" and "live
+    operator output" (free pulls: the producer hands pages straight to
+    the consumer, Thm 8.3's pipelining). *)
+module Source : sig
+  type 'a src
+
+  val of_list : 'a t -> 'a src
+  (** Stream a resident list; pulls charge page reads like a scan. *)
+
+  val of_array : 'a array -> 'a src
+  (** Live operator output: pulls charge nothing. *)
+
+  val length : 'a src -> int
+  (** Total records of the stream (consumed included). *)
+
+  val peek : 'a src -> 'a option
+  val advance : 'a src -> unit
+  val next : 'a src -> 'a option
+  val iter : ('a -> unit) -> 'a src -> unit
+
+  val drain : 'a src -> 'a array
+  (** Remaining records as an array; charges only the pulls. *)
+
+  val materialize : Pager.t -> 'a src -> 'a t
+  (** Write the stream out as a fresh resident list (charged). *)
+
+  val force : Pager.t -> 'a src -> 'a t
+  (** A resident list for an operand consumed more than once: an
+      untouched list-backed source unwraps free, a live stream is
+      {!materialize}d (the double-consumption exception). *)
+end
+
 val iter : ('a -> unit) -> 'a t -> unit
 (** Accounted sequential scan. *)
 

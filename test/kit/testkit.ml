@@ -17,8 +17,8 @@ let oracle instance q = Semantics.eval instance q
 (* A fresh engine over [instance] with small pages so that page-level
    effects show up even on small inputs. *)
 let engine ?(block = 8) ?(window = 2) ?(with_attr_index = true)
-    ?(algorithms = Engine.Stack_based) instance =
-  Engine.create ~block ~window ~with_attr_index ~algorithms instance
+    ?(algorithms = Engine.Stack_based) ?mode instance =
+  Engine.create ~block ~window ~with_attr_index ~algorithms ?mode instance
 
 (* --- QCheck generators -------------------------------------------------- *)
 
