@@ -1122,11 +1122,81 @@ let e25 () =
   close_out out;
   row "wrote streaming stats to BENCH_stream_stats.json@."
 
+(* --- E26: plan-quality observatory (estimate vs actual) -------------------------- *)
+
+let e26 () =
+  header ~id:"E26 (plan quality)"
+    ~claim:
+      "the planner's cardinality estimates stay within a small q-error band \
+       on L2 trees and the TOPS decision workload, and a workload shift \
+       trips the drift detector";
+  (* Private stores, subscribed to the journal only for the duration of
+     each phase, so the summaries cover exactly these queries.  No
+     Telemetry rows: this experiment measures estimation quality, not
+     time or I/O. *)
+  let journaled = Qlog.enabled () in
+  if not journaled then
+    row "(journal disabled: no events will flow; run via bench/main)@.";
+  let q = Qparser.of_string l2_query in
+  let ps_l2 = Planstats.create () in
+  Planstats.attach ps_l2;
+  Fun.protect
+    ~finally:(fun () -> Planstats.detach ps_l2)
+    (fun () ->
+      List.iter
+        (fun n ->
+          let instance = karily ~fanout:4 ~size:n () in
+          let eng =
+            Engine.create ~mode:!eval_mode ~block ~with_attr_index:false instance
+          in
+          ignore (Engine.eval_entries eng q))
+        sizes_linear);
+  row "L2 sweep (%d journaled queries):@." (Planstats.events ps_l2);
+  row "%a" Planstats.pp_summary ps_l2;
+  (* The TOPS workload, judged against the L2 sweep's calibration: a
+     genuinely different workload should trip the drift detector. *)
+  let tops_instance =
+    Tops.generate
+      ~params:
+        {
+          Tops.seed = 31;
+          subscribers = 200;
+          qhps_per_subscriber = 3;
+          appearances_per_qhp = 2;
+        }
+      ()
+  in
+  let rng = Prng.create 41 in
+  let times = [| 900; 1130; 1415 |] and days = [| 2; 6 |] in
+  let queries =
+    List.init 200 (fun _ ->
+        Tops.resolution_query
+          ~uid:(Printf.sprintf "user%d" (Prng.int rng 200))
+          ~time:times.(Prng.int rng (Array.length times))
+          ~day:days.(Prng.int rng (Array.length days))
+          ())
+  in
+  let ps_tops = Planstats.create () in
+  Planstats.set_baseline ps_tops ps_l2;
+  Planstats.attach ps_tops;
+  Fun.protect
+    ~finally:(fun () -> Planstats.detach ps_tops)
+    (fun () ->
+      let eng =
+        Engine.create ~mode:!eval_mode ~block ~with_attr_index:false
+          tops_instance
+      in
+      List.iter (fun q -> ignore (Engine.eval_entries eng q)) queries);
+  row "@.TOPS decision workload (%d journaled resolutions):@."
+    (Planstats.events ps_tops);
+  row "%a" Planstats.pp_summary ps_tops;
+  row "%a" Planstats.pp_drift ps_tops
+
 let all : (string * (unit -> unit)) list =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
     ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21);
-    ("e22", e22); ("e23", e23); ("e25", e25);
+    ("e22", e22); ("e23", e23); ("e25", e25); ("e26", e26);
   ]

@@ -68,6 +68,10 @@ let () =
   ensure_parent !journal;
   Qlog.enable ~append:false !journal;
   Qlog.set_threshold_ns 0;
+  (* Feed the plan-quality store online, so /planstats and /workload
+     serve live numbers during a monitored run and the end-of-run
+     artifacts below reflect the whole workload. *)
+  Planstats.attach Planstats.default;
   List.iter
     (fun id ->
       (match List.assoc_opt id Experiments.all with
@@ -92,6 +96,26 @@ let () =
   ensure_parent slowlog;
   let captures = Qlog.write_slowlog slowlog in
   Qlog.disable ();
+  (* Plan-quality artifacts: the q-error/workload report CI gates on,
+     and the calibration cells an offline rebuild of the journal must
+     reproduce byte for byte. *)
+  let ps = Planstats.default in
+  let planstats_out = "BENCH_planstats.json" in
+  let oc = open_out planstats_out in
+  output_string oc
+    (Json.to_string
+       (Json.Obj
+          [
+            ("planstats", Planstats.to_json ps);
+            ("workload", Planstats.workload_json ps);
+          ]));
+  output_char oc '\n';
+  close_out oc;
+  let calibration = Filename.concat (Filename.dirname !journal) "BENCH_calibration.jsonl" in
+  ensure_parent calibration;
+  let cells = Planstats.save ps calibration in
+  Fmt.pr "wrote plan-quality report to %s (%d events, %d calibration cells in %s)@."
+    planstats_out (Planstats.events ps) cells calibration;
   Option.iter Monitor.stop monitor;
   Fmt.pr "wrote %d slow-query captures to %s (journal: %s)@." captures slowlog
     !journal;

@@ -92,12 +92,20 @@ let help () =
     \  :slowlog [n]     show the n slowest captured queries@,\
     \  :slowlog threshold <ms>  set the slow-query capture threshold@,\
     \  :replay <path>   re-run a journal, diffing result counts and io@,\
+    \                   (ends with an estimate-accuracy summary)@,\
+    \  :planstats       q-error summary of the plan-quality store@,\
+    \  :planstats build <journal>   rebuild the store from a journal@,\
+    \  :planstats save|load <path>  persist / merge calibration cells@,\
+    \  :planstats baseline <path>   load a drift-detection baseline@,\
+    \  :planstats drift show drift notes;  :planstats clear  reset@,\
+    \  :workload [n]    top plans by total wall time@,\
     \  :cache on|off    toggle the semantic query-result cache@,\
     \  :cache stats     hit/miss/stale counters and residency@,\
     \  :cache clear     drop every cached result@,\
     \  :cache budget <pages>    set the cache's page budget@,\
     \  :cache threshold <io>    min evaluation io to admit a result@,\
-    \  :monitor <port>  serve /metrics /healthz /slowlog /trace /cache@,\
+    \  :monitor <port>  serve /metrics /healthz /slowlog /trace@,\
+    \                   /planstats /workload /cache@,\
     \  :monitor off     stop the introspection server@,\
     \  :top [n]         live metrics view (n one-second refreshes)@,\
     \  :mode streaming|materialized   operator-boundary handling@,\
@@ -224,7 +232,15 @@ let replay st path =
           Fmt.pr
             "replayed %d queries from %s: %d result-count diffs, %d io \
              diffs, %d errors@."
-            !total path !count_diffs !io_diffs !errors)
+            !total path !count_diffs !io_diffs !errors;
+          (* How good were the planner's estimates when the journal was
+             recorded?  Folded from the journal itself, not the re-run,
+             so the summary describes the recorded workload. *)
+          let ps = Planstats.of_events events in
+          if Planstats.events ps > 0 then begin
+            Fmt.pr "estimate accuracy (recorded estimates vs actuals):@.";
+            Fmt.pr "%a" Planstats.pp_summary ps
+          end)
 
 (* The :top live view: a compact dashboard over the default registry
    (the same numbers /metrics exposes), refreshed in place. *)
@@ -382,6 +398,53 @@ let run_command st line =
                   end)
             events)
   | ":replay" :: path :: _ -> replay st path
+  | ":planstats" :: "build" :: path :: _ -> (
+      let ps = Planstats.default in
+      Planstats.clear ps;
+      match Planstats.build ps path with
+      | n -> Fmt.pr "rebuilt from %d events of %s@." n path
+      | exception Sys_error m -> Fmt.pr "%s@." m
+      | exception Json.Parse_error m -> Fmt.pr "bad journal %s: %s@." path m)
+  | ":planstats" :: "save" :: path :: _ -> (
+      match Planstats.save Planstats.default path with
+      | n -> Fmt.pr "wrote %d calibration cells to %s@." n path
+      | exception Sys_error m -> Fmt.pr "%s@." m)
+  | ":planstats" :: "load" :: path :: _ -> (
+      match Planstats.load path with
+      | loaded ->
+          Planstats.merge ~into:Planstats.default loaded;
+          Fmt.pr "merged calibration from %s@." path
+      | exception Sys_error m -> Fmt.pr "%s@." m
+      | exception Json.Parse_error m ->
+          Fmt.pr "bad calibration %s: %s@." path m)
+  | ":planstats" :: "baseline" :: path :: _ -> (
+      match Planstats.load path with
+      | b ->
+          Planstats.set_baseline Planstats.default b;
+          Fmt.pr "drift baseline loaded from %s@." path
+      | exception Sys_error m -> Fmt.pr "%s@." m
+      | exception Json.Parse_error m ->
+          Fmt.pr "bad calibration %s: %s@." path m)
+  | ":planstats" :: "drift" :: _ ->
+      Fmt.pr "%a" Planstats.pp_drift Planstats.default
+  | ":planstats" :: "clear" :: _ ->
+      Planstats.clear Planstats.default;
+      Fmt.pr "plan-quality store cleared@."
+  | ":planstats" :: _ ->
+      if Planstats.events Planstats.default = 0 then
+        Fmt.pr
+          "no plan-quality observations (run journaled queries, or \
+           :planstats build <journal>)@."
+      else Fmt.pr "%a" Planstats.pp_summary Planstats.default
+  | ":workload" :: rest ->
+      let top =
+        match rest with
+        | s :: _ -> max 1 (Option.value ~default:20 (int_of_string_opt s))
+        | [] -> 20
+      in
+      if Planstats.events Planstats.default = 0 then
+        Fmt.pr "no workload observations (run journaled queries first)@."
+      else Fmt.pr "%a" (Planstats.pp_workload ~top) Planstats.default
   | ":cache" :: "on" :: _ ->
       st.cache_on <- true;
       invalidate_engine st;
@@ -559,6 +622,9 @@ let main kind size seed block journal monitor_port queries =
   let directory = Directory.create dir in
   let cache = Cache.create () in
   Cache.attach cache directory;
+  (* Every journaled query feeds the plan-quality store, so
+     :planstats, /planstats and /workload are live from the start. *)
+  Planstats.attach Planstats.default;
   let st =
     {
       directory;
@@ -625,7 +691,7 @@ let monitor_port =
     & info [ "monitor" ] ~docv:"PORT"
         ~doc:
           "Serve live introspection (/metrics, /healthz, /slowlog, /trace, \
-           /cache) on 127.0.0.1:$(docv).")
+           /planstats, /workload, /cache) on 127.0.0.1:$(docv).")
 
 let queries =
   Arg.(

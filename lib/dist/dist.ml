@@ -355,9 +355,51 @@ let cache_note t before =
       else if misses > 0 || hits = 0 then "miss"
       else "hit"
 
-let journal_event t q ~cache ~result_count ~reads ~writes ~wall_ns ~outcome
-    ~shipped span =
-  let ops = match span with Some sp -> Qlog.ops_of_span sp | None -> [] in
+(* Attach the plan's atomic-leaf cardinality estimates to the
+   coordinator's "combine" rows.  The span tree under "coordinate"
+   holds one depth-1 combine per atomic sub-query, in evaluation order
+   (left to right), which is exactly the preorder order of the plan's
+   atomic leaves; counts must agree or the rows stay unannotated.
+   Reads/writes are left out: a combine merges already-shipped lists,
+   which the per-node cost model doesn't price.  The estimates come
+   from the home partition (the coordinator never sees the global
+   instance), so their q-error also measures partition-blindness. *)
+let annotate_combines plan (ops : Qlog.op list) =
+  let leaves =
+    List.filter_map
+      (fun ((n : Plan.node), _) ->
+        if String.equal n.Plan.label "atomic" then Some n else None)
+      (Plan.flatten plan)
+  in
+  let is_combine (o : Qlog.op) =
+    o.Qlog.op_depth = 1 && String.equal o.Qlog.op_name "combine"
+  in
+  let combines = List.length (List.filter is_combine ops) in
+  if combines <> List.length leaves then ops
+  else begin
+    let remaining = ref leaves in
+    List.map
+      (fun (o : Qlog.op) ->
+        if is_combine o then
+          match !remaining with
+          | n :: tl ->
+              remaining := tl;
+              { o with Qlog.op_est_rows = Some n.Plan.est_rows }
+          | [] -> o
+        else o)
+      ops
+  end
+
+let journal_event t q ~mode ~cache ~result_count ~reads ~writes ~wall_ns
+    ~outcome ~shipped span =
+  (* Estimated over the home partition — the coordinator never
+     materializes the global instance. *)
+  let plan = Plan.estimate ~pager:t.pager ~instance:t.home.instance q in
+  let ops =
+    match span with
+    | Some sp -> annotate_combines plan (Qlog.ops_of_span sp)
+    | None -> []
+  in
   let capture =
     if wall_ns >= Qlog.threshold_ns () then
       Some
@@ -366,11 +408,7 @@ let journal_event t q ~cache ~result_count ~reads ~writes ~wall_ns ~outcome
             (match span with
             | Some sp -> Fmt.str "%a" Trace.pp_span sp
             | None -> "");
-          (* Estimated over the home partition — the coordinator never
-             materializes the global instance. *)
-          plan_text =
-            Plan.to_string
-              (Plan.estimate ~pager:t.pager ~instance:t.home.instance q);
+          plan_text = Plan.to_string plan;
         }
     else None
   in
@@ -379,11 +417,18 @@ let journal_event t q ~cache ~result_count ~reads ~writes ~wall_ns ~outcome
     | Some sp -> Some sp.Trace.trace_id
     | None -> Trace.current_trace_id ()
   in
+  let est_writes =
+    match mode with
+    | Engine.Streaming ->
+        max 0 (Plan.total_est_writes plan - Plan.total_est_writes_saved plan)
+    | Engine.Materialized -> Plan.total_est_writes plan
+  in
   ignore
     (Qlog.record ~cache ~server:t.home.name ?trace_id ~shipped ~ops ?capture
        ~query:(Qprinter.to_string q)
        ~fingerprint:(Plan.fingerprint q) ~result_count ~reads ~writes ~wall_ns
-       ~outcome ())
+       ~outcome ~est_card:plan.Plan.est_rows
+       ~est_reads:(Plan.total_est_reads plan) ~est_writes ())
 
 let eval ?(mode = Engine.Streaming) t q =
   let reads0 = t.stats.Io_stats.page_reads
@@ -419,7 +464,7 @@ let eval ?(mode = Engine.Streaming) t q =
       with
       | exception e ->
           if journal then
-            journal_event t q ~cache:(cache_note t probe0) ~result_count:0
+            journal_event t q ~mode ~cache:(cache_note t probe0) ~result_count:0
               ~reads:(t.stats.Io_stats.page_reads - reads0)
               ~writes:(t.stats.Io_stats.page_writes - writes0)
               ~wall_ns:(Mclock.now_ns () - t0)
@@ -431,7 +476,7 @@ let eval ?(mode = Engine.Streaming) t q =
           Metrics.incr m_dist_queries;
           Metrics.observe_ns m_dist_latency wall_ns;
           if journal then
-            journal_event t q ~cache:(cache_note t probe0)
+            journal_event t q ~mode ~cache:(cache_note t probe0)
               ~result_count:(Ext_list.length out)
               ~reads:(t.stats.Io_stats.page_reads - reads0)
               ~writes:(t.stats.Io_stats.page_writes - writes0)

@@ -325,9 +325,57 @@ let m_miss_ns =
     ~labels:[ ("cache", "miss") ]
     "engine_cache_query_ns"
 
-let journal_event t q ~cache ~result_count ~reads ~writes ~wall_ns ~outcome
-    span =
-  let ops = match span with Some sp -> Qlog.ops_of_span sp | None -> [] in
+(* Join the estimated plan onto the span tree's per-operator rows.  The
+   engine opens one span per operator, children left to right, so the
+   span tree under "execute" mirrors the AST and the two preorder
+   flattenings pair positionally — the label check guards the join
+   against any shape mismatch (then the rows simply stay unannotated).
+   In streaming mode the per-node write estimate is the materialized
+   one minus the writes the pipeline saves at that node (Thm 8.3). *)
+let est_writes_for ~mode (n : Plan.node) =
+  match mode with
+  | Streaming -> max 0 (n.Plan.est_writes - n.Plan.est_writes_saved)
+  | Materialized -> n.Plan.est_writes
+
+let annotate_ops ~mode plan (ops : Qlog.op list) =
+  match ops with
+  | root :: rest ->
+      let flat = Plan.flatten plan in
+      if
+        List.compare_lengths rest flat = 0
+        && List.for_all2
+             (fun (o : Qlog.op) ((n : Plan.node), _) ->
+               String.equal o.Qlog.op_name n.Plan.label)
+             rest flat
+      then
+        root
+        :: List.map2
+             (fun (o : Qlog.op) ((n : Plan.node), _) ->
+               {
+                 o with
+                 Qlog.op_est_rows = Some n.Plan.est_rows;
+                 op_est_reads = Some n.Plan.est_reads;
+                 op_est_writes = Some (est_writes_for ~mode n);
+               })
+             rest flat
+      else ops
+  | [] -> []
+
+let journal_event t q ~mode ~cache ~result_count ~reads ~writes ~wall_ns
+    ~outcome span =
+  (* naive algorithms have no streaming form (run_root falls back), so
+     the write estimates must bill the materialized pipeline too *)
+  let mode =
+    match t.algorithms with
+    | Stack_based -> mode
+    | Naive_nested_loop -> Materialized
+  in
+  let plan = Plan.estimate ~pager:t.pager ~instance:t.instance q in
+  let ops =
+    match span with
+    | Some sp -> annotate_ops ~mode plan (Qlog.ops_of_span sp)
+    | None -> []
+  in
   let capture =
     if wall_ns >= Qlog.threshold_ns () then
       Some
@@ -336,9 +384,7 @@ let journal_event t q ~cache ~result_count ~reads ~writes ~wall_ns ~outcome
             (match span with
             | Some sp -> Fmt.str "%a" Trace.pp_span sp
             | None -> "");
-          plan_text =
-            Plan.to_string
-              (Plan.estimate ~pager:t.pager ~instance:t.instance q);
+          plan_text = Plan.to_string plan;
         }
     else None
   in
@@ -347,11 +393,18 @@ let journal_event t q ~cache ~result_count ~reads ~writes ~wall_ns ~outcome
     | Some sp -> Some sp.Trace.trace_id
     | None -> Trace.current_trace_id ()
   in
+  let est_writes =
+    match mode with
+    | Streaming ->
+        max 0 (Plan.total_est_writes plan - Plan.total_est_writes_saved plan)
+    | Materialized -> Plan.total_est_writes plan
+  in
   ignore
     (Qlog.record ~cache ?trace_id
        ~query:(Qprinter.to_string q)
        ~fingerprint:(Plan.fingerprint q) ~result_count ~reads ~writes ~wall_ns
-       ~outcome ~ops ?capture ())
+       ~outcome ~ops ?capture ~est_card:plan.Plan.est_rows
+       ~est_reads:(Plan.total_est_reads plan) ~est_writes ())
 
 (* Full evaluation.  [probe] says how the result cache answered the
    lookup ([`Bypass] when there is none): a [`Miss] or [`Stale] result
@@ -375,7 +428,7 @@ let eval_uncached t ~mode q ~probe =
       with
       | exception e ->
           if journal then
-            journal_event t q ~cache:cache_note ~result_count:0
+            journal_event t q ~mode ~cache:cache_note ~result_count:0
               ~reads:(s.Io_stats.page_reads - reads0)
               ~writes:(s.Io_stats.page_writes - writes0)
               ~wall_ns:(Mclock.now_ns () - t0)
@@ -403,7 +456,7 @@ let eval_uncached t ~mode q ~probe =
                    arr)
           | _ -> ());
           if journal then
-            journal_event t q ~cache:cache_note
+            journal_event t q ~mode ~cache:cache_note
               ~result_count:(Ext_list.length out)
               ~reads ~writes ~wall_ns ~outcome:Qlog.Ok span;
           out)

@@ -283,3 +283,26 @@ let total_est_writes_saved n =
     n.est_writes_saved + List.fold_left (fun a c -> a + sum c) 0 n.children
   in
   sum n
+
+let total_est_reads n =
+  let rec sum n =
+    n.est_reads + List.fold_left (fun a c -> a + sum c) 0 n.children
+  in
+  sum n
+
+let total_est_writes n =
+  let rec sum n =
+    n.est_writes + List.fold_left (fun a c -> a + sum c) 0 n.children
+  in
+  sum n
+
+(* Preorder flattening with depths, the same shape [Qlog.ops_of_span]
+   lifts from a span tree — the engine pairs the two row lists to join
+   estimates onto the journal's per-operator actuals. *)
+let flatten n =
+  let rec go depth n acc =
+    List.fold_left
+      (fun acc c -> go (depth + 1) c acc)
+      ((n, depth) :: acc) n.children
+  in
+  List.rev (go 0 n [])

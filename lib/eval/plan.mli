@@ -48,3 +48,14 @@ val total_actual_ns : node -> int
 val total_est_writes_saved : node -> int
 (** Sum of {!node.est_writes_saved} over the whole plan: the page
     writes a streaming evaluation is predicted to avoid. *)
+
+val total_est_reads : node -> int
+(** Sum of {!node.est_reads} over the whole plan. *)
+
+val total_est_writes : node -> int
+(** Sum of {!node.est_writes} over the whole plan. *)
+
+val flatten : node -> (node * int) list
+(** Preorder traversal with depths (root at depth 0) — the same shape
+    [Qlog.ops_of_span] produces from a span tree, so per-operator
+    estimates pair positionally with per-operator actuals. *)

@@ -40,6 +40,7 @@ let reason = function
   | 200 -> "OK"
   | 404 -> "Not Found"
   | 400 -> "Bad Request"
+  | 405 -> "Method Not Allowed"
   | _ -> "Internal Server Error"
 
 (* --- Built-in routes ------------------------------------------------------ *)
@@ -80,7 +81,9 @@ let index_body =
    /healthz    liveness + uptime\n\
    /slowlog    slow-query captures (JSON lines)\n\
    /trace      recent traces (JSON summaries)\n\
-   /trace/<n>  one trace as Chrome trace-event JSON (n, trace id or 'last')\n"
+   /trace/<n>  one trace as Chrome trace-event JSON (n, trace id or 'last')\n\
+   /planstats  plan-quality observatory: q-error summaries + calibration\n\
+   /workload   top plans by wall time (count, io, cache hit rate, worst q)\n"
 
 let builtin t path =
   match path with
@@ -108,6 +111,14 @@ let builtin t path =
       Some
         (respond ~content_type:"application/x-ndjson"
            (jsonl_of_events (Qlog.slowest 64)))
+  | "/planstats" ->
+      Some
+        (respond ~content_type:"application/json"
+           (Json.to_string (Planstats.to_json Planstats.default)))
+  | "/workload" ->
+      Some
+        (respond ~content_type:"application/json"
+           (Json.to_string (Planstats.workload_json Planstats.default)))
   | "/trace" | "/trace/" ->
       Some
         (respond ~content_type:"application/json"
@@ -176,8 +187,7 @@ let read_request fd =
   | Some i -> (
       let line = String.trim (String.sub text 0 i) in
       match String.split_on_char ' ' line with
-      | meth :: target :: _ when meth = "GET" || meth = "HEAD" ->
-          Some (meth, route_path target)
+      | meth :: target :: _ when meth <> "" -> Some (meth, route_path target)
       | _ -> None)
 
 let write_response fd ~head_only { status; content_type; body } =
@@ -203,8 +213,15 @@ let serve_client t fd =
       Unix.setsockopt_float fd Unix.SO_SNDTIMEO 2.;
       match read_request fd with
       | None -> write_response fd ~head_only:false (respond ~status:400 "bad request\n")
-      | Some (meth, path) ->
-          write_response fd ~head_only:(meth = "HEAD") (handle t path))
+      | Some (meth, path) when meth = "GET" || meth = "HEAD" ->
+          (* HEAD gets the same status/headers as GET, body withheld;
+             Content-Length still names the GET body's size, as the
+             spec wants. *)
+          write_response fd ~head_only:(meth = "HEAD") (handle t path)
+      | Some (meth, _) ->
+          write_response fd ~head_only:false
+            (respond ~status:405
+               (Printf.sprintf "method %s not allowed (GET, HEAD)\n" meth)))
 
 let accept_loop t =
   while not t.stopping do
@@ -271,8 +288,9 @@ let stop t =
 (* --- A minimal loopback client ---------------------------------------------- *)
 
 (* Enough HTTP to scrape our own endpoint (the bench harness does, and
-   the tests): send a GET, read to EOF, split status and body. *)
-let get ?(host = "127.0.0.1") ~port path =
+   the tests): send one request, read to EOF, split status line,
+   headers and body.  Header names come back lowercased. *)
+let request ?(host = "127.0.0.1") ?(meth = "GET") ~port path =
   let addr = Unix.inet_addr_of_string host in
   let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
@@ -282,8 +300,8 @@ let get ?(host = "127.0.0.1") ~port path =
       Unix.setsockopt_float s Unix.SO_SNDTIMEO 5.;
       Unix.connect s (Unix.ADDR_INET (addr, port));
       let req =
-        Printf.sprintf "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n"
-          path host
+        Printf.sprintf "%s %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n"
+          meth path host
       in
       let bytes = Bytes.of_string req in
       ignore (Unix.write s bytes 0 (Bytes.length bytes));
@@ -303,16 +321,39 @@ let get ?(host = "127.0.0.1") ~port path =
         | _ :: code :: _ -> Option.value ~default:0 (int_of_string_opt code)
         | _ -> 0
       in
-      let body =
+      let header_end =
         let rec find i =
           if i + 3 >= String.length text then String.length text
           else if
             text.[i] = '\r' && text.[i + 1] = '\n' && text.[i + 2] = '\r'
             && text.[i + 3] = '\n'
-          then i + 4
+          then i
           else find (i + 1)
         in
-        let start = find 0 in
+        find 0
+      in
+      let headers =
+        match String.split_on_char '\n' (String.sub text 0 header_end) with
+        | [] -> []
+        | _status_line :: rest ->
+            List.filter_map
+              (fun line ->
+                match String.index_opt line ':' with
+                | None -> None
+                | Some i ->
+                    Some
+                      ( String.lowercase_ascii (String.trim (String.sub line 0 i)),
+                        String.trim
+                          (String.sub line (i + 1) (String.length line - i - 1))
+                      ))
+              rest
+      in
+      let body =
+        let start = min (String.length text) (header_end + 4) in
         String.sub text start (String.length text - start)
       in
-      (status, body))
+      (status, headers, body))
+
+let get ?host ~port path =
+  let status, _, body = request ?host ~port path in
+  (status, body)

@@ -5,10 +5,17 @@
     Built-in routes: [/] (index), [/metrics] (Prometheus text
     exposition of the registry), [/healthz] (liveness JSON),
     [/slowlog] (slow-query captures as JSON lines), [/trace] (recent
-    trace summaries) and [/trace/<sel>] (one recent trace as Chrome
+    trace summaries), [/trace/<sel>] (one recent trace as Chrome
     trace-event JSON; [sel] is an index into the recent ring, a trace
-    id, or [last]).  Layers above [lib/obs] add their own routes (the
+    id, or [last]), [/planstats] (the default {!Planstats} store's
+    q-error summaries + calibration) and [/workload] (its top plans by
+    wall time).  Layers above [lib/obs] add their own routes (the
     shell registers [/cache]) with {!add_handler}.
+
+    [GET] and [HEAD] are served (HEAD returns the GET response's
+    headers — [Content-Length] included — with the body withheld);
+    every other method gets a [405], and every response, errors
+    included, carries [Content-Length].
 
     The accept loop runs in one system thread and serves requests
     serially; handlers read the process's single-threaded observability
@@ -44,4 +51,11 @@ val get : ?host:string -> port:int -> string -> int * string
 (** A minimal loopback HTTP client: GET the path and return
     [(status, body)].  Used by the bench harness to scrape its own
     [/metrics] mid-run, and by the tests.
+    @raise Unix.Unix_error when nothing listens. *)
+
+val request :
+  ?host:string -> ?meth:string -> port:int -> string -> int * (string * string) list * string
+(** Like {!get} but with a chosen method and the response headers
+    (names lowercased) — what the HEAD/Content-Length tests and
+    [curl -I]-style checks need.  [meth] defaults to ["GET"].
     @raise Unix.Unix_error when nothing listens. *)

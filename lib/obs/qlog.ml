@@ -23,6 +23,9 @@ type op = {
   op_writes : int;
   op_ns : int;
   op_depth : int;  (* 0 = the query's root span *)
+  op_est_rows : int option;  (* planner estimates, when the recording *)
+  op_est_reads : int option;  (* layer joined the plan to the span tree *)
+  op_est_writes : int option;
 }
 
 type outcome = Ok | Failed of string
@@ -43,6 +46,9 @@ type event = {
   writes : int;
   wall_ns : int;
   outcome : outcome;
+  est_card : int option;  (* whole-query planner estimates, when the *)
+  est_reads : int option;  (* recording layer computed a plan *)
+  est_writes : int option;
   cache : string option;  (* result-cache outcome: hit|miss|stale|bypass *)
   server : string option;  (* answering server, in distributed evaluation *)
   shipped : (string * int * int) list;  (* per-server (name, messages, bytes) *)
@@ -120,6 +126,9 @@ let ops_of_span span =
         op_writes = s.Trace.io.Io_stats.page_writes;
         op_ns = s.Trace.elapsed_ns;
         op_depth = depth;
+        op_est_rows = None;
+        op_est_reads = None;
+        op_est_writes = None;
       }
     in
     List.fold_left (fun acc c -> go (depth + 1) c acc) (row :: acc)
@@ -129,19 +138,30 @@ let ops_of_span span =
 
 (* --- JSON encoding / decoding ------------------------------------------------- *)
 
+(* Optional int fields are omitted when absent, so journals written
+   before a field existed parse identically to ones where the recording
+   layer supplied nothing. *)
+let opt_int name = function
+  | None -> []
+  | Some n -> [ (name, Json.Num (float_of_int n)) ]
+
+let read_opt_int name j =
+  match Json.member name j with Json.Null -> None | v -> Some (Json.to_int v)
+
 let op_to_json o =
   Json.Obj
     ([ ("op", Json.Str o.op_name) ]
     @ (if o.op_detail = "" then [] else [ ("detail", Json.Str o.op_detail) ])
-    @ (match o.op_rows with
-      | None -> []
-      | Some n -> [ ("rows", Json.Num (float_of_int n)) ])
+    @ opt_int "rows" o.op_rows
     @ [
         ("reads", Json.Num (float_of_int o.op_reads));
         ("writes", Json.Num (float_of_int o.op_writes));
         ("ns", Json.Num (float_of_int o.op_ns));
         ("depth", Json.Num (float_of_int o.op_depth));
-      ])
+      ]
+    @ opt_int "est_rows" o.op_est_rows
+    @ opt_int "est_reads" o.op_est_reads
+    @ opt_int "est_writes" o.op_est_writes)
 
 let to_json ev =
   Json.Obj
@@ -167,6 +187,9 @@ let to_json ev =
         ("writes", Json.Num (float_of_int ev.writes));
         ("wall_ns", Json.Num (float_of_int ev.wall_ns));
       ]
+    @ opt_int "est_card" ev.est_card
+    @ opt_int "est_reads" ev.est_reads
+    @ opt_int "est_writes" ev.est_writes
     @ (match ev.cache with
       | None -> []
       | Some c -> [ ("cache", Json.Str c) ])
@@ -207,14 +230,14 @@ let op_of_json j =
   {
     op_name = Json.str (Json.member "op" j);
     op_detail = Json.str (Json.member "detail" j);
-    op_rows =
-      (match Json.member "rows" j with
-      | Json.Null -> None
-      | v -> Some (Json.to_int v));
+    op_rows = read_opt_int "rows" j;
     op_reads = Json.to_int (Json.member "reads" j);
     op_writes = Json.to_int (Json.member "writes" j);
     op_ns = Json.to_int (Json.member "ns" j);
     op_depth = Json.to_int (Json.member "depth" j);
+    op_est_rows = read_opt_int "est_rows" j;
+    op_est_reads = read_opt_int "est_reads" j;
+    op_est_writes = read_opt_int "est_writes" j;
   }
 
 let of_json j =
@@ -231,6 +254,9 @@ let of_json j =
     reads = Json.to_int (Json.member "reads" j);
     writes = Json.to_int (Json.member "writes" j);
     wall_ns = Json.to_int (Json.member "wall_ns" j);
+    est_card = read_opt_int "est_card" j;
+    est_reads = read_opt_int "est_reads" j;
+    est_writes = read_opt_int "est_writes" j;
     outcome =
       (match Json.str (Json.member "outcome" j) with
       | "error" -> Failed (Json.str (Json.member "error" j))
@@ -275,8 +301,16 @@ let m_slow =
   Metrics.counter ~help:"journal events promoted to slow-query captures"
     "qlog_slow_total"
 
+(* Observer hook: every recorded event flows through here exactly once
+   (journaled or not), so an online consumer — the plan-quality
+   observatory — sees precisely the stream an offline replay of the
+   journal would reconstruct. *)
+let on_record : (event -> unit) option ref = ref None
+let set_on_record f = on_record := f
+
 let record ?cache ?server ?trace_id ?(shipped = []) ?(ops = []) ?capture
-    ~query ~fingerprint ~result_count ~reads ~writes ~wall_ns ~outcome () =
+    ?est_card ?est_reads ?est_writes ~query ~fingerprint ~result_count ~reads
+    ~writes ~wall_ns ~outcome () =
   incr seq_counter;
   let server = match server with Some _ as s -> s | None -> !current_server in
   let ev =
@@ -291,6 +325,9 @@ let record ?cache ?server ?trace_id ?(shipped = []) ?(ops = []) ?capture
       writes;
       wall_ns;
       outcome;
+      est_card;
+      est_reads;
+      est_writes;
       cache;
       server;
       shipped;
@@ -315,6 +352,7 @@ let record ?cache ?server ?trace_id ?(shipped = []) ?(ops = []) ?capture
            (fun a b -> compare b.wall_ns a.wall_ns)
            (ev :: !slow))
   end;
+  (match !on_record with Some f -> f ev | None -> ());
   ev
 
 let write_slowlog p =

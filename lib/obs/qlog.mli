@@ -18,6 +18,12 @@ type op = {
   op_writes : int;
   op_ns : int;
   op_depth : int;  (** 0 = the query's root span *)
+  op_est_rows : int option;
+      (** planner estimates for this operator, when the recording layer
+          joined the estimated plan to the span tree; absent in events
+          recorded (or journaled) before the join existed *)
+  op_est_reads : int option;
+  op_est_writes : int option;
 }
 
 type outcome = Ok | Failed of string
@@ -40,6 +46,12 @@ type event = {
   writes : int;
   wall_ns : int;
   outcome : outcome;
+  est_card : int option;
+      (** whole-query planner estimates (result cardinality, page reads,
+          page writes), when the recording layer computed a plan; old
+          journals without them still load *)
+  est_reads : int option;
+  est_writes : int option;
   cache : string option;
       (** result-cache outcome ([hit|miss|stale|bypass]), when the
           evaluating layer reports one *)
@@ -86,6 +98,9 @@ val record :
   ?shipped:(string * int * int) list ->
   ?ops:op list ->
   ?capture:capture ->
+  ?est_card:int ->
+  ?est_reads:int ->
+  ?est_writes:int ->
   query:string ->
   fingerprint:string ->
   result_count:int ->
@@ -99,6 +114,13 @@ val record :
     journal (if any), and stash the event in the slowlog when it
     carries a capture.  Safe to call with no journal open (the slowlog
     still collects). *)
+
+val set_on_record : (event -> unit) option -> unit
+(** Install (or clear) the event observer: called once with every event
+    {!record} produces, journaled or not.  The plan-quality observatory
+    hooks in here, which is what guarantees its online aggregates equal
+    an offline replay of the same journal — both see the identical
+    event stream in the identical order. *)
 
 (** {1 The slowlog} *)
 

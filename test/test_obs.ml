@@ -315,6 +315,9 @@ let test_qlog_roundtrip () =
             op_writes = 0;
             op_ns = 1200;
             op_depth = 0;
+            op_est_rows = None;
+            op_est_reads = None;
+            op_est_writes = None;
           };
           {
             Qlog.op_name = "atomic";
@@ -324,12 +327,16 @@ let test_qlog_roundtrip () =
             op_writes = 0;
             op_ns = 1000;
             op_depth = 1;
+            op_est_rows = Some 4;
+            op_est_reads = Some 6;
+            op_est_writes = Some 0;
           };
         ]
       in
       let e1 =
         Qlog.record ~ops ~query:"( ? sub ? tag=even)" ~fingerprint:"abc"
-          ~result_count:3 ~reads:5 ~writes:0 ~wall_ns:1200 ~outcome:Qlog.Ok ()
+          ~result_count:3 ~reads:5 ~writes:0 ~wall_ns:1200 ~outcome:Qlog.Ok
+          ~est_card:4 ~est_reads:6 ~est_writes:0 ()
       in
       let e2 =
         Qlog.record ~server:"s0"
