@@ -1192,11 +1192,159 @@ let e26 () =
   row "%a" Planstats.pp_summary ps_tops;
   row "%a" Planstats.pp_drift ps_tops
 
+(* --- E27: alert lifecycle (operational health) ---------------------------- *)
+
+let e27 () =
+  header ~id:"E27 (alert lifecycle)"
+    ~claim:
+      "turning the result cache off under a repeat-skewed workload drives \
+       the read-amplification alert inactive -> pending -> firing, and \
+       turning it back on resolves it";
+  (* The TOPS repeat workload of E23, queries only: 16 hot subscribers,
+     small time/day pools, so with the cache on almost every resolution
+     is a hit (near-zero page reads per query) and with it off every one
+     pays the full index walk. *)
+  let subscribers = 400 and burst_len = 120 in
+  let instance =
+    Tops.generate
+      ~params:
+        {
+          Tops.seed = 31;
+          subscribers;
+          qhps_per_subscriber = 3;
+          appearances_per_qhp = 2;
+        }
+      ()
+  in
+  let rng = Prng.create 97 in
+  let times = [| 900; 1130; 1415 |] and days = [| 2; 6 |] in
+  let pick () =
+    Tops.resolution_query
+      ~uid:(Printf.sprintf "user%d" (Prng.int rng 16))
+      ~time:times.(Prng.int rng (Array.length times))
+      ~day:days.(Prng.int rng (Array.length days))
+      ()
+  in
+  let d = Directory.create instance in
+  let cache = Cache.create ~admit_min_io:1 () in
+  Cache.attach cache d;
+  let stats = Io_stats.create () in
+  let mk result_cache =
+    Engine.create ~mode:!eval_mode ~block ~with_attr_index:false ?result_cache
+      ~stats (Directory.instance d)
+  in
+  let cached = mk (Some cache) and uncached = mk None in
+  (* Reads/query of each regime, measured on this instance so the alert
+     threshold splits them instead of hard-coding today's constants.
+     The warm-up burst also fills the cache. *)
+  let rpq eng =
+    let r0 = stats.Io_stats.page_reads in
+    for _ = 1 to burst_len do
+      ignore (Engine.eval eng (pick ()))
+    done;
+    float_of_int (stats.Io_stats.page_reads - r0) /. float_of_int burst_len
+  in
+  ignore (rpq cached) (* warm up *);
+  let warm = rpq cached and cold = rpq uncached in
+  let threshold = Float.max 0.5 ((warm +. cold) /. 2.) in
+  (* A private evaluator over the default registry: its ALERTS series
+     land in the same exposition a collector scrapes, but its ticks and
+     aggressive thresholds stay out of the harness-wide evaluator. *)
+  let a = Alerts.create () in
+  ignore
+    (Alerts.add ~severity:"critical" a ~name:"e27-read-amplification"
+       (Printf.sprintf
+          "rate(engine_page_reads_total) / rate(engine_queries_total) > %g \
+           for 2"
+          threshold));
+  ignore
+    (Alerts.add a ~name:"e27-latency-p99" "engine_query_ns p99 > 250ms for 2");
+  let timeline = ref [] in
+  let phase_tick name eng =
+    Option.iter (fun e -> for _ = 1 to burst_len do
+        ignore (Engine.eval e (pick ()))
+      done) eng;
+    Alerts.tick a;
+    let st =
+      Option.value ~default:Alerts.Inactive
+        (Alerts.state a "e27-read-amplification")
+    and v =
+      Option.value ~default:0. (Alerts.last_value a "e27-read-amplification")
+    in
+    timeline :=
+      (Alerts.ticks a, name, v, Alerts.state_name st) :: !timeline;
+    row "%6s tick %d: reads/query %8.2f  -> %s@." name (Alerts.ticks a) v
+      (Alerts.state_name st)
+  in
+  ignore
+    (Telemetry.with_stats ~size:burst_len stats (fun () ->
+         phase_tick "baseline" None;
+         (* healthy: cache on, amplification below threshold *)
+         phase_tick "healthy" (Some cached);
+         phase_tick "healthy" (Some cached);
+         (* induce: cache off -> pending, then firing (for 2) *)
+         phase_tick "induce" (Some uncached);
+         phase_tick "induce" (Some uncached);
+         phase_tick "induce" (Some uncached);
+         (* recover: cache back on -> one quiet tick resolves *)
+         phase_tick "recover" (Some cached)));
+  let reached s =
+    List.exists
+      (fun tr ->
+        tr.Alerts.tr_rule = "e27-read-amplification" && tr.Alerts.tr_to = s)
+      (Alerts.history a)
+  in
+  let fired = reached "firing" and resolved = reached "resolved" in
+  let ended_inactive =
+    Alerts.state a "e27-read-amplification" = Some Alerts.Inactive
+  in
+  row "threshold %.2f reads/query (warm %.2f, cold %.2f)@." threshold warm
+    cold;
+  row "lifecycle: fired %b, resolved %b, ended inactive %b@." fired resolved
+    ended_inactive;
+  let doc =
+    Json.Obj
+      [
+        ("threshold", Json.Num threshold);
+        ("warm_reads_per_query", Json.Num warm);
+        ("cold_reads_per_query", Json.Num cold);
+        ( "timeline",
+          Json.Arr
+            (List.rev_map
+               (fun (t, name, v, st) ->
+                 Json.Obj
+                   [
+                     ("tick", Json.Num (float_of_int t));
+                     ("phase", Json.Str name);
+                     ("value", Json.Num v);
+                     ("state", Json.Str st);
+                   ])
+               !timeline) );
+        ( "lifecycle",
+          Json.Obj
+            [
+              ("reached_firing", Json.Bool fired);
+              ("resolved", Json.Bool resolved);
+              ("ended_inactive", Json.Bool ended_inactive);
+            ] );
+        ("alerts", Alerts.to_json a);
+      ]
+  in
+  let out = open_out "BENCH_alerts.json" in
+  output_string out (Json.to_string doc);
+  output_char out '\n';
+  close_out out;
+  row "wrote the alert lifecycle to BENCH_alerts.json@.";
+  (* Zero the e27 ALERTS gauges so the run-wide exposition ends clean. *)
+  Alerts.clear a;
+  if not (fired && resolved && ended_inactive) then
+    failwith "E27: alert lifecycle did not reach firing and resolve"
+
 let all : (string * (unit -> unit)) list =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
     ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21);
-    ("e22", e22); ("e23", e23); ("e25", e25); ("e26", e26);
+    ("e22", e22); ("e23", e23); ("e25", e25); ("e26", e26); ("e27", e27);
   ]

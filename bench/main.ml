@@ -72,11 +72,17 @@ let () =
      serve live numbers during a monitored run and the end-of-run
      artifacts below reflect the whole workload. *)
   Planstats.attach Planstats.default;
+  (* The stock service-health rules, ticked after each experiment so a
+     monitored run serves live states on /alerts and exports the ALERTS
+     series; a healthy run ends with zero firing (CI asserts this). *)
+  Alerts.install_defaults ();
   List.iter
     (fun id ->
       (match List.assoc_opt id Experiments.all with
       | Some f -> f ()
       | None -> Fmt.epr "unknown experiment %S (e1..e15, bechamel)@." id);
+      Runtime.sample ();
+      Alerts.tick Alerts.default;
       (* Scrape our own endpoint mid-run, like an external collector
          would, and keep the snapshot next to the result rows. *)
       match monitor with

@@ -12,6 +12,12 @@ type row = {
   writes : int;
   wall_ns : int;
   max_resident_pages : int;
+  (* GC columns: deltas over the measured region, except
+     [top_heap_words] which is the process high-water mark so far. *)
+  minor_collections : int;
+  major_collections : int;
+  top_heap_words : int;
+  allocated_bytes : int;
 }
 
 let rows : row list ref = ref []
@@ -24,19 +30,42 @@ let set_experiment id =
               | Some i -> String.sub id 0 i
               | None -> id)
 
-let record ?size ~reads ~writes ~wall_ns ~max_resident_pages () =
+let record ?size ?(minor_collections = 0) ?(major_collections = 0)
+    ?(top_heap_words = 0) ?(allocated_bytes = 0) ~reads ~writes ~wall_ns
+    ~max_resident_pages () =
   rows :=
-    { id = !current; size; reads; writes; wall_ns; max_resident_pages }
+    {
+      id = !current;
+      size;
+      reads;
+      writes;
+      wall_ns;
+      max_resident_pages;
+      minor_collections;
+      major_collections;
+      top_heap_words;
+      allocated_bytes;
+    }
     :: !rows
 
-(* Snapshot [stats] around [f], timing it with the monotonic clock. *)
+(* Snapshot [stats] around [f], timing it with the monotonic clock.
+   The GC is snapshotted too ([Gc.quick_stat] — no heap walk), so every
+   row carries the collection counts and bytes allocated by the
+   measured region next to its io. *)
 let with_stats ?size stats f =
   let reads0 = stats.Io_stats.page_reads
   and writes0 = stats.Io_stats.page_writes in
+  let gc0 = Gc.quick_stat () in
+  let alloc0 = Gc.allocated_bytes () in
   let t0 = Mclock.now_ns () in
   let r = f () in
   let wall_ns = Mclock.now_ns () - t0 in
+  let gc1 = Gc.quick_stat () in
   record ?size
+    ~minor_collections:(gc1.Gc.minor_collections - gc0.Gc.minor_collections)
+    ~major_collections:(gc1.Gc.major_collections - gc0.Gc.major_collections)
+    ~top_heap_words:gc1.Gc.top_heap_words
+    ~allocated_bytes:(int_of_float (Gc.allocated_bytes () -. alloc0))
     ~reads:(stats.Io_stats.page_reads - reads0)
     ~writes:(stats.Io_stats.page_writes - writes0)
     ~wall_ns ~max_resident_pages:stats.Io_stats.max_resident_pages ();
@@ -99,10 +128,11 @@ let snapshot ~after text =
 
 let row_json r =
   Printf.sprintf
-    "{\"id\":\"%s\",\"size\":%s,\"reads\":%d,\"writes\":%d,\"wall_ns\":%d,\"max_resident_pages\":%d}"
+    "{\"id\":\"%s\",\"size\":%s,\"reads\":%d,\"writes\":%d,\"wall_ns\":%d,\"max_resident_pages\":%d,\"minor_collections\":%d,\"major_collections\":%d,\"top_heap_words\":%d,\"allocated_bytes\":%d}"
     r.id
     (match r.size with Some n -> string_of_int n | None -> "null")
-    r.reads r.writes r.wall_ns r.max_resident_pages
+    r.reads r.writes r.wall_ns r.max_resident_pages r.minor_collections
+    r.major_collections r.top_heap_words r.allocated_bytes
 
 let snapshot_json s =
   Printf.sprintf "{\"after\":\"%s\",\"metrics\":{%s}}" s.after

@@ -20,6 +20,7 @@ type state = {
   mutable cache : Cache.t;  (* survives engine rebuilds, off by default *)
   mutable cache_on : bool;
   mutable monitor : Monitor.t option;  (* live introspection server *)
+  mutable ticker : Runtime.ticker option;  (* GC sampler + alert ticks *)
   mutable mode : Engine.mode;  (* operator-boundary handling *)
 }
 
@@ -105,8 +106,14 @@ let help () =
     \  :cache budget <pages>    set the cache's page budget@,\
     \  :cache threshold <io>    min evaluation io to admit a result@,\
     \  :monitor <port>  serve /metrics /healthz /slowlog /trace@,\
-    \                   /planstats /workload /cache@,\
+    \                   /planstats /workload /cache /alerts@,\
+    \                   (also starts the runtime sampler + alert ticks)@,\
     \  :monitor off     stop the introspection server@,\
+    \  :alerts          rule states (pending/firing) and last values@,\
+    \  :alerts rules    the installed rule expressions@,\
+    \  :alerts history [n]      recent state transitions@,\
+    \  :alerts silence <name> [off]   mute/unmute an alert's export@,\
+    \  :alerts tick     sample gauges + evaluate rules once, by hand@,\
     \  :top [n]         live metrics view (n one-second refreshes)@,\
     \  :mode streaming|materialized   operator-boundary handling@,\
     \                   (streaming pipelines the whole tree; default)@,\
@@ -284,6 +291,8 @@ let show_top st frames =
   done
 
 let stop_monitor st =
+  Option.iter Runtime.stop st.ticker;
+  st.ticker <- None;
   match st.monitor with
   | None -> false
   | Some m ->
@@ -303,6 +312,13 @@ let start_monitor st port =
                  (Json.to_string (Cache.stats_json st.cache)))
           else None);
       st.monitor <- Some m;
+      (* While the monitor serves, a sampler thread keeps the runtime
+         gauges fresh and ticks the alert evaluator once a second. *)
+      st.ticker <-
+        Some
+          (Runtime.start ~period:1.0
+             ~on_tick:(fun () -> Alerts.tick Alerts.default)
+             ());
       Fmt.pr "monitoring on http://127.0.0.1:%d/ (:monitor off to stop)@."
         (Monitor.port m)
   | exception Unix.Unix_error (e, _, _) ->
@@ -489,6 +505,55 @@ let run_command st line =
         (match st.monitor with
         | Some m -> Printf.sprintf "on http://127.0.0.1:%d/" (Monitor.port m)
         | None -> "off")
+  | ":alerts" :: "rules" :: _ ->
+      let a = Alerts.default in
+      (match Alerts.rules a with
+      | [] -> Fmt.pr "no alert rules installed@."
+      | rules ->
+          List.iter
+            (fun (r : Alerts.rule) ->
+              Fmt.pr "%s [%s]: %s@." r.Alerts.name r.Alerts.severity
+                r.Alerts.text)
+            rules)
+  | ":alerts" :: "history" :: rest ->
+      let a = Alerts.default in
+      let n =
+        match rest with
+        | s :: _ -> max 1 (Option.value ~default:20 (int_of_string_opt s))
+        | [] -> 20
+      in
+      (match Alerts.history a with
+      | [] -> Fmt.pr "no alert transitions yet@."
+      | trs ->
+          List.iteri
+            (fun i tr -> if i < n then Fmt.pr "%a@." Alerts.pp_transition tr)
+            trs)
+  | ":alerts" :: "silence" :: name :: rest ->
+      let a = Alerts.default in
+      let on =
+        match rest with "off" :: _ -> false | _ -> not (Alerts.is_silenced a name)
+      in
+      if Alerts.silence a name on then
+        Fmt.pr "%s %s@." name (if on then "silenced" else "unsilenced")
+      else Fmt.pr "no alert rule named %s@." name
+  | ":alerts" :: "tick" :: _ ->
+      Runtime.sample ();
+      Alerts.tick Alerts.default;
+      Fmt.pr "tick %d: %d firing@."
+        (Alerts.ticks Alerts.default)
+        (List.length (Alerts.firing Alerts.default))
+  | ":alerts" :: _ ->
+      let a = Alerts.default in
+      (match Alerts.rules a with
+      | [] ->
+          Fmt.pr
+            "no alert rules installed (usage: :alerts \
+             [list|rules|history [n]|silence <name> [off]|tick])@."
+      | rules ->
+          Fmt.pr "@[<v>tick %d, %d firing@," (Alerts.ticks a)
+            (List.length (Alerts.firing a));
+          List.iter (fun r -> Fmt.pr "%a@," (Alerts.pp_rule a) r) rules;
+          Fmt.pr "@]")
   | ":top" :: rest ->
       let frames =
         match rest with
@@ -625,6 +690,9 @@ let main kind size seed block journal monitor_port queries =
   (* Every journaled query feeds the plan-quality store, so
      :planstats, /planstats and /workload are live from the start. *)
   Planstats.attach Planstats.default;
+  (* Stock service-health rules; :alerts and /alerts show them, the
+     runtime sampler ticks them while the monitor runs. *)
+  Alerts.install_defaults ();
   let st =
     {
       directory;
@@ -635,6 +703,7 @@ let main kind size seed block journal monitor_port queries =
       cache;
       cache_on = false;
       monitor = None;
+      ticker = None;
       mode = Engine.Streaming;
     }
   in

@@ -391,7 +391,7 @@ let annotate_combines plan (ops : Qlog.op list) =
   end
 
 let journal_event t q ~mode ~cache ~result_count ~reads ~writes ~wall_ns
-    ~outcome ~shipped span =
+    ~alloc_bytes ~outcome ~shipped span =
   (* Estimated over the home partition — the coordinator never
      materializes the global instance. *)
   let plan = Plan.estimate ~pager:t.pager ~instance:t.home.instance q in
@@ -427,12 +427,13 @@ let journal_event t q ~mode ~cache ~result_count ~reads ~writes ~wall_ns
     (Qlog.record ~cache ~server:t.home.name ?trace_id ~shipped ~ops ?capture
        ~query:(Qprinter.to_string q)
        ~fingerprint:(Plan.fingerprint q) ~result_count ~reads ~writes ~wall_ns
-       ~outcome ~est_card:plan.Plan.est_rows
+       ~alloc_bytes ~outcome ~est_card:plan.Plan.est_rows
        ~est_reads:(Plan.total_est_reads plan) ~est_writes ())
 
 let eval ?(mode = Engine.Streaming) t q =
   let reads0 = t.stats.Io_stats.page_reads
   and writes0 = t.stats.Io_stats.page_writes in
+  let alloc0 = Gc.allocated_bytes () in
   let t0 = Mclock.now_ns () in
   let journal = Qlog.enabled () in
   Engine.with_forced_tracing journal (fun () ->
@@ -468,6 +469,7 @@ let eval ?(mode = Engine.Streaming) t q =
               ~reads:(t.stats.Io_stats.page_reads - reads0)
               ~writes:(t.stats.Io_stats.page_writes - writes0)
               ~wall_ns:(Mclock.now_ns () - t0)
+              ~alloc_bytes:(int_of_float (Gc.allocated_bytes () -. alloc0))
               ~outcome:(Qlog.Failed (Printexc.to_string e))
               ~shipped:[] None;
           raise e
@@ -480,7 +482,9 @@ let eval ?(mode = Engine.Streaming) t q =
               ~result_count:(Ext_list.length out)
               ~reads:(t.stats.Io_stats.page_reads - reads0)
               ~writes:(t.stats.Io_stats.page_writes - writes0)
-              ~wall_ns ~outcome:Qlog.Ok
+              ~wall_ns
+              ~alloc_bytes:(int_of_float (Gc.allocated_bytes () -. alloc0))
+              ~outcome:Qlog.Ok
               ~shipped:(shipping_delta ship0 (shipping_snapshot t))
               span;
           out)

@@ -301,6 +301,10 @@ let m_writes =
   Metrics.counter ~help:"pages written while evaluating queries"
     "engine_page_writes_total"
 
+let m_alloc =
+  Metrics.counter ~help:"bytes allocated while evaluating queries"
+    "engine_alloc_bytes_total"
+
 let query_detail q =
   let s = Qprinter.to_string q in
   if String.length s > 60 then String.sub s 0 59 ^ "…" else s
@@ -362,7 +366,7 @@ let annotate_ops ~mode plan (ops : Qlog.op list) =
   | [] -> []
 
 let journal_event t q ~mode ~cache ~result_count ~reads ~writes ~wall_ns
-    ~outcome span =
+    ~alloc_bytes ~outcome span =
   (* naive algorithms have no streaming form (run_root falls back), so
      the write estimates must bill the materialized pipeline too *)
   let mode =
@@ -403,7 +407,7 @@ let journal_event t q ~mode ~cache ~result_count ~reads ~writes ~wall_ns
     (Qlog.record ~cache ?trace_id
        ~query:(Qprinter.to_string q)
        ~fingerprint:(Plan.fingerprint q) ~result_count ~reads ~writes ~wall_ns
-       ~outcome ~ops ?capture ~est_card:plan.Plan.est_rows
+       ~alloc_bytes ~outcome ~ops ?capture ~est_card:plan.Plan.est_rows
        ~est_reads:(Plan.total_est_reads plan) ~est_writes ())
 
 (* Full evaluation.  [probe] says how the result cache answered the
@@ -413,6 +417,7 @@ let journal_event t q ~mode ~cache ~result_count ~reads ~writes ~wall_ns
 let eval_uncached t ~mode q ~probe =
   let s = stats t in
   let reads0 = s.Io_stats.page_reads and writes0 = s.Io_stats.page_writes in
+  let alloc0 = Gc.allocated_bytes () in
   let t0 = Mclock.now_ns () in
   let journal = Qlog.enabled () in
   let cache_note =
@@ -432,17 +437,20 @@ let eval_uncached t ~mode q ~probe =
               ~reads:(s.Io_stats.page_reads - reads0)
               ~writes:(s.Io_stats.page_writes - writes0)
               ~wall_ns:(Mclock.now_ns () - t0)
+              ~alloc_bytes:(int_of_float (Gc.allocated_bytes () -. alloc0))
               ~outcome:(Qlog.Failed (Printexc.to_string e))
               None;
           raise e
       | out, span ->
           let wall_ns = Mclock.now_ns () - t0 in
           let reads = s.Io_stats.page_reads - reads0
-          and writes = s.Io_stats.page_writes - writes0 in
+          and writes = s.Io_stats.page_writes - writes0
+          and alloc_bytes = int_of_float (Gc.allocated_bytes () -. alloc0) in
           Metrics.incr m_queries;
           Metrics.observe_ns m_latency wall_ns;
           Metrics.add m_reads reads;
           Metrics.add m_writes writes;
+          Metrics.add m_alloc alloc_bytes;
           (match t.result_cache with
           | Some c when probe <> `Bypass ->
               Metrics.observe_ns m_miss_ns wall_ns;
@@ -458,26 +466,29 @@ let eval_uncached t ~mode q ~probe =
           if journal then
             journal_event t q ~mode ~cache:cache_note
               ~result_count:(Ext_list.length out)
-              ~reads ~writes ~wall_ns ~outcome:Qlog.Ok span;
+              ~reads ~writes ~wall_ns ~alloc_bytes ~outcome:Qlog.Ok span;
           out)
 
 (* A hit re-serves the materialized result as a disk-resident list:
    creation is free (the pages are already paid for in the cache's
    budget), downstream scans charge normally. *)
 let serve_hit t q ~fingerprint arr =
+  let alloc0 = Gc.allocated_bytes () in
   let t0 = Mclock.now_ns () in
   let out = Ext_list.of_array_resident t.pager arr in
   let wall_ns = Mclock.now_ns () - t0 in
+  let alloc_bytes = int_of_float (Gc.allocated_bytes () -. alloc0) in
   Metrics.incr m_queries;
   Metrics.observe_ns m_latency wall_ns;
   Metrics.observe_ns m_hit_ns wall_ns;
+  Metrics.add m_alloc alloc_bytes;
   if Qlog.enabled () then
     ignore
       (Qlog.record ~cache:"hit"
          ?trace_id:(Trace.current_trace_id ())
          ~query:(Qprinter.to_string q)
          ~fingerprint ~result_count:(Array.length arr) ~reads:0 ~writes:0
-         ~wall_ns ~outcome:Qlog.Ok ());
+         ~wall_ns ~alloc_bytes ~outcome:Qlog.Ok ());
   out
 
 let eval ?mode t q =

@@ -21,6 +21,7 @@ type node = Plan.node = {
   actual_rows : int option;
   actual_io : int option;
   actual_ns : int option;
+  actual_alloc : int option;
   children : node list;
 }
 
@@ -42,6 +43,7 @@ let profile ?mode engine q =
   (* measure [f], annotating [est] with actual rows / io / ns *)
   let measured est children f =
     let before = Io_stats.total_io stats in
+    let alloc0 = Gc.allocated_bytes () in
     let t0 = Mclock.now_ns () in
     let out = f () in
     let ns = Mclock.now_ns () - t0 in
@@ -51,12 +53,14 @@ let profile ?mode engine q =
         actual_rows = Some (Ext_list.length out);
         actual_io = Some (Io_stats.total_io stats - before);
         actual_ns = Some ns;
+        actual_alloc = Some (int_of_float (Gc.allocated_bytes () -. alloc0));
         children;
       } )
   in
   (* as [measured], for a streaming operator producing a source *)
   let measured_src est children f =
     let before = Io_stats.total_io stats in
+    let alloc0 = Gc.allocated_bytes () in
     let t0 = Mclock.now_ns () in
     let out = f () in
     let ns = Mclock.now_ns () - t0 in
@@ -66,6 +70,7 @@ let profile ?mode engine q =
         actual_rows = Some (Ext_list.Source.length out);
         actual_io = Some (Io_stats.total_io stats - before);
         actual_ns = Some ns;
+        actual_alloc = Some (int_of_float (Gc.allocated_bytes () -. alloc0));
         children;
       } )
   in
@@ -140,12 +145,16 @@ let profile ?mode engine q =
             (* The root result is materialized in every mode; bill its
                write to the root operator, as eval does. *)
             let before = Io_stats.total_io stats in
+            let alloc0 = Gc.allocated_bytes () in
             let out = Ext_list.Source.materialize pager src in
             let extra = Io_stats.total_io stats - before in
+            let extra_alloc = int_of_float (Gc.allocated_bytes () -. alloc0) in
             ( out,
               {
                 n with
                 actual_io = Option.map (fun io -> io + extra) n.actual_io;
+                actual_alloc =
+                  Option.map (fun a -> a + extra_alloc) n.actual_alloc;
               } ))
   in
   (result, annotated)

@@ -20,6 +20,7 @@ type node = {
   actual_rows : int option;
   actual_io : int option;
   actual_ns : int option;  (* wall-clock, excluding children *)
+  actual_alloc : int option;  (* bytes allocated, excluding children *)
   children : node list;
 }
 
@@ -38,6 +39,7 @@ let mk ~label ~detail ~est_rows ~est_reads ~est_writes ~est_writes_saved
     actual_rows = None;
     actual_io = None;
     actual_ns = None;
+    actual_alloc = None;
     children;
   }
 
@@ -248,13 +250,18 @@ let fingerprint q = Printf.sprintf "%016Lx" (fnv64 (shape q))
 let rec pp_node ppf (n : node) =
   let opt = function None -> "-" | Some v -> string_of_int v in
   let time = function None -> "-" | Some ns -> Mclock.ns_to_string ns in
+  let bytes = function
+    | None -> "-"
+    | Some b -> Fmt.str "%a" Trace.pp_bytes b
+  in
   Fmt.pf ppf
     "@[<v2>%s%s  [rows est=%d got=%s | io est=%d (%dr+%dw, saves %dw) \
-     got=%s | t=%s]%a@]"
+     got=%s | alloc=%s | t=%s]%a@]"
     n.label
     (if n.detail = "" then "" else " " ^ n.detail)
     n.est_rows (opt n.actual_rows) n.est_io n.est_reads n.est_writes
     n.est_writes_saved (opt n.actual_io)
+    (bytes n.actual_alloc)
     (time n.actual_ns)
     (fun ppf children ->
       List.iter (fun c -> Fmt.pf ppf "@,%a" pp_node c) children)

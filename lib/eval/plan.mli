@@ -21,6 +21,8 @@ type node = {
   actual_rows : int option;
   actual_io : int option;
   actual_ns : int option;  (** wall-clock nanoseconds, excluding children *)
+  actual_alloc : int option;
+      (** bytes allocated by the operator, excluding children *)
   children : node list;
 }
 

@@ -1,0 +1,135 @@
+(** The SLO alerting engine: threshold and burn-rate rules evaluated
+    over a {!Metrics} registry, with a Prometheus-style
+    pending → firing → resolved state machine.
+
+    A rule is one line of a small expression language:
+
+    {v
+    engine_query_ns p99 > 50ms for 3
+    rate(engine_page_reads_total) / rate(engine_queries_total) > 40 for 2
+    plan_drift_total increasing
+    gc_heap_words > 2e6
+    v}
+
+    Grammar: [source [/ source] cmp number ["for" N ["ticks"]]] or
+    [selector increasing].  A source is a selector (summing every
+    series whose labels include the selector's [{k=v,...}]), a
+    selector with a quantile ([p50|p90|p95|p99] — computed over the
+    observations that arrived since the previous tick, so alerts
+    resolve when the system goes quiet), or [rate(selector)] (the
+    counter's per-tick delta).  Thresholds accept [ns/us/ms/s]
+    duration suffixes and a bare [x] multiplier.
+
+    {!tick} drives evaluation: the condition must hold on [for]
+    consecutive ticks before the alert fires, and one false tick
+    resolves it.  Transitions land in a bounded history ring; firing
+    alerts export as [ALERTS{alertname,severity}] gauges (1 firing,
+    0 otherwise) into the registry the rules read.  {!silence}
+    suppresses the export without stopping the state machine. *)
+
+type selector = { sel_name : string; sel_labels : (string * string) list }
+
+type source =
+  | Value of selector
+  | Rate of selector
+  | Quantile of selector * float
+
+type term = Source of source | Ratio of source * source
+type cmp = Gt | Ge | Lt | Le
+type expr = Threshold of term * cmp * float | Increasing of selector
+
+type rule = {
+  name : string;
+  severity : string;
+  for_ticks : int;
+  expr : expr;
+  text : string;  (** the rule as written *)
+}
+
+type state = Inactive | Pending of int  (** consecutive true ticks *) | Firing
+
+type transition = {
+  tr_tick : int;
+  tr_ts : float;  (** unix seconds *)
+  tr_rule : string;
+  tr_severity : string;
+  tr_from : string;
+  tr_to : string;  (** ["pending" | "firing" | "resolved" | "inactive"] *)
+  tr_value : float;  (** the measured value at the transition *)
+}
+
+type t
+
+val create : ?registry:Metrics.t -> unit -> t
+(** A fresh evaluator over [registry] (default {!Metrics.default});
+    starts with no rules. *)
+
+val default : t
+(** The process-wide evaluator behind the monitor's [/alerts] route and
+    the shell's [:alerts].  Empty until rules are added
+    ({!install_defaults}). *)
+
+exception Parse_error of string
+
+val parse : string -> expr * int
+(** Parse a rule body, returning the expression and the for-duration
+    (1 when absent).
+    @raise Parse_error on malformed input. *)
+
+val add : ?severity:string -> t -> name:string -> string -> rule
+(** Parse and install a rule ([severity] defaults to ["warn"]).
+    @raise Parse_error on malformed input or a duplicate name. *)
+
+val remove : t -> string -> bool
+(** Remove the named rule; [false] if there is none. *)
+
+val rules : t -> rule list
+
+val install_defaults : ?t:t -> unit -> unit
+(** Install the stock service-health rules (interactive latency p99,
+    read amplification per query, plan drift) into [t] (default
+    {!default}).  No-op when the evaluator already has rules. *)
+
+(** {1 Evaluation} *)
+
+val tick : t -> unit
+(** Evaluate every rule against the registry once and advance the
+    state machines.  The host picks the cadence: the shell ticks from
+    the {!Runtime} sampler, the bench harness between experiments,
+    tests by hand. *)
+
+val ticks : t -> int
+val state : t -> string -> state option
+val states : t -> (rule * state) list
+
+val last_value : t -> string -> float option
+(** The value measured for the rule at its most recent evaluation. *)
+
+val firing : t -> rule list
+(** Rules currently in the firing state (silenced ones included —
+    silencing only suppresses the export). *)
+
+val history : t -> transition list
+(** State transitions, newest first (bounded ring of 256). *)
+
+val silence : t -> string -> bool -> bool
+(** [silence t name on] suppresses ([on = true]) or restores the
+    [ALERTS] export for the named rule; the state machine keeps
+    running either way.  [false] when no such rule exists. *)
+
+val is_silenced : t -> string -> bool
+
+val clear : t -> unit
+(** Drop every rule, state, snapshot and the history; zero the
+    exported [ALERTS] gauges. *)
+
+(** {1 Rendering} *)
+
+val state_name : state -> string
+val to_json : t -> Json.t
+(** The [/alerts] document: tick count, firing count, per-rule states,
+    transition history. *)
+
+val pp_state : Format.formatter -> state -> unit
+val pp_rule : t -> Format.formatter -> rule -> unit
+val pp_transition : Format.formatter -> transition -> unit

@@ -57,6 +57,7 @@ let event_of_span tids (s : Trace.span) =
     @ [
         ("reads", Json.Num (float_of_int s.Trace.io.Io_stats.page_reads));
         ("writes", Json.Num (float_of_int s.Trace.io.Io_stats.page_writes));
+        ("alloc_bytes", Json.Num (float_of_int s.Trace.alloc_bytes));
       ]
     @
     if s.Trace.io.Io_stats.messages = 0 then []

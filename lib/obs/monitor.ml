@@ -30,10 +30,12 @@ type t = {
   port : int;
   registry : Metrics.t;
   started_ns : int;
+  client_timeout : float;
   mutable stopping : bool;
   mutable handlers : (string * (string -> response option)) list;
   mutable thread : Thread.t option;
-  requests : Metrics.counter;
+  mutable served : int;  (* total requests, for /healthz *)
+  open_conns : Metrics.gauge;
 }
 
 let reason = function
@@ -78,7 +80,8 @@ let find_trace sel =
 let index_body =
   "ndq introspection server\n\
    /metrics    Prometheus text exposition\n\
-   /healthz    liveness + uptime\n\
+   /healthz    liveness + uptime + journal sink\n\
+   /alerts     alert rules, states and transition history (JSON)\n\
    /slowlog    slow-query captures (JSON lines)\n\
    /trace      recent traces (JSON summaries)\n\
    /trace/<n>  one trace as Chrome trace-event JSON (n, trace id or 'last')\n\
@@ -103,10 +106,32 @@ let builtin t path =
                      Json.Num
                        (float_of_int (Mclock.now_ns () - t.started_ns) /. 1e9)
                    );
-                   ( "requests",
-                     Json.Num (float_of_int (Metrics.counter_value t.requests))
-                   );
+                   ("requests", Json.Num (float_of_int t.served));
+                   ( "journal",
+                     Json.Obj
+                       ([ ("enabled", Json.Bool (Qlog.enabled ())) ]
+                       @ (match Qlog.path () with
+                         | None -> []
+                         | Some p -> [ ("path", Json.Str p) ])
+                       @ [
+                           ( "sink_bytes",
+                             Json.Num (float_of_int (Qlog.sink_bytes ())) );
+                           ( "max_bytes",
+                             match Qlog.max_bytes () with
+                             | None -> Json.Null
+                             | Some n -> Json.Num (float_of_int n) );
+                           ( "max_files",
+                             Json.Num (float_of_int (Qlog.max_files ())) );
+                         ]) );
+                   ( "alerts_firing",
+                     Json.Num
+                       (float_of_int
+                          (List.length (Alerts.firing Alerts.default))) );
                  ])))
+  | "/alerts" ->
+      Some
+        (respond ~content_type:"application/json"
+           (Json.to_string (Alerts.to_json Alerts.default)))
   | "/slowlog" ->
       Some
         (respond ~content_type:"application/x-ndjson"
@@ -143,8 +168,30 @@ let route_path target =
   | Some i -> String.sub target 0 i
   | None -> target
 
+(* Self-metrics label the first path segment only (so /trace/<n> stays
+   one series) and the response status; the endpoint observing itself
+   is the first thing an operator checks when scrapes look wrong. *)
+let route_label path =
+  match String.index_from_opt path 1 '/' with
+  | Some i -> String.sub path 0 i
+  | None -> path
+  | exception Invalid_argument _ -> path
+
+let observe_request t ~route ~status ~ns =
+  t.served <- t.served + 1;
+  Metrics.incr
+    (Metrics.counter ~registry:t.registry
+       ~help:"requests served by the introspection endpoint"
+       ~labels:[ ("route", route); ("status", string_of_int status) ]
+       "monitor_requests_total");
+  Metrics.observe_ns
+    (Metrics.histogram ~registry:t.registry
+       ~help:"wall nanoseconds per introspection request"
+       ~labels:[ ("route", route) ]
+       "monitor_request_ns")
+    ns
+
 let handle t path =
-  Metrics.incr t.requests;
   let rec try_handlers = function
     | [] -> respond ~status:404 (Printf.sprintf "no route %s\n" path)
     | (_, h) :: rest -> (
@@ -209,32 +256,45 @@ let serve_client t fd =
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
-      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.;
-      Unix.setsockopt_float fd Unix.SO_SNDTIMEO 2.;
+      (* Per-connection send/receive deadlines: a stalled client times
+         out instead of wedging the single accept thread. *)
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.client_timeout;
+      Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.client_timeout;
+      let t0 = Mclock.now_ns () in
+      let finish ~route response head_only =
+        write_response fd ~head_only response;
+        observe_request t ~route ~status:response.status
+          ~ns:(Mclock.now_ns () - t0)
+      in
       match read_request fd with
-      | None -> write_response fd ~head_only:false (respond ~status:400 "bad request\n")
+      | None -> finish ~route:"(bad)" (respond ~status:400 "bad request\n") false
       | Some (meth, path) when meth = "GET" || meth = "HEAD" ->
           (* HEAD gets the same status/headers as GET, body withheld;
              Content-Length still names the GET body's size, as the
              spec wants. *)
-          write_response fd ~head_only:(meth = "HEAD") (handle t path)
-      | Some (meth, _) ->
-          write_response fd ~head_only:false
+          finish ~route:(route_label path) (handle t path) (meth = "HEAD")
+      | Some (meth, path) ->
+          finish ~route:(route_label path)
             (respond ~status:405
-               (Printf.sprintf "method %s not allowed (GET, HEAD)\n" meth)))
+               (Printf.sprintf "method %s not allowed (GET, HEAD)\n" meth))
+            false)
 
 let accept_loop t =
   while not t.stopping do
     match Unix.accept t.sock with
     | client, _ ->
         if t.stopping then (try Unix.close client with Unix.Unix_error _ -> ())
-        else ( try serve_client t client with _ -> ())
+        else begin
+          Metrics.set t.open_conns 1.;
+          (try serve_client t client with _ -> ());
+          Metrics.set t.open_conns 0.
+        end
     | exception Unix.Unix_error _ -> ()  (* stop() closes the socket *)
   done
 
 (* --- Lifecycle ------------------------------------------------------------ *)
 
-let start ?(registry = Metrics.default) ~port () =
+let start ?(registry = Metrics.default) ?(client_timeout_s = 2.) ~port () =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt sock Unix.SO_REUSEADDR true;
@@ -254,13 +314,15 @@ let start ?(registry = Metrics.default) ~port () =
       port;
       registry;
       started_ns = Mclock.now_ns ();
+      client_timeout = (if client_timeout_s > 0. then client_timeout_s else 2.);
       stopping = false;
       handlers = [];
       thread = None;
-      requests =
-        Metrics.counter ~registry
-          ~help:"requests served by the introspection endpoint"
-          "monitor_requests_total";
+      served = 0;
+      open_conns =
+        Metrics.gauge ~registry
+          ~help:"connections the introspection endpoint is serving"
+          "monitor_open_connections";
     }
   in
   t.thread <- Some (Thread.create accept_loop t);

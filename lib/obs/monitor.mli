@@ -3,14 +3,24 @@
     runs.
 
     Built-in routes: [/] (index), [/metrics] (Prometheus text
-    exposition of the registry), [/healthz] (liveness JSON),
-    [/slowlog] (slow-query captures as JSON lines), [/trace] (recent
-    trace summaries), [/trace/<sel>] (one recent trace as Chrome
-    trace-event JSON; [sel] is an index into the recent ring, a trace
-    id, or [last]), [/planstats] (the default {!Planstats} store's
-    q-error summaries + calibration) and [/workload] (its top plans by
-    wall time).  Layers above [lib/obs] add their own routes (the
-    shell registers [/cache]) with {!add_handler}.
+    exposition of the registry), [/healthz] (liveness JSON: uptime,
+    request count, journal sink size and rotation limits, firing-alert
+    count), [/alerts] (the default {!Alerts} evaluator's rules, states
+    and transition history as JSON), [/slowlog] (slow-query captures
+    as JSON lines), [/trace] (recent trace summaries), [/trace/<sel>]
+    (one recent trace as Chrome trace-event JSON; [sel] is an index
+    into the recent ring, a trace id, or [last]), [/planstats] (the
+    default {!Planstats} store's q-error summaries + calibration) and
+    [/workload] (its top plans by wall time).  Layers above [lib/obs]
+    add their own routes (the shell registers [/cache]) with
+    {!add_handler}.
+
+    The endpoint observes itself:
+    [monitor_requests_total{route,status}] counters and a
+    [monitor_request_ns{route}] histogram (routes truncated to their
+    first path segment), plus a [monitor_open_connections] gauge.
+    Each connection gets send/receive deadlines so one stalled client
+    cannot wedge the accept thread past the timeout.
 
     [GET] and [HEAD] are served (HEAD returns the GET response's
     headers — [Content-Length] included — with the body withheld);
@@ -29,10 +39,12 @@ type response = { status : int; content_type : string; body : string }
 val respond : ?status:int -> ?content_type:string -> string -> response
 (** [status] defaults to 200, [content_type] to [text/plain]. *)
 
-val start : ?registry:Metrics.t -> port:int -> unit -> t
+val start :
+  ?registry:Metrics.t -> ?client_timeout_s:float -> port:int -> unit -> t
 (** Bind the loopback interface on [port] (0 picks a free port — see
     {!port}) and start serving.  [registry] defaults to
-    {!Metrics.default}.
+    {!Metrics.default}; [client_timeout_s] (default 2.0) sets each
+    connection's send/receive deadline.
     @raise Unix.Unix_error when the port is taken. *)
 
 val port : t -> int

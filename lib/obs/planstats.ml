@@ -141,6 +141,7 @@ type wrow = {
   mutable w_count : int;
   mutable w_wall_ns : int;
   mutable w_io : int;
+  mutable w_alloc : int;  (* bytes allocated, when the events carry it *)
   mutable w_hits : int;  (* result-cache hits among the events *)
   mutable w_worst_q : float;  (* worst cardinality q-error seen *)
 }
@@ -355,6 +356,7 @@ let note_event t (ev : Qlog.event) =
             w_count = 0;
             w_wall_ns = 0;
             w_io = 0;
+            w_alloc = 0;
             w_hits = 0;
             w_worst_q = 1.;
           }
@@ -365,6 +367,7 @@ let note_event t (ev : Qlog.event) =
   w.w_count <- w.w_count + 1;
   w.w_wall_ns <- w.w_wall_ns + ev.Qlog.wall_ns;
   w.w_io <- w.w_io + ev.Qlog.reads + ev.Qlog.writes;
+  w.w_alloc <- w.w_alloc + Option.value ~default:0 ev.Qlog.alloc_bytes;
   if ev.Qlog.cache = Some "hit" then w.w_hits <- w.w_hits + 1;
   (* whole-query estimates, under the pseudo-class "query" *)
   let qbucket =
@@ -601,6 +604,7 @@ let workload_json ?top t =
                        (float_of_int w.w_wall_ns
                        /. float_of_int (max 1 w.w_count)) );
                    ("io", Json.Num (float_of_int w.w_io));
+                   ("alloc_bytes", Json.Num (float_of_int w.w_alloc));
                    ( "cache_hit_rate",
                      Json.Num
                        (float_of_int w.w_hits /. float_of_int (max 1 w.w_count))

@@ -22,6 +22,7 @@ type op = {
   op_reads : int;
   op_writes : int;
   op_ns : int;
+  op_alloc : int option;  (* GC allocation delta, when the span carried one *)
   op_depth : int;  (* 0 = the query's root span *)
   op_est_rows : int option;  (* planner estimates, when the recording *)
   op_est_reads : int option;  (* layer joined the plan to the span tree *)
@@ -45,6 +46,7 @@ type event = {
   reads : int;
   writes : int;
   wall_ns : int;
+  alloc_bytes : int option;  (* whole-query GC allocation delta *)
   outcome : outcome;
   est_card : int option;  (* whole-query planner estimates, when the *)
   est_reads : int option;  (* recording layer computed a plan *)
@@ -62,6 +64,7 @@ let seq_counter = ref 0
 let sink : (string * out_channel) option ref = ref None
 let threshold = ref 100_000_000 (* 100ms *)
 let rotate_limit : int option ref = ref None
+let rotate_files = ref 1
 let slow_capacity = 64
 let slow : event list ref = ref []  (* slowest first, bounded *)
 let current_server : string option ref = ref None
@@ -75,29 +78,43 @@ let disable () =
   | Some (_, oc) ->
       close_out oc;
       sink := None;
-      rotate_limit := None
+      rotate_limit := None;
+      rotate_files := 1
 
-let enable ?(append = true) ?max_bytes p =
+let enable ?(append = true) ?max_bytes ?(max_files = 1) p =
   disable ();
   let flags =
     [ Open_wronly; Open_creat; (if append then Open_append else Open_trunc) ]
   in
   sink := Some (p, open_out_gen flags 0o644 p);
   rotate_limit :=
-    Option.map (max 1) max_bytes (* a 0 limit would rotate forever *)
+    Option.map (max 1) max_bytes (* a 0 limit would rotate forever *);
+  rotate_files := max 1 max_files
 
-(* Size-based rotation: once the journal passes the limit, the current
-   file becomes <path>.1 (replacing any previous rotation) and a fresh
-   file takes over — the journal never holds more than ~2x the limit on
-   disk.  Checked after each append, so one oversized event still lands
-   intact. *)
+(* Size-based rotation: once the journal passes the limit, the rotated
+   generations shift up — <path>.N-1 becomes <path>.N for N down to 1,
+   the generation past [max_files] is deleted, the live file becomes
+   <path>.1 and a fresh file takes over — so the journal never holds
+   more than ~(max_files + 1) x the limit on disk.  Checked after each
+   append, so one oversized event still lands intact. *)
 let maybe_rotate () =
   match (!sink, !rotate_limit) with
   | Some (p, oc), Some limit when pos_out oc >= limit ->
       close_out oc;
-      (try Sys.rename p (p ^ ".1") with Sys_error _ -> ());
+      let gen n = p ^ "." ^ string_of_int n in
+      (try Sys.remove (gen !rotate_files) with Sys_error _ -> ());
+      for n = !rotate_files - 1 downto 1 do
+        try Sys.rename (gen n) (gen (n + 1)) with Sys_error _ -> ()
+      done;
+      (try Sys.rename p (gen 1) with Sys_error _ -> ());
       sink := Some (p, open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 p)
   | _ -> ()
+
+(* Sink introspection for /healthz: current size and configured
+   rotation limits. *)
+let sink_bytes () = match !sink with Some (_, oc) -> pos_out oc | None -> 0
+let max_bytes () = !rotate_limit
+let max_files () = !rotate_files
 
 let set_threshold_ns n = threshold := max 0 n
 let threshold_ns () = !threshold
@@ -125,6 +142,7 @@ let ops_of_span span =
         op_reads = s.Trace.io.Io_stats.page_reads;
         op_writes = s.Trace.io.Io_stats.page_writes;
         op_ns = s.Trace.elapsed_ns;
+        op_alloc = Some s.Trace.alloc_bytes;
         op_depth = depth;
         op_est_rows = None;
         op_est_reads = None;
@@ -159,6 +177,7 @@ let op_to_json o =
         ("ns", Json.Num (float_of_int o.op_ns));
         ("depth", Json.Num (float_of_int o.op_depth));
       ]
+    @ opt_int "alloc" o.op_alloc
     @ opt_int "est_rows" o.op_est_rows
     @ opt_int "est_reads" o.op_est_reads
     @ opt_int "est_writes" o.op_est_writes)
@@ -187,6 +206,7 @@ let to_json ev =
         ("writes", Json.Num (float_of_int ev.writes));
         ("wall_ns", Json.Num (float_of_int ev.wall_ns));
       ]
+    @ opt_int "alloc_bytes" ev.alloc_bytes
     @ opt_int "est_card" ev.est_card
     @ opt_int "est_reads" ev.est_reads
     @ opt_int "est_writes" ev.est_writes
@@ -234,6 +254,7 @@ let op_of_json j =
     op_reads = Json.to_int (Json.member "reads" j);
     op_writes = Json.to_int (Json.member "writes" j);
     op_ns = Json.to_int (Json.member "ns" j);
+    op_alloc = read_opt_int "alloc" j;
     op_depth = Json.to_int (Json.member "depth" j);
     op_est_rows = read_opt_int "est_rows" j;
     op_est_reads = read_opt_int "est_reads" j;
@@ -254,6 +275,7 @@ let of_json j =
     reads = Json.to_int (Json.member "reads" j);
     writes = Json.to_int (Json.member "writes" j);
     wall_ns = Json.to_int (Json.member "wall_ns" j);
+    alloc_bytes = read_opt_int "alloc_bytes" j;
     est_card = read_opt_int "est_card" j;
     est_reads = read_opt_int "est_reads" j;
     est_writes = read_opt_int "est_writes" j;
@@ -309,8 +331,8 @@ let on_record : (event -> unit) option ref = ref None
 let set_on_record f = on_record := f
 
 let record ?cache ?server ?trace_id ?(shipped = []) ?(ops = []) ?capture
-    ?est_card ?est_reads ?est_writes ~query ~fingerprint ~result_count ~reads
-    ~writes ~wall_ns ~outcome () =
+    ?alloc_bytes ?est_card ?est_reads ?est_writes ~query ~fingerprint
+    ~result_count ~reads ~writes ~wall_ns ~outcome () =
   incr seq_counter;
   let server = match server with Some _ as s -> s | None -> !current_server in
   let ev =
@@ -324,6 +346,7 @@ let record ?cache ?server ?trace_id ?(shipped = []) ?(ops = []) ?capture
       reads;
       writes;
       wall_ns;
+      alloc_bytes;
       outcome;
       est_card;
       est_reads;

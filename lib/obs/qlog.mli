@@ -17,6 +17,10 @@ type op = {
   op_reads : int;
   op_writes : int;
   op_ns : int;
+  op_alloc : int option;
+      (** inclusive GC allocation delta for the span, when the tracing
+          layer measured one; absent in journals written before the
+          field existed *)
   op_depth : int;  (** 0 = the query's root span *)
   op_est_rows : int option;
       (** planner estimates for this operator, when the recording layer
@@ -45,6 +49,10 @@ type event = {
   reads : int;
   writes : int;
   wall_ns : int;
+  alloc_bytes : int option;
+      (** whole-query GC allocation delta ([Gc.allocated_bytes] across
+          the evaluation), when the recording layer measured one; old
+          journals without it still load *)
   outcome : outcome;
   est_card : int option;
       (** whole-query planner estimates (result cardinality, page reads,
@@ -64,17 +72,30 @@ type event = {
 
 (** {1 The journal sink} *)
 
-val enable : ?append:bool -> ?max_bytes:int -> string -> unit
+val enable : ?append:bool -> ?max_bytes:int -> ?max_files:int -> string -> unit
 (** Open (creating if needed) the journal file; [append] defaults to
     [true], the journal being append-only by design.  Closes any
     previously open journal.  With [max_bytes], the journal rotates
-    once it passes that size: the file moves to [<path>.1] (replacing
-    any previous rotation) and a fresh file takes over, bounding disk
-    use at roughly twice the limit. *)
+    once it passes that size: rotated generations shift up
+    ([<path>.1] → [<path>.2] → …), the generation past [max_files]
+    (default 1) is deleted, the live file becomes [<path>.1] and a
+    fresh file takes over — disk use stays bounded at roughly
+    [(max_files + 1) x max_bytes]. *)
 
 val disable : unit -> unit
 val enabled : unit -> bool
 val path : unit -> string option
+
+val sink_bytes : unit -> int
+(** Bytes written to the live journal file so far (0 with no sink) —
+    the runtime sampler publishes this as a gauge, and [/healthz]
+    reports it. *)
+
+val max_bytes : unit -> int option
+(** The configured rotation size limit, if any. *)
+
+val max_files : unit -> int
+(** The configured number of rotated generations kept (>= 1). *)
 
 val set_threshold_ns : int -> unit
 (** Queries with [wall_ns >=] this are promoted to full captures
@@ -98,6 +119,7 @@ val record :
   ?shipped:(string * int * int) list ->
   ?ops:op list ->
   ?capture:capture ->
+  ?alloc_bytes:int ->
   ?est_card:int ->
   ?est_reads:int ->
   ?est_writes:int ->

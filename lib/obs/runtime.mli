@@ -1,0 +1,32 @@
+(** Runtime resource telemetry: GC and process health gauges.
+
+    Publishes into the default {!Metrics} registry, so the same
+    [/metrics] exposition (and the {!Alerts} evaluator) covers process
+    health alongside query counters:
+
+    - [process_uptime_seconds], [process_allocated_bytes]
+    - [gc_minor_collections], [gc_major_collections], [gc_compactions]
+    - [gc_heap_words], [gc_top_heap_words], [gc_live_words],
+      [gc_promoted_bytes]
+    - [qlog_sink_bytes] (the live query-journal file's size)
+
+    Gauges only change when sampled: call {!sample} explicitly (the
+    bench harness does, between experiments) or {!start} a ticker
+    thread (the shell does while the monitor serves). *)
+
+val sample : ?full:bool -> unit -> unit
+(** Refresh every gauge from [Gc.quick_stat].  With [full] (default
+    [false]) also refresh [gc_live_words], which requires a full
+    [Gc.stat] heap traversal. *)
+
+type ticker
+
+val start :
+  ?period:float -> ?full:bool -> ?on_tick:(unit -> unit) -> unit -> ticker
+(** Spawn a thread that {!sample}s every [period] seconds (default 1.0)
+    and then runs [on_tick] — the alert evaluator's hook (exceptions
+    from it are swallowed).  One sample happens immediately.
+    @raise Invalid_argument when [period <= 0]. *)
+
+val stop : ticker -> unit
+(** Stop and join the ticker thread.  Idempotent. *)

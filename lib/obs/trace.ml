@@ -34,6 +34,7 @@ type span = {
   start_ns : int;  (* Mclock reading when the span opened *)
   mutable elapsed_ns : int;
   mutable io : Io_stats.t;  (* delta while the span was open *)
+  mutable alloc_bytes : int;  (* GC allocation delta while open, inclusive *)
   mutable rows : int option;  (* result cardinality, when annotated *)
   mutable children : span list;  (* execution order once closed *)
 }
@@ -125,11 +126,16 @@ let with_span_out ?(detail = "") ?stats name f =
         start_ns = Mclock.now_ns ();
         elapsed_ns = 0;
         io = Io_stats.create ();
+        alloc_bytes = 0;
         rows = None;
         children = [];
       }
     in
     let snap = Option.map Io_stats.copy stats in
+    (* Memory attribution mirrors the io delta: [Gc.allocated_bytes] is
+       monotonic over the thread's life, so open-minus-close is the
+       inclusive allocation of the span's dynamic extent. *)
+    let alloc0 = Gc.allocated_bytes () in
     let parent = !stack in
     stack := span :: parent;
     let finish () =
@@ -137,6 +143,7 @@ let with_span_out ?(detail = "") ?stats name f =
       (match (stats, snap) with
       | Some s, Some s0 -> span.io <- Io_stats.diff s s0
       | _ -> ());
+      span.alloc_bytes <- int_of_float (Gc.allocated_bytes () -. alloc0);
       (* children were pushed newest-first while open *)
       span.children <- List.rev span.children;
       stack := parent;
@@ -163,13 +170,19 @@ let rec actors s =
   List.sort_uniq String.compare
     (s.actor :: List.concat_map actors s.children)
 
+let pp_bytes ppf n =
+  if n >= 1 lsl 20 then Fmt.pf ppf "%.1fMB" (float_of_int n /. 1048576.)
+  else if n >= 1 lsl 10 then Fmt.pf ppf "%.1fkB" (float_of_int n /. 1024.)
+  else Fmt.pf ppf "%dB" n
+
 let rec pp_span ppf s =
-  Fmt.pf ppf "@[<v2>%s%s%s  %a  [%sreads=%d writes=%d%s]%a@]" s.name
+  Fmt.pf ppf "@[<v2>%s%s%s  %a  [%sreads=%d writes=%d alloc=%a%s]%a@]" s.name
     (if s.actor = "" then "" else "@" ^ s.actor)
     (if s.detail = "" then "" else " " ^ s.detail)
     Mclock.pp_ns s.elapsed_ns
     (match s.rows with None -> "" | Some n -> Printf.sprintf "rows=%d " n)
     s.io.Io_stats.page_reads s.io.Io_stats.page_writes
+    pp_bytes s.alloc_bytes
     (if s.io.Io_stats.messages > 0 then
        Printf.sprintf " msgs=%d bytes=%d" s.io.Io_stats.messages
          s.io.Io_stats.bytes_shipped

@@ -20,6 +20,9 @@ type span = {
   start_ns : int;  (** {!Mclock} reading when the span opened *)
   mutable elapsed_ns : int;
   mutable io : Io_stats.t;  (** I/O delta while the span was open *)
+  mutable alloc_bytes : int;
+      (** GC allocation delta ([Gc.allocated_bytes]) while the span was
+          open — inclusive of children, like the io delta *)
   mutable rows : int option;  (** result cardinality, when annotated *)
   mutable children : span list;  (** in execution order *)
 }
@@ -83,6 +86,9 @@ val span_count : span -> int
 
 val actors : span -> string list
 (** The distinct actors appearing in a span tree, sorted. *)
+
+val pp_bytes : Format.formatter -> int -> unit
+(** Human byte count ([512B], [1.5kB], [2.0MB]). *)
 
 val pp_span : Format.formatter -> span -> unit
 val pp : Format.formatter -> span -> unit

@@ -314,6 +314,7 @@ let test_qlog_roundtrip () =
             op_reads = 5;
             op_writes = 0;
             op_ns = 1200;
+            op_alloc = Some 4096;
             op_depth = 0;
             op_est_rows = None;
             op_est_reads = None;
@@ -326,6 +327,7 @@ let test_qlog_roundtrip () =
             op_reads = 5;
             op_writes = 0;
             op_ns = 1000;
+            op_alloc = None;
             op_depth = 1;
             op_est_rows = Some 4;
             op_est_reads = Some 6;
@@ -335,8 +337,8 @@ let test_qlog_roundtrip () =
       in
       let e1 =
         Qlog.record ~ops ~query:"( ? sub ? tag=even)" ~fingerprint:"abc"
-          ~result_count:3 ~reads:5 ~writes:0 ~wall_ns:1200 ~outcome:Qlog.Ok
-          ~est_card:4 ~est_reads:6 ~est_writes:0 ()
+          ~result_count:3 ~reads:5 ~writes:0 ~wall_ns:1200 ~alloc_bytes:8192
+          ~outcome:Qlog.Ok ~est_card:4 ~est_reads:6 ~est_writes:0 ()
       in
       let e2 =
         Qlog.record ~server:"s0"
