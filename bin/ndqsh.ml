@@ -20,6 +20,7 @@ type state = {
   mutable cache : Cache.t;  (* survives engine rebuilds, off by default *)
   mutable cache_on : bool;
   mutable monitor : Monitor.t option;  (* live introspection server *)
+  mutable server : Srv.t option;  (* query-serving front-end *)
   mutable ticker : Runtime.ticker option;  (* GC sampler + alert ticks *)
   mutable mode : Engine.mode;  (* operator-boundary handling *)
 }
@@ -109,6 +110,10 @@ let help () =
     \                   /planstats /workload /cache /alerts@,\
     \                   (also starts the runtime sampler + alert ticks)@,\
     \  :monitor off     stop the introspection server@,\
+    \  :serve <port> [workers <n>] [queue <n>]   start the query-serving@,\
+    \                   front-end: HTTP /query + line protocol, worker@,\
+    \                   pool, bounded admission queue (0 = free port)@,\
+    \  :serve off       stop the serving front-end@,\
     \  :alerts          rule states (pending/firing) and last values@,\
     \  :alerts rules    the installed rule expressions@,\
     \  :alerts history [n]      recent state transitions@,\
@@ -249,9 +254,32 @@ let replay st path =
             Fmt.pr "%a" Planstats.pp_summary ps
           end)
 
+(* Per-route totals of the serving front-end's request counter, summed
+   over the status label, for the :top dashboard. *)
+let srv_route_totals () =
+  match
+    List.find_opt
+      (fun f -> f.Metrics.fv_name = "srv_requests_total")
+      (Metrics.export Metrics.default)
+  with
+  | None -> []
+  | Some f ->
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun (labels, v) ->
+          let route =
+            Option.value ~default:"?" (List.assoc_opt "route" labels)
+          in
+          let n = match v with Metrics.V_counter c -> c | _ -> 0 in
+          Hashtbl.replace tbl route
+            (n + Option.value ~default:0 (Hashtbl.find_opt tbl route)))
+        f.Metrics.fv_series;
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
 (* The :top live view: a compact dashboard over the default registry
    (the same numbers /metrics exposes), refreshed in place. *)
 let show_top st frames =
+  let prev_routes = ref (srv_route_totals ()) in
   let frame i =
     if frames > 1 then Fmt.pr "\027[2J\027[H";
     let queries =
@@ -283,7 +311,26 @@ let show_top st frames =
     Fmt.pr "  monitor   %s@."
       (match st.monitor with
       | Some m -> Printf.sprintf "http://127.0.0.1:%d/" (Monitor.port m)
-      | None -> "off")
+      | None -> "off");
+    (match st.server with
+    | None -> Fmt.pr "  serving   off@."
+    | Some srv ->
+        Fmt.pr "  serving   port=%d workers=%d queue=%d/%d sessions=%d shed=%d@."
+          (Srv.port srv) (Srv.workers srv) (Srv.queue_depth srv)
+          (Srv.queue_capacity srv) (Srv.session_count srv)
+          (Metrics.counter_value (Metrics.counter "srv_shed_total"));
+        let now = srv_route_totals () in
+        List.iter
+          (fun (route, n) ->
+            let before =
+              Option.value ~default:0 (List.assoc_opt route !prev_routes)
+            in
+            if i > 0 then
+              Fmt.pr "    route %-9s %6d total  %4d req/s@." route n
+                (max 0 (n - before))
+            else Fmt.pr "    route %-9s %6d total@." route n)
+          now;
+        prev_routes := now)
   in
   for i = 0 to frames - 1 do
     if i > 0 then Unix.sleepf 1.0;
@@ -323,6 +370,49 @@ let start_monitor st port =
         (Monitor.port m)
   | exception Unix.Unix_error (e, _, _) ->
       Fmt.pr "cannot listen on port %d: %s@." port (Unix.error_message e)
+
+let stop_server st =
+  match st.server with
+  | None -> false
+  | Some s ->
+      Srv.stop s;
+      st.server <- None;
+      true
+
+(* The serving workers each build their own engine over the directory's
+   instance at start time — updates made at the shell afterwards are
+   not visible to them until :serve is restarted (the instance itself
+   is immutable, so concurrent serving needs no locks). *)
+let start_server st ~port ~workers ~queue =
+  ignore (stop_server st);
+  let instance = Directory.instance st.directory in
+  let block = st.block and mode = st.mode in
+  match
+    Srv.start ~workers ~queue ~port
+      ~make_engine:(fun () -> Engine.create ~block ~mode instance)
+      ()
+  with
+  | s ->
+      st.server <- Some s;
+      Fmt.pr
+        "serving on 127.0.0.1:%d (%d workers, queue %d; HTTP /query + line \
+         protocol; :serve off to stop)@."
+        (Srv.port s) workers queue
+  | exception Unix.Unix_error (e, _, _) ->
+      Fmt.pr "cannot listen on port %d: %s@." port (Unix.error_message e)
+
+(* [workers <n>] [queue <n>] in either order after :serve <port>. *)
+let rec parse_serve_opts ~workers ~queue = function
+  | [] -> Some (workers, queue)
+  | "workers" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some w when w > 0 -> parse_serve_opts ~workers:w ~queue rest
+      | _ -> None)
+  | "queue" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some q when q > 0 -> parse_serve_opts ~workers ~queue:q rest
+      | _ -> None)
+  | _ -> None
 
 let run_command st line =
   let instance = Directory.instance st.directory in
@@ -505,6 +595,24 @@ let run_command st line =
         (match st.monitor with
         | Some m -> Printf.sprintf "on http://127.0.0.1:%d/" (Monitor.port m)
         | None -> "off")
+  | ":serve" :: "off" :: _ ->
+      if stop_server st then Fmt.pr "serving stopped@."
+      else Fmt.pr "serving is not running@."
+  | ":serve" :: port :: rest when int_of_string_opt port <> None -> (
+      match parse_serve_opts ~workers:4 ~queue:64 rest with
+      | Some (workers, queue) ->
+          start_server st
+            ~port:(Option.get (int_of_string_opt port))
+            ~workers ~queue
+      | None -> Fmt.pr "usage: :serve <port> [workers <n>] [queue <n>]@.")
+  | ":serve" :: _ ->
+      Fmt.pr "serving is %s (usage: :serve <port> [workers <n>] [queue <n>]|off)@."
+        (match st.server with
+        | Some s ->
+            Printf.sprintf "on 127.0.0.1:%d (%d workers, queue %d/%d)"
+              (Srv.port s) (Srv.workers s) (Srv.queue_depth s)
+              (Srv.queue_capacity s)
+        | None -> "off")
   | ":alerts" :: "rules" :: _ ->
       let a = Alerts.default in
       (match Alerts.rules a with
@@ -681,7 +789,8 @@ let repl st =
   in
   loop ()
 
-let main kind size seed block journal monitor_port queries =
+let main kind size seed block journal monitor_port serve_port serve_workers
+    serve_queue queries =
   let dir = load_directory kind size seed in
   Fmt.pr "loaded %S: %d entries (block %d)@." kind (Instance.size dir) block;
   let directory = Directory.create dir in
@@ -703,6 +812,7 @@ let main kind size seed block journal monitor_port queries =
       cache;
       cache_on = false;
       monitor = None;
+      server = None;
       ticker = None;
       mode = Engine.Streaming;
     }
@@ -714,6 +824,10 @@ let main kind size seed block journal monitor_port queries =
       Fmt.pr "journaling to %s@." path
   | None -> ());
   Option.iter (start_monitor st) monitor_port;
+  Option.iter
+    (fun port ->
+      start_server st ~port ~workers:serve_workers ~queue:serve_queue)
+    serve_port;
   (match queries with
   | [] -> repl st
   | qs ->
@@ -722,6 +836,16 @@ let main kind size seed block journal monitor_port queries =
           Fmt.pr "@.ndq> %s@." q;
           if q <> "" && q.[0] = ':' then run_command st q else run_query st q)
         qs);
+  (* --serve keeps the process alive past the REPL/script: in CI (or
+     under nohup) stdin hits EOF immediately, but the server must keep
+     answering until the process is killed or :serve off ran. *)
+  (if serve_port <> None && Option.is_some st.server then begin
+     Fmt.pr "serving; interrupt (Ctrl-C) or kill to exit@.%!";
+     while Option.is_some st.server do
+       Unix.sleepf 0.5
+     done
+   end);
+  ignore (stop_server st);
   ignore (stop_monitor st)
 
 open Cmdliner
@@ -762,6 +886,31 @@ let monitor_port =
           "Serve live introspection (/metrics, /healthz, /slowlog, /trace, \
            /planstats, /workload, /cache) on 127.0.0.1:$(docv).")
 
+let serve_port =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "serve" ] ~docv:"PORT"
+        ~doc:
+          "Start the query-serving front-end on 127.0.0.1:$(docv) (0 picks \
+           a free port): HTTP /query plus the line protocol, a worker pool \
+           and a bounded admission queue.  The process keeps serving after \
+           the REPL or $(b,--eval) queries finish, until killed.")
+
+let serve_workers =
+  Arg.(
+    value & opt int 4
+    & info [ "workers" ] ~docv:"N"
+        ~doc:"Worker threads of the serving front-end (with $(b,--serve)).")
+
+let serve_queue =
+  Arg.(
+    value & opt int 64
+    & info [ "queue" ] ~docv:"N"
+        ~doc:
+          "Admission-queue bound of the serving front-end (with \
+           $(b,--serve)); requests beyond it are shed with backpressure.")
+
 let queries =
   Arg.(
     value & opt_all string []
@@ -772,6 +921,8 @@ let cmd =
   let doc = "query shell for the network directory engine" in
   Cmd.v
     (Cmd.info "ndqsh" ~doc)
-    Term.(const main $ kind $ size $ seed $ block $ journal $ monitor_port $ queries)
+    Term.(
+      const main $ kind $ size $ seed $ block $ journal $ monitor_port
+      $ serve_port $ serve_workers $ serve_queue $ queries)
 
 let () = exit (Cmd.eval cmd)

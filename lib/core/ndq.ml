@@ -130,6 +130,17 @@ module Chrome_trace = Chrome_trace
 module Monitor = Monitor
 (** Live HTTP introspection server (/metrics, /healthz, /trace, ...). *)
 
+module Alerts = Alerts
+(** SLO alerting: threshold/burn-rate rules over the metrics registry. *)
+
+module Srv = Srv
+(** The concurrent query-serving front-end: worker pool, bounded
+    admission queue, deadlines, streamed results over HTTP and a line
+    protocol. *)
+
+module Srv_client = Srv_client
+(** Line-protocol client for {!Srv} (the load generator speaks it). *)
+
 module Json = Json
 (** Minimal JSON parser/printer shared by the observability formats. *)
 
@@ -188,3 +199,6 @@ module Prng = Prng
 
 module Dif_gen = Dif_gen
 (** Synthetic directory information forests. *)
+
+module Query_mix = Query_mix
+(** Seeded L0–L3 query-text streams for serving workloads. *)

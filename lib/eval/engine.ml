@@ -311,11 +311,32 @@ let query_detail q =
 
 (* A journaled query needs the span tree for per-operator attribution,
    so the journal forces tracing for the query's extent even when
-   :trace is off. *)
+   :trace is off.  The force is counted: with concurrent workers each
+   journaling, tracing stays on until the last forcing query finishes
+   rather than being switched off under a still-running neighbour. *)
+let force_mu = Mutex.create ()
+let force_count = ref 0
+let force_owner = ref false  (* the force flipped the flag on, so it flips it off *)
+
 let with_forced_tracing journal f =
-  let forced = journal && not (Trace.enabled ()) in
-  if forced then Trace.set_enabled true;
-  Fun.protect ~finally:(fun () -> if forced then Trace.set_enabled false) f
+  if not journal then f ()
+  else begin
+    Mutex.lock force_mu;
+    if !force_count = 0 then force_owner := not (Trace.enabled ());
+    if !force_owner then Trace.set_enabled true;
+    incr force_count;
+    Mutex.unlock force_mu;
+    let release () =
+      Mutex.lock force_mu;
+      decr force_count;
+      if !force_count = 0 && !force_owner then begin
+        Trace.set_enabled false;
+        force_owner := false
+      end;
+      Mutex.unlock force_mu
+    in
+    Fun.protect ~finally:release f
+  end
 
 (* Hit-vs-miss latency: the histograms behind the "is the cache worth
    it" question. *)

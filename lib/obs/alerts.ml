@@ -518,7 +518,17 @@ let install_defaults ?(t = default) () =
       (add t ~severity:"critical" ~name:"read-amplification"
          "rate(engine_page_reads_total) / rate(engine_queries_total) > 400 for 3");
     ignore
-      (add t ~severity:"warn" ~name:"plan-drift" "plan_drift_total increasing")
+      (add t ~severity:"warn" ~name:"plan-drift" "plan_drift_total increasing");
+    (* Serving SLOs: end-to-end latency (queue wait included) and the
+       shed rate of the admission queue.  Quiet processes (no serving,
+       or no traffic this tick) read 0/0 ratios and empty quantiles,
+       which never fire. *)
+    ignore
+      (add t ~severity:"warn" ~name:"srv-latency-p99"
+         "srv_request_ns p99 > 250ms for 3");
+    ignore
+      (add t ~severity:"critical" ~name:"srv-shed-rate"
+         "rate(srv_shed_total) / rate(srv_requests_total) > 0.05 for 2")
   end
 
 (* --- Rendering --------------------------------------------------------------- *)

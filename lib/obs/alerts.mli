@@ -87,8 +87,9 @@ val rules : t -> rule list
 
 val install_defaults : ?t:t -> unit -> unit
 (** Install the stock service-health rules (interactive latency p99,
-    read amplification per query, plan drift) into [t] (default
-    {!default}).  No-op when the evaluator already has rules. *)
+    read amplification per query, plan drift, serving-front-end p99 and
+    shed rate) into [t] (default {!default}).  No-op when the evaluator
+    already has rules. *)
 
 (** {1 Evaluation} *)
 

@@ -9,9 +9,30 @@
    factor-of-two bucketing error — plenty for the order-of-magnitude
    questions this layer answers.  Handles returned by {!counter},
    {!gauge} and {!histogram} stay valid across {!reset}: resetting
-   zeroes series in place rather than dropping them. *)
+   zeroes series in place rather than dropping them.
+
+   Thread safety: the serving front-end's worker pool observes into the
+   same registry from many threads, so every registration, mutation and
+   export takes one process-wide mutex.  The critical sections are a
+   few field updates (no allocation-heavy work happens under the lock),
+   so contention stays negligible next to query evaluation. *)
 
 type labels = (string * string) list
+
+(* One lock for every registry: registration and observation interleave
+   from worker threads, and a per-registry lock would buy nothing (the
+   default registry is where everyone meets anyway). *)
+let mu = Mutex.create ()
+
+let locked f =
+  Mutex.lock mu;
+  match f () with
+  | v ->
+      Mutex.unlock mu;
+      v
+  | exception e ->
+      Mutex.unlock mu;
+      raise e
 
 let normalize labels =
   List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) labels
@@ -69,43 +90,46 @@ let series_of m labels mk =
 (* --- Counters ---------------------------------------------------------------- *)
 
 let counter ?(registry = default) ?(help = "") ?(labels = []) name =
-  let m = family registry ~kind:"counter" ~help name in
-  match series_of m labels (fun () -> C { c = 0 }) with
-  | C c -> c
-  | G _ | H _ -> assert false
+  locked (fun () ->
+      let m = family registry ~kind:"counter" ~help name in
+      match series_of m labels (fun () -> C { c = 0 }) with
+      | C c -> c
+      | G _ | H _ -> assert false)
 
-let add c n = c.c <- c.c + n
+let add c n = locked (fun () -> c.c <- c.c + n)
 let incr c = add c 1
 let counter_value c = c.c
 
 (* --- Gauges ------------------------------------------------------------------- *)
 
 let gauge ?(registry = default) ?(help = "") ?(labels = []) name =
-  let m = family registry ~kind:"gauge" ~help name in
-  match series_of m labels (fun () -> G { g = 0. }) with
-  | G g -> g
-  | C _ | H _ -> assert false
+  locked (fun () ->
+      let m = family registry ~kind:"gauge" ~help name in
+      match series_of m labels (fun () -> G { g = 0. }) with
+      | G g -> g
+      | C _ | H _ -> assert false)
 
-let set g v = g.g <- v
+let set g v = locked (fun () -> g.g <- v)
 let gauge_value g = g.g
 
 (* --- Histograms ----------------------------------------------------------------- *)
 
 let histogram ?(registry = default) ?(help = "") ?(labels = []) name =
-  let m = family registry ~kind:"histogram" ~help name in
-  let mk () =
-    H
-      {
-        buckets = Array.make hbuckets 0;
-        hcount = 0;
-        hsum = 0.;
-        hmin = infinity;
-        hmax = neg_infinity;
-      }
-  in
-  match series_of m labels mk with
-  | H h -> h
-  | C _ | G _ -> assert false
+  locked (fun () ->
+      let m = family registry ~kind:"histogram" ~help name in
+      let mk () =
+        H
+          {
+            buckets = Array.make hbuckets 0;
+            hcount = 0;
+            hsum = 0.;
+            hmin = infinity;
+            hmax = neg_infinity;
+          }
+      in
+      match series_of m labels mk with
+      | H h -> h
+      | C _ | G _ -> assert false)
 
 let bucket_index v =
   if v < 1. then 0
@@ -115,11 +139,12 @@ let observe h v =
   (* NaN would flow through Float.max unchanged and hand int_of_float an
      unspecified value in bucket_index; clamp it to zero like negatives. *)
   let v = if Float.is_nan v then 0. else Float.max v 0. in
-  h.buckets.(bucket_index v) <- h.buckets.(bucket_index v) + 1;
-  h.hcount <- h.hcount + 1;
-  h.hsum <- h.hsum +. v;
-  if v < h.hmin then h.hmin <- v;
-  if v > h.hmax then h.hmax <- v
+  locked (fun () ->
+      h.buckets.(bucket_index v) <- h.buckets.(bucket_index v) + 1;
+      h.hcount <- h.hcount + 1;
+      h.hsum <- h.hsum +. v;
+      if v < h.hmin then h.hmin <- v;
+      if v > h.hmax then h.hmax <- v)
 
 let observe_ns h ns = observe h (float_of_int ns)
 
@@ -127,8 +152,9 @@ let histogram_count h = h.hcount
 let histogram_sum h = h.hsum
 
 (* Quantile estimate: find the bucket holding the rank, interpolate
-   linearly inside it, clamp to the observed min/max. *)
-let quantile h q =
+   linearly inside it, clamp to the observed min/max.  The unlocked
+   variant serves the exporters below, which already hold the lock. *)
+let quantile_unlocked h q =
   if h.hcount = 0 then 0.
   else begin
     let q = Float.max 0. (Float.min 1. q) in
@@ -148,6 +174,8 @@ let quantile h q =
     go 0 0
   end
 
+let quantile h q = locked (fun () -> quantile_unlocked h q)
+
 (* --- Reset ------------------------------------------------------------------------ *)
 
 let reset_series = function
@@ -161,9 +189,10 @@ let reset_series = function
       h.hmax <- neg_infinity
 
 let reset registry =
-  Hashtbl.iter
-    (fun _ m -> Hashtbl.iter (fun _ s -> reset_series s) m.series)
-    registry.tbl
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ m -> Hashtbl.iter (fun _ s -> reset_series s) m.series)
+        registry.tbl)
 
 (* --- Export view -------------------------------------------------------------------- *)
 
@@ -212,31 +241,32 @@ let sorted_series m =
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let export registry =
-  List.map
-    (fun m ->
-      {
-        fv_name = m.mname;
-        fv_kind = m.kind;
-        fv_help = m.help;
-        fv_series =
-          List.map
-            (fun (labels, s) ->
-              ( labels,
-                match s with
-                | C c -> V_counter c.c
-                | G g -> V_gauge g.g
-                | H h ->
-                    V_histogram
-                      {
-                        hv_count = h.hcount;
-                        hv_sum = h.hsum;
-                        hv_min = h.hmin;
-                        hv_max = h.hmax;
-                        hv_cumulative = cumulative_buckets h;
-                      } ))
-            (sorted_series m);
-      })
-    (sorted_families registry)
+  locked (fun () ->
+      List.map
+        (fun m ->
+          {
+            fv_name = m.mname;
+            fv_kind = m.kind;
+            fv_help = m.help;
+            fv_series =
+              List.map
+                (fun (labels, s) ->
+                  ( labels,
+                    match s with
+                    | C c -> V_counter c.c
+                    | G g -> V_gauge g.g
+                    | H h ->
+                        V_histogram
+                          {
+                            hv_count = h.hcount;
+                            hv_sum = h.hsum;
+                            hv_min = h.hmin;
+                            hv_max = h.hmax;
+                            hv_cumulative = cumulative_buckets h;
+                          } ))
+                (sorted_series m);
+          })
+        (sorted_families registry))
 
 let pp_labels ppf = function
   | [] -> ()
@@ -249,22 +279,23 @@ let pp_labels ppf = function
 let finite v = if Float.is_finite v then v else 0.
 
 let pp ppf registry =
-  List.iter
-    (fun m ->
-      if m.help <> "" then Fmt.pf ppf "# %s: %s@." m.mname m.help;
+  locked (fun () ->
       List.iter
-        (fun (labels, s) ->
-          match s with
-          | C c -> Fmt.pf ppf "%s%a %d@." m.mname pp_labels labels c.c
-          | G g -> Fmt.pf ppf "%s%a %g@." m.mname pp_labels labels g.g
-          | H h ->
-              Fmt.pf ppf
-                "%s%a count=%d sum=%g min=%g p50=%g p90=%g p99=%g max=%g@."
-                m.mname pp_labels labels h.hcount h.hsum (finite h.hmin)
-                (quantile h 0.5) (quantile h 0.9) (quantile h 0.99)
-                (finite h.hmax))
-        (sorted_series m))
-    (sorted_families registry)
+        (fun m ->
+          if m.help <> "" then Fmt.pf ppf "# %s: %s@." m.mname m.help;
+          List.iter
+            (fun (labels, s) ->
+              match s with
+              | C c -> Fmt.pf ppf "%s%a %d@." m.mname pp_labels labels c.c
+              | G g -> Fmt.pf ppf "%s%a %g@." m.mname pp_labels labels g.g
+              | H h ->
+                  Fmt.pf ppf
+                    "%s%a count=%d sum=%g min=%g p50=%g p90=%g p99=%g max=%g@."
+                    m.mname pp_labels labels h.hcount h.hsum (finite h.hmin)
+                    (quantile_unlocked h 0.5) (quantile_unlocked h 0.9)
+                    (quantile_unlocked h 0.99) (finite h.hmax))
+            (sorted_series m))
+        (sorted_families registry))
 
 (* Minimal JSON string escaping (quotes, backslashes, control chars). *)
 let json_escape s =
@@ -296,6 +327,7 @@ let json_num v = Printf.sprintf "%.17g" (finite v)
 
 (* One JSON object per line per series. *)
 let to_json_lines registry =
+  locked @@ fun () ->
   let b = Buffer.create 256 in
   List.iter
     (fun m ->
@@ -328,9 +360,9 @@ let to_json_lines registry =
                 (Printf.sprintf
                    "%s,\"count\":%d,\"sum\":%s,\"min\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s,\"max\":%s,\"buckets\":%s}"
                    head h.hcount (json_num h.hsum) (json_num h.hmin)
-                   (json_num (quantile h 0.5))
-                   (json_num (quantile h 0.9))
-                   (json_num (quantile h 0.99))
+                   (json_num (quantile_unlocked h 0.5))
+                   (json_num (quantile_unlocked h 0.9))
+                   (json_num (quantile_unlocked h 0.99))
                    (json_num h.hmax) (Buffer.contents cum)));
           Buffer.add_char b '\n')
         (sorted_series m))

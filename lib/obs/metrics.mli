@@ -5,7 +5,12 @@
     stay valid across {!reset}, which zeroes series in place.  All
     implementations are stdlib-only; histograms use 64 power-of-two
     buckets, so quantiles carry at most a factor-of-two bucketing
-    error. *)
+    error.
+
+    All operations — registration, mutation, export — are thread-safe
+    behind one process-wide mutex, so the serving front-end's worker
+    pool can observe into the default registry concurrently without
+    losing increments or corrupting the family tables. *)
 
 type labels = (string * string) list
 

@@ -237,11 +237,27 @@ let read_request fd =
       | meth :: target :: _ when meth <> "" -> Some (meth, route_path target)
       | _ -> None)
 
+(* The response head alone — shared with the serving front-end, whose
+   streamed responses send a head with no [Content-Length] (the body is
+   EOF-delimited) followed by rows as they are produced. *)
+let http_head ?(content_type = "text/plain; charset=utf-8") ?(headers = [])
+    ?content_length status =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (reason status));
+  Buffer.add_string b (Printf.sprintf "Content-Type: %s\r\n" content_type);
+  (match content_length with
+  | Some n -> Buffer.add_string b (Printf.sprintf "Content-Length: %d\r\n" n)
+  | None -> ());
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v))
+    headers;
+  Buffer.add_string b "Connection: close\r\n\r\n";
+  Buffer.contents b
+
 let write_response fd ~head_only { status; content_type; body } =
   let head =
-    Printf.sprintf
-      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
-      status (reason status) content_type (String.length body)
+    http_head ~content_type ~content_length:(String.length body) status
   in
   let payload = if head_only then head else head ^ body in
   let bytes = Bytes.of_string payload in
@@ -351,8 +367,10 @@ let stop t =
 
 (* Enough HTTP to scrape our own endpoint (the bench harness does, and
    the tests): send one request, read to EOF, split status line,
-   headers and body.  Header names come back lowercased. *)
-let request ?(host = "127.0.0.1") ?(meth = "GET") ~port path =
+   headers and body.  Header names come back lowercased.  [body] turns
+   the request into one carrying a payload (the serving front-end's
+   POST /query). *)
+let request ?(host = "127.0.0.1") ?(meth = "GET") ?body ~port path =
   let addr = Unix.inet_addr_of_string host in
   let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
@@ -362,8 +380,15 @@ let request ?(host = "127.0.0.1") ?(meth = "GET") ~port path =
       Unix.setsockopt_float s Unix.SO_SNDTIMEO 5.;
       Unix.connect s (Unix.ADDR_INET (addr, port));
       let req =
-        Printf.sprintf "%s %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n"
-          meth path host
+        match body with
+        | None ->
+            Printf.sprintf
+              "%s %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n" meth
+              path host
+        | Some payload ->
+            Printf.sprintf
+              "%s %s HTTP/1.1\r\nHost: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+              meth path host (String.length payload) payload
       in
       let bytes = Bytes.of_string req in
       ignore (Unix.write s bytes 0 (Bytes.length bytes));

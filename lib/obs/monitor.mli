@@ -66,8 +66,36 @@ val get : ?host:string -> port:int -> string -> int * string
     @raise Unix.Unix_error when nothing listens. *)
 
 val request :
-  ?host:string -> ?meth:string -> port:int -> string -> int * (string * string) list * string
-(** Like {!get} but with a chosen method and the response headers
-    (names lowercased) — what the HEAD/Content-Length tests and
-    [curl -I]-style checks need.  [meth] defaults to ["GET"].
+  ?host:string ->
+  ?meth:string ->
+  ?body:string ->
+  port:int ->
+  string ->
+  int * (string * string) list * string
+(** Like {!get} but with a chosen method, an optional request [body]
+    (sent with its [Content-Length] — the serving front-end's
+    [POST /query]) and the response headers (names lowercased) — what
+    the HEAD/Content-Length tests and [curl -I]-style checks need.
+    [meth] defaults to ["GET"].
     @raise Unix.Unix_error when nothing listens. *)
+
+(** {1 HTTP plumbing shared with the serving front-end}
+
+    [lib/srv] speaks the same minimal HTTP/1.1 as this endpoint; it
+    reuses the head builder and response writer rather than growing a
+    second implementation. *)
+
+val http_head :
+  ?content_type:string ->
+  ?headers:(string * string) list ->
+  ?content_length:int ->
+  int ->
+  string
+(** The status line and header block (terminated by the blank line) for
+    a [Connection: close] response.  Omitting [content_length] yields a
+    streamed, EOF-delimited response head. *)
+
+val write_response : Unix.file_descr -> head_only:bool -> response -> unit
+(** Write a complete (head + body) response; [head_only] withholds the
+    body (HEAD).  Write errors are swallowed — the peer hanging up
+    mid-response is its own problem. *)

@@ -69,10 +69,29 @@ let slow_capacity = 64
 let slow : event list ref = ref []  (* slowest first, bounded *)
 let current_server : string option ref = ref None
 
+(* One lock over the whole journal: the serving front-end's workers
+   record concurrently, and an interleaved JSON line (or two threads
+   rotating the same generation) would corrupt the sink.  [record]
+   holds it across the sequence assignment, the append, the rotation
+   check, the slowlog update and the observer fan-out, so an online
+   consumer sees exactly the stream an offline replay reconstructs —
+   in the same total order the sink received. *)
+let mu = Mutex.create ()
+
+let locked f =
+  Mutex.lock mu;
+  match f () with
+  | v ->
+      Mutex.unlock mu;
+      v
+  | exception e ->
+      Mutex.unlock mu;
+      raise e
+
 let enabled () = !sink <> None
 let path () = Option.map fst !sink
 
-let disable () =
+let disable_unlocked () =
   match !sink with
   | None -> ()
   | Some (_, oc) ->
@@ -81,15 +100,18 @@ let disable () =
       rotate_limit := None;
       rotate_files := 1
 
+let disable () = locked disable_unlocked
+
 let enable ?(append = true) ?max_bytes ?(max_files = 1) p =
-  disable ();
-  let flags =
-    [ Open_wronly; Open_creat; (if append then Open_append else Open_trunc) ]
-  in
-  sink := Some (p, open_out_gen flags 0o644 p);
-  rotate_limit :=
-    Option.map (max 1) max_bytes (* a 0 limit would rotate forever *);
-  rotate_files := max 1 max_files
+  locked (fun () ->
+      disable_unlocked ();
+      let flags =
+        [ Open_wronly; Open_creat; (if append then Open_append else Open_trunc) ]
+      in
+      sink := Some (p, open_out_gen flags 0o644 p);
+      rotate_limit :=
+        Option.map (max 1) max_bytes (* a 0 limit would rotate forever *);
+      rotate_files := max 1 max_files)
 
 (* Size-based rotation: once the journal passes the limit, the rotated
    generations shift up — <path>.N-1 becomes <path>.N for N down to 1,
@@ -112,7 +134,8 @@ let maybe_rotate () =
 
 (* Sink introspection for /healthz: current size and configured
    rotation limits. *)
-let sink_bytes () = match !sink with Some (_, oc) -> pos_out oc | None -> 0
+let sink_bytes () =
+  locked (fun () -> match !sink with Some (_, oc) -> pos_out oc | None -> 0)
 let max_bytes () = !rotate_limit
 let max_files () = !rotate_files
 
@@ -124,11 +147,12 @@ let with_server name f =
   current_server := Some name;
   Fun.protect ~finally:(fun () -> current_server := saved) f
 
-let slowest n = List.filteri (fun i _ -> i < n) !slow
+let slowest n = locked (fun () -> List.filteri (fun i _ -> i < n) !slow)
 
 let clear () =
-  slow := [];
-  seq_counter := 0
+  locked (fun () ->
+      slow := [];
+      seq_counter := 0)
 
 (* --- Lifting per-operator rows from a span tree ----------------------------- *)
 
@@ -333,6 +357,7 @@ let set_on_record f = on_record := f
 let record ?cache ?server ?trace_id ?(shipped = []) ?(ops = []) ?capture
     ?alloc_bytes ?est_card ?est_reads ?est_writes ~query ~fingerprint
     ~result_count ~reads ~writes ~wall_ns ~outcome () =
+  locked @@ fun () ->
   incr seq_counter;
   let server = match server with Some _ as s -> s | None -> !current_server in
   let ev =
@@ -379,6 +404,7 @@ let record ?cache ?server ?trace_id ?(shipped = []) ?(ops = []) ?capture
   ev
 
 let write_slowlog p =
+  locked @@ fun () ->
   let oc = open_out p in
   List.iter
     (fun ev ->

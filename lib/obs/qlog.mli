@@ -8,7 +8,14 @@
     span tree + rendered estimated plan) and enter the bounded
     in-memory slowlog.  Instrumented layers call {!record}; this module
     never inspects queries itself, so [lib/obs] stays below the query
-    and evaluation layers.  One journal per process. *)
+    and evaluation layers.  One journal per process.
+
+    {!record} is thread-safe: one process-wide mutex covers the
+    sequence assignment, the sink append, the size-rotation check, the
+    slowlog update and the {!set_on_record} observer fan-out, so
+    concurrent workers can never interleave JSON lines, double-rotate a
+    generation, or show an online observer a different order than the
+    journal file records. *)
 
 type op = {
   op_name : string;

@@ -23,8 +23,11 @@
    recent traces (oldest evicted first), which the shell exposes as
    [:trace last].
 
-   Single-threaded by design, like the rest of the system: the span
-   stack is a plain ref cell. *)
+   Ambient state — the open-span stack, the bound trace id and actor —
+   is per thread: each serving worker builds its own span tree, with
+   its own trace id, exactly as the single-threaded engine always did.
+   The shared structures (the recent ring, the id stream, the
+   thread-state table) sit behind one mutex. *)
 
 type span = {
   name : string;
@@ -43,6 +46,21 @@ let enabled_flag = ref false
 let set_enabled b = enabled_flag := b
 let enabled () = !enabled_flag
 
+(* One lock for everything threads share: the id stream, the recent
+   ring and the per-thread state table.  Critical sections are a few
+   words of mutation; the span bodies themselves run unlocked. *)
+let mu = Mutex.create ()
+
+let locked f =
+  Mutex.lock mu;
+  match f () with
+  | v ->
+      Mutex.unlock mu;
+      v
+  | exception e ->
+      Mutex.unlock mu;
+      raise e
+
 (* --- Trace ids and actors ------------------------------------------------ *)
 
 (* Fresh ids come from a xorshift64 stream seeded per process, so ids
@@ -50,6 +68,7 @@ let enabled () = !enabled_flag
 let id_state = ref 0
 
 let next_trace_id () =
+  locked @@ fun () ->
   if !id_state = 0 then
     id_state :=
       (int_of_float (Unix.gettimeofday () *. 1e6) lxor (Unix.getpid () lsl 40))
@@ -61,20 +80,62 @@ let next_trace_id () =
   id_state := x;
   Printf.sprintf "%016x" (x land max_int)
 
-let bound_tid : string option ref = ref None
-let bound_actor = ref ""
+(* --- Per-thread ambient state -------------------------------------------- *)
+
+(* Each thread carries its own open-span stack and trace-id/actor
+   bindings, keyed by [Thread.id] (unique over the process's life).
+   Entries are dropped as soon as a thread's state returns to the
+   default, so the table stays bounded by the threads actively tracing
+   — a serving process churning through session threads doesn't
+   accumulate garbage. *)
+type tls = {
+  mutable stack : span list;
+  mutable bound_tid : string option;
+  mutable bound_actor : string;
+}
+
+let tls_tbl : (int, tls) Hashtbl.t = Hashtbl.create 8
+
+let get_tls () =
+  locked @@ fun () ->
+  let id = Thread.id (Thread.self ()) in
+  match Hashtbl.find_opt tls_tbl id with
+  | Some t -> t
+  | None ->
+      let t = { stack = []; bound_tid = None; bound_actor = "" } in
+      Hashtbl.replace tls_tbl id t;
+      t
+
+let find_tls () =
+  locked (fun () -> Hashtbl.find_opt tls_tbl (Thread.id (Thread.self ())))
+
+let drop_if_default t =
+  locked @@ fun () ->
+  if t.stack = [] && t.bound_tid = None && t.bound_actor = "" then
+    Hashtbl.remove tls_tbl (Thread.id (Thread.self ()))
 
 let with_trace_id id f =
-  let saved = !bound_tid in
-  bound_tid := Some id;
-  Fun.protect ~finally:(fun () -> bound_tid := saved) f
+  let t = get_tls () in
+  let saved = t.bound_tid in
+  t.bound_tid <- Some id;
+  Fun.protect
+    ~finally:(fun () ->
+      t.bound_tid <- saved;
+      drop_if_default t)
+    f
 
 let with_actor name f =
-  let saved = !bound_actor in
-  bound_actor := name;
-  Fun.protect ~finally:(fun () -> bound_actor := saved) f
+  let t = get_tls () in
+  let saved = t.bound_actor in
+  t.bound_actor <- name;
+  Fun.protect
+    ~finally:(fun () ->
+      t.bound_actor <- saved;
+      drop_if_default t)
+    f
 
-let current_actor () = !bound_actor
+let current_actor () =
+  match find_tls () with Some t -> t.bound_actor | None -> ""
 
 (* --- The ring of recent root traces ------------------------------------- *)
 
@@ -85,35 +146,43 @@ let truncate n l = List.filteri (fun i _ -> i < n) l
 
 let set_capacity n =
   if n < 1 then invalid_arg "Trace.set_capacity: capacity must be positive";
-  ring_capacity := n;
-  ring := truncate n !ring
+  locked (fun () ->
+      ring_capacity := n;
+      ring := truncate n !ring)
 
 let capacity () = !ring_capacity
-let push_root s = ring := truncate !ring_capacity (s :: !ring)
+
+let push_root s =
+  locked (fun () -> ring := truncate !ring_capacity (s :: !ring))
+
 let recent () = !ring
 let last () = match !ring with [] -> None | s :: _ -> Some s
-let clear () = ring := []
+let clear () = locked (fun () -> ring := [])
 
 (* --- Recording ------------------------------------------------------------ *)
 
-let stack : span list ref = ref []
-
 let current_trace_id () =
-  match !bound_tid with
-  | Some _ as s -> s
-  | None -> ( match !stack with s :: _ -> Some s.trace_id | [] -> None)
+  match find_tls () with
+  | None -> None
+  | Some t -> (
+      match t.bound_tid with
+      | Some _ as s -> s
+      | None -> ( match t.stack with s :: _ -> Some s.trace_id | [] -> None))
 
 let set_rows n =
-  match !stack with [] -> () | s :: _ -> s.rows <- Some n
+  match find_tls () with
+  | None -> ()
+  | Some t -> ( match t.stack with [] -> () | s :: _ -> s.rows <- Some n)
 
 let with_span_out ?(detail = "") ?stats name f =
   if not !enabled_flag then (f (), None)
   else begin
+    let t = get_tls () in
     let trace_id =
-      match !bound_tid with
+      match t.bound_tid with
       | Some id -> id
       | None -> (
-          match !stack with
+          match t.stack with
           | parent :: _ -> parent.trace_id
           | [] -> next_trace_id ())
     in
@@ -122,7 +191,7 @@ let with_span_out ?(detail = "") ?stats name f =
         name;
         detail;
         trace_id;
-        actor = !bound_actor;
+        actor = t.bound_actor;
         start_ns = Mclock.now_ns ();
         elapsed_ns = 0;
         io = Io_stats.create ();
@@ -136,8 +205,8 @@ let with_span_out ?(detail = "") ?stats name f =
        monotonic over the thread's life, so open-minus-close is the
        inclusive allocation of the span's dynamic extent. *)
     let alloc0 = Gc.allocated_bytes () in
-    let parent = !stack in
-    stack := span :: parent;
+    let parent = t.stack in
+    t.stack <- span :: parent;
     let finish () =
       span.elapsed_ns <- Mclock.now_ns () - span.start_ns;
       (match (stats, snap) with
@@ -146,10 +215,11 @@ let with_span_out ?(detail = "") ?stats name f =
       span.alloc_bytes <- int_of_float (Gc.allocated_bytes () -. alloc0);
       (* children were pushed newest-first while open *)
       span.children <- List.rev span.children;
-      stack := parent;
-      match parent with
+      t.stack <- parent;
+      (match parent with
       | p :: _ -> p.children <- span :: p.children
-      | [] -> push_root span
+      | [] -> push_root span);
+      drop_if_default t
     in
     (Fun.protect ~finally:finish f, Some span)
   end

@@ -10,7 +10,12 @@
     {!with_trace_id}) and the actor that did the work
     ({!with_actor}).  Completed root spans land in a bounded ring of
     recent traces.  Off by default; one branch per instrumentation
-    point when off.  Single-threaded, like the rest of the system. *)
+    point when off.
+
+    Thread-safe: the ambient state (open-span stack, bound trace id and
+    actor) is per thread, so concurrent serving workers each build
+    their own span tree with their own trace id; the shared structures
+    (the recent ring, the id stream) sit behind one mutex. *)
 
 type span = {
   name : string;

@@ -1,0 +1,72 @@
+(** The concurrent query-serving front-end: a socket server executing
+    L0–L3 query text on a fixed worker pool over the shared read-only
+    instance.
+
+    One listening port speaks both protocols, sniffed on the first
+    line of each connection:
+
+    - {b HTTP/1.1} (the {!Monitor} machinery): [GET /query?q=<query>]
+      or [POST /query] with the query text as the body; optional
+      [deadline_ms] query parameter.  The response streams result rows
+      (one DN per line) EOF-delimited — no [Content-Length] — and ends
+      with a [# status=...] trailer line.  [/] is an index and
+      [/healthz] liveness JSON.
+    - {b Line protocol}: one query per line; rows stream back, each
+      response ending with the same trailer.  [PING] answers [PONG],
+      [DEADLINE <ms>] sets the session's deadline, [QUIT]/[BYE] closes.
+
+    The trailer is one of
+    [# status=ok rows=<n> wall_us=<n>],
+    [# status=deadline rows=<n> wall_us=<n>] (partial rows shipped),
+    [# status=busy retry_ms=<n>] (shed at admission; HTTP also sends
+    503 + [Retry-After]) or [# status=error msg="..."].
+
+    Concurrency model: a session thread per connection parses requests
+    and submits them to a bounded admission queue; [workers] worker
+    threads — each owning its own {!Engine} built by [make_engine] —
+    execute and stream results back.  A full queue sheds instead of
+    buffering (explicit backpressure).  Deadlines are absolute from
+    admission: a request whose budget died waiting is not executed,
+    and one exceeding it mid-stream stops after the rows already
+    shipped.
+
+    Observability: [srv_requests_total{route,status}],
+    [srv_request_ns{route}] (admission → completion, queue wait
+    included), [srv_queue_depth], [srv_sessions] and [srv_shed_total]
+    in the given registry; every executed query records a {!Qlog}
+    event carrying a fresh trace id.  {!Alerts.install_defaults}
+    includes SLO rules over the latency histogram and the shed rate. *)
+
+type t
+
+val start :
+  ?registry:Metrics.t ->
+  ?workers:int ->
+  ?queue:int ->
+  ?deadline_ms:int ->
+  ?port:int ->
+  make_engine:(unit -> Engine.t) ->
+  unit ->
+  t
+(** Bind the loopback interface and start serving.  [workers] (default
+    4) worker threads each call [make_engine] once at startup — hand
+    out engines sharing one immutable {!Instance}; [queue] (default
+    64) bounds the admission queue; [deadline_ms] (default 5000) is
+    the per-request budget; [port] 0 (the default) picks a free port —
+    see {!port}.
+    @raise Unix.Unix_error when the port is taken.
+    @raise Invalid_argument when [workers] or [queue] is not positive. *)
+
+val port : t -> int
+val workers : t -> int
+val queue_capacity : t -> int
+
+val queue_depth : t -> int
+(** Requests waiting for a worker right now. *)
+
+val session_count : t -> int
+(** Live connections right now. *)
+
+val stop : t -> unit
+(** Stop accepting, drain admitted requests, join every worker and
+    session thread, close every socket.  Idempotent. *)

@@ -1,0 +1,116 @@
+(* Deterministic serving workloads: a seeded stream of L0–L3 query
+   *text* over a synthetic instance, for the load generator and the
+   serving tests.
+
+   Queries are built as ASTs (bases drawn from the instance, filters
+   from the pools every synthetic DIF populates) and rendered with
+   [Qprinter], so each one parses back — the printer/parser round-trip
+   is property-tested elsewhere.  The mix weights how many trees come
+   from each language level; the default leans on the cheap levels the
+   way an interactive directory workload does. *)
+
+type mix = { l0 : int; l1 : int; l2 : int; l3 : int }
+
+let default_mix = { l0 = 55; l1 = 20; l2 = 20; l3 = 5 }
+
+let filters =
+  [|
+    (fun _ -> Afilter.Present "id");
+    (fun _ -> Afilter.Present "ref");
+    (fun r ->
+      Afilter.Str_eq
+        ( Schema.object_class,
+          Prng.pick r [| "node"; "person"; "organizationalUnit"; "dcObject" |]
+        ));
+    (fun r ->
+      Afilter.Str_eq ("name", Prng.pick r [| "jagadish"; "milo"; "smith" |]));
+    (fun r ->
+      Afilter.Int_cmp
+        ( "priority",
+          Prng.pick r Afilter.[| Lt; Le; Eq; Ge; Gt |],
+          Prng.int r 10 ));
+    (fun r -> Afilter.Int_cmp ("id", Afilter.Lt, Prng.int r 150));
+    (fun r ->
+      Afilter.Substr
+        ( "name",
+          {
+            Afilter.initial = None;
+            middles = [ Prng.pick r [| "a"; "mi"; "ith" |] ];
+            final = None;
+          } ));
+    (fun r ->
+      Afilter.Substr
+        ( "tag",
+          {
+            Afilter.initial = Some (Prng.pick r [| "r"; "gr"; "b" |]);
+            middles = [];
+            final = None;
+          } ));
+  |]
+
+let scopes = [| Ast.Base; Ast.One; Ast.Sub |]
+
+let atomic r bases =
+  let base =
+    if Prng.flip r 0.15 then Dn.root else Prng.pick r bases
+  in
+  (* Sub keeps result sets non-trivial; narrower scopes appear too. *)
+  let scope = if Prng.flip r 0.7 then Ast.Sub else Prng.pick r scopes in
+  Ast.Atomic { Ast.base; scope; filter = (Prng.pick r filters) r }
+
+let l1 r bases =
+  let a = atomic r bases and b = atomic r bases in
+  match Prng.int r 3 with
+  | 0 -> Ast.And (a, b)
+  | 1 -> Ast.Or (a, b)
+  | _ -> Ast.Diff (a, b)
+
+let l2 r bases =
+  let a = atomic r bases and b = atomic r bases in
+  match Prng.int r 6 with
+  | 0 -> Ast.Hier (Ast.P, a, b, None)
+  | 1 -> Ast.Hier (Ast.C, a, b, None)
+  | 2 -> Ast.Hier (Ast.A, a, b, None)
+  | 3 -> Ast.Hier (Ast.D, a, b, None)
+  | 4 -> Ast.Hier3 (Ast.Ac, a, b, atomic r bases, None)
+  | _ -> Ast.Hier3 (Ast.Dc, a, b, atomic r bases, None)
+
+let l3 r bases =
+  let a = atomic r bases and b = atomic r bases in
+  match Prng.int r 3 with
+  | 0 ->
+      Ast.Gsel
+        ( a,
+          {
+            Ast.lhs = Ast.A_entry (Ast.Ea_agg (Ast.Count, Ast.Self "ref"));
+            op = Ast.Ge;
+            rhs = Ast.A_const 1;
+          } )
+  | 1 -> Ast.Eref (Ast.Vd, a, b, "ref", None)
+  | _ -> Ast.Eref (Ast.Dv, a, b, "ref", None)
+
+let pick_level r m =
+  let total = m.l0 + m.l1 + m.l2 + m.l3 in
+  if total <= 0 then invalid_arg "Query_mix.generate: empty mix";
+  let k = Prng.int r total in
+  if k < m.l0 then 0
+  else if k < m.l0 + m.l1 then 1
+  else if k < m.l0 + m.l1 + m.l2 then 2
+  else 3
+
+let generate_ast ?(mix = default_mix) ~seed ~count instance =
+  let r = Prng.create seed in
+  let bases =
+    Array.of_list (List.map Entry.dn (Instance.to_list instance))
+  in
+  if Array.length bases = 0 then
+    invalid_arg "Query_mix.generate: empty instance";
+  Array.init count (fun _ ->
+      match pick_level r mix with
+      | 0 -> atomic r bases
+      | 1 -> l1 r bases
+      | 2 -> l2 r bases
+      | _ -> l3 r bases)
+
+let generate ?mix ~seed ~count instance =
+  Array.map Qprinter.to_string (generate_ast ?mix ~seed ~count instance)

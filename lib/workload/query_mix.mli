@@ -1,0 +1,23 @@
+(** Deterministic serving workloads: a seeded stream of L0–L3 query
+    text over a synthetic instance, for the load generator and the
+    serving tests.
+
+    Queries are generated as ASTs — bases drawn from the instance,
+    filters from the pools every {!Dif_gen} DIF populates — and
+    rendered with {!Qprinter}, so every generated string parses back.
+    Same seed, same instance, same mix ⇒ the identical query array. *)
+
+type mix = { l0 : int; l1 : int; l2 : int; l3 : int }
+(** Relative weights of the four language levels in the stream. *)
+
+val default_mix : mix
+(** [{l0 = 55; l1 = 20; l2 = 20; l3 = 5}] — interactive-directory
+    shaped: mostly atomic lookups, some boolean and hierarchy, a few
+    aggregates/references. *)
+
+val generate_ast :
+  ?mix:mix -> seed:int -> count:int -> Instance.t -> Ast.t array
+
+val generate : ?mix:mix -> seed:int -> count:int -> Instance.t -> string array
+(** The same stream as query text.
+    @raise Invalid_argument on an empty instance or an all-zero mix. *)

@@ -951,6 +951,137 @@ let test_monitor_trace_route () =
           let status, _ = Monitor.get ~port "/trace/zzz" in
           Alcotest.(check int) "unknown trace 404" 404 status))
 
+(* --- Concurrency hammers --------------------------------------------------------
+
+   The serving front-end drives the observability layer from many
+   threads at once; these hammers check the mutexed registry, journal
+   and trace state under real contention.  Counts are exact: sys
+   threads interleave at allocation points, so an unguarded
+   read-modify-write WILL lose increments at these iteration counts. *)
+
+let spawn_join n f =
+  let threads = List.init n (fun i -> Thread.create f i) in
+  List.iter Thread.join threads
+
+let test_metrics_concurrent_hammer () =
+  let r = Metrics.create () in
+  let n_threads = 8 and iters = 10_000 in
+  spawn_join n_threads (fun i ->
+      (* every thread registers the same series and its own series, so
+         registration races with mutation on the family table *)
+      let shared = Metrics.counter ~registry:r "hammer_total" in
+      let own =
+        Metrics.counter ~registry:r
+          ~labels:[ ("t", string_of_int i) ]
+          "hammer_total"
+      in
+      let h = Metrics.histogram ~registry:r "hammer_ns" in
+      let g = Metrics.gauge ~registry:r "hammer_gauge" in
+      for k = 1 to iters do
+        Metrics.incr shared;
+        Metrics.incr own;
+        Metrics.observe h (float_of_int k);
+        Metrics.set g (float_of_int k)
+      done);
+  let shared = Metrics.counter ~registry:r "hammer_total" in
+  Alcotest.(check int)
+    "no lost increments on the shared series" (n_threads * iters)
+    (Metrics.counter_value shared);
+  let h = Metrics.histogram ~registry:r "hammer_ns" in
+  Alcotest.(check int)
+    "no lost observations" (n_threads * iters)
+    (Metrics.histogram_count h);
+  (* per-thread series each saw exactly their own increments *)
+  for i = 0 to n_threads - 1 do
+    let own =
+      Metrics.counter ~registry:r
+        ~labels:[ ("t", string_of_int i) ]
+        "hammer_total"
+    in
+    Alcotest.(check int) "own series exact" iters (Metrics.counter_value own)
+  done;
+  (* exporting under load doesn't tear: run one more contended export *)
+  ignore (Metrics.to_json_lines r);
+  ignore (Metrics.export r)
+
+let test_qlog_concurrent_hammer () =
+  let path = Filename.temp_file "ndq_test_journal_mt" ".jsonl" in
+  (* small rotation limit so the hammer crosses generations under
+     contention — double-rotation or interleaved lines would surface
+     as unparseable JSON or lost/duplicated sequence numbers *)
+  Qlog.enable ~append:false ~max_bytes:64_000 ~max_files:8 path;
+  Qlog.clear ();
+  let observed = ref 0 in
+  let omu = Mutex.create () in
+  Qlog.set_on_record
+    (Some
+       (fun _ ->
+         Mutex.lock omu;
+         incr observed;
+         Mutex.unlock omu));
+  let n_threads = 8 and per_thread = 250 in
+  spawn_join n_threads (fun i ->
+      for k = 1 to per_thread do
+        ignore
+          (Qlog.record
+             ~query:(Printf.sprintf "( ? sub ? id=%d-%d)" i k)
+             ~fingerprint:"hammer" ~result_count:k ~reads:1 ~writes:0
+             ~wall_ns:1000 ~outcome:Qlog.Ok ())
+      done);
+  Qlog.set_on_record None;
+  Qlog.disable ();
+  let total = n_threads * per_thread in
+  Alcotest.(check int) "observer saw every event exactly once" total !observed;
+  (* every line of every generation parses, and the sequence numbers
+     are exactly 1..total with no duplicates *)
+  let events =
+    List.concat_map
+      (fun p -> if Sys.file_exists p then Qlog.load p else [])
+      (path :: List.init 9 (fun g -> Printf.sprintf "%s.%d" path (g + 1)))
+  in
+  Alcotest.(check int) "no line lost to rotation or tearing" total
+    (List.length events);
+  let seqs = List.sort_uniq compare (List.map (fun e -> e.Qlog.seq) events) in
+  Alcotest.(check int) "sequence numbers unique" total (List.length seqs);
+  List.iter
+    (fun p -> if Sys.file_exists p then Sys.remove p)
+    (path :: List.init 9 (fun g -> Printf.sprintf "%s.%d" path (g + 1)))
+
+let test_trace_concurrent_threads () =
+  with_tracing (fun () ->
+      Trace.set_capacity 64;
+      Trace.clear ();
+      let n_threads = 8 in
+      let ids = Array.make n_threads "" in
+      spawn_join n_threads (fun i ->
+          (* each thread builds its own little span tree; ambient state
+             is per thread, so the trees never cross-link *)
+          Trace.with_actor (Printf.sprintf "t%d" i) (fun () ->
+              Trace.with_span (Printf.sprintf "root%d" i) (fun () ->
+                  ids.(i) <-
+                    Option.value ~default:"" (Trace.current_trace_id ());
+                  Trace.with_span "child" (fun () -> Thread.yield ());
+                  Trace.with_span "child2" (fun () -> ()))));
+      let roots = Trace.recent () in
+      Alcotest.(check int) "one root per thread" n_threads (List.length roots);
+      List.iter
+        (fun (s : Trace.span) ->
+          Alcotest.(check int) "children attached to own root" 2
+            (List.length s.Trace.children);
+          List.iter
+            (fun (c : Trace.span) ->
+              Alcotest.(check string) "child inherits its thread's trace id"
+                s.Trace.trace_id c.Trace.trace_id)
+            s.Trace.children)
+        roots;
+      let unique_ids =
+        List.sort_uniq compare (Array.to_list ids |> List.filter (( <> ) ""))
+      in
+      Alcotest.(check int) "distinct trace ids per thread" n_threads
+        (List.length unique_ids);
+      Trace.clear ();
+      Trace.set_capacity 16)
+
 let () =
   Alcotest.run "obs"
     [
@@ -1027,5 +1158,13 @@ let () =
           Alcotest.test_case "actual_ns on every node" `Quick
             test_profile_actual_ns;
           Alcotest.test_case "engine metrics" `Quick test_engine_metrics;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "metrics hammer" `Quick
+            test_metrics_concurrent_hammer;
+          Alcotest.test_case "qlog hammer" `Quick test_qlog_concurrent_hammer;
+          Alcotest.test_case "trace per-thread spans" `Quick
+            test_trace_concurrent_threads;
         ] );
     ]

@@ -1,0 +1,223 @@
+(* The serving front-end: differential concurrency against the
+   single-threaded semantics oracle, both protocol faces, admission
+   shedding and deadline expiry. *)
+
+let mk_instance ?(size = 300) ?(seed = 11) () =
+  Dif_gen.generate
+    ~params:{ Dif_gen.default_params with seed; size }
+    ()
+
+let start_srv ?registry ?(workers = 4) ?(queue = 64) ?deadline_ms instance =
+  Srv.start ?registry ~workers ~queue ?deadline_ms
+    ~make_engine:(fun () -> Engine.create ~block:32 instance)
+    ()
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let with_srv ?registry ?workers ?queue ?deadline_ms instance f =
+  let srv = start_srv ?registry ?workers ?queue ?deadline_ms instance in
+  Fun.protect ~finally:(fun () -> Srv.stop srv) (fun () -> f srv)
+
+(* N client threads, each its own connection, racing distinct query
+   streams through a shared worker pool: every reply must equal the
+   single-threaded oracle, rows in canonical order. *)
+let test_differential_concurrency () =
+  let instance = mk_instance () in
+  let n_clients = 8 and per_client = 25 in
+  let asts =
+    Query_mix.generate_ast ~seed:42 ~count:(n_clients * per_client) instance
+  in
+  with_srv instance (fun srv ->
+      let port = Srv.port srv in
+      let failures = ref [] in
+      let fmu = Mutex.create () in
+      let client c =
+        let conn = Srv_client.connect ~port () in
+        Fun.protect
+          ~finally:(fun () -> Srv_client.close conn)
+          (fun () ->
+            for i = 0 to per_client - 1 do
+              let k = (c * per_client) + i in
+              let ast = asts.(k) in
+              let text = Qprinter.to_string ast in
+              let reply = Srv_client.query conn text in
+              let expected = Testkit.dns_of (Testkit.oracle instance ast) in
+              let ok =
+                reply.Srv_client.status = Srv_client.Ok
+                && reply.Srv_client.rows = expected
+              in
+              if not ok then begin
+                Mutex.lock fmu;
+                failures := (k, text) :: !failures;
+                Mutex.unlock fmu
+              end
+            done)
+      in
+      let threads = List.init n_clients (fun c -> Thread.create client c) in
+      List.iter Thread.join threads;
+      (match !failures with
+      | [] -> ()
+      | (k, text) :: _ ->
+          Alcotest.failf "%d replies diverged from the oracle; first: #%d %s"
+            (List.length !failures) k text);
+      Alcotest.(check int) "no sessions linger" 0 (Srv.session_count srv))
+
+(* The HTTP face: index, liveness, query streaming (GET and POST),
+   parse errors, unknown routes, missing parameters. *)
+let test_http_routes () =
+  let instance = mk_instance () in
+  with_srv instance (fun srv ->
+      let port = Srv.port srv in
+      let get path = Monitor.request ~port path in
+      let status, _, body = get "/" in
+      Alcotest.(check int) "index status" 200 status;
+      Alcotest.(check bool) "index mentions /query" true
+        (contains ~affix:"/query" body);
+      let status, _, body = get "/healthz" in
+      Alcotest.(check int) "healthz status" 200 status;
+      (match Json.member "queue_depth" (Json.of_string body) with
+      | Json.Num _ -> ()
+      | _ -> Alcotest.fail "healthz carries queue_depth");
+      let q = "( ? sub ? id=* )" in
+      let enc =
+        String.concat ""
+          (List.map
+             (fun c ->
+               match c with
+               | ' ' -> "%20"
+               | '?' -> "%3F"
+               | '=' -> "%3D"
+               | '*' -> "%2A"
+               | c -> String.make 1 c)
+             (List.of_seq (String.to_seq q)))
+      in
+      let status, headers, body = get ("/query?q=" ^ enc) in
+      Alcotest.(check int) "GET /query status" 200 status;
+      Alcotest.(check bool) "streamed (no Content-Length)" false
+        (List.mem_assoc "content-length" headers);
+      Alcotest.(check bool) "GET trailer ok" true
+        (contains ~affix:"# status=ok" body);
+      let n_rows =
+        List.length
+          (List.filter
+             (fun l -> l <> "" && l.[0] <> '#')
+             (String.split_on_char '\n' body))
+      in
+      let expected =
+        List.length
+          (Testkit.oracle instance
+             (Ast.Atomic
+                {
+                  Ast.base = Dn.root;
+                  scope = Ast.Sub;
+                  filter = Afilter.Present "id";
+                }))
+      in
+      Alcotest.(check int) "GET /query row count" expected n_rows;
+      let status, _, body = Monitor.request ~meth:"POST" ~body:q ~port "/query" in
+      Alcotest.(check int) "POST /query status" 200 status;
+      Alcotest.(check bool) "POST trailer ok" true
+        (contains ~affix:"# status=ok" body);
+      let status, _, body = get "/query?q=%28%20nonsense" in
+      Alcotest.(check int) "parse error is a 400" 400 status;
+      Alcotest.(check bool) "parse error trailer" true
+        (contains ~affix:"# status=error" body);
+      let status, _, _ = get "/nope" in
+      Alcotest.(check int) "unknown route" 404 status;
+      let status, _, _ = get "/query" in
+      Alcotest.(check int) "missing q" 400 status)
+
+(* A 1-worker / 1-slot server under a burst of concurrent heavy
+   queries must shed — Busy with a retry hint — and the shed counter
+   must move.  Retries until the race lands (each round sends 12
+   concurrent requests at a queue of 1). *)
+let test_shed_backpressure () =
+  let instance = mk_instance ~size:800 () in
+  let registry = Metrics.create () in
+  with_srv ~registry ~workers:1 ~queue:1 instance (fun srv ->
+      let port = Srv.port srv in
+      let heavy = "( d ( ? sub ? id=* ) ( ? sub ? id=* ) )" in
+      let busy = ref 0 and retry_ms = ref 0 in
+      let bmu = Mutex.create () in
+      let rounds = ref 0 in
+      while !busy = 0 && !rounds < 5 do
+        incr rounds;
+        let one () =
+          match Srv_client.connect ~port () with
+          | exception _ -> ()
+          | conn ->
+              (match Srv_client.query conn heavy with
+              | { Srv_client.status = Srv_client.Busy ms; _ } ->
+                  Mutex.lock bmu;
+                  incr busy;
+                  retry_ms := ms;
+                  Mutex.unlock bmu
+              | _ | (exception Srv_client.Disconnected) -> ());
+              Srv_client.close conn
+        in
+        let threads = List.init 12 (fun _ -> Thread.create one ()) in
+        List.iter Thread.join threads
+      done;
+      Alcotest.(check bool) "some requests shed" true (!busy > 0);
+      Alcotest.(check bool) "retry hint positive" true (!retry_ms > 0);
+      Alcotest.(check bool) "queue stayed bounded" true
+        (Srv.queue_depth srv <= Srv.queue_capacity srv))
+
+(* A 1 ms session deadline against a heavy diff on a big instance:
+   the reply must come back status=deadline (with however many rows
+   made it out before the budget died). *)
+let test_deadline_expiry () =
+  let instance = mk_instance ~size:3000 ~seed:5 () in
+  with_srv instance (fun srv ->
+      let conn = Srv_client.connect ~port:(Srv.port srv) () in
+      Fun.protect
+        ~finally:(fun () -> Srv_client.close conn)
+        (fun () ->
+          Alcotest.(check bool) "DEADLINE acknowledged" true
+            (Srv_client.set_deadline_ms conn 1);
+          let heavy = "( d ( ? sub ? id=* ) ( ? sub ? id=* ) )" in
+          let expired = ref false in
+          for _ = 1 to 3 do
+            match Srv_client.query conn heavy with
+            | { Srv_client.status = Srv_client.Deadline; _ } -> expired := true
+            | _ -> ()
+          done;
+          Alcotest.(check bool) "budget expired at least once" true !expired))
+
+(* PING / DEADLINE handshake and a clean QUIT. *)
+let test_line_protocol_controls () =
+  let instance = mk_instance ~size:50 () in
+  with_srv instance (fun srv ->
+      let conn = Srv_client.connect ~port:(Srv.port srv) () in
+      Alcotest.(check bool) "PING answers PONG" true (Srv_client.ping conn);
+      Alcotest.(check bool) "DEADLINE 5000 ok" true
+        (Srv_client.set_deadline_ms conn 5000);
+      let reply = Srv_client.query conn "( ? sub ? id=* )" in
+      Alcotest.(check bool) "query after controls" true
+        (reply.Srv_client.status = Srv_client.Ok);
+      Srv_client.close conn)
+
+let () =
+  Alcotest.run "srv"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "concurrent clients match oracle" `Quick
+            test_differential_concurrency;
+        ] );
+      ( "http",
+        [ Alcotest.test_case "routes and streaming" `Quick test_http_routes ] );
+      ( "backpressure",
+        [
+          Alcotest.test_case "full queue sheds" `Quick test_shed_backpressure;
+          Alcotest.test_case "deadline expiry" `Quick test_deadline_expiry;
+        ] );
+      ( "line-protocol",
+        [
+          Alcotest.test_case "control verbs" `Quick
+            test_line_protocol_controls;
+        ] );
+    ]
