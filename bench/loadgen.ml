@@ -16,6 +16,11 @@
      --label L       run label in the output            (default "load")
      --out FILE      output document                    (default BENCH_load.json)
      --append        add this run to FILE's runs instead of rewriting
+     --tsdb FILE     record a 0.25s-resolution flight-recorder series
+                     during the run and save it to FILE; the run output
+                     gains a "tsdb" sub-object (p99 series, resident
+                     page band, tail-sampling counts, exemplar join)
+     --tail-threshold MS   tail-retention slow threshold (default 50)
 
    Open loop: arrival k is *scheduled* at t0 + k/R regardless of how
    the server is doing, and its latency is measured from that
@@ -44,12 +49,14 @@ let size = ref 2_000
 let label = ref "load"
 let out = ref "BENCH_load.json"
 let append = ref false
+let tsdb_out = ref ""
 
 let usage () =
   prerr_endline
     "usage: loadgen [--rate R] [--duration S] [--clients N] [--port P]\n\
     \               [--workers N] [--queue N] [--deadline MS] [--seed K]\n\
-    \               [--size N] [--label L] [--out FILE] [--append]";
+    \               [--size N] [--label L] [--out FILE] [--append]\n\
+    \               [--tsdb FILE] [--tail-threshold MS]";
   exit 2
 
 let rec parse_args = function
@@ -90,6 +97,12 @@ let rec parse_args = function
   | "--append" :: rest ->
       append := true;
       parse_args rest
+  | "--tsdb" :: v :: rest ->
+      tsdb_out := v;
+      parse_args rest
+  | "--tail-threshold" :: v :: rest ->
+      Tail.set_slow_threshold_ns (int_of_float (float_of_string v *. 1e6));
+      parse_args rest
   | _ -> usage ()
 
 (* Per-request slots, filled by the client threads. *)
@@ -126,6 +139,20 @@ let () =
       in
       port := Srv.port srv;
       Some srv
+    end
+  in
+
+  (* The flight recorder rides along at 4Hz when --tsdb asks for it.
+     With a spawned (in-process) server the recorder and the serving
+     metrics share the default registry, so the saved series carries
+     srv_request_ns, queue depth and the resident-page gauge; against
+     an external --port server it records only this process's side. *)
+  let recorder =
+    if !tsdb_out = "" then None
+    else begin
+      let ts = Tsdb.create ~resolution_s:0.25 () in
+      Tsdb.start ts;
+      Some ts
     end
   in
 
@@ -192,6 +219,13 @@ let () =
   let t_end = Mclock.now_ns () in
   sampling := false;
   Thread.join sampler;
+  (* One last sample catches the final partial window, then the
+     recorder thread stops before the server (whose gauges it reads). *)
+  Option.iter
+    (fun ts ->
+      Tsdb.sample ts;
+      Tsdb.stop ts)
+    recorder;
   Option.iter Srv.stop spawned;
 
   let count ch =
@@ -219,9 +253,94 @@ let () =
   and p99 = percentile completed 0.99 in
   let maxl = if Array.length completed = 0 then 0 else completed.(Array.length completed - 1) in
 
+  (* The flight-recorder digest for the run document: the served-p99
+     series (the E29 gate asserts it is non-empty and in band), the
+     resident-page band (Thm 8.3: flat under steady load), the
+     tail-sampling ledger, and whether at least one exemplar on the
+     srv_request_ns histogram joins to a tail-retained trace. *)
+  let tsdb_fields =
+    match recorder with
+    | None -> []
+    | Some ts ->
+        Tsdb.save ts !tsdb_out;
+        let horizon = !duration +. 30. in
+        let p99 =
+          Tsdb.range ts ~window_s:horizon ~agg:(Tsdb.Quantile 0.99)
+            "srv_request_ns"
+        in
+        let p99_points = List.length (List.filter (fun (_, v) -> v <> None) p99) in
+        let resident =
+          List.filter_map snd
+            (Tsdb.range ts ~window_s:horizon ~agg:Tsdb.Max
+               "srv_engine_max_resident_pages")
+        in
+        let reasons =
+          List.fold_left
+            (fun acc r ->
+              let k = Tail.reason_to_string r.Tail.r_reason in
+              (k, 1 + Option.value ~default:0 (List.assoc_opt k acc))
+              :: List.remove_assoc k acc)
+            [] (Tail.retained ())
+        in
+        let exemplar_joined =
+          List.exists
+            (fun f ->
+              f.Metrics.fv_name = "srv_request_ns"
+              && List.exists
+                   (fun (_, v) ->
+                     match v with
+                     | Metrics.V_histogram h ->
+                         List.exists
+                           (fun (_, ex) ->
+                             Tail.find ex.Metrics.ex_trace_id <> None)
+                           h.Metrics.hv_exemplars
+                     | _ -> false)
+                   f.Metrics.fv_series)
+            (Metrics.export Metrics.default)
+        in
+        let num n = Json.Num (float_of_int n) in
+        [
+          ( "tsdb",
+            Json.Obj
+              [
+                ("file", Json.Str !tsdb_out);
+                ("windows", num (Tsdb.window_count ts));
+                ("p99_points", num p99_points);
+                ( "p99_series",
+                  Json.Arr
+                    (List.map
+                       (fun (t, v) ->
+                         Json.Arr
+                           [
+                             Json.Num t;
+                             (match v with
+                             | Some v -> Json.Num v
+                             | None -> Json.Null);
+                           ])
+                       p99) );
+                ( "resident_min",
+                  if resident = [] then Json.Null
+                  else Json.Num (List.fold_left Float.min infinity resident) );
+                ( "resident_max",
+                  if resident = [] then Json.Null
+                  else
+                    Json.Num (List.fold_left Float.max neg_infinity resident) );
+                ("tail_retained", num (Tail.retained_count ()));
+                ("tail_spans", num (Tail.retained_spans ()));
+                ("tail_budget", num (Tail.budget_spans ()));
+                ( "tail_reasons",
+                  Json.Obj
+                    (List.map
+                       (fun (k, n) -> (k, num n))
+                       (List.sort compare reasons)) );
+                ("exemplar_joined", Json.Bool exemplar_joined);
+              ] );
+        ]
+  in
+
   let run =
     Json.Obj
-      [
+      ([
         ("label", Json.Str !label);
         ( "config",
           Json.Obj
@@ -253,6 +372,7 @@ let () =
               ("max_queue_depth", Json.Num (float_of_int !max_depth));
             ] );
       ]
+      @ tsdb_fields)
   in
   let runs =
     if !append && Sys.file_exists !out then
@@ -273,6 +393,13 @@ let () =
      p50=%dus p95=%dus p99=%dus max_queue_depth=%d -> %s\n"
     !label total ok busy deadline error lost qps (us p50) (us p95) (us p99)
     !max_depth !out;
+  (match recorder with
+  | Some ts ->
+      Printf.printf
+        "tsdb: %d windows -> %s; tail retained %d traces (%d/%d spans)\n"
+        (Tsdb.window_count ts) !tsdb_out (Tail.retained_count ())
+        (Tail.retained_spans ()) (Tail.budget_spans ())
+  | None -> ());
   (* Non-zero exit on transport-level failures: shed and deadline are
      legitimate protocol outcomes, lost connections and query errors
      are not. *)

@@ -60,6 +60,9 @@ let () =
     | None -> None
     | Some port ->
         let m = Monitor.start ~port () in
+        (* The flight recorder samples while the monitor serves, so
+           /range and /dashboard have series to draw mid-run. *)
+        Tsdb.start Tsdb.default;
         Fmt.pr "monitoring on http://127.0.0.1:%d/@." (Monitor.port m);
         Some m
   in
@@ -122,6 +125,12 @@ let () =
   let cells = Planstats.save ps calibration in
   Fmt.pr "wrote plan-quality report to %s (%d events, %d calibration cells in %s)@."
     planstats_out (Planstats.events ps) cells calibration;
+  (if Tsdb.running Tsdb.default then begin
+     Tsdb.stop Tsdb.default;
+     Tsdb.save Tsdb.default "BENCH_tsdb.json";
+     Fmt.pr "wrote %d flight-recorder windows to BENCH_tsdb.json@."
+       (Tsdb.window_count Tsdb.default)
+   end);
   Option.iter Monitor.stop monitor;
   Fmt.pr "wrote %d slow-query captures to %s (journal: %s)@." captures slowlog
     !journal;

@@ -107,8 +107,9 @@ let help () =
     \  :cache budget <pages>    set the cache's page budget@,\
     \  :cache threshold <io>    min evaluation io to admit a result@,\
     \  :monitor <port>  serve /metrics /healthz /slowlog /trace@,\
-    \                   /planstats /workload /cache /alerts@,\
-    \                   (also starts the runtime sampler + alert ticks)@,\
+    \                   /planstats /workload /cache /alerts /tail@,\
+    \                   /range /dashboard (live flight-recorder page)@,\
+    \                   (also starts the runtime + tsdb samplers)@,\
     \  :monitor off     stop the introspection server@,\
     \  :serve <port> [workers <n>] [queue <n>]   start the query-serving@,\
     \                   front-end: HTTP /query + line protocol, worker@,\
@@ -119,7 +120,14 @@ let help () =
     \  :alerts history [n]      recent state transitions@,\
     \  :alerts silence <name> [off]   mute/unmute an alert's export@,\
     \  :alerts tick     sample gauges + evaluate rules once, by hand@,\
-    \  :top [n]         live metrics view (n one-second refreshes)@,\
+    \  :tail            tail-sampled traces (slow/errored/shed/deadline@,\
+    \                   always kept, plus a seeded 1-in-N baseline)@,\
+    \  :tail threshold <ms> | sample <n> | budget <spans> | clear@,\
+    \  :tsdb            flight-recorder status (windows, series held)@,\
+    \  :tsdb save <path>        write the recorded windows (JSON lines)@,\
+    \  :tsdb on|off     start/stop the tsdb sampler by hand@,\
+    \  :top [n]         live metrics view (n one-second refreshes;@,\
+    \                   sparklines when the flight recorder has data)@,\
     \  :mode streaming|materialized   operator-boundary handling@,\
     \                   (streaming pipelines the whole tree; default)@,\
     \  :explain <query> estimated vs measured plan (est io split into@,\
@@ -276,6 +284,34 @@ let srv_route_totals () =
         f.Metrics.fv_series;
       List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
 
+(* A unicode sparkline over the flight recorder's trailing minute —
+   the :top counterpart of the dashboard's SVG panels.  Empty when the
+   tsdb sampler has recorded nothing for the metric, so :top looks
+   unchanged until :monitor or :serve starts the sampler. *)
+let spark ?(scale = 1.) ?(unit = "") name agg =
+  let pts = Tsdb.range Tsdb.default ~window_s:60. ~step_s:2. ~agg name in
+  let vals = List.filter_map snd pts in
+  if vals = [] then ""
+  else begin
+    let lo = List.fold_left Float.min infinity vals
+    and hi = List.fold_left Float.max neg_infinity vals in
+    let glyphs = [| "\u{2581}"; "\u{2582}"; "\u{2583}"; "\u{2584}";
+                    "\u{2585}"; "\u{2586}"; "\u{2587}"; "\u{2588}" |]
+    in
+    let buf = Buffer.create 64 in
+    List.iter
+      (fun (_, v) ->
+        match v with
+        | None -> Buffer.add_char buf ' '
+        | Some v ->
+            let t =
+              if hi -. lo < 1e-12 then 0.5 else (v -. lo) /. (hi -. lo)
+            in
+            Buffer.add_string buf glyphs.(min 7 (int_of_float (t *. 8.))))
+      pts;
+    Printf.sprintf "  %s hi=%.3g%s" (Buffer.contents buf) (hi /. scale) unit
+  end
+
 (* The :top live view: a compact dashboard over the default registry
    (the same numbers /metrics exposes), refreshed in place. *)
 let show_top st frames =
@@ -293,13 +329,15 @@ let show_top st frames =
     in
     Fmt.pr "ndq top  (frame %d/%d)@." (i + 1) frames;
     Fmt.pr "  queries   %d total@." queries;
-    Fmt.pr "  latency   n=%d  p50=%a  p99=%a@."
+    Fmt.pr "  latency   n=%d  p50=%a  p99=%a%s@."
       (Metrics.histogram_count lat)
       Mclock.pp_ns
       (int_of_float (Metrics.quantile lat 0.5))
       Mclock.pp_ns
-      (int_of_float (Metrics.quantile lat 0.99));
-    Fmt.pr "  io        reads=%d writes=%d@." reads writes;
+      (int_of_float (Metrics.quantile lat 0.99))
+      (spark ~scale:1e6 ~unit:"ms" "engine_query_ns" (Tsdb.Quantile 0.99));
+    Fmt.pr "  io        reads=%d writes=%d%s@." reads writes
+      (spark ~unit:"/s" "engine_page_reads_total" Tsdb.Rate);
     Fmt.pr "  cache     %s  %a@."
       (if st.cache_on then "on" else "off")
       Cache.pp st.cache;
@@ -315,10 +353,11 @@ let show_top st frames =
     (match st.server with
     | None -> Fmt.pr "  serving   off@."
     | Some srv ->
-        Fmt.pr "  serving   port=%d workers=%d queue=%d/%d sessions=%d shed=%d@."
+        Fmt.pr "  serving   port=%d workers=%d queue=%d/%d sessions=%d shed=%d%s@."
           (Srv.port srv) (Srv.workers srv) (Srv.queue_depth srv)
           (Srv.queue_capacity srv) (Srv.session_count srv)
-          (Metrics.counter_value (Metrics.counter "srv_shed_total"));
+          (Metrics.counter_value (Metrics.counter "srv_shed_total"))
+          (spark ~scale:1e6 ~unit:"ms" "srv_request_ns" (Tsdb.Quantile 0.99));
         let now = srv_route_totals () in
         List.iter
           (fun (route, n) ->
@@ -337,15 +376,27 @@ let show_top st frames =
     frame i
   done
 
+(* The flight recorder samples whenever something live feeds on it —
+   the monitor (/range, /dashboard, the windowed alert rules) or the
+   serving front-end.  When the last consumer stops, so does the
+   sampler thread; ndqsh exits with no thread left behind. *)
+let sync_tsdb st =
+  if st.monitor <> None || st.server <> None then Tsdb.start Tsdb.default
+  else if Tsdb.running Tsdb.default then Tsdb.stop Tsdb.default
+
 let stop_monitor st =
   Option.iter Runtime.stop st.ticker;
   st.ticker <- None;
-  match st.monitor with
-  | None -> false
-  | Some m ->
-      Monitor.stop m;
-      st.monitor <- None;
-      true
+  let stopped =
+    match st.monitor with
+    | None -> false
+    | Some m ->
+        Monitor.stop m;
+        st.monitor <- None;
+        true
+  in
+  sync_tsdb st;
+  stopped
 
 let start_monitor st port =
   ignore (stop_monitor st);
@@ -366,18 +417,23 @@ let start_monitor st port =
           (Runtime.start ~period:1.0
              ~on_tick:(fun () -> Alerts.tick Alerts.default)
              ());
+      sync_tsdb st;
       Fmt.pr "monitoring on http://127.0.0.1:%d/ (:monitor off to stop)@."
         (Monitor.port m)
   | exception Unix.Unix_error (e, _, _) ->
       Fmt.pr "cannot listen on port %d: %s@." port (Unix.error_message e)
 
 let stop_server st =
-  match st.server with
-  | None -> false
-  | Some s ->
-      Srv.stop s;
-      st.server <- None;
-      true
+  let stopped =
+    match st.server with
+    | None -> false
+    | Some s ->
+        Srv.stop s;
+        st.server <- None;
+        true
+  in
+  sync_tsdb st;
+  stopped
 
 (* The serving workers each build their own engine over the directory's
    instance at start time — updates made at the shell afterwards are
@@ -394,6 +450,7 @@ let start_server st ~port ~workers ~queue =
   with
   | s ->
       st.server <- Some s;
+      sync_tsdb st;
       Fmt.pr
         "serving on 127.0.0.1:%d (%d workers, queue %d; HTTP /query + line \
          protocol; :serve off to stop)@."
@@ -662,6 +719,65 @@ let run_command st line =
             (List.length (Alerts.firing a));
           List.iter (fun r -> Fmt.pr "%a@," (Alerts.pp_rule a) r) rules;
           Fmt.pr "@]")
+  | ":tail" :: "threshold" :: v :: _ -> (
+      match float_of_string_opt v with
+      | Some ms when ms >= 0. ->
+          Tail.set_slow_threshold_ns (int_of_float (ms *. 1e6));
+          Fmt.pr "tail slow threshold = %gms@." ms
+      | _ -> Fmt.pr "usage: :tail threshold <ms>@.")
+  | ":tail" :: "sample" :: v :: _ -> (
+      match int_of_string_opt v with
+      | Some n when n >= 0 ->
+          Tail.set_sample_every n;
+          Fmt.pr "tail baseline sample = %s@."
+            (if n = 0 then "off" else Printf.sprintf "1-in-%d" n)
+      | _ -> Fmt.pr "usage: :tail sample <n>   (0 disables the baseline)@.")
+  | ":tail" :: "budget" :: v :: _ -> (
+      match int_of_string_opt v with
+      | Some n when n > 0 ->
+          Tail.set_budget_spans n;
+          Fmt.pr "tail budget = %d spans@." n
+      | _ -> Fmt.pr "usage: :tail budget <spans>@.")
+  | ":tail" :: "clear" :: _ ->
+      Tail.clear ();
+      Fmt.pr "tail store cleared@."
+  | ":tail" :: _ ->
+      let rs = Tail.retained () in
+      Fmt.pr "tail: %d traces, %d/%d spans; slow>%a, baseline %s@."
+        (List.length rs) (Tail.retained_spans ()) (Tail.budget_spans ())
+        Mclock.pp_ns (Tail.slow_threshold_ns ())
+        (match Tail.sample_every () with
+        | 0 -> "off"
+        | n -> Printf.sprintf "1-in-%d" n);
+      List.iteri
+        (fun i r ->
+          if i < 10 then
+            Fmt.pr "  %-18s %-8s %-6s %a  %d spans@." r.Tail.r_trace_id
+              (Tail.reason_to_string r.Tail.r_reason)
+              r.Tail.r_origin Mclock.pp_ns r.Tail.r_wall_ns
+              (Trace.span_count r.Tail.r_span))
+        rs;
+      if List.length rs > 10 then
+        Fmt.pr "  ... %d more (/tail shows them all)@." (List.length rs - 10)
+  | ":tsdb" :: "save" :: path :: _ ->
+      ensure_parent path;
+      Tsdb.save Tsdb.default path;
+      Fmt.pr "wrote %d windows to %s@." (Tsdb.window_count Tsdb.default) path
+  | ":tsdb" :: "on" :: _ ->
+      Tsdb.start Tsdb.default;
+      Fmt.pr "tsdb sampler on (%.3gs resolution)@."
+        (Tsdb.resolution_s Tsdb.default)
+  | ":tsdb" :: "off" :: _ ->
+      Tsdb.stop Tsdb.default;
+      Fmt.pr "tsdb sampler off@."
+  | ":tsdb" :: _ ->
+      let t = Tsdb.default in
+      let series = Tsdb.series t in
+      Fmt.pr "tsdb: sampler %s, %d/%d windows at %.3gs resolution, %d series@."
+        (if Tsdb.running t then "running" else "stopped")
+        (Tsdb.window_count t) (Tsdb.capacity t) (Tsdb.resolution_s t)
+        (List.length series);
+      List.iter (fun (n, k) -> Fmt.pr "  %-40s %s@." n k) series
   | ":top" :: rest ->
       let frames =
         match rest with

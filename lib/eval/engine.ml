@@ -468,7 +468,17 @@ let eval_uncached t ~mode q ~probe =
           and writes = s.Io_stats.page_writes - writes0
           and alloc_bytes = int_of_float (Gc.allocated_bytes () -. alloc0) in
           Metrics.incr m_queries;
-          Metrics.observe_ns m_latency wall_ns;
+          Metrics.observe_ns
+            ?trace_id:(Option.map (fun sp -> sp.Trace.trace_id) span)
+            m_latency wall_ns;
+          (* tail sampling: hand the completed tree over when tracing
+             produced one; the sampler decides whether to keep it.
+             Inside a served request this tree shares the request's
+             trace id, and the server's root tree supersedes it. *)
+          Option.iter
+            (fun sp ->
+              ignore (Tail.consider ~origin:"engine" ~outcome:`Ok ~wall_ns sp))
+            span;
           Metrics.add m_reads reads;
           Metrics.add m_writes writes;
           Metrics.add m_alloc alloc_bytes;

@@ -32,6 +32,10 @@ type source =
   | Value of selector  (* a gauge's (or counter's) current value *)
   | Rate of selector  (* a counter's per-tick delta *)
   | Quantile of selector * float  (* quantile over the tick's window *)
+  | Windowed of source * float
+      (* the same source over a trailing wall-clock window of N
+         seconds, read from the flight recorder instead of the live
+         registry: [over(60s)].  Never nested. *)
 
 type term = Source of source | Ratio of source * source
 type cmp = Gt | Ge | Lt | Le
@@ -63,13 +67,19 @@ type transition = {
   tr_from : string;
   tr_to : string;  (* "firing", "pending", "resolved" *)
   tr_value : float;  (* the measured value at the transition *)
+  tr_exemplar : string option;
+      (* a trace id from a matching histogram's exemplars, captured
+         when the rule went pending/firing — the slow request behind
+         the alert, joinable via /trace/<id> *)
 }
 
 type t = {
   registry : Metrics.t;
+  tsdb : Tsdb.t;  (* backs the [over(window)] sources *)
   mutable rules : rule list;  (* in add order *)
   states : (string, state) Hashtbl.t;  (* by rule name *)
   values : (string, float) Hashtbl.t;  (* last measured value, by rule *)
+  exemplars : (string, string) Hashtbl.t;  (* incident trace id, by rule *)
   silenced : (string, unit) Hashtbl.t;
   prev_value : (string, float) Hashtbl.t;  (* rate/increasing snapshots *)
   prev_hist : (string, int array) Hashtbl.t;  (* cumulative bucket snaps *)
@@ -79,12 +89,14 @@ type t = {
 
 let history_capacity = 256
 
-let create ?(registry = Metrics.default) () =
+let create ?(registry = Metrics.default) ?(tsdb = Tsdb.default) () =
   {
     registry;
+    tsdb;
     rules = [];
     states = Hashtbl.create 8;
     values = Hashtbl.create 8;
+    exemplars = Hashtbl.create 4;
     silenced = Hashtbl.create 4;
     prev_value = Hashtbl.create 8;
     prev_hist = Hashtbl.create 8;
@@ -162,19 +174,48 @@ let number_of_token tok =
   | Some v -> Some v
   | None -> float_of_string_opt tok
 
-let source_of_tokens = function
-  | [] -> fail "empty source"
-  | tok :: rest
+(* The inner token of [over(...)]: seconds, with an optional [s] or
+   [ms] suffix — [over(60s)], [over(500ms)], [over(30)]. *)
+let window_of_token tok =
+  let l = String.length tok in
+  if l > 2 && String.sub tok (l - 2) 2 = "ms" then
+    Option.map
+      (fun v -> v /. 1000.)
+      (float_of_string_opt (String.sub tok 0 (l - 2)))
+  else if l > 1 && tok.[l - 1] = 's' then
+    float_of_string_opt (String.sub tok 0 (l - 1))
+  else float_of_string_opt tok
+
+(* [over(60s)] after any source reads it from the flight recorder's
+   trailing window instead of the live registry / per-tick delta. *)
+let wrap_over (src, rest) =
+  match rest with
+  | tok :: rest'
     when String.length tok > 6
-         && String.sub tok 0 5 = "rate("
-         && tok.[String.length tok - 1] = ')' ->
-      (Rate (selector_of_token (String.sub tok 5 (String.length tok - 6))), rest)
-  | tok :: rest -> (
-      let sel = selector_of_token tok in
-      match rest with
-      | q :: rest' when quantile_of_token q <> None ->
-          (Quantile (sel, Option.get (quantile_of_token q)), rest')
-      | _ -> (Value sel, rest))
+         && String.sub tok 0 5 = "over("
+         && tok.[String.length tok - 1] = ')' -> (
+      let inner = String.sub tok 5 (String.length tok - 6) in
+      match window_of_token inner with
+      | Some w when w > 0. -> (Windowed (src, w), rest')
+      | _ -> fail "bad window %S" tok)
+  | _ -> (src, rest)
+
+let source_of_tokens toks =
+  wrap_over
+    (match toks with
+    | [] -> fail "empty source"
+    | tok :: rest
+      when String.length tok > 6
+           && String.sub tok 0 5 = "rate("
+           && tok.[String.length tok - 1] = ')' ->
+        ( Rate (selector_of_token (String.sub tok 5 (String.length tok - 6))),
+          rest )
+    | tok :: rest -> (
+        let sel = selector_of_token tok in
+        match rest with
+        | q :: rest' when quantile_of_token q <> None ->
+            (Quantile (sel, Option.get (quantile_of_token q)), rest')
+        | _ -> (Value sel, rest)))
 
 let cmp_of_token = function
   | ">" -> Some Gt
@@ -233,6 +274,7 @@ let remove t name =
   t.rules <- List.filter (fun r -> r.name <> name) t.rules;
   Hashtbl.remove t.states name;
   Hashtbl.remove t.values name;
+  Hashtbl.remove t.exemplars name;
   Hashtbl.remove t.silenced name;
   List.length t.rules < n
 
@@ -361,6 +403,26 @@ let source_value t env = function
                 | Some prev -> Array.mapi (fun i c -> max 0 (c - prev.(i))) now
               in
               quantile_of_cumulative window q)
+  | Windowed (src, w) ->
+      (* Read the trailing [w] seconds from the flight recorder as one
+         bucket; the last populated point is the window's value.  A
+         store with no samples (sampler off, metric absent) evaluates
+         to None — the rule simply is not in violation. *)
+      let sel, agg =
+        match src with
+        | Value sel -> (sel, Tsdb.Avg)
+        | Rate sel -> (sel, Tsdb.Rate)
+        | Quantile (sel, q) -> (sel, Tsdb.Quantile q)
+        | Windowed _ -> fail "nested over() windows"
+      in
+      memoized env
+        (Printf.sprintf "o:%g:%s:%s" w (Tsdb.agg_to_string agg) (sel_key sel))
+        (fun () ->
+          Tsdb.range t.tsdb ~labels:sel.sel_labels ~window_s:w ~step_s:w ~agg
+            sel.sel_name
+          |> List.fold_left
+               (fun acc (_, v) -> if v <> None then v else acc)
+               None)
 
 let term_value t env = function
   | Source s -> source_value t env s
@@ -401,7 +463,7 @@ let eval_expr t env = function
 
 let truncate n l = List.filteri (fun i _ -> i < n) l
 
-let push_transition t r ~from ~to_ ~value =
+let push_transition t r ~from ~to_ ~value ~exemplar =
   t.history <-
     truncate history_capacity
       ({
@@ -412,8 +474,40 @@ let push_transition t r ~from ~to_ ~value =
          tr_from = state_name from;
          tr_to = to_;
          tr_value = value;
+         tr_exemplar = exemplar;
        }
       :: t.history)
+
+(* The selectors a rule reads — where to look for an exemplar. *)
+let rec sels_of_source = function
+  | Value sel | Rate sel | Quantile (sel, _) -> [ sel ]
+  | Windowed (src, _) -> sels_of_source src
+
+let sels_of_expr = function
+  | Threshold (Source s, _, _) -> sels_of_source s
+  | Threshold (Ratio (a, b), _, _) -> sels_of_source a @ sels_of_source b
+  | Increasing sel -> [ sel ]
+
+(* The worst (largest-valued) exemplar among the histograms a rule
+   reads: for a latency alert, the slowest recently-observed request —
+   its trace id is what an operator wants to open first. *)
+let exemplar_for env expr =
+  let best = ref None in
+  List.iter
+    (fun sel ->
+      List.iter
+        (function
+          | Metrics.V_histogram h ->
+              List.iter
+                (fun (_, ex) ->
+                  match !best with
+                  | Some b when b.Metrics.ex_value >= ex.Metrics.ex_value -> ()
+                  | _ -> best := Some ex)
+                h.Metrics.hv_exemplars
+          | _ -> ())
+        (matching_views env.export sel))
+    (sels_of_expr expr);
+  Option.map (fun ex -> ex.Metrics.ex_trace_id) !best
 
 let alert_gauge t r =
   Metrics.gauge ~registry:t.registry
@@ -423,7 +517,7 @@ let alert_gauge t r =
 
 let is_silenced t name = Hashtbl.mem t.silenced name
 
-let step t r violated value =
+let step t env r violated value =
   let old = Option.value ~default:Inactive (Hashtbl.find_opt t.states r.name) in
   let next =
     match (old, violated) with
@@ -434,15 +528,29 @@ let step t r violated value =
   in
   Hashtbl.replace t.states r.name next;
   Hashtbl.replace t.values r.name value;
+  (* Escalations capture a fresh exemplar (the slowest recent request
+     behind the violation); retreats carry the incident's exemplar out
+     into the history, then drop it from the live table. *)
+  let escalate to_ =
+    let ex = exemplar_for env r.expr in
+    (match ex with
+    | Some id -> Hashtbl.replace t.exemplars r.name id
+    | None -> ());
+    push_transition t r ~from:old ~to_ ~value ~exemplar:ex
+  in
+  let retreat to_ =
+    let ex = Hashtbl.find_opt t.exemplars r.name in
+    Hashtbl.remove t.exemplars r.name;
+    push_transition t r ~from:old ~to_ ~value ~exemplar:ex
+  in
   (match (old, next) with
-  | Inactive, Pending _ -> push_transition t r ~from:old ~to_:"pending" ~value
-  | (Inactive | Pending _), Firing ->
-      push_transition t r ~from:old ~to_:"firing" ~value
-  | Firing, Inactive -> push_transition t r ~from:old ~to_:"resolved" ~value
+  | Inactive, Pending _ -> escalate "pending"
+  | (Inactive | Pending _), Firing -> escalate "firing"
+  | Firing, Inactive -> retreat "resolved"
   | Pending _, Inactive ->
       (* a flap that never fired: note the retreat, it is what the
          for-duration is there to absorb *)
-      push_transition t r ~from:old ~to_:"inactive" ~value
+      retreat "inactive"
   | _ -> ());
   Metrics.set (alert_gauge t r)
     (if next = Firing && not (is_silenced t r.name) then 1. else 0.)
@@ -455,7 +563,7 @@ let tick t =
   List.iter
     (fun r ->
       let violated, value = eval_expr t env r.expr in
-      step t r violated value)
+      step t env r violated value)
     t.rules;
   List.iter (fun commit -> commit ()) env.commits
 
@@ -475,6 +583,7 @@ let firing t =
     t.rules
 
 let history t = t.history
+let last_exemplar t name = Hashtbl.find_opt t.exemplars name
 
 let silence t name on =
   if not (List.exists (fun r -> r.name = name) t.rules) then false
@@ -497,6 +606,7 @@ let clear t =
   t.rules <- [];
   Hashtbl.reset t.states;
   Hashtbl.reset t.values;
+  Hashtbl.reset t.exemplars;
   Hashtbl.reset t.silenced;
   Hashtbl.reset t.prev_value;
   Hashtbl.reset t.prev_hist;
@@ -528,22 +638,33 @@ let install_defaults ?(t = default) () =
          "srv_request_ns p99 > 250ms for 3");
     ignore
       (add t ~severity:"critical" ~name:"srv-shed-rate"
-         "rate(srv_shed_total) / rate(srv_requests_total) > 0.05 for 2")
+         "rate(srv_shed_total) / rate(srv_requests_total) > 0.05 for 2");
+    (* A sustained-latency rule over the flight recorder: the p99 of
+       the last minute of recorded windows, not one tick's delta — a
+       single slow query cannot trip it.  Evaluates to no-violation
+       until the tsdb sampler has data. *)
+    ignore
+      (add t ~severity:"critical" ~name:"srv-latency-sustained"
+         "srv_request_ns p99 over(60s) > 500ms for 2")
   end
 
 (* --- Rendering --------------------------------------------------------------- *)
 
 let transition_json tr =
   Json.Obj
-    [
-      ("tick", Json.Num (float_of_int tr.tr_tick));
-      ("ts", Json.Num tr.tr_ts);
-      ("rule", Json.Str tr.tr_rule);
-      ("severity", Json.Str tr.tr_severity);
-      ("from", Json.Str tr.tr_from);
-      ("to", Json.Str tr.tr_to);
-      ("value", Json.Num tr.tr_value);
-    ]
+    ([
+       ("tick", Json.Num (float_of_int tr.tr_tick));
+       ("ts", Json.Num tr.tr_ts);
+       ("rule", Json.Str tr.tr_rule);
+       ("severity", Json.Str tr.tr_severity);
+       ("from", Json.Str tr.tr_from);
+       ("to", Json.Str tr.tr_to);
+       ("value", Json.Num tr.tr_value);
+     ]
+    @
+    match tr.tr_exemplar with
+    | Some id -> [ ("exemplar_trace_id", Json.Str id) ]
+    | None -> [])
 
 let rule_json t r =
   let st = Option.value ~default:Inactive (Hashtbl.find_opt t.states r.name) in
@@ -560,6 +681,9 @@ let rule_json t r =
       | _ -> [])
     @ (match Hashtbl.find_opt t.values r.name with
       | Some v -> [ ("value", Json.Num v) ]
+      | None -> [])
+    @ (match Hashtbl.find_opt t.exemplars r.name with
+      | Some id -> [ ("exemplar_trace_id", Json.Str id) ]
       | None -> [])
     @ if is_silenced t r.name then [ ("silenced", Json.Bool true) ] else [])
 
@@ -584,5 +708,8 @@ let pp_rule t ppf r =
     | _ -> "")
 
 let pp_transition ppf tr =
-  Fmt.pf ppf "tick %-4d %-24s %-8s %s -> %s  [value %.6g]" tr.tr_tick tr.tr_rule
-    tr.tr_severity tr.tr_from tr.tr_to tr.tr_value
+  Fmt.pf ppf "tick %-4d %-24s %-8s %s -> %s  [value %.6g]%s" tr.tr_tick
+    tr.tr_rule tr.tr_severity tr.tr_from tr.tr_to tr.tr_value
+    (match tr.tr_exemplar with
+    | Some id -> "  trace " ^ id
+    | None -> "")

@@ -9,6 +9,7 @@
     rate(engine_page_reads_total) / rate(engine_queries_total) > 40 for 2
     plan_drift_total increasing
     gc_heap_words > 2e6
+    srv_request_ns p99 over(60s) > 500ms for 2
     v}
 
     Grammar: [source [/ source] cmp number ["for" N ["ticks"]]] or
@@ -17,8 +18,22 @@
     selector with a quantile ([p50|p90|p95|p99] — computed over the
     observations that arrived since the previous tick, so alerts
     resolve when the system goes quiet), or [rate(selector)] (the
-    counter's per-tick delta).  Thresholds accept [ns/us/ms/s]
-    duration suffixes and a bare [x] multiplier.
+    counter's per-tick delta).  Any source may be suffixed with
+    [over(60s)] (also [over(500ms)], bare seconds): the same
+    aggregation read from the {!Tsdb} flight recorder's trailing
+    wall-clock window instead of the live registry — [rate] becomes a
+    per-second rate over the window, a quantile merges the window's
+    recorded bucket deltas, and a plain selector averages.  Windowed
+    sources evaluate to no-violation until the store's sampler has
+    data.  Thresholds accept [ns/us/ms/s] duration suffixes and a bare
+    [x] multiplier.
+
+    When a rule goes pending or firing, the evaluator captures an
+    {e exemplar}: the trace id attached to the largest recent
+    observation of any histogram the rule reads (see
+    {!Metrics.observe}).  It rides on the transition, the rule's JSON
+    ([exemplar_trace_id]) and the dashboard's alert table, and
+    resolves at the monitor's [/trace/<id>] while tail-retained.
 
     {!tick} drives evaluation: the condition must hold on [for]
     consecutive ticks before the alert fires, and one false tick
@@ -33,6 +48,9 @@ type source =
   | Value of selector
   | Rate of selector
   | Quantile of selector * float
+  | Windowed of source * float
+      (** the source over a trailing window of N seconds, read from
+          the flight recorder ([over(60s)]); never nested *)
 
 type term = Source of source | Ratio of source * source
 type cmp = Gt | Ge | Lt | Le
@@ -56,13 +74,17 @@ type transition = {
   tr_from : string;
   tr_to : string;  (** ["pending" | "firing" | "resolved" | "inactive"] *)
   tr_value : float;  (** the measured value at the transition *)
+  tr_exemplar : string option;
+      (** a trace id from a matching histogram's exemplars — the slow
+          request behind the alert *)
 }
 
 type t
 
-val create : ?registry:Metrics.t -> unit -> t
+val create : ?registry:Metrics.t -> ?tsdb:Tsdb.t -> unit -> t
 (** A fresh evaluator over [registry] (default {!Metrics.default});
-    starts with no rules. *)
+    starts with no rules.  [tsdb] (default {!Tsdb.default}) backs the
+    [over(window)] sources. *)
 
 val default : t
 (** The process-wide evaluator behind the monitor's [/alerts] route and
@@ -88,8 +110,9 @@ val rules : t -> rule list
 val install_defaults : ?t:t -> unit -> unit
 (** Install the stock service-health rules (interactive latency p99,
     read amplification per query, plan drift, serving-front-end p99 and
-    shed rate) into [t] (default {!default}).  No-op when the evaluator
-    already has rules. *)
+    shed rate, and a sustained-p99 rule over the flight recorder's
+    trailing minute) into [t] (default {!default}).  No-op when the
+    evaluator already has rules. *)
 
 (** {1 Evaluation} *)
 
@@ -112,6 +135,11 @@ val firing : t -> rule list
 
 val history : t -> transition list
 (** State transitions, newest first (bounded ring of 256). *)
+
+val last_exemplar : t -> string -> string option
+(** The exemplar trace id captured when the named rule last went
+    pending/firing; dropped when it resolves (the transition history
+    keeps the incident's copy). *)
 
 val silence : t -> string -> bool -> bool
 (** [silence t name on] suppresses ([on = true]) or restores the

@@ -41,8 +41,15 @@ let normalize labels =
 
 let hbuckets = 64
 
+type exemplar = {
+  ex_trace_id : string;
+  ex_value : float;
+  ex_ts : float;  (* unix seconds at observation time *)
+}
+
 type histogram = {
   buckets : int array;  (* buckets.(i): observations in [2^i, 2^(i+1)) *)
+  exemplars : exemplar option array;  (* most recent traced hit per bucket *)
   mutable hcount : int;
   mutable hsum : float;
   mutable hmin : float;
@@ -121,6 +128,7 @@ let histogram ?(registry = default) ?(help = "") ?(labels = []) name =
         H
           {
             buckets = Array.make hbuckets 0;
+            exemplars = Array.make hbuckets None;
             hcount = 0;
             hsum = 0.;
             hmin = infinity;
@@ -135,18 +143,28 @@ let bucket_index v =
   if v < 1. then 0
   else min (hbuckets - 1) (int_of_float (Float.log2 v))
 
-let observe h v =
+let observe ?trace_id h v =
   (* NaN would flow through Float.max unchanged and hand int_of_float an
      unspecified value in bucket_index; clamp it to zero like negatives. *)
   let v = if Float.is_nan v then 0. else Float.max v 0. in
+  (* Stamp outside the lock: gettimeofday is a syscall on some systems
+     and only traced observations need it. *)
+  let ex =
+    match trace_id with
+    | None -> None
+    | Some tid ->
+        Some { ex_trace_id = tid; ex_value = v; ex_ts = Unix.gettimeofday () }
+  in
   locked (fun () ->
-      h.buckets.(bucket_index v) <- h.buckets.(bucket_index v) + 1;
+      let i = bucket_index v in
+      h.buckets.(i) <- h.buckets.(i) + 1;
+      (match ex with None -> () | Some _ -> h.exemplars.(i) <- ex);
       h.hcount <- h.hcount + 1;
       h.hsum <- h.hsum +. v;
       if v < h.hmin then h.hmin <- v;
       if v > h.hmax then h.hmax <- v)
 
-let observe_ns h ns = observe h (float_of_int ns)
+let observe_ns ?trace_id h ns = observe ?trace_id h (float_of_int ns)
 
 let histogram_count h = h.hcount
 let histogram_sum h = h.hsum
@@ -183,6 +201,7 @@ let reset_series = function
   | G g -> g.g <- 0.
   | H h ->
       Array.fill h.buckets 0 hbuckets 0;
+      Array.fill h.exemplars 0 hbuckets None;
       h.hcount <- 0;
       h.hsum <- 0.;
       h.hmin <- infinity;
@@ -206,6 +225,7 @@ type hview = {
   hv_min : float;  (* infinity when empty *)
   hv_max : float;  (* neg_infinity when empty *)
   hv_cumulative : int array;  (* entry i counts observations below 2^(i+1) *)
+  hv_exemplars : (int * exemplar) list;  (* bucket index -> most recent hit *)
 }
 
 type view = V_counter of int | V_gauge of float | V_histogram of hview
@@ -229,6 +249,15 @@ let cumulative_buckets h =
       cum.(i) <- !running)
     h.buckets;
   cum
+
+let exemplar_list h =
+  let acc = ref [] in
+  for i = hbuckets - 1 downto 0 do
+    match h.exemplars.(i) with
+    | Some ex -> acc := (i, ex) :: !acc
+    | None -> ()
+  done;
+  !acc
 
 (* --- Exporters ---------------------------------------------------------------------- *)
 
@@ -263,6 +292,7 @@ let export registry =
                             hv_min = h.hmin;
                             hv_max = h.hmax;
                             hv_cumulative = cumulative_buckets h;
+                            hv_exemplars = exemplar_list h;
                           } ))
                 (sorted_series m);
           })

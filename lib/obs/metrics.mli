@@ -41,10 +41,13 @@ val gauge_value : gauge -> float
 val histogram :
   ?registry:t -> ?help:string -> ?labels:labels -> string -> histogram
 
-val observe : histogram -> float -> unit
-(** Record one observation (negative and NaN values clamp to zero). *)
+val observe : ?trace_id:string -> histogram -> float -> unit
+(** Record one observation (negative and NaN values clamp to zero).
+    When [trace_id] is given the covering bucket remembers it as its
+    exemplar — the most recent traced observation that landed there —
+    for the OpenMetrics exposition and slow-trace joins. *)
 
-val observe_ns : histogram -> int -> unit
+val observe_ns : ?trace_id:string -> histogram -> int -> unit
 
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
@@ -61,6 +64,13 @@ val reset : t -> unit
     A read-only snapshot for exporters living outside this module
     (e.g. {!Promexp}, the introspection server). *)
 
+type exemplar = {
+  ex_trace_id : string;
+  ex_value : float;
+  ex_ts : float;  (** unix seconds at observation time *)
+}
+(** The most recent traced observation that landed in a bucket. *)
+
 type hview = {
   hv_count : int;
   hv_sum : float;
@@ -68,6 +78,8 @@ type hview = {
   hv_max : float;  (** [neg_infinity] when empty *)
   hv_cumulative : int array;
       (** entry [i] counts observations below [2^(i+1)] *)
+  hv_exemplars : (int * exemplar) list;
+      (** sparse, ascending bucket index -> most recent traced hit *)
 }
 
 type view = V_counter of int | V_gauge of float | V_histogram of hview

@@ -7,17 +7,22 @@
    so a scrape sees a consistent-enough snapshot for monitoring
    purposes and never corrupts the registry).  Built-in routes:
 
-     /          plain-text index of the routes
-     /metrics   Prometheus text exposition of the registry
-     /healthz   {"status":"ok", uptime, served request count}
-     /slowlog   the slow-query captures, JSON lines (newest threshold)
-     /trace     summaries of the recent-trace ring, JSON
-     /trace/<n> the n-th recent trace (0 = newest; or a trace id, or
-                "last") as Chrome trace-event JSON
+     /           plain-text index of the routes
+     /metrics    OpenMetrics exposition of the registry (with exemplars)
+     /healthz    {"status":"ok", uptime, served request count}
+     /slowlog    the slow-query captures, JSON lines (newest threshold)
+     /trace      summaries of the recent-trace ring, JSON
+     /trace/<n>  the n-th recent trace (0 = newest; or a trace id —
+                 including tail-retained ones — or "last") as Chrome
+                 trace-event JSON
+     /tail       the tail sampler's retained traces, JSON
+     /range      flight-recorder range query (?metric=&agg=&window=&step=)
+     /dashboard  self-contained live HTML dashboard
 
    Extra handlers (e.g. /cache, whose stats live above this layer)
-   register with [add_handler].  Monitoring is opt-in: nothing listens
-   until [start] is called. *)
+   register with [add_handler]; they receive the full request target
+   (query string included — [split_target] parses it).  Monitoring is
+   opt-in: nothing listens until [start] is called. *)
 
 type response = { status : int; content_type : string; body : string }
 
@@ -45,11 +50,87 @@ let reason = function
   | 405 -> "Method Not Allowed"
   | _ -> "Internal Server Error"
 
+(* --- Request targets -------------------------------------------------------- *)
+
+let url_decode s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> -1
+  in
+  let rec go i =
+    if i < n then
+      match s.[i] with
+      | '+' ->
+          Buffer.add_char b ' ';
+          go (i + 1)
+      | '%' when i + 2 < n && hex s.[i + 1] >= 0 && hex s.[i + 2] >= 0 ->
+          Buffer.add_char b (Char.chr ((hex s.[i + 1] * 16) + hex s.[i + 2]));
+          go (i + 3)
+      | c ->
+          Buffer.add_char b c;
+          go (i + 1)
+  in
+  go 0;
+  Buffer.contents b
+
+let split_target target =
+  match String.index_opt target '?' with
+  | None -> (target, [])
+  | Some i ->
+      let path = String.sub target 0 i in
+      let qs = String.sub target (i + 1) (String.length target - i - 1) in
+      let params =
+        List.filter_map
+          (fun kv ->
+            match String.index_opt kv '=' with
+            | None -> if kv = "" then None else Some (url_decode kv, "")
+            | Some j ->
+                Some
+                  ( url_decode (String.sub kv 0 j),
+                    url_decode (String.sub kv (j + 1) (String.length kv - j - 1))
+                  ))
+          (String.split_on_char '&' qs)
+      in
+      (path, params)
+
 (* --- Built-in routes ------------------------------------------------------ *)
 
+(* Slow-query events annotated with whether their trace survives in
+   the tail sampler — the join an operator follows from a slowlog line
+   straight to /trace/<id>. *)
 let jsonl_of_events events =
   String.concat ""
-    (List.map (fun ev -> Json.to_string (Qlog.to_json ev) ^ "\n") events)
+    (List.map
+       (fun ev ->
+         let j = Qlog.to_json ev in
+         let j =
+           match j with
+           | Json.Obj fields -> (
+               match Json.member "trace_id" j with
+               | Json.Str tid -> (
+                   match Tail.find tid with
+                   | Some r ->
+                       Json.Obj
+                         (fields
+                         @ [
+                             ("trace_retained", Json.Bool true);
+                             ( "trace_reason",
+                               Json.Str (Tail.reason_to_string r.Tail.r_reason)
+                             );
+                           ])
+                   | None ->
+                       Json.Obj (fields @ [ ("trace_retained", Json.Bool false) ])
+                   )
+               | _ -> j)
+           | j -> j
+         in
+         Json.to_string j ^ "\n")
+       events)
 
 let trace_summaries () =
   Json.Arr
@@ -74,27 +155,131 @@ let find_trace sel =
   | sel -> (
       match int_of_string_opt sel with
       | Some n -> List.nth_opt ring n
+      | None -> (
+          match
+            List.find_opt (fun (s : Trace.span) -> s.Trace.trace_id = sel) ring
+          with
+          | Some s -> Some s
+          | None ->
+              (* the recent ring is shallow; tail-retained traces live
+                 longer, and exemplars/slowlog point at those ids *)
+              Option.map (fun r -> r.Tail.r_span) (Tail.find sel)))
+
+let tail_json () =
+  Json.Obj
+    [
+      ("retained", Json.Num (float_of_int (Tail.retained_count ())));
+      ("retained_spans", Json.Num (float_of_int (Tail.retained_spans ())));
+      ("budget_spans", Json.Num (float_of_int (Tail.budget_spans ())));
+      ( "slow_threshold_ms",
+        Json.Num (float_of_int (Tail.slow_threshold_ns ()) /. 1e6) );
+      ("sample_every", Json.Num (float_of_int (Tail.sample_every ())));
+      ( "traces",
+        Json.Arr
+          (List.map
+             (fun (r : Tail.retained) ->
+               Json.Obj
+                 [
+                   ("trace_id", Json.Str r.Tail.r_trace_id);
+                   ("reason", Json.Str (Tail.reason_to_string r.Tail.r_reason));
+                   ("origin", Json.Str r.Tail.r_origin);
+                   ("ts", Json.Num r.Tail.r_ts);
+                   ("wall_ns", Json.Num (float_of_int r.Tail.r_wall_ns));
+                   ( "spans",
+                     Json.Num (float_of_int (Trace.span_count r.Tail.r_span)) );
+                   ("name", Json.Str r.Tail.r_span.Trace.name);
+                   ("detail", Json.Str r.Tail.r_span.Trace.detail);
+                 ])
+             (Tail.retained ())) );
+    ]
+
+(* /range: the flight recorder's query surface.  Unknown params are
+   label matchers, so /range?metric=srv_request_ns&agg=p99&route=line
+   restricts to that route's series. *)
+let range_response params =
+  match List.assoc_opt "metric" params with
+  | None | Some "" ->
+      respond ~status:400
+        "usage: /range?metric=NAME[&agg=rate|sum|avg|min|max|pNN][&window=SECONDS][&step=SECONDS][&LABEL=VALUE...]\n"
+  | Some metric -> (
+      let fparam name default =
+        match List.assoc_opt name params with
+        | Some s -> (
+            match float_of_string_opt s with
+            | Some f when f > 0. -> f
+            | _ -> default)
+        | None -> default
+      in
+      let window_s = fparam "window" 300. in
+      let step_s = fparam "step" (Tsdb.resolution_s Tsdb.default) in
+      match
+        match List.assoc_opt "agg" params with
+        | None -> Some Tsdb.Avg
+        | Some a -> Tsdb.agg_of_string a
+      with
       | None ->
-          List.find_opt (fun (s : Trace.span) -> s.Trace.trace_id = sel) ring)
+          respond ~status:400
+            "bad agg: want rate|sum|avg|min|max|pNN (p50, p99, p999)\n"
+      | Some agg ->
+          let labels =
+            List.filter
+              (fun (k, _) ->
+                not (List.mem k [ "metric"; "window"; "step"; "agg" ]))
+              params
+          in
+          let points =
+            Tsdb.range Tsdb.default ~labels ~step_s ~window_s ~agg metric
+          in
+          respond ~content_type:"application/json"
+            (Json.to_string
+               (Json.Obj
+                  [
+                    ("metric", Json.Str metric);
+                    ("agg", Json.Str (Tsdb.agg_to_string agg));
+                    ("window_s", Json.Num window_s);
+                    ("step_s", Json.Num step_s);
+                    ( "points",
+                      Json.Arr
+                        (List.map
+                           (fun (ts, v) ->
+                             Json.Arr
+                               [
+                                 Json.Num ts;
+                                 (match v with
+                                 | None -> Json.Null
+                                 | Some v -> Json.Num v);
+                               ])
+                           points) );
+                  ])))
 
 let index_body =
   "ndq introspection server\n\
-   /metrics    Prometheus text exposition\n\
+   /metrics    OpenMetrics exposition (exemplars link to retained traces)\n\
    /healthz    liveness + uptime + journal sink\n\
    /alerts     alert rules, states and transition history (JSON)\n\
-   /slowlog    slow-query captures (JSON lines)\n\
+   /slowlog    slow-query captures (JSON lines, trace_retained join)\n\
    /trace      recent traces (JSON summaries)\n\
    /trace/<n>  one trace as Chrome trace-event JSON (n, trace id or 'last')\n\
+   /tail       tail-sampled retained traces (JSON)\n\
+   /range      flight-recorder range query: ?metric=NAME&agg=p99&window=300\n\
+   /dashboard  live dashboard (self-contained HTML, inline SVG sparklines)\n\
    /planstats  plan-quality observatory: q-error summaries + calibration\n\
    /workload   top plans by wall time (count, io, cache hit rate, worst q)\n"
 
-let builtin t path =
+let builtin t path params =
   match path with
   | "/" -> Some (respond index_body)
   | "/metrics" ->
       Some
-        (respond ~content_type:Promexp.content_type
-           (Promexp.to_text t.registry))
+        (respond ~content_type:Promexp.content_type_openmetrics
+           (Promexp.to_openmetrics t.registry))
+  | "/range" -> Some (range_response params)
+  | "/dashboard" ->
+      Some (respond ~content_type:"text/html; charset=utf-8" (Dashboard.page ()))
+  | "/tail" ->
+      Some
+        (respond ~content_type:"application/json"
+           (Json.to_string (tail_json ())))
   | "/healthz" ->
       Some
         (respond ~content_type:"application/json"
@@ -162,12 +347,6 @@ let builtin t path =
 
 (* --- HTTP plumbing -------------------------------------------------------- *)
 
-(* Strip the query string: routing is on the path alone. *)
-let route_path target =
-  match String.index_opt target '?' with
-  | Some i -> String.sub target 0 i
-  | None -> target
-
 (* Self-metrics label the first path segment only (so /trace/<n> stays
    one series) and the response status; the endpoint observing itself
    is the first thing an operator checks when scrapes look wrong. *)
@@ -191,13 +370,20 @@ let observe_request t ~route ~status ~ns =
        "monitor_request_ns")
     ns
 
-let handle t path =
+(* Registered handlers see the full target (query string included);
+   the builtins route on the bare path with the query string parsed
+   into params. *)
+let handle t target =
+  let path, params = split_target target in
   let rec try_handlers = function
-    | [] -> respond ~status:404 (Printf.sprintf "no route %s\n" path)
+    | [] -> (
+        match builtin t path params with
+        | Some r -> r
+        | None -> respond ~status:404 (Printf.sprintf "no route %s\n" path))
     | (_, h) :: rest -> (
-        match h path with Some r -> r | None -> try_handlers rest)
+        match h target with Some r -> r | None -> try_handlers rest)
   in
-  try try_handlers (t.handlers @ [ ("builtin", builtin t) ])
+  try try_handlers t.handlers
   with e ->
     respond ~status:500
       (Printf.sprintf "handler error: %s\n" (Printexc.to_string e))
@@ -234,7 +420,7 @@ let read_request fd =
   | Some i -> (
       let line = String.trim (String.sub text 0 i) in
       match String.split_on_char ' ' line with
-      | meth :: target :: _ when meth <> "" -> Some (meth, route_path target)
+      | meth :: target :: _ when meth <> "" -> Some (meth, target)
       | _ -> None)
 
 (* The response head alone — shared with the serving front-end, whose
@@ -284,13 +470,16 @@ let serve_client t fd =
       in
       match read_request fd with
       | None -> finish ~route:"(bad)" (respond ~status:400 "bad request\n") false
-      | Some (meth, path) when meth = "GET" || meth = "HEAD" ->
+      | Some (meth, target) when meth = "GET" || meth = "HEAD" ->
           (* HEAD gets the same status/headers as GET, body withheld;
              Content-Length still names the GET body's size, as the
              spec wants. *)
-          finish ~route:(route_label path) (handle t path) (meth = "HEAD")
-      | Some (meth, path) ->
-          finish ~route:(route_label path)
+          finish
+            ~route:(route_label (fst (split_target target)))
+            (handle t target) (meth = "HEAD")
+      | Some (meth, target) ->
+          finish
+            ~route:(route_label (fst (split_target target)))
             (respond ~status:405
                (Printf.sprintf "method %s not allowed (GET, HEAD)\n" meth))
             false)

@@ -2,18 +2,23 @@
     [Unix] sockets, serving the observability surface while the process
     runs.
 
-    Built-in routes: [/] (index), [/metrics] (Prometheus text
-    exposition of the registry), [/healthz] (liveness JSON: uptime,
-    request count, journal sink size and rotation limits, firing-alert
-    count), [/alerts] (the default {!Alerts} evaluator's rules, states
-    and transition history as JSON), [/slowlog] (slow-query captures
-    as JSON lines), [/trace] (recent trace summaries), [/trace/<sel>]
-    (one recent trace as Chrome trace-event JSON; [sel] is an index
-    into the recent ring, a trace id, or [last]), [/planstats] (the
-    default {!Planstats} store's q-error summaries + calibration) and
-    [/workload] (its top plans by wall time).  Layers above [lib/obs]
-    add their own routes (the shell registers [/cache]) with
-    {!add_handler}.
+    Built-in routes: [/] (index), [/metrics] (OpenMetrics exposition
+    of the registry, histogram exemplars included), [/healthz]
+    (liveness JSON: uptime, request count, journal sink size and
+    rotation limits, firing-alert count), [/alerts] (the default
+    {!Alerts} evaluator's rules, states and transition history as
+    JSON), [/slowlog] (slow-query captures as JSON lines, each
+    annotated with whether its trace is tail-retained), [/trace]
+    (recent trace summaries), [/trace/<sel>] (one trace as Chrome
+    trace-event JSON; [sel] is an index into the recent ring, a trace
+    id — tail-retained ids resolve too — or [last]), [/tail] (the
+    {!Tail} sampler's retained traces), [/range] (a {!Tsdb} range
+    query: [?metric=NAME&agg=p99&window=300&step=2], extra params act
+    as label matchers), [/dashboard] (the self-contained live HTML
+    dashboard), [/planstats] (the default {!Planstats} store's q-error
+    summaries + calibration) and [/workload] (its top plans by wall
+    time).  Layers above [lib/obs] add their own routes (the shell
+    registers [/cache]) with {!add_handler}.
 
     The endpoint observes itself:
     [monitor_requests_total{route,status}] counters and a
@@ -55,9 +60,17 @@ val stop : t -> unit
     Idempotent. *)
 
 val add_handler : t -> string -> (string -> response option) -> unit
-(** [add_handler t name fn] consults [fn] with each request path before
-    the built-in routes; [None] falls through.  [name] only labels the
+(** [add_handler t name fn] consults [fn] with each request target
+    (query string included — {!split_target} parses it) before the
+    built-in routes; [None] falls through.  [name] only labels the
     handler. *)
+
+val split_target : string -> string * (string * string) list
+(** [split_target "/p?a=1&b=x%20y"] is [("/p", [("a","1"); ("b","x y")])]:
+    the path and the url-decoded query parameters in order.  Shared
+    with the serving front-end's request parsing. *)
+
+val url_decode : string -> string
 
 val get : ?host:string -> port:int -> string -> int * string
 (** A minimal loopback HTTP client: GET the path and return

@@ -92,7 +92,19 @@ let labels_le labels le =
 
 let content_type = "text/plain; version=0.0.4; charset=utf-8"
 
-let to_text registry =
+let content_type_openmetrics =
+  "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+(* OpenMetrics exemplar suffix: [# {trace_id="..."} value timestamp].
+   The exemplar rides the bucket its observation landed in, so its
+   value is always within the bucket's range as the spec requires. *)
+let exemplar_text (ex : Metrics.exemplar) =
+  Printf.sprintf " # {trace_id=\"%s\"} %s %.3f"
+    (escape_value ex.Metrics.ex_trace_id)
+    (fmt_value ex.Metrics.ex_value)
+    ex.Metrics.ex_ts
+
+let render ~openmetrics registry =
   let b = Buffer.create 4096 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
   List.iter
@@ -115,9 +127,16 @@ let to_text registry =
                 (fun i c -> if (i = 0 && c > 0) || c > cum.(max 0 (i - 1)) then top := i)
                 cum;
               for i = 0 to !top do
-                line "%s_bucket%s %d" name
+                let ex =
+                  if openmetrics then
+                    match List.assoc_opt i h.Metrics.hv_exemplars with
+                    | Some e -> exemplar_text e
+                    | None -> ""
+                  else ""
+                in
+                line "%s_bucket%s %d%s" name
                   (labels_le labels (fmt_bound (Metrics.bucket_upper i)))
-                  cum.(i)
+                  cum.(i) ex
               done;
               line "%s_bucket%s %d" name (labels_le labels "+Inf")
                 h.Metrics.hv_count;
@@ -127,4 +146,8 @@ let to_text registry =
                 h.Metrics.hv_count)
         f.Metrics.fv_series)
     (Metrics.export registry);
+  if openmetrics then Buffer.add_string b "# EOF\n";
   Buffer.contents b
+
+let to_text registry = render ~openmetrics:false registry
+let to_openmetrics registry = render ~openmetrics:true registry

@@ -10,8 +10,17 @@
 val to_text : Metrics.t -> string
 (** The full exposition document, families sorted by name. *)
 
+val to_openmetrics : Metrics.t -> string
+(** Like {!to_text} but OpenMetrics-flavoured: histogram bucket lines
+    carry exemplars ([# {trace_id="..."} value timestamp]) when the
+    bucket has recorded a traced observation, and the document ends
+    with the mandatory [# EOF] terminator. *)
+
 val content_type : string
 (** The exposition content type ([text/plain; version=0.0.4; ...]). *)
+
+val content_type_openmetrics : string
+(** [application/openmetrics-text; version=1.0.0; charset=utf-8]. *)
 
 val sanitize_name : string -> string
 (** To [[a-zA-Z_:][a-zA-Z0-9_:]*]: offending characters become ['_'],

@@ -1,0 +1,68 @@
+(** Tail-based trace sampling: force-trace every request, retain only
+    the trees that matter.
+
+    The serving layer and the engine hand every completed span tree to
+    {!consider}; it is retained when the outcome earns it — slower
+    than {!slow_threshold_ns}, errored, shed, deadline-expired — or
+    when a seeded 1-in-N sample picks it as a baseline.  Retention is
+    bounded by a span-count budget; oldest traces evict first.
+    Retained entries are found by trace id, which is how [/slowlog],
+    alert history and OpenMetrics exemplars join back to a full
+    trace.
+
+    Thread-safe behind one mutex; retention increments
+    [srv_trace_sampled_total{reason,origin}] and publishes the held
+    span count as the [trace_tail_retained_spans] gauge. *)
+
+type reason = Slow | Errored | Shed | Deadline | Sampled
+
+val reason_to_string : reason -> string
+(** ["slow" | "errored" | "shed" | "deadline" | "sampled"] *)
+
+type outcome = [ `Ok | `Error | `Shed | `Deadline ]
+
+type retained = {
+  r_trace_id : string;
+  r_reason : reason;
+  r_origin : string;  (** ["srv"] or ["engine"] *)
+  r_ts : float;  (** unix seconds at retention *)
+  r_wall_ns : int;
+  r_span : Trace.span;
+}
+
+val consider :
+  origin:string -> outcome:outcome -> wall_ns:int -> Trace.span -> reason option
+(** Decide and (maybe) retain one completed span tree, returning the
+    retention reason.  A tree whose trace id is already retained
+    replaces the old entry when it holds more spans (the server's root
+    tree subsumes the engine's subtree). *)
+
+val find : string -> retained option
+(** Look up a retained trace by trace id. *)
+
+val retained : unit -> retained list
+(** All retained traces, newest first. *)
+
+val retained_count : unit -> int
+
+val retained_spans : unit -> int
+(** Total span nodes currently held (the budgeted quantity). *)
+
+val clear : unit -> unit
+
+(** {1 Knobs} *)
+
+val set_slow_threshold_ns : int -> unit
+val slow_threshold_ns : unit -> int
+(** Default 50ms. *)
+
+val set_sample_every : int -> unit
+val sample_every : unit -> int
+(** Baseline 1-in-N sample; [0] disables.  Default 997. *)
+
+val set_budget_spans : int -> unit
+val budget_spans : unit -> int
+(** Span-count retention budget (default 4096); clamps below at 1. *)
+
+val reseed : int64 -> unit
+(** Reseed the sampling stream (tests). *)

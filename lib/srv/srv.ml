@@ -57,13 +57,13 @@ type t = {
   c_shed : Metrics.counter;
 }
 
-let observe t ~route ~status ~ns =
+let observe ?trace_id t ~route ~status ~ns =
   Metrics.incr
     (Metrics.counter ~registry:t.registry
        ~help:"requests handled by the serving front-end"
        ~labels:[ ("route", route); ("status", string_of_int status) ]
        "srv_requests_total");
-  Metrics.observe_ns
+  Metrics.observe_ns ?trace_id
     (Metrics.histogram ~registry:t.registry
        ~help:
          "wall nanoseconds per served request, admission to completion \
@@ -211,51 +211,9 @@ let read_exact t r n =
 
 (* --- Request text --------------------------------------------------------- *)
 
-let url_decode s =
-  let b = Buffer.create (String.length s) in
-  let n = String.length s in
-  let hex c =
-    match c with
-    | '0' .. '9' -> Char.code c - Char.code '0'
-    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
-    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
-    | _ -> -1
-  in
-  let rec go i =
-    if i < n then
-      match s.[i] with
-      | '+' ->
-          Buffer.add_char b ' ';
-          go (i + 1)
-      | '%' when i + 2 < n && hex s.[i + 1] >= 0 && hex s.[i + 2] >= 0 ->
-          Buffer.add_char b (Char.chr ((hex s.[i + 1] * 16) + hex s.[i + 2]));
-          go (i + 3)
-      | c ->
-          Buffer.add_char b c;
-          go (i + 1)
-  in
-  go 0;
-  Buffer.contents b
-
-let split_target target =
-  match String.index_opt target '?' with
-  | None -> (target, [])
-  | Some i ->
-      let path = String.sub target 0 i in
-      let qs = String.sub target (i + 1) (String.length target - i - 1) in
-      let params =
-        List.filter_map
-          (fun kv ->
-            match String.index_opt kv '=' with
-            | None -> if kv = "" then None else Some (url_decode kv, "")
-            | Some j ->
-                Some
-                  ( url_decode (String.sub kv 0 j),
-                    url_decode (String.sub kv (j + 1) (String.length kv - j - 1))
-                  ))
-          (String.split_on_char '&' qs)
-      in
-      (path, params)
+(* Target parsing (path + url-decoded query params) is shared with the
+   introspection endpoint — one HTTP dialect, one parser. *)
+let split_target = Monitor.split_target
 
 (* --- Execution ------------------------------------------------------------ *)
 
@@ -275,10 +233,27 @@ let http_code = function
   | S_busy -> 503
   | S_error _ -> 400
 
+(* The streaming-executor memory bound (Thm 8.3) as a live gauge: the
+   high-water resident-page mark of the last worker engine to finish a
+   query.  The flight recorder's series over it is how CI watches the
+   constant-memory claim hold across a whole load run. *)
+let g_resident =
+  Metrics.gauge
+    ~help:"max resident pages observed by a serving worker engine"
+    "srv_engine_max_resident_pages"
+
+let tail_outcome = function
+  | S_ok -> `Ok
+  | S_deadline -> `Deadline
+  | S_busy -> `Shed
+  | S_error _ -> `Error
+
 (* Evaluate one query on a worker's engine, streaming rows to [emit]
    in batches, checking the deadline between batches.  Returns the
-   final status and the rows shipped.  Journals one Qlog event with a
-   fresh trace id when the journal is open. *)
+   final status, the rows shipped, the wall time and the trace id.
+   Every request runs force-traced — the completed span tree goes to
+   the tail sampler, which decides whether it is worth keeping — and
+   journals a Qlog event when the journal is open. *)
 let execute engine ~query_text ~deadline_ns ~emit =
   let journal = Qlog.enabled () in
   let tid = Trace.next_trace_id () in
@@ -288,49 +263,51 @@ let execute engine ~query_text ~deadline_ns ~emit =
   let alloc0 = Gc.allocated_bytes () in
   let t0 = Mclock.now_ns () in
   let rows = ref 0 in
-  let outcome =
-    Engine.with_forced_tracing journal @@ fun () ->
+  let outcome, span =
+    Engine.with_forced_tracing true @@ fun () ->
     Trace.with_trace_id tid @@ fun () ->
     Trace.with_actor "srv" @@ fun () ->
     match
       Trace.with_span_out ~detail:query_text ~stats "serve" (fun () ->
-          let ast =
+          match
             Qparser.of_string
               ~schema:(Instance.schema (Engine.instance engine))
               query_text
-          in
-          let src = Engine.eval_node_src engine ast in
-          let batch = Buffer.create 4096 in
-          let status = ref S_ok in
-          let flush () =
-            if Buffer.length batch > 0 then begin
-              if not (emit (Buffer.contents batch)) then raise Exit;
-              Buffer.clear batch
-            end
-          in
-          (try
-             let rec pump n =
-               if Mclock.now_ns () > deadline_ns then status := S_deadline
-               else
-                 match Ext_list.Source.next src with
-                 | None -> ()
-                 | Some e ->
-                     Buffer.add_string batch (Dn.to_string (Entry.dn e));
-                     Buffer.add_char batch '\n';
-                     incr rows;
-                     if n >= 63 then begin
-                       flush ();
-                       pump 0
-                     end
-                     else pump (n + 1)
-             in
-             pump 0;
-             flush ()
-           with Exit -> ());
-          Trace.set_rows !rows;
-          (ast, !status))
+          with
+          | exception Qparser.Parse_error msg -> `Parse msg
+          | ast ->
+              let src = Engine.eval_node_src engine ast in
+              let batch = Buffer.create 4096 in
+              let status = ref S_ok in
+              let flush () =
+                if Buffer.length batch > 0 then begin
+                  if not (emit (Buffer.contents batch)) then raise Exit;
+                  Buffer.clear batch
+                end
+              in
+              (try
+                 let rec pump n =
+                   if Mclock.now_ns () > deadline_ns then status := S_deadline
+                   else
+                     match Ext_list.Source.next src with
+                     | None -> ()
+                     | Some e ->
+                         Buffer.add_string batch (Dn.to_string (Entry.dn e));
+                         Buffer.add_char batch '\n';
+                         incr rows;
+                         if n >= 63 then begin
+                           flush ();
+                           pump 0
+                         end
+                         else pump (n + 1)
+                 in
+                 pump 0;
+                 flush ()
+               with Exit -> ());
+              Trace.set_rows !rows;
+              `Ran (ast, !status))
     with
-    | (ast, status), span ->
+    | `Ran (ast, status), span ->
         if journal then begin
           let ops =
             match span with Some s -> Qlog.ops_of_span s | None -> []
@@ -352,19 +329,45 @@ let execute engine ~query_text ~deadline_ns ~emit =
                ~alloc_bytes:(int_of_float (Gc.allocated_bytes () -. alloc0))
                ~outcome:out ())
         end;
-        status
-    | exception Qparser.Parse_error msg ->
-        let st = S_error msg in
+        (status, span)
+    | `Parse msg, span ->
         if journal then
           ignore
             (Qlog.record ~trace_id:tid ~query:query_text ~fingerprint:"(parse)"
                ~result_count:0 ~reads:0 ~writes:0
                ~wall_ns:(Mclock.now_ns () - t0)
                ~outcome:(Qlog.Failed msg) ());
-        st
-    | exception e -> S_error (Printexc.to_string e)
+        (S_error msg, span)
+    | exception e -> (S_error (Printexc.to_string e), None)
   in
-  (outcome, !rows, Mclock.now_ns () - t0)
+  let wall = Mclock.now_ns () - t0 in
+  Metrics.set g_resident (float_of_int stats.Io_stats.max_resident_pages);
+  Option.iter
+    (fun s ->
+      ignore
+        (Tail.consider ~origin:"srv" ~outcome:(tail_outcome outcome)
+           ~wall_ns:wall s))
+    span;
+  (outcome, !rows, wall, tid)
+
+(* A request that never reached a worker engine (shed at admission, or
+   its budget died in the queue) still deserves a trace the tail
+   sampler can retain: a one-node span with a fresh trace id, so the
+   503/504 shows up in `/tail` and as an exemplar like any slow
+   request. *)
+let synthetic_span ~name ~detail ~wall_ns : Trace.span =
+  {
+    Trace.name;
+    detail;
+    trace_id = Trace.next_trace_id ();
+    actor = "srv";
+    start_ns = Mclock.now_ns () - wall_ns;
+    elapsed_ns = wall_ns;
+    io = Io_stats.create ();
+    alloc_bytes = 0;
+    rows = None;
+    children = [];
+  }
 
 (* Admit, execute on a worker, stream to the socket, account.  The
    calling session thread blocks until the worker finishes, preserving
@@ -376,10 +379,13 @@ let serve_query t fd ~route ~write_head ~deadline_ns query_text =
     if Mclock.now_ns () > absolute_deadline then begin
       (* the budget died in the queue: don't run at all *)
       let wall = Mclock.now_ns () - submitted in
+      let sp = synthetic_span ~name:"queue-deadline" ~detail:query_text ~wall_ns:wall in
+      ignore (Tail.consider ~origin:"srv" ~outcome:`Deadline ~wall_ns:wall sp);
       ignore
         (write_all fd
            (write_head S_deadline ^ trailer S_deadline ~rows:0 ~wall_ns:wall));
-      observe t ~route ~status:(http_code S_deadline) ~ns:wall
+      observe ~trace_id:sp.Trace.trace_id t ~route
+        ~status:(http_code S_deadline) ~ns:wall
     end
     else begin
       let head_sent = ref false in
@@ -390,7 +396,7 @@ let serve_query t fd ~route ~write_head ~deadline_ns query_text =
         end;
         write_all fd s
       in
-      let status, rows, _exec_ns =
+      let status, rows, _exec_ns, tid =
         execute engine ~query_text ~deadline_ns:absolute_deadline ~emit
       in
       let wall = Mclock.now_ns () - submitted in
@@ -399,16 +405,18 @@ let serve_query t fd ~route ~write_head ~deadline_ns query_text =
         (write_all fd
            (if !head_sent then tail
             else write_head (if rows = 0 then status else S_ok) ^ tail));
-      observe t ~route ~status:(http_code status) ~ns:wall
+      observe ~trace_id:tid t ~route ~status:(http_code status) ~ns:wall
     end
   in
   match submit t run with
   | Admitted j -> wait_job j
   | Shed ->
       let wall = Mclock.now_ns () - submitted in
+      let sp = synthetic_span ~name:"shed" ~detail:query_text ~wall_ns:wall in
+      ignore (Tail.consider ~origin:"srv" ~outcome:`Shed ~wall_ns:wall sp);
       ignore
         (write_all fd (write_head S_busy ^ trailer S_busy ~rows:0 ~wall_ns:0));
-      observe t ~route ~status:503 ~ns:wall
+      observe ~trace_id:sp.Trace.trace_id t ~route ~status:503 ~ns:wall
 
 (* --- The HTTP face --------------------------------------------------------- *)
 
