@@ -1340,6 +1340,186 @@ let e27 () =
   if not (fired && resolved && ended_inactive) then
     failwith "E27: alert lifecycle did not reach firing and resolve"
 
+(* --- E30: cost-based access-path selection (selectivity sweep) ------------ *)
+
+type e30_point = {
+  p_label : string;
+  p_workload : string;
+  p_scan : int;  (* page reads under the forced subtree-scan path *)
+  p_index : int;  (* page reads under the forced index path *)
+  p_auto : int;  (* page reads, cost-based planner, uncalibrated *)
+  p_calib : int;  (* page reads, cost-based planner + journal calibration *)
+  p_auto_path : string;
+  p_calib_path : string;
+}
+
+let e30 () =
+  header ~id:"E30 (cost-based planner)"
+    ~claim:
+      "access-path selection rides the attribute index at high \
+       selectivity, flips to the subtree scan past the crossover, and \
+       never loses to either forced path; journal calibration repairs \
+       the mispriced suffix-trie collection and flips a substring \
+       regime back to the index";
+  let journaled = Qlog.enabled () in
+  if not journaled then
+    row "(journal disabled: calibration gates skipped; run via bench/main)@.";
+  let n = 16_000 in
+  (* Two workloads.  The id-range sweep over a balanced tree walks the
+     index<->scan crossover with a well-priced B-tree path: the planner
+     should track min(scan, index) across the whole sweep without help.
+     The substring probe over generated names is mispriced by design —
+     the estimator's collection proxy charges one read per candidate,
+     the suffix trie really charges one per trie node — so only the
+     journal's learned reads bias can flip it back to the index. *)
+  let ktree = karily ~fanout:4 ~size:n () in
+  let names = Dif_gen.generate ~params:{ Dif_gen.default_params with size = n } () in
+  let mk instance planner =
+    let stats = Io_stats.create () in
+    (stats, Engine.create ~mode:!eval_mode ~block ~stats ~planner instance)
+  in
+  let rig instance =
+    (mk instance Engine.Force_scan, mk instance Engine.Force_index,
+     mk instance Engine.Auto, mk instance Engine.Auto)
+  in
+  let rig_tree = rig ktree and rig_names = rig names in
+  let points =
+    List.map
+      (fun k ->
+        ( rig_tree,
+          Qparser.of_string (Printf.sprintf "( ? sub ? id<%d )" k),
+          Printf.sprintf "id<%d" k,
+          "int-range" ))
+      [ 16; 64; 256; 1024; 4096; n ]
+    @ [
+        ( rig_names,
+          Qparser.of_string "( ? sub ? name=*ilo* )",
+          "name=*ilo*",
+          "substring" );
+      ]
+  in
+  (* One evaluation: page reads charged to this engine's stats, plus
+     which access path the planner took (the path counters move once
+     per sub-scope atomic). *)
+  let run (stats, eng) q =
+    let i0, s0, c0 = Engine.path_counts eng in
+    stats.Io_stats.page_reads <- 0;
+    ignore (Engine.eval_entries eng q);
+    let i1, s1, c1 = Engine.path_counts eng in
+    let path =
+      if i1 > i0 then "index"
+      else if c1 > c0 then "cache"
+      else if s1 > s0 then "scan"
+      else "-"
+    in
+    (stats.Io_stats.page_reads, path)
+  in
+  (* Calibration: a private store subscribed to the journal while both
+     forced paths run the full sweep a few times, so every (class x
+     selectivity-bucket) cell clears the bias support threshold; the
+     calibrated engines then consult the frozen store. *)
+  let store = Planstats.create () in
+  Planstats.attach store;
+  Fun.protect
+    ~finally:(fun () -> Planstats.detach store)
+    (fun () ->
+      for _ = 1 to 5 do
+        List.iter
+          (fun ((scan, index, _, _), q, _, _) ->
+            ignore (run scan q);
+            ignore (run index q))
+          points
+      done);
+  List.iter
+    (fun ((_, _, _, (_, calib)), _, _, _) ->
+      Engine.set_calibration calib (Some store))
+    points;
+  row "%-12s %-10s %8s %8s %8s %8s  %-6s %-6s@." "filter" "workload" "scan"
+    "index" "auto" "calib" "auto" "calib";
+  let results =
+    List.map
+      (fun ((scan, index, auto, calib), q, label, workload) ->
+        let p_scan, _ = run scan q in
+        let p_index, _ = run index q in
+        let p_auto, p_auto_path = run auto q in
+        let p_calib, p_calib_path = run calib q in
+        row "%-12s %-10s %8d %8d %8d %8d  %-6s %-6s@." label workload p_scan
+          p_index p_auto p_calib p_auto_path p_calib_path;
+        { p_label = label; p_workload = workload; p_scan; p_index; p_auto;
+          p_calib; p_auto_path; p_calib_path })
+      points
+  in
+  let doc =
+    Json.Obj
+      [
+        ("n", Json.Num (float_of_int n));
+        ("block", Json.Num (float_of_int block));
+        ("calibrated", Json.Bool journaled);
+        ( "sweep",
+          Json.Arr
+            (List.map
+               (fun p ->
+                 Json.Obj
+                   [
+                     ("filter", Json.Str p.p_label);
+                     ("workload", Json.Str p.p_workload);
+                     ("scan_reads", Json.Num (float_of_int p.p_scan));
+                     ("index_reads", Json.Num (float_of_int p.p_index));
+                     ("auto_reads", Json.Num (float_of_int p.p_auto));
+                     ("calib_reads", Json.Num (float_of_int p.p_calib));
+                     ("auto_path", Json.Str p.p_auto_path);
+                     ("calib_path", Json.Str p.p_calib_path);
+                   ])
+               results) );
+      ]
+  in
+  let out = open_out "BENCH_planner.json" in
+  output_string out (Json.to_string doc);
+  output_char out '\n';
+  close_out out;
+  row "wrote the sweep to BENCH_planner.json@.";
+  let find label = List.find (fun p -> p.p_label = label) results in
+  (* Structural gates, calibration-free: never lose to the naive
+     always-scan engine, and the crossover must be visible. *)
+  List.iter
+    (fun p ->
+      if p.p_auto > p.p_scan + 2 then
+        failwith
+          (Printf.sprintf "E30: auto (%d reads) lost to always-scan (%d) at %s"
+             p.p_auto p.p_scan p.p_label))
+    results;
+  if (find "id<16").p_auto_path <> "index" then
+    failwith "E30: high-selectivity point did not ride the index";
+  let lo = find (Printf.sprintf "id<%d" n) in
+  if lo.p_auto_path <> "scan" then
+    failwith "E30: unselective point did not flip to the scan";
+  if journaled then begin
+    List.iter
+      (fun p ->
+        if p.p_calib > p.p_index + 2 then
+          failwith
+            (Printf.sprintf
+               "E30: calibrated (%d reads) worse than always-index (%d) at %s"
+               p.p_calib p.p_index p.p_label);
+        if p.p_calib > p.p_scan + 2 then
+          failwith
+            (Printf.sprintf
+               "E30: calibrated (%d reads) worse than always-scan (%d) at %s"
+               p.p_calib p.p_scan p.p_label))
+      results;
+    if lo.p_index < 2 * lo.p_calib then
+      failwith
+        (Printf.sprintf
+           "E30: always-index (%d) not >=2x calibrated (%d) at the \
+            unselective end" lo.p_index lo.p_calib);
+    let sub = find "name=*ilo*" in
+    if not (2 * sub.p_calib <= sub.p_auto && sub.p_calib_path = "index") then
+      failwith
+        (Printf.sprintf
+           "E30: calibration did not flip the substring regime (auto %d, \
+            calib %d via %s)" sub.p_auto sub.p_calib sub.p_calib_path)
+  end
+
 let all : (string * (unit -> unit)) list =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
@@ -1347,4 +1527,5 @@ let all : (string * (unit -> unit)) list =
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
     ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21);
     ("e22", e22); ("e23", e23); ("e25", e25); ("e26", e26); ("e27", e27);
+    ("e30", e30);
   ]

@@ -23,6 +23,7 @@ type state = {
   mutable server : Srv.t option;  (* query-serving front-end *)
   mutable ticker : Runtime.ticker option;  (* GC sampler + alert ticks *)
   mutable mode : Engine.mode;  (* operator-boundary handling *)
+  mutable planner : Engine.planner;  (* access-path policy *)
 }
 
 (* Runtime artifacts (journals, slowlogs) default under _build/ so they
@@ -40,9 +41,12 @@ let ensure_parent path =
 let engine st =
   if st.engine_generation <> Directory.generation st.directory then begin
     st.engine <-
-      Engine.create ~block:st.block ~mode:st.mode
+      Engine.create ~block:st.block ~mode:st.mode ~planner:st.planner
         ?result_cache:(if st.cache_on then Some st.cache else None)
         (Directory.instance st.directory);
+    (* journaled queries feed the default plan-quality store, and the
+       planner reads its bias cells back: the self-tuning loop *)
+    Engine.set_calibration st.engine (Some Planstats.default);
     st.engine_generation <- Directory.generation st.directory
   end;
   st.engine
@@ -130,6 +134,9 @@ let help () =
     \                   sparklines when the flight recorder has data)@,\
     \  :mode streaming|materialized   operator-boundary handling@,\
     \                   (streaming pipelines the whole tree; default)@,\
+    \  :planner auto|off|force index|force scan   access-path policy@,\
+    \                   (auto = cost-based + calibrated; default)@,\
+    \  :planner paths   how many atomics each path served@,\
     \  :explain <query> estimated vs measured plan (est io split into@,\
     \                   reads+writes, with the writes streaming saves)@,\
     \  :add <ldif>      add one entry (dn: ...; attr: value; ...)@,\
@@ -338,6 +345,14 @@ let show_top st frames =
       (spark ~scale:1e6 ~unit:"ms" "engine_query_ns" (Tsdb.Quantile 0.99));
     Fmt.pr "  io        reads=%d writes=%d%s@." reads writes
       (spark ~unit:"/s" "engine_page_reads_total" Tsdb.Rate);
+    (let pi, ps, pc = Engine.path_counts st.engine in
+     Fmt.pr "  planner   %s  paths: index=%d scan=%d cache=%d@."
+       (match st.planner with
+       | Engine.Auto -> "auto"
+       | Engine.Off -> "off"
+       | Engine.Force_index -> "force index"
+       | Engine.Force_scan -> "force scan")
+       pi ps pc);
     Fmt.pr "  cache     %s  %a@."
       (if st.cache_on then "on" else "off")
       Cache.pp st.cache;
@@ -804,6 +819,37 @@ let run_command st line =
         (match st.mode with
         | Engine.Streaming -> "streaming"
         | Engine.Materialized -> "materialized")
+  | ":planner" :: rest -> (
+      let set p name note =
+        st.planner <- p;
+        Engine.set_planner (engine st) p;
+        Fmt.pr "planner = %s (%s)@." name note
+      in
+      match rest with
+      | "auto" :: _ ->
+          set Engine.Auto "auto"
+            "cost-based: cheapest of index/scan/cache per atomic, calibrated, \
+             boolean chains reordered"
+      | "off" :: _ ->
+          set Engine.Off "off" "legacy: index whenever one applies, no reorder"
+      | "force" :: "index" :: _ | "index" :: _ ->
+          set Engine.Force_index "force index" "every sub atomic probes the index"
+      | "force" :: "scan" :: _ | "scan" :: _ ->
+          set Engine.Force_scan "force scan" "every sub atomic scans the subtree"
+      | "paths" :: _ ->
+          let i, s, c = Engine.path_counts (engine st) in
+          Fmt.pr "paths taken: index=%d scan=%d cache=%d@." i s c
+      | _ ->
+          let i, s, c = Engine.path_counts (engine st) in
+          Fmt.pr
+            "planner is %s (paths: index=%d scan=%d cache=%d)@,\
+             usage: :planner auto|off|force index|force scan|paths@."
+            (match st.planner with
+            | Engine.Auto -> "auto"
+            | Engine.Off -> "off"
+            | Engine.Force_index -> "force index"
+            | Engine.Force_scan -> "force scan")
+            i s c)
   | ":explain" :: rest -> (
       let text = String.trim (String.concat " " rest) in
       match Qparser.of_string ~schema:(Instance.schema instance) text with
@@ -931,8 +977,10 @@ let main kind size seed block journal monitor_port serve_port serve_workers
       server = None;
       ticker = None;
       mode = Engine.Streaming;
+      planner = Engine.Auto;
     }
   in
+  Engine.set_calibration st.engine (Some Planstats.default);
   (match journal with
   | Some path ->
       ensure_parent path;

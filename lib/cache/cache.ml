@@ -172,6 +172,18 @@ let find t ~fingerprint ~query =
       drop t c;
       Stale
 
+(* Read-only probe for the planner: is a fresh result available?  No
+   counters move and the LRU order stays put — pricing an access path
+   must not look like serving a query, or planning a query that then
+   scans would still rejuvenate (and account) a cache entry it never
+   used.  Staleness is respected but the stale entry is left for the
+   next real lookup to collect. *)
+let peek t ~fingerprint ~query =
+  sync t;
+  match Hashtbl.find_opt t.table (key ~fingerprint ~query) with
+  | Some c when is_fresh t c -> Some c.result
+  | _ -> None
+
 let store t ~fingerprint ~query ~footprint ~cost_io ~pages result =
   sync t;
   if cost_io < t.admit_min_io || pages > t.budget_pages then begin

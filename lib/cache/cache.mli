@@ -37,6 +37,12 @@ val note_update : ?subtree:bool -> t -> Dn.t -> unit
 val find : t -> fingerprint:string -> query:string -> outcome
 (** Look up; a [Stale] entry is dropped and counted. *)
 
+val peek : t -> fingerprint:string -> query:string -> Entry.t array option
+(** Read-only probe: the fresh cached result if one exists, moving no
+    counters and leaving the LRU order (and any stale entry) untouched.
+    This is what the cost-based planner prices the cache path from —
+    planning must not look like serving. *)
+
 val store :
   t ->
   fingerprint:string ->

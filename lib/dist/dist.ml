@@ -393,8 +393,39 @@ let annotate_combines plan (ops : Qlog.op list) =
 let journal_event t q ~mode ~cache ~result_count ~reads ~writes ~wall_ns
     ~alloc_bytes ~outcome ~shipped span =
   (* Estimated over the home partition — the coordinator never
-     materializes the global instance. *)
-  let plan = Plan.estimate ~pager:t.pager ~instance:t.home.instance q in
+     materializes the global instance.  Under a cost-based home engine
+     the estimate prices access paths with the engine's own pager and
+     index (probe refunds must land on the counter the probes charge)
+     — the two pagers share the network's blocking factor, so the page
+     math is the same. *)
+  let home = t.home.engine in
+  let with_paths = Engine.planner home <> Engine.Off in
+  let plan =
+    if with_paths then
+      let force =
+        match Engine.planner home with
+        | Engine.Force_index -> Some Plan.Index
+        | Engine.Force_scan -> Some Plan.Scan
+        | Engine.Auto | Engine.Off -> None
+      in
+      Plan.estimate ~pager:(Engine.pager home) ~instance:t.home.instance
+        ?attr_index:(Engine.attr_index home)
+        ?calib:(Engine.calibration home)
+        ~streaming:(mode = Engine.Streaming) ?force q
+    else Plan.estimate ~pager:t.pager ~instance:t.home.instance q
+  in
+  let path =
+    if not with_paths then None
+    else
+      Plan.flatten plan
+      |> List.filter_map (fun ((n : Plan.node), _) ->
+             Option.map
+               (fun (c : Plan.choice) ->
+                 Plan.path_name c.Plan.chosen.Plan.alt_path)
+               n.Plan.access)
+      |> List.sort_uniq String.compare
+      |> function [] -> None | ps -> Some (String.concat "," ps)
+  in
   let ops =
     match span with
     | Some sp -> annotate_combines plan (Qlog.ops_of_span sp)
@@ -424,7 +455,8 @@ let journal_event t q ~mode ~cache ~result_count ~reads ~writes ~wall_ns
     | Engine.Materialized -> Plan.total_est_writes plan
   in
   ignore
-    (Qlog.record ~cache ~server:t.home.name ?trace_id ~shipped ~ops ?capture
+    (Qlog.record ~cache ?path ~server:t.home.name ?trace_id ~shipped ~ops
+       ?capture
        ~query:(Qprinter.to_string q)
        ~fingerprint:(Plan.fingerprint q) ~result_count ~reads ~writes ~wall_ns
        ~alloc_bytes ~outcome ~est_card:plan.Plan.est_rows

@@ -19,21 +19,57 @@ type algorithms = Stack_based | Naive_nested_loop
    result, sort boundaries and double-consumed operands. *)
 type mode = Materialized | Streaming
 
+(* How atomic access paths are decided.  [Auto] is the cost-based
+   planner: price index probe vs subtree scan vs cache hit per atomic
+   (calibrated when a Planstats store is attached) and reorder boolean
+   merges by estimated cardinality.  The forced modes pin every atomic
+   to one path and skip reordering — the clean always-index /
+   always-scan baselines the planner is benchmarked against.  [Off] is
+   the legacy behavior: unconditional index use when an index exists,
+   no reordering, selectivity-only estimates. *)
+type planner = Auto | Force_index | Force_scan | Off
+
 type t = {
-  instance : Instance.t;
+  mutable instance : Instance.t;
   pager : Pager.t;
-  dn_index : Dn_index.t;
-  attr_index : Attr_index.t option;
+  mutable dn_index : Dn_index.t;
+  mutable attr_index : Attr_index.t option;
+  with_attr_index : bool;
   pool : Buffer_pool.t option;  (* page cache behind the dn-index *)
   window : int;  (* in-memory pages for each operator's stack *)
   algorithms : algorithms;
   result_cache : Cache.t option;  (* semantic query-result cache *)
   mutable mode : mode;  (* default operator-boundary handling *)
+  mutable planner : planner;
+  mutable calib : Planstats.t option;  (* estimate corrections, if any *)
+  mutable directory : Directory.t option;  (* watched for staleness *)
+  mutable dirty : bool;  (* directory changed since the indexes were built *)
+  (* access paths taken by sub-scope atomics, for :planner / :top *)
+  mutable n_path_index : int;
+  mutable n_path_scan : int;
+  mutable n_path_cache : int;
 }
+
+let m_path p =
+  Metrics.counter ~help:"atomic access paths taken, by path"
+    ~labels:[ ("path", p) ]
+    "engine_atomic_path_total"
+
+let m_path_index = m_path "index"
+let m_path_scan = m_path "scan"
+let m_path_cache = m_path "cache"
+
+let m_refreshes =
+  Metrics.counter ~help:"index rebuilds after watched-directory updates"
+    "engine_index_refreshes_total"
+
+let watch t dir =
+  t.directory <- Some dir;
+  Directory.on_update dir (fun _ -> t.dirty <- true)
 
 let create ?(block = 64) ?(window = 2) ?(with_attr_index = true)
     ?(algorithms = Stack_based) ?(cache_pages = 0) ?result_cache ?stats
-    ?(mode = Streaming) instance =
+    ?(mode = Streaming) ?(planner = Auto) ?directory instance =
   let stats = match stats with Some s -> s | None -> Io_stats.create () in
   let pager = Pager.create ~block stats in
   let pool =
@@ -46,23 +82,60 @@ let create ?(block = 64) ?(window = 2) ?(with_attr_index = true)
   in
   (* Index construction is setup cost, not query cost. *)
   Io_stats.reset stats;
-  { instance; pager; dn_index; attr_index; pool; window; algorithms;
-    result_cache; mode }
+  let t =
+    { instance; pager; dn_index; attr_index; with_attr_index; pool; window;
+      algorithms; result_cache; mode; planner; calib = None; directory = None;
+      dirty = false; n_path_index = 0; n_path_scan = 0; n_path_cache = 0 }
+  in
+  Option.iter (watch t) directory;
+  t
 
 let stats t = Pager.stats t.pager
 let pager t = t.pager
 let instance t = t.instance
 let dn_index t = t.dn_index
+let attr_index t = t.attr_index
 let cache t = t.pool
 let result_cache t = t.result_cache
 let reset_stats t = Io_stats.reset (stats t)
 let mode t = t.mode
 let set_mode t mode = t.mode <- mode
+let planner t = t.planner
+let set_planner t p = t.planner <- p
+let calibration t = t.calib
+let set_calibration t c = t.calib <- c
+let path_counts t = (t.n_path_index, t.n_path_scan, t.n_path_cache)
+
+(* A watched directory swaps in a whole new instance on every mutation
+   (its generation bumps and hooks fire), so a dirty engine re-fetches
+   the instance and rebuilds both indexes before the next evaluation —
+   a post-update query through the index path must see the new values.
+   Rebuild I/O is maintenance, not query cost, so like [create] it is
+   not left on the query counters. *)
+let refresh_if_dirty t =
+  if t.dirty then begin
+    t.dirty <- false;
+    match t.directory with
+    | None -> ()
+    | Some dir ->
+        let s = stats t in
+        let r0 = s.Io_stats.page_reads and w0 = s.Io_stats.page_writes in
+        t.instance <- Directory.instance dir;
+        t.dn_index <- Dn_index.build ?pool:t.pool t.pager t.instance;
+        if t.with_attr_index then
+          t.attr_index <- Some (Attr_index.build t.pager t.instance);
+        s.Io_stats.page_reads <- r0;
+        s.Io_stats.page_writes <- w0;
+        Metrics.incr m_refreshes
+  end
 
 (* --- Atomic queries ----------------------------------------------------- *)
 
 (* Candidate entries from a secondary index, or None when the filter has
-   no indexable access path and the subtree must be scanned. *)
+   no indexable access path and the subtree must be scanned.  The probe
+   plumbing ([int_bounds], longest-component selection for substring
+   patterns) is shared with [Plan], so what the planner prices is what
+   execution does. *)
 let index_candidates t (f : Afilter.t) =
   match t.attr_index with
   | None -> None
@@ -70,84 +143,172 @@ let index_candidates t (f : Afilter.t) =
       match f with
       | Afilter.Present _ -> None
       | Afilter.Int_cmp (a, op, k) ->
-          let lo, hi =
-            match op with
-            | Afilter.Lt -> (min_int, k - 1)
-            | Afilter.Le -> (min_int, k)
-            | Afilter.Eq -> (k, k)
-            | Afilter.Ge -> (k, max_int)
-            | Afilter.Gt -> (k + 1, max_int)
-          in
+          let lo, hi = Plan.int_bounds op k in
           Attr_index.lookup_int_range idx a ~lo ~hi
       | Afilter.Str_eq (a, s) -> Attr_index.lookup_str_eq idx a s
       | Afilter.Dn_eq (a, d) -> Attr_index.lookup_dn_eq idx a d
       | Afilter.Substr (a, pat) -> (
-          (* Probe with the most selective available component, then
-             post-filter with the full pattern. *)
-          match pat.Afilter.initial with
-          | Some ini -> Attr_index.lookup_str_prefix idx a ini
-          | None -> (
-              let longest =
-                List.fold_left
-                  (fun best s ->
-                    match best with
-                    | Some b when String.length b >= String.length s -> best
-                    | _ -> Some s)
-                  None
-                  (pat.Afilter.middles
-                  @ Option.to_list pat.Afilter.final)
-              in
-              match longest with
-              | Some comp -> Attr_index.lookup_substring idx a comp
-              | None -> None)))
+          (* Probe with the longest available component — the most
+             selective — then post-filter with the full pattern. *)
+          match Plan.substr_probe pat with
+          | Some (comp, true) -> Attr_index.lookup_str_prefix idx a comp
+          | Some (comp, false) -> Attr_index.lookup_substring idx a comp
+          | None -> None))
+
+(* One access-path decision for a sub-scope atomic, via the planner's
+   shared cost model.  Forced modes pin the path; [Off] never gets here
+   (the legacy branch below keeps its unconditional index use). *)
+let planner_force t =
+  match t.planner with
+  | Force_index -> Some Plan.Index
+  | Force_scan -> Some Plan.Scan
+  | Auto | Off -> None
+
+let choose_atomic ~streaming t (a : Ast.atomic) =
+  Plan.choose_path ~pager:t.pager ~instance:t.instance
+    ?attr_index:t.attr_index ?cache:t.result_cache ?calib:t.calib ~streaming
+    ?force:(planner_force t) a
+
+(* The index path shared by both boundary modes: probe, refine to the
+   scope and the full filter, sort.  Charges reading the postings; the
+   caller decides how the sorted hits leave. *)
+let index_hits t (a : Ast.atomic) candidates =
+  let prefix = Dn.rev_key a.Ast.base in
+  let hits =
+    List.filter
+      (fun e ->
+        Entry.key_is_prefix ~prefix (Entry.key e)
+        && Afilter.matches a.Ast.filter e)
+      candidates
+    |> List.sort_uniq Entry.compare_rev
+  in
+  Pager.charge_scan_read t.pager (List.length candidates);
+  hits
+
+(* Serve a sub-scope atomic's cache hit, if one is (still) fresh: the
+   mutating [find] does the LRU bump and hit accounting the planner's
+   read-only peek deliberately skipped. *)
+let atomic_cache_hit t (a : Ast.atomic) =
+  match t.result_cache with
+  | None -> None
+  | Some c -> (
+      let q = Ast.Atomic a in
+      match
+        Cache.find c ~fingerprint:(Plan.fingerprint q)
+          ~query:(Qprinter.to_string q)
+      with
+      | Cache.Hit arr -> Some arr
+      | Cache.Miss | Cache.Stale -> None)
+
+(* Of a choice's paths, the best one that is not the cache — the
+   fallback when a peeked entry vanished by execution time. *)
+let best_uncached (choice : Plan.choice) =
+  let alts = choice.Plan.chosen :: choice.Plan.rejected in
+  match
+    List.filter (fun (alt : Plan.alt) -> alt.Plan.alt_path <> Plan.Cached) alts
+  with
+  | [] -> Plan.Scan
+  | best :: rest ->
+      (List.fold_left
+         (fun (b : Plan.alt) (alt : Plan.alt) ->
+           if alt.Plan.alt_reads + alt.Plan.alt_writes
+              < b.Plan.alt_reads + b.Plan.alt_writes
+           then alt
+           else b)
+         best rest)
+        .Plan.alt_path
+
+let count_path t = function
+  | Plan.Index ->
+      t.n_path_index <- t.n_path_index + 1;
+      Metrics.incr m_path_index
+  | Plan.Scan ->
+      t.n_path_scan <- t.n_path_scan + 1;
+      Metrics.incr m_path_scan
+  | Plan.Cached ->
+      t.n_path_cache <- t.n_path_cache + 1;
+      Metrics.incr m_path_cache
 
 let eval_atomic t (a : Ast.atomic) =
+  refresh_if_dirty t;
   let keep e = Afilter.matches a.filter e in
+  let scan () = Dn_index.scan_subtree t.dn_index a.base ~keep in
+  let indexed candidates =
+    let w = Ext_list.Writer.make t.pager in
+    List.iter (Ext_list.Writer.push w) (index_hits t a candidates);
+    Ext_list.Writer.close w
+  in
   match a.scope with
   | Ast.Base -> Dn_index.scan_base t.dn_index a.base ~keep
   | Ast.One -> Dn_index.scan_children t.dn_index a.base ~keep
-  | Ast.Sub -> (
+  | Ast.Sub when t.planner = Off -> (
+      (* legacy: the index whenever one applies *)
       match index_candidates t a.filter with
-      | None -> Dn_index.scan_subtree t.dn_index a.base ~keep
-      | Some candidates ->
-          let prefix = Dn.rev_key a.base in
-          let hits =
-            List.filter
-              (fun e ->
-                Entry.key_is_prefix ~prefix (Entry.key e)
-                && Afilter.matches a.filter e)
-              candidates
-            |> List.sort_uniq Entry.compare_rev
-          in
-          (* Charge reading the postings; the sorted result is written
-             through the standard writer. *)
-          Pager.charge_scan_read t.pager (List.length candidates);
-          let w = Ext_list.Writer.make t.pager in
-          List.iter (Ext_list.Writer.push w) hits;
-          Ext_list.Writer.close w)
+      | None -> scan ()
+      | Some candidates -> indexed candidates)
+  | Ast.Sub -> (
+      let choice = choose_atomic ~streaming:false t a in
+      let run = function
+        | Plan.Scan ->
+            count_path t Plan.Scan;
+            scan ()
+        | Plan.Index | Plan.Cached -> (
+            match index_candidates t a.filter with
+            | Some candidates ->
+                count_path t Plan.Index;
+                indexed candidates
+            | None ->
+                count_path t Plan.Scan;
+                scan ())
+      in
+      match choice.Plan.chosen.Plan.alt_path with
+      | Plan.Cached -> (
+          match atomic_cache_hit t a with
+          | Some arr ->
+              count_path t Plan.Cached;
+              Ext_list.of_array_resident t.pager arr
+          | None -> run (best_uncached choice))
+      | (Plan.Index | Plan.Scan) as p -> run p)
 
-(* Streaming atomic evaluation: same index charges, but the hits flow
-   out as a live source instead of being written. *)
+(* Streaming atomic evaluation: same path selection and index charges,
+   but the hits flow out as a live source instead of being written. *)
 let eval_atomic_src t (a : Ast.atomic) =
+  refresh_if_dirty t;
   let keep e = Afilter.matches a.filter e in
+  let scan () = Dn_index.scan_subtree_src t.dn_index a.base ~keep in
+  let indexed candidates =
+    Ext_list.Source.of_array (Array.of_list (index_hits t a candidates))
+  in
   match a.scope with
   | Ast.Base -> Dn_index.scan_base_src t.dn_index a.base ~keep
   | Ast.One -> Dn_index.scan_children_src t.dn_index a.base ~keep
-  | Ast.Sub -> (
+  | Ast.Sub when t.planner = Off -> (
       match index_candidates t a.filter with
-      | None -> Dn_index.scan_subtree_src t.dn_index a.base ~keep
-      | Some candidates ->
-          let prefix = Dn.rev_key a.base in
-          let hits =
-            List.filter
-              (fun e ->
-                Entry.key_is_prefix ~prefix (Entry.key e)
-                && Afilter.matches a.filter e)
-              candidates
-            |> List.sort_uniq Entry.compare_rev
-          in
-          Pager.charge_scan_read t.pager (List.length candidates);
-          Ext_list.Source.of_array (Array.of_list hits))
+      | None -> scan ()
+      | Some candidates -> indexed candidates)
+  | Ast.Sub -> (
+      let choice = choose_atomic ~streaming:true t a in
+      let run = function
+        | Plan.Scan ->
+            count_path t Plan.Scan;
+            scan ()
+        | Plan.Index | Plan.Cached -> (
+            match index_candidates t a.filter with
+            | Some candidates ->
+                count_path t Plan.Index;
+                indexed candidates
+            | None ->
+                count_path t Plan.Scan;
+                scan ())
+      in
+      match choice.Plan.chosen.Plan.alt_path with
+      | Plan.Cached -> (
+          match atomic_cache_hit t a with
+          | Some arr ->
+              count_path t Plan.Cached;
+              Ext_list.Source.of_array arr
+          | None -> run (best_uncached choice))
+      | (Plan.Index | Plan.Scan) as p -> run p)
 
 (* --- Query trees --------------------------------------------------------- *)
 
@@ -362,7 +523,12 @@ let est_writes_for ~mode (n : Plan.node) =
   | Streaming -> max 0 (n.Plan.est_writes - n.Plan.est_writes_saved)
   | Materialized -> n.Plan.est_writes
 
-let annotate_ops ~mode plan (ops : Qlog.op list) =
+let node_path (n : Plan.node) =
+  Option.map
+    (fun (c : Plan.choice) -> Plan.path_name c.Plan.chosen.Plan.alt_path)
+    n.Plan.access
+
+let annotate_ops ~mode ~with_paths plan (ops : Qlog.op list) =
   match ops with
   | root :: rest ->
       let flat = Plan.flatten plan in
@@ -381,10 +547,19 @@ let annotate_ops ~mode plan (ops : Qlog.op list) =
                  Qlog.op_est_rows = Some n.Plan.est_rows;
                  op_est_reads = Some n.Plan.est_reads;
                  op_est_writes = Some (est_writes_for ~mode n);
+                 op_path = (if with_paths then node_path n else None);
                })
              rest flat
       else ops
   | [] -> []
+
+(* The comma-joined distinct access paths a plan chose, sorted — the
+   event-level "path=" summary (["index"], ["index,scan"], ...). *)
+let plan_paths plan =
+  Plan.flatten plan
+  |> List.filter_map (fun (n, _) -> node_path n)
+  |> List.sort_uniq String.compare
+  |> function [] -> None | ps -> Some (String.concat "," ps)
 
 let journal_event t q ~mode ~cache ~result_count ~reads ~writes ~wall_ns
     ~alloc_bytes ~outcome span =
@@ -395,10 +570,18 @@ let journal_event t q ~mode ~cache ~result_count ~reads ~writes ~wall_ns
     | Stack_based -> mode
     | Naive_nested_loop -> Materialized
   in
-  let plan = Plan.estimate ~pager:t.pager ~instance:t.instance q in
+  let with_paths = t.planner <> Off in
+  let plan =
+    if with_paths then
+      Plan.estimate ~pager:t.pager ~instance:t.instance
+        ?attr_index:t.attr_index ?cache:t.result_cache ?calib:t.calib
+        ~streaming:(mode = Streaming) ?force:(planner_force t) q
+    else Plan.estimate ~pager:t.pager ~instance:t.instance q
+  in
+  let path = if with_paths then plan_paths plan else None in
   let ops =
     match span with
-    | Some sp -> annotate_ops ~mode plan (Qlog.ops_of_span sp)
+    | Some sp -> annotate_ops ~mode ~with_paths plan (Qlog.ops_of_span sp)
     | None -> []
   in
   let capture =
@@ -425,7 +608,7 @@ let journal_event t q ~mode ~cache ~result_count ~reads ~writes ~wall_ns
     | Materialized -> Plan.total_est_writes plan
   in
   ignore
-    (Qlog.record ~cache ?trace_id
+    (Qlog.record ~cache ?path ?trace_id
        ~query:(Qprinter.to_string q)
        ~fingerprint:(Plan.fingerprint q) ~result_count ~reads ~writes ~wall_ns
        ~alloc_bytes ~outcome ~ops ?capture ~est_card:plan.Plan.est_rows
@@ -482,6 +665,14 @@ let eval_uncached t ~mode q ~probe =
           Metrics.add m_reads reads;
           Metrics.add m_writes writes;
           Metrics.add m_alloc alloc_bytes;
+          (* journal before the result is offered to the cache: the
+             journal's post-hoc estimate peeks the cache, and must see
+             it as execution did — a root atomic that missed and is
+             about to be stored would otherwise claim path=cache *)
+          if journal then
+            journal_event t q ~mode ~cache:cache_note
+              ~result_count:(Ext_list.length out)
+              ~reads ~writes ~wall_ns ~alloc_bytes ~outcome:Qlog.Ok span;
           (match t.result_cache with
           | Some c when probe <> `Bypass ->
               Metrics.observe_ns m_miss_ns wall_ns;
@@ -494,10 +685,6 @@ let eval_uncached t ~mode q ~probe =
                    ~pages:(Pager.pages_of t.pager (Array.length arr))
                    arr)
           | _ -> ());
-          if journal then
-            journal_event t q ~mode ~cache:cache_note
-              ~result_count:(Ext_list.length out)
-              ~reads ~writes ~wall_ns ~alloc_bytes ~outcome:Qlog.Ok span;
           out)
 
 (* A hit re-serves the materialized result as a disk-resident list:
@@ -522,8 +709,31 @@ let serve_hit t q ~fingerprint arr =
          ~wall_ns ~alloc_bytes ~outcome:Qlog.Ok ());
   out
 
+(* Cardinality-ordered boolean merges: under the cost-based planner,
+   rewrite maximal And/Or chains ascending by estimated operand
+   cardinality before evaluation.  The rewrite happens before the
+   fingerprint is taken, so the cache, journal and spans all see the
+   tree that actually ran. *)
+let rec has_bool : Ast.t -> bool = function
+  | Ast.Atomic _ -> false
+  | Ast.And _ | Ast.Or _ -> true
+  | Ast.Diff (q1, q2) -> has_bool q1 || has_bool q2
+  | Ast.Hier (_, q1, q2, _) -> has_bool q1 || has_bool q2
+  | Ast.Hier3 (_, q1, q2, q3, _) -> has_bool q1 || has_bool q2 || has_bool q3
+  | Ast.Gsel (q1, _) -> has_bool q1
+  | Ast.Eref (_, q1, q2, _, _) -> has_bool q1 || has_bool q2
+
+let plan_rewrite ?mode t q =
+  let mode = Option.value mode ~default:t.mode in
+  if t.planner = Auto && has_bool q then
+    Plan.reorder ~pager:t.pager ~instance:t.instance ?attr_index:t.attr_index
+      ?cache:t.result_cache ?calib:t.calib ~streaming:(mode = Streaming) q
+  else q
+
 let eval ?mode t q =
   let mode = Option.value mode ~default:t.mode in
+  refresh_if_dirty t;
+  let q = plan_rewrite ~mode t q in
   match t.result_cache with
   | None -> eval_uncached t ~mode q ~probe:`Bypass
   | Some c -> (

@@ -15,6 +15,18 @@ type algorithms = Stack_based | Naive_nested_loop
     boundaries (Eref pair lists) and double-consumed operands. *)
 type mode = Materialized | Streaming
 
+(** How atomic access paths are decided.  [Auto] (the default) is the
+    cost-based planner: per sub-scope atomic, price secondary-index
+    probe vs dn-index subtree scan vs result-cache hit from the index's
+    cardinality counters (calibrated by an attached {!Planstats} store)
+    and take the cheapest, and reorder maximal [And]/[Or] chains
+    ascending by estimated cardinality.  [Force_index] / [Force_scan]
+    pin every atomic to one path and skip reordering — the clean
+    baselines the planner is benchmarked against.  [Off] is the legacy
+    behavior: unconditional index use whenever an index applies, no
+    reordering, selectivity-only estimates, no path journaling. *)
+type planner = Auto | Force_index | Force_scan | Off
+
 type t
 
 val create :
@@ -26,6 +38,8 @@ val create :
   ?result_cache:Cache.t ->
   ?stats:Io_stats.t ->
   ?mode:mode ->
+  ?planner:planner ->
+  ?directory:Directory.t ->
   Instance.t ->
   t
 (** Build an engine over an instance.  [block] is the blocking factor
@@ -33,8 +47,10 @@ val create :
     (default 2), [with_attr_index] controls secondary-index-assisted
     atomic evaluation (default on), [result_cache] plugs in a semantic
     query-result cache (default none — caching is opt-in), [mode] the
-    default operator-boundary handling (default [Streaming]).  Index
-    construction cost is not charged to the query counters. *)
+    default operator-boundary handling (default [Streaming]), [planner]
+    the access-path policy (default [Auto]), [directory] a live
+    directory to {!watch} for index staleness.  Index construction cost
+    is not charged to the query counters. *)
 
 val mode : t -> mode
 (** The engine's default boundary mode. *)
@@ -42,12 +58,44 @@ val mode : t -> mode
 val set_mode : t -> mode -> unit
 (** Change the default boundary mode (the shell's [:mode] command). *)
 
+val planner : t -> planner
+val set_planner : t -> planner -> unit
+(** Change the access-path policy (the shell's [:planner] command). *)
+
+val calibration : t -> Planstats.t option
+
+val set_calibration : t -> Planstats.t option -> unit
+(** Attach (or detach) a {!Planstats} store: the planner's estimates
+    are then corrected by its learned per-path bias factors, closing
+    the observe–calibrate loop. *)
+
+val path_counts : t -> int * int * int
+(** [(index, scan, cache)]: how many sub-scope atomics each access path
+    served since the engine was built (the [:planner paths] view). *)
+
+val watch : t -> Directory.t -> unit
+(** Subscribe to the directory's update hooks; any update marks the
+    engine dirty and the next evaluation re-fetches the instance and
+    rebuilds both indexes before running (rebuild I/O is maintenance,
+    not query cost).  Queries through the index path therefore always
+    see post-update values. *)
+
+val plan_rewrite : ?mode:mode -> t -> Ast.t -> Ast.t
+(** The planner's tree rewrite as {!eval} applies it: under [Auto],
+    boolean chains reordered by estimated cardinality; otherwise the
+    tree unchanged.  Exposed so {!Explain} can show the tree that would
+    actually run. *)
+
 val stats : t -> Io_stats.t
 val pager : t -> Pager.t
 val instance : t -> Instance.t
 
 val dn_index : t -> Dn_index.t
 (** The engine's clustering index (shared with the fusion optimizer). *)
+
+val attr_index : t -> Attr_index.t option
+(** The per-attribute secondary indexes, when built — the planner's
+    statistics source (shared with the distributed journal). *)
 
 val cache : t -> Buffer_pool.t option
 (** The buffer pool, when [cache_pages > 0]. *)

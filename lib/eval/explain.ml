@@ -22,12 +22,35 @@ type node = Plan.node = {
   actual_io : int option;
   actual_ns : int option;
   actual_alloc : int option;
+  access : Plan.choice option;
   children : node list;
 }
 
-let estimate engine q =
-  Plan.estimate ~pager:(Engine.pager engine)
-    ~instance:(Engine.instance engine) q
+(* The engine-bound estimate: same handles, policy and boolean-chain
+   rewrite as [Engine.eval], so :explain shows the tree — and the
+   access-path decisions, chosen and rejected — that would actually
+   run.  Under [Off] it degrades to the legacy selectivity model. *)
+let estimate ?mode engine q =
+  let q = Engine.plan_rewrite ?mode engine q in
+  let streaming =
+    Option.value mode ~default:(Engine.mode engine) = Engine.Streaming
+  in
+  match Engine.planner engine with
+  | Engine.Off ->
+      Plan.estimate ~pager:(Engine.pager engine)
+        ~instance:(Engine.instance engine) q
+  | p ->
+      let force =
+        match p with
+        | Engine.Force_index -> Some Plan.Index
+        | Engine.Force_scan -> Some Plan.Scan
+        | Engine.Auto | Engine.Off -> None
+      in
+      Plan.estimate ~pager:(Engine.pager engine)
+        ~instance:(Engine.instance engine)
+        ?attr_index:(Engine.attr_index engine)
+        ?cache:(Engine.result_cache engine)
+        ?calib:(Engine.calibration engine) ~streaming ?force q
 
 let fingerprint = Plan.fingerprint
 
@@ -38,6 +61,9 @@ let fingerprint = Plan.fingerprint
    operator-boundary handling; the default follows the engine. *)
 let profile ?mode engine q =
   let mode = Option.value mode ~default:(Engine.mode engine) in
+  (* run the tree the planner would run, so the per-node estimates (and
+     access decisions) pair with the operators actually executed *)
+  let q = Engine.plan_rewrite ~mode engine q in
   let pager = Engine.pager engine in
   let stats = Engine.stats engine in
   (* measure [f], annotating [est] with actual rows / io / ns *)
@@ -135,7 +161,7 @@ let profile ?mode engine q =
     let s2, n2 = go_src q2 e2 in
     measured_src est [ n1; n2 ] (fun () -> f s1 s2)
   in
-  let est = Trace.with_span ~stats "plan" (fun () -> estimate engine q) in
+  let est = Trace.with_span ~stats "plan" (fun () -> estimate ~mode engine q) in
   let result, annotated =
     Trace.with_span ~stats "profile" (fun () ->
         match mode with

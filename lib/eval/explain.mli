@@ -22,11 +22,19 @@ type node = Plan.node = {
   actual_ns : int option;  (** wall-clock nanoseconds, excluding children *)
   actual_alloc : int option;
       (** bytes allocated by the operator, excluding children *)
+  access : Plan.choice option;
+      (** the access-path decision, on sub-scope atomic nodes *)
   children : node list;
 }
 
-val estimate : Engine.t -> Ast.t -> node
-(** Predicted plan, no execution. *)
+val estimate : ?mode:Engine.mode -> Engine.t -> Ast.t -> node
+(** Predicted plan, no execution — for the tree the engine would
+    actually run: the planner's boolean-chain rewrite is applied first,
+    and sub-scope atomics carry their {!Plan.choice} (chosen path plus
+    the rejected alternatives with the costs that lost), priced with
+    the engine's index / cache / calibration handles under its current
+    planner policy.  [mode] sets the boundary handling the costs assume
+    (default: the engine's). *)
 
 val fingerprint : Ast.t -> string
 (** The normalized plan fingerprint ({!Plan.fingerprint}): a digest of

@@ -1,13 +1,33 @@
-(* Query plans: the annotated-tree representation, cost estimation, a
-   normalized plan fingerprint, and rendering.
+(* Query plans: the annotated-tree representation, cost-based access-path
+   selection, cost estimation, a normalized plan fingerprint, and
+   rendering.
 
    The paper's Section 8.2 evaluation strategy is fixed (bottom-up,
    sorted pipeline), so a "plan" here is the query tree annotated with
-   costs.  This module holds everything about plans that does not need
-   the engine — [estimate] works from a pager and an instance, so both
-   [Explain] (above the engine) and [Engine] itself (the query journal
-   renders the estimated plan for slow-query captures) can use it
-   without a dependency cycle. *)
+   costs — plus, since the planner became cost-based, one access-path
+   decision per sub-scope atomic: index probe + prefix filter + sort,
+   dn-index subtree scan, or a result-cache hit, each priced in page
+   reads/writes before any postings are materialized.  This module holds
+   everything about plans that does not need the engine — [estimate] and
+   [choose_path] work from a pager, an instance and optional index /
+   cache / calibration handles, so both [Explain] (above the engine) and
+   [Engine] itself (execution and the query journal) price paths with
+   the same model and cannot disagree. *)
+
+(* --- Access paths ------------------------------------------------------------ *)
+
+type path = Index | Scan | Cached
+
+let path_name = function Index -> "index" | Scan -> "scan" | Cached -> "cache"
+
+type alt = {
+  alt_path : path;
+  alt_rows : int;  (* estimated output cardinality on this path *)
+  alt_reads : int;  (* estimated page reads to produce it *)
+  alt_writes : int;  (* estimated output writes (a pipeline saves them) *)
+}
+
+type choice = { chosen : alt; rejected : alt list }
 
 type node = {
   label : string;  (* operator name *)
@@ -21,13 +41,14 @@ type node = {
   actual_io : int option;
   actual_ns : int option;  (* wall-clock, excluding children *)
   actual_alloc : int option;  (* bytes allocated, excluding children *)
+  access : choice option;  (* the atomic's access-path decision, if any *)
   children : node list;
 }
 
 (* Assemble a node from the read/write decomposition; [est_io] stays the
    sum so existing consumers keep one number. *)
-let mk ~label ~detail ~est_rows ~est_reads ~est_writes ~est_writes_saved
-    children =
+let mk ?access ~label ~detail ~est_rows ~est_reads ~est_writes
+    ~est_writes_saved children =
   {
     label;
     detail;
@@ -40,13 +61,15 @@ let mk ~label ~detail ~est_rows ~est_reads ~est_writes ~est_writes_saved
     actual_io = None;
     actual_ns = None;
     actual_alloc = None;
+    access;
     children;
   }
 
-(* --- Cardinality estimation ---------------------------------------------- *)
+(* --- Cardinality estimation: selectivity fallback ----------------------------- *)
 
-(* Crude textbook selectivities; the point is order-of-magnitude cost
-   attribution, not a real optimizer. *)
+(* Crude textbook selectivities, the fallback when no index can be
+   probed; the point is order-of-magnitude cost attribution, not a real
+   optimizer. *)
 let filter_selectivity = function
   | Afilter.Present _ -> 0.6
   | Afilter.Str_eq (a, _) when String.equal a Schema.object_class -> 0.4
@@ -58,135 +81,7 @@ let filter_selectivity = function
 
 let pages pager n = Pager.pages_of pager n
 
-let rec estimate_node ~pager ~instance (q : Ast.t) =
-  match q with
-  | Ast.Atomic a ->
-      let scope_size =
-        match a.Ast.scope with
-        | Ast.Base -> 1
-        | Ast.One | Ast.Sub -> List.length (Instance.subtree instance a.Ast.base)
-      in
-      let est_rows =
-        max 0
-          (int_of_float
-             (float_of_int scope_size *. filter_selectivity a.Ast.filter))
-      in
-      (* descent + range scan; streaming skips the output write *)
-      mk ~label:"atomic"
-        ~detail:
-          (Printf.sprintf "%s ? %s ? %s"
-             (Dn.to_string a.Ast.base)
-             (Ast.scope_to_string a.Ast.scope)
-             (Afilter.to_string a.Ast.filter))
-        ~est_rows
-        ~est_reads:(1 + pages pager scope_size)
-        ~est_writes:(pages pager est_rows)
-        ~est_writes_saved:(pages pager est_rows) []
-  | Ast.And (q1, q2) ->
-      binary ~pager ~instance "&" q1 q2 (fun n1 n2 -> min n1 n2 / 2)
-  | Ast.Or (q1, q2) -> binary ~pager ~instance "|" q1 q2 (fun n1 n2 -> n1 + n2)
-  | Ast.Diff (q1, q2) -> binary ~pager ~instance "-" q1 q2 (fun n1 _ -> n1 / 2)
-  | Ast.Hier (op, q1, q2, agg) ->
-      let c1 = estimate_node ~pager ~instance q1
-      and c2 = estimate_node ~pager ~instance q2 in
-      let est_rows = c1.est_rows / 2 in
-      let p1 = pages pager c1.est_rows in
-      (* merged scan + annotation rescan (reads); annotated copy + output
-         (writes).  A pipeline skips both writes, unless the aggregate
-         filter needs entry sets, which keeps the annotated copy. *)
-      mk
-        ~label:(Qprinter.hier_op_to_string op)
-        ~detail:(agg_detail agg) ~est_rows
-        ~est_reads:((2 * p1) + pages pager c2.est_rows)
-        ~est_writes:(p1 + pages pager est_rows)
-        ~est_writes_saved:
-          (pages pager est_rows + (if hier_keeps_annots agg then 0 else p1))
-        [ c1; c2 ]
-  | Ast.Hier3 (op, q1, q2, q3, agg) ->
-      let c1 = estimate_node ~pager ~instance q1
-      and c2 = estimate_node ~pager ~instance q2
-      and c3 = estimate_node ~pager ~instance q3 in
-      let est_rows = c1.est_rows / 2 in
-      let p1 = pages pager c1.est_rows in
-      mk
-        ~label:(Qprinter.hier_op3_to_string op)
-        ~detail:(agg_detail agg) ~est_rows
-        ~est_reads:
-          ((2 * p1) + pages pager c2.est_rows + pages pager c3.est_rows)
-        ~est_writes:(p1 + pages pager est_rows)
-        ~est_writes_saved:
-          (pages pager est_rows + (if hier_keeps_annots agg then 0 else p1))
-        [ c1; c2; c3 ]
-  | Ast.Gsel (q1, f) ->
-      let c1 = estimate_node ~pager ~instance q1 in
-      let scans = if Simple_agg.needs_global f then 2 else 1 in
-      let est_rows = c1.est_rows / 2 in
-      (* A global aggregate consumes its input twice, so a pipeline must
-         force a live input resident — charging back one write. *)
-      mk ~label:"g"
-        ~detail:(Qprinter.agg_filter_to_string f)
-        ~est_rows
-        ~est_reads:(scans * pages pager c1.est_rows)
-        ~est_writes:(pages pager est_rows)
-        ~est_writes_saved:
-          (pages pager est_rows
-          - (if scans > 1 then pages pager c1.est_rows else 0))
-        [ c1 ]
-  | Ast.Eref (op, q1, q2, attr, agg) ->
-      let c1 = estimate_node ~pager ~instance q1
-      and c2 = estimate_node ~pager ~instance q2 in
-      let m = 2 (* assumed mean reference fan-out *) in
-      let source = match op with Ast.Vd -> c1.est_rows | Ast.Dv -> c2.est_rows in
-      let p = max 1 (pages pager (source * m)) in
-      let rec log2 n = if n <= 1 then 1 else 1 + log2 (n / 2) in
-      let est_rows = c1.est_rows / 2 in
-      (* The pair list and its sort are boundaries either way; [vd]
-         consumes $1 twice, so streaming forces it resident. *)
-      mk
-        ~label:(Qprinter.ref_op_to_string op)
-        ~detail:
-          (attr
-          ^ (match agg with
-            | None -> ""
-            | Some f -> " " ^ Qprinter.agg_filter_to_string f))
-        ~est_rows
-        ~est_reads:
-          ((p * log2 p) + pages pager c1.est_rows + pages pager c2.est_rows)
-        ~est_writes:((p * log2 p) + pages pager est_rows)
-        ~est_writes_saved:
-          (pages pager est_rows
-          - (match op with Ast.Vd -> pages pager c1.est_rows | Ast.Dv -> 0))
-        [ c1; c2 ]
-
-and binary ~pager ~instance label q1 q2 rows =
-  let c1 = estimate_node ~pager ~instance q1
-  and c2 = estimate_node ~pager ~instance q2 in
-  let est_rows = rows c1.est_rows c2.est_rows in
-  mk ~label ~detail:"" ~est_rows
-    ~est_reads:
-      (Pager.pages_of pager c1.est_rows + Pager.pages_of pager c2.est_rows)
-    ~est_writes:(Pager.pages_of pager est_rows)
-    ~est_writes_saved:(Pager.pages_of pager est_rows)
-    [ c1; c2 ]
-
-and agg_detail = function
-  | None -> "count($2) > 0"
-  | Some f -> Qprinter.agg_filter_to_string f
-
-(* Does the hierarchical operator's finish phase keep a materialized
-   annotated copy even when streaming?  Only when the filter aggregates
-   over entry sets (the copy is rescanned to collect global values). *)
-and hier_keeps_annots agg =
-  Hs_agg.has_entry_set_aggs (Option.value ~default:Ast.has_witness agg)
-
-(* The root's result is materialized in every mode (it is what the
-   caller scans), so its own output write is never saved. *)
-let estimate ~pager ~instance q =
-  let n = estimate_node ~pager ~instance q in
-  let root_out = pages pager n.est_rows in
-  { n with est_writes_saved = max 0 (n.est_writes_saved - root_out) }
-
-(* --- Normalized plan fingerprint -------------------------------------------- *)
+(* --- Normalized plan fingerprint ---------------------------------------------- *)
 
 (* The evaluation strategy being fixed, the plan of a query is its
    operator tree; the fingerprint is that tree with literal constants
@@ -245,7 +140,460 @@ let fnv64 s =
 
 let fingerprint q = Printf.sprintf "%016Lx" (fnv64 (shape q))
 
+(* --- Access-path selection ------------------------------------------------------ *)
+
+(* The key range an integer comparison probes (shared with the engine's
+   index lookup, so pricing and execution agree on what the index path
+   does). *)
+let int_bounds op k =
+  match op with
+  | Afilter.Lt -> (min_int, k - 1)
+  | Afilter.Le -> (min_int, k)
+  | Afilter.Eq -> (k, k)
+  | Afilter.Ge -> (k, max_int)
+  | Afilter.Gt -> (k + 1, max_int)
+
+(* The component an indexed substring filter probes with: the longest
+   available one (ties prefer the initial component, whose exact-trie
+   prefix walk is cheaper than the suffix trie).  [true] means anchored
+   at the start.  Probing with anything shorter than the longest
+   component inflates the candidate set the full pattern then has to
+   filter back down. *)
+let substr_probe (pat : Afilter.substring) =
+  let components =
+    (match pat.Afilter.initial with Some s -> [ (s, true) ] | None -> [])
+    @ List.map (fun s -> (s, false)) pat.Afilter.middles
+    @ (match pat.Afilter.final with Some s -> [ (s, false) ] | None -> [])
+  in
+  List.fold_left
+    (fun best (s, anchored) ->
+      match best with
+      | Some (b, _) when String.length b >= String.length s -> best
+      | _ -> Some (s, anchored))
+    None components
+
+(* How the index path's candidates are collected, which decides the
+   collection cost beyond the probe's descent. *)
+type probe_kind = K_btree | K_exact | K_prefix | K_substr
+
+(* Cardinality of the index path's candidate set, by probing the
+   attribute index's maintained counters — O(log n) / O(|pattern|),
+   no postings materialized.  [None] when the filter has no indexable
+   access path. *)
+let index_count idx (f : Afilter.t) =
+  match f with
+  | Afilter.Present _ -> None
+  | Afilter.Int_cmp (a, op, k) ->
+      let lo, hi = int_bounds op k in
+      Some (Attr_index.count_int_range idx a ~lo ~hi, K_btree)
+  | Afilter.Str_eq (a, s) -> Some (Attr_index.count_str_eq idx a s, K_exact)
+  | Afilter.Dn_eq (a, d) -> Some (Attr_index.count_dn_eq idx a d, K_exact)
+  | Afilter.Substr (a, pat) -> (
+      match substr_probe pat with
+      | None -> None
+      | Some (comp, true) -> Some (Attr_index.count_prefix idx a comp, K_prefix)
+      | Some (comp, false) ->
+          Some (Attr_index.count_substring idx a comp, K_substr))
+
+(* Apply a calibration store's learned corrections to an estimated
+   alternative: per-path classes ("atomic:index", "atomic:scan") first,
+   the plain "atomic" class as fallback, nothing when there is no
+   support.  This is where self-tuning has leverage — e.g. the suffix
+   trie's collection really costs more than the [c]-reads proxy below,
+   the reads bias on "atomic:index" learns the multiplier, and a
+   mid-selectivity substring flips from index to scan. *)
+let calibrate pager calib alt =
+  match calib with
+  | None -> alt
+  | Some st ->
+      let cls = "atomic:" ^ path_name alt.alt_path in
+      let lookup f =
+        match f st ~op:cls ~rows:alt.alt_rows with
+        | Some _ as b -> b
+        | None -> f st ~op:"atomic" ~rows:alt.alt_rows
+      in
+      let corrected v = function
+        | None -> v
+        | Some b -> int_of_float ((float_of_int v *. b) +. 0.5)
+      in
+      let rows = corrected alt.alt_rows (lookup Planstats.bias_card) in
+      let reads = corrected alt.alt_reads (lookup Planstats.bias_reads) in
+      { alt with alt_rows = rows; alt_reads = reads; alt_writes = pages pager rows }
+
+(* Price the access paths of one sub-scope atomic and pick the cheapest
+   (or the forced one).  The index probes consult maintained counters —
+   they are this system's optimizer statistics, so their descents are
+   refunded from the pager's read counter: planning is free, execution
+   pays only for the path actually taken, and a forced-path run costs
+   exactly what the auto-chosen run costs on the same path. *)
+let choose_path ~pager ~instance ?attr_index ?cache ?calib
+    ?(streaming = false) ?force (a : Ast.atomic) =
+  let scope_size =
+    match a.Ast.scope with
+    | Ast.Base -> 1
+    | Ast.One | Ast.Sub -> List.length (Instance.subtree instance a.Ast.base)
+  in
+  let sel_rows =
+    max 0
+      (int_of_float
+         (float_of_int scope_size *. filter_selectivity a.Ast.filter))
+  in
+  let scan =
+    calibrate pager calib
+      {
+        alt_path = Scan;
+        alt_rows = sel_rows;
+        alt_reads = 1 + pages pager scope_size;
+        alt_writes = pages pager sel_rows;
+      }
+  in
+  let index =
+    match (a.Ast.scope, attr_index) with
+    | (Ast.Base | Ast.One), _ | _, None -> None
+    | Ast.Sub, Some idx -> (
+        let stats = Pager.stats pager in
+        let r0 = stats.Io_stats.page_reads in
+        let counted = index_count idx a.Ast.filter in
+        let descent = stats.Io_stats.page_reads - r0 in
+        stats.Io_stats.page_reads <- r0;
+        match counted with
+        | None -> None
+        | Some (c, kind) ->
+            (* candidates are instance-wide; the scope prefix filter
+               keeps roughly the subtree's share, and a component probe
+               (substring patterns) overshoots the full pattern *)
+            let frac =
+              float_of_int scope_size
+              /. float_of_int (max 1 (Instance.size instance))
+            in
+            let exactness =
+              match kind with
+              | K_btree | K_exact -> 1.0
+              | K_prefix | K_substr -> 0.5
+            in
+            let rows =
+              min c
+                (int_of_float ((float_of_int c *. frac *. exactness) +. 0.5))
+            in
+            (* the lookup re-walks the probe's descent, then collects:
+               half-full order-16 leaves for the B-tree, the terminal
+               list for exact tries (already in hand), about one node
+               per payload for prefix / suffix subtree walks; reading
+               the candidate postings bills like any scan *)
+            let descent =
+              match kind with K_btree -> max 1 (descent / 2) | _ -> descent
+            in
+            let collect =
+              match kind with
+              | K_btree -> (c + 7) / 8
+              | K_exact -> 0
+              | K_prefix | K_substr -> c
+            in
+            Some
+              (calibrate pager calib
+                 {
+                   alt_path = Index;
+                   alt_rows = rows;
+                   alt_reads = descent + collect + pages pager c;
+                   alt_writes = pages pager rows;
+                 }))
+  in
+  let cached =
+    match (a.Ast.scope, cache) with
+    | (Ast.Base | Ast.One), _ | _, None -> None
+    | Ast.Sub, Some c -> (
+        let q = Ast.Atomic a in
+        match
+          Cache.peek c ~fingerprint:(fingerprint q)
+            ~query:(Qprinter.to_string q)
+        with
+        | Some arr ->
+            (* the cached array re-serves as a resident list: no reads,
+               no output write, and the cardinality is exact *)
+            Some
+              {
+                alt_path = Cached;
+                alt_rows = Array.length arr;
+                alt_reads = 0;
+                alt_writes = 0;
+              }
+        | None -> None)
+  in
+  let alts = List.filter_map Fun.id [ cached; index; Some scan ] in
+  let cost alt = alt.alt_reads + if streaming then 0 else alt.alt_writes in
+  let best =
+    List.fold_left
+      (fun b a -> if cost a < cost b then a else b)
+      (List.hd alts) (List.tl alts)
+  in
+  let chosen =
+    match force with
+    | None -> best
+    | Some p -> (
+        (* a forced path that is not available falls back to the best *)
+        match List.find_opt (fun alt -> alt.alt_path = p) alts with
+        | Some alt -> alt
+        | None -> best)
+  in
+  { chosen; rejected = List.filter (fun alt -> alt != chosen) alts }
+
+(* --- Cost estimation -------------------------------------------------------------- *)
+
+type ctx = {
+  c_pager : Pager.t;
+  c_instance : Instance.t;
+  c_attr_index : Attr_index.t option;
+  c_cache : Cache.t option;
+  c_calib : Planstats.t option;
+  c_streaming : bool;
+  c_force : path option;
+}
+
+let ctx_choose ctx a =
+  choose_path ~pager:ctx.c_pager ~instance:ctx.c_instance
+    ?attr_index:ctx.c_attr_index ?cache:ctx.c_cache ?calib:ctx.c_calib
+    ~streaming:ctx.c_streaming ?force:ctx.c_force a
+
+let rec estimate_node ctx (q : Ast.t) =
+  let pager = ctx.c_pager in
+  match q with
+  | Ast.Atomic a -> (
+      let detail =
+        Printf.sprintf "%s ? %s ? %s"
+          (Dn.to_string a.Ast.base)
+          (Ast.scope_to_string a.Ast.scope)
+          (Afilter.to_string a.Ast.filter)
+      in
+      match a.Ast.scope with
+      | Ast.Sub ->
+          (* cost-based: the chosen access path prices the node *)
+          let choice = ctx_choose ctx a in
+          let c = choice.chosen in
+          mk ~access:choice ~label:"atomic" ~detail ~est_rows:c.alt_rows
+            ~est_reads:c.alt_reads ~est_writes:c.alt_writes
+            ~est_writes_saved:c.alt_writes []
+      | Ast.Base | Ast.One ->
+          let scope_size =
+            match a.Ast.scope with
+            | Ast.Base -> 1
+            | Ast.One | Ast.Sub ->
+                List.length (Instance.subtree ctx.c_instance a.Ast.base)
+          in
+          let est_rows =
+            max 0
+              (int_of_float
+                 (float_of_int scope_size *. filter_selectivity a.Ast.filter))
+          in
+          (* descent + range scan; streaming skips the output write *)
+          mk ~label:"atomic" ~detail ~est_rows
+            ~est_reads:(1 + pages pager scope_size)
+            ~est_writes:(pages pager est_rows)
+            ~est_writes_saved:(pages pager est_rows) [])
+  | Ast.And (q1, q2) -> binary ctx "&" q1 q2 (fun n1 n2 -> min n1 n2 / 2)
+  | Ast.Or (q1, q2) -> binary ctx "|" q1 q2 (fun n1 n2 -> n1 + n2)
+  | Ast.Diff (q1, q2) -> binary ctx "-" q1 q2 (fun n1 _ -> n1 / 2)
+  | Ast.Hier (op, q1, q2, agg) ->
+      let c1 = estimate_node ctx q1 and c2 = estimate_node ctx q2 in
+      let est_rows = c1.est_rows / 2 in
+      let p1 = pages pager c1.est_rows in
+      (* merged scan + annotation rescan (reads); annotated copy + output
+         (writes).  A pipeline skips both writes, unless the aggregate
+         filter needs entry sets, which keeps the annotated copy. *)
+      mk
+        ~label:(Qprinter.hier_op_to_string op)
+        ~detail:(agg_detail agg) ~est_rows
+        ~est_reads:((2 * p1) + pages pager c2.est_rows)
+        ~est_writes:(p1 + pages pager est_rows)
+        ~est_writes_saved:
+          (pages pager est_rows + (if hier_keeps_annots agg then 0 else p1))
+        [ c1; c2 ]
+  | Ast.Hier3 (op, q1, q2, q3, agg) ->
+      let c1 = estimate_node ctx q1
+      and c2 = estimate_node ctx q2
+      and c3 = estimate_node ctx q3 in
+      let est_rows = c1.est_rows / 2 in
+      let p1 = pages pager c1.est_rows in
+      mk
+        ~label:(Qprinter.hier_op3_to_string op)
+        ~detail:(agg_detail agg) ~est_rows
+        ~est_reads:
+          ((2 * p1) + pages pager c2.est_rows + pages pager c3.est_rows)
+        ~est_writes:(p1 + pages pager est_rows)
+        ~est_writes_saved:
+          (pages pager est_rows + (if hier_keeps_annots agg then 0 else p1))
+        [ c1; c2; c3 ]
+  | Ast.Gsel (q1, f) ->
+      let c1 = estimate_node ctx q1 in
+      let scans = if Simple_agg.needs_global f then 2 else 1 in
+      let est_rows = c1.est_rows / 2 in
+      (* A global aggregate consumes its input twice, so a pipeline must
+         force a live input resident — charging back one write. *)
+      mk ~label:"g"
+        ~detail:(Qprinter.agg_filter_to_string f)
+        ~est_rows
+        ~est_reads:(scans * pages pager c1.est_rows)
+        ~est_writes:(pages pager est_rows)
+        ~est_writes_saved:
+          (pages pager est_rows
+          - (if scans > 1 then pages pager c1.est_rows else 0))
+        [ c1 ]
+  | Ast.Eref (op, q1, q2, attr, agg) ->
+      let c1 = estimate_node ctx q1 and c2 = estimate_node ctx q2 in
+      let m = 2 (* assumed mean reference fan-out *) in
+      let source = match op with Ast.Vd -> c1.est_rows | Ast.Dv -> c2.est_rows in
+      let p = max 1 (pages pager (source * m)) in
+      let rec log2 n = if n <= 1 then 1 else 1 + log2 (n / 2) in
+      let est_rows = c1.est_rows / 2 in
+      (* The pair list and its sort are boundaries either way; [vd]
+         consumes $1 twice, so streaming forces it resident. *)
+      mk
+        ~label:(Qprinter.ref_op_to_string op)
+        ~detail:
+          (attr
+          ^ (match agg with
+            | None -> ""
+            | Some f -> " " ^ Qprinter.agg_filter_to_string f))
+        ~est_rows
+        ~est_reads:
+          ((p * log2 p) + pages pager c1.est_rows + pages pager c2.est_rows)
+        ~est_writes:((p * log2 p) + pages pager est_rows)
+        ~est_writes_saved:
+          (pages pager est_rows
+          - (match op with Ast.Vd -> pages pager c1.est_rows | Ast.Dv -> 0))
+        [ c1; c2 ]
+
+and binary ctx label q1 q2 rows =
+  let c1 = estimate_node ctx q1 and c2 = estimate_node ctx q2 in
+  let est_rows = rows c1.est_rows c2.est_rows in
+  mk ~label ~detail:"" ~est_rows
+    ~est_reads:
+      (Pager.pages_of ctx.c_pager c1.est_rows
+      + Pager.pages_of ctx.c_pager c2.est_rows)
+    ~est_writes:(Pager.pages_of ctx.c_pager est_rows)
+    ~est_writes_saved:(Pager.pages_of ctx.c_pager est_rows)
+    [ c1; c2 ]
+
+and agg_detail = function
+  | None -> "count($2) > 0"
+  | Some f -> Qprinter.agg_filter_to_string f
+
+(* Does the hierarchical operator's finish phase keep a materialized
+   annotated copy even when streaming?  Only when the filter aggregates
+   over entry sets (the copy is rescanned to collect global values). *)
+and hier_keeps_annots agg =
+  Hs_agg.has_entry_set_aggs (Option.value ~default:Ast.has_witness agg)
+
+(* The root's result is materialized in every mode (it is what the
+   caller scans), so its own output write is never saved. *)
+let estimate ~pager ~instance ?attr_index ?cache ?calib ?(streaming = false)
+    ?force q =
+  let ctx =
+    {
+      c_pager = pager;
+      c_instance = instance;
+      c_attr_index = attr_index;
+      c_cache = cache;
+      c_calib = calib;
+      c_streaming = streaming;
+      c_force = force;
+    }
+  in
+  let n = estimate_node ctx q in
+  let root_out = pages pager n.est_rows in
+  { n with est_writes_saved = max 0 (n.est_writes_saved - root_out) }
+
+(* --- Cardinality-ordered boolean merges --------------------------------------- *)
+
+(* Reorder the operands of associative-commutative boolean merges
+   ascending by estimated cardinality: maximal [And] / [Or] chains are
+   flattened, each operand estimated (atomics through the same
+   calibrated path probes the estimator uses, so "small" means what the
+   chosen access path will deliver), sorted smallest-first and rebuilt
+   left-deep.  Ascending [And] chains drive every intermediate toward
+   the most selective operand's size — fewer comparisons always, fewer
+   boundary writes when materialized ([est_writes_saved] is exactly the
+   part streaming already avoids).  [Diff] and the hierarchical
+   operators are order-sensitive: their operands only recurse. *)
+let reorder ~pager ~instance ?attr_index ?cache ?calib ?(streaming = false) q =
+  let ctx =
+    {
+      c_pager = pager;
+      c_instance = instance;
+      c_attr_index = attr_index;
+      c_cache = cache;
+      c_calib = calib;
+      c_streaming = streaming;
+      c_force = None;
+    }
+  in
+  let rec est (q : Ast.t) =
+    match q with
+    | Ast.Atomic a -> (
+        match a.Ast.scope with
+        | Ast.Sub -> (q, (ctx_choose ctx a).chosen.alt_rows)
+        | Ast.Base | Ast.One ->
+            let scope_size =
+              match a.Ast.scope with
+              | Ast.Base -> 1
+              | _ -> List.length (Instance.subtree instance a.Ast.base)
+            in
+            ( q,
+              max 0
+                (int_of_float
+                   (float_of_int scope_size
+                   *. filter_selectivity a.Ast.filter)) ))
+    | Ast.And _ -> chain `And q
+    | Ast.Or _ -> chain `Or q
+    | Ast.Diff (q1, q2) ->
+        let q1, r1 = est q1 in
+        let q2, _ = est q2 in
+        (Ast.Diff (q1, q2), r1 / 2)
+    | Ast.Hier (op, q1, q2, agg) ->
+        let q1, r1 = est q1 in
+        let q2, _ = est q2 in
+        (Ast.Hier (op, q1, q2, agg), r1 / 2)
+    | Ast.Hier3 (op, q1, q2, q3, agg) ->
+        let q1, r1 = est q1 in
+        let q2, _ = est q2 in
+        let q3, _ = est q3 in
+        (Ast.Hier3 (op, q1, q2, q3, agg), r1 / 2)
+    | Ast.Gsel (q1, f) ->
+        let q1, r1 = est q1 in
+        (Ast.Gsel (q1, f), r1 / 2)
+    | Ast.Eref (op, q1, q2, attr, agg) ->
+        let q1, r1 = est q1 in
+        let q2, _ = est q2 in
+        (Ast.Eref (op, q1, q2, attr, agg), r1 / 2)
+  and chain kind q =
+    (* operands of the maximal chain, in source order *)
+    let rec operands q acc =
+      match (kind, q) with
+      | `And, Ast.And (a, b) -> operands a (operands b acc)
+      | `Or, Ast.Or (a, b) -> operands a (operands b acc)
+      | _ -> q :: acc
+    in
+    let sorted =
+      List.stable_sort
+        (fun (_, r1) (_, r2) -> Int.compare r1 r2)
+        (List.map est (operands q []))
+    in
+    match sorted with
+    | [] -> assert false
+    | first :: rest ->
+        List.fold_left
+          (fun (acc, racc) (qi, ri) ->
+            match kind with
+            | `And -> (Ast.And (acc, qi), min racc ri / 2)
+            | `Or -> (Ast.Or (acc, qi), racc + ri))
+          first rest
+  in
+  fst (est q)
+
 (* --- Rendering --------------------------------------------------------------- *)
+
+let pp_alt ppf a =
+  Fmt.pf ppf "%s rows=%d reads=%d+%dw" (path_name a.alt_path) a.alt_rows
+    a.alt_reads a.alt_writes
 
 let rec pp_node ppf (n : node) =
   let opt = function None -> "-" | Some v -> string_of_int v in
@@ -256,13 +604,22 @@ let rec pp_node ppf (n : node) =
   in
   Fmt.pf ppf
     "@[<v2>%s%s  [rows est=%d got=%s | io est=%d (%dr+%dw, saves %dw) \
-     got=%s | alloc=%s | t=%s]%a@]"
+     got=%s | alloc=%s | t=%s]%a%a@]"
     n.label
     (if n.detail = "" then "" else " " ^ n.detail)
     n.est_rows (opt n.actual_rows) n.est_io n.est_reads n.est_writes
     n.est_writes_saved (opt n.actual_io)
     (bytes n.actual_alloc)
     (time n.actual_ns)
+    (fun ppf access ->
+      match access with
+      | None -> ()
+      | Some ch ->
+          Fmt.pf ppf "@,path %a%a" pp_alt ch.chosen
+            (fun ppf rejected ->
+              List.iter (fun a -> Fmt.pf ppf "  !%a" pp_alt a) rejected)
+            ch.rejected)
+    n.access
     (fun ppf children ->
       List.iter (fun c -> Fmt.pf ppf "@,%a" pp_node c) children)
     n.children

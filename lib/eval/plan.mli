@@ -1,12 +1,75 @@
-(** Query plans below the engine: the annotated-tree representation,
-    cost estimation, a normalized plan fingerprint, and rendering.
+(** Query plans below the engine: cost-based access-path selection, the
+    annotated-tree representation, cost estimation, a normalized plan
+    fingerprint, and rendering.
 
     Section 8.2's evaluation strategy is fixed (bottom-up sorted
     pipeline), so a plan is the query tree annotated with predicted
-    cardinality and page-I/O and, after profiling, measured values.
-    Everything here works from a pager and an instance rather than an
-    engine, so both {!Explain} and {!Engine} (slow-query captures in
-    the journal) can use it without a dependency cycle. *)
+    cardinality and page-I/O and, after profiling, measured values —
+    plus one access-path decision per sub-scope atomic: secondary-index
+    probe, dn-index subtree scan, or result-cache hit, each priced
+    before any postings are materialized.  Everything here works from a
+    pager, an instance and optional index / cache / calibration handles
+    rather than an engine, so {!Explain}, {!Engine} (execution and the
+    query journal) and the distributed coordinator all price paths with
+    the same model. *)
+
+(** {1 Access paths} *)
+
+type path =
+  | Index  (** secondary-index probe + scope/filter refinement + sort *)
+  | Scan  (** clustering dn-index subtree scan *)
+  | Cached  (** fresh result-cache entry re-served resident *)
+
+val path_name : path -> string
+(** ["index"], ["scan"], ["cache"] — the journal's vocabulary. *)
+
+type alt = {
+  alt_path : path;
+  alt_rows : int;  (** estimated output cardinality on this path *)
+  alt_reads : int;  (** estimated page reads to produce it *)
+  alt_writes : int;  (** estimated output writes (a pipeline saves them) *)
+}
+
+type choice = {
+  chosen : alt;
+  rejected : alt list;  (** the alternatives, with the costs that lost *)
+}
+
+val choose_path :
+  pager:Pager.t ->
+  instance:Instance.t ->
+  ?attr_index:Attr_index.t ->
+  ?cache:Cache.t ->
+  ?calib:Planstats.t ->
+  ?streaming:bool ->
+  ?force:path ->
+  Ast.atomic ->
+  choice
+(** Price the access paths of one atomic and pick the cheapest by
+    estimated reads (plus output writes unless [streaming], where both
+    paths pipe).  The index path is priced from the attribute index's
+    cardinality counters ({!Attr_index.count_int_range} and friends) —
+    this system's optimizer statistics, so the probes' descent reads
+    are refunded from the pager's counter: planning is free and a
+    forced path costs exactly what auto-selection costs on that path.
+    The cache path is priced from a read-only {!Cache.peek}.  With
+    [calib], estimates are corrected by the learned per-path bias
+    (["atomic:index"], ["atomic:scan"], falling back to ["atomic"]).
+    [force] pins the decision to a path when it is available.  Base and
+    one-level scopes, which only the dn-index serves, always choose
+    [Scan]. *)
+
+val int_bounds : Afilter.cmp -> int -> int * int
+(** The closed key range an integer comparison probes — shared with the
+    engine's index lookup so pricing and execution agree. *)
+
+val substr_probe : Afilter.substring -> (string * bool) option
+(** The component an indexed substring filter probes with: the longest
+    available one (ties prefer the anchored initial component, whose
+    exact-trie walk is cheaper).  [true] = anchored at the start.
+    [None] for a bare [*]. *)
+
+(** {1 The annotated plan tree} *)
 
 type node = {
   label : string;
@@ -23,11 +86,43 @@ type node = {
   actual_ns : int option;  (** wall-clock nanoseconds, excluding children *)
   actual_alloc : int option;
       (** bytes allocated by the operator, excluding children *)
+  access : choice option;
+      (** the access-path decision, on sub-scope atomic nodes *)
   children : node list;
 }
 
-val estimate : pager:Pager.t -> instance:Instance.t -> Ast.t -> node
-(** Predicted plan, no execution. *)
+val estimate :
+  pager:Pager.t ->
+  instance:Instance.t ->
+  ?attr_index:Attr_index.t ->
+  ?cache:Cache.t ->
+  ?calib:Planstats.t ->
+  ?streaming:bool ->
+  ?force:path ->
+  Ast.t ->
+  node
+(** Predicted plan, no execution.  Sub-scope atomics are priced through
+    {!choose_path} with the same optional handles, so the estimate's
+    per-node numbers are the chosen path's; without any handles the
+    estimate degrades to the selectivity-based scan model. *)
+
+val reorder :
+  pager:Pager.t ->
+  instance:Instance.t ->
+  ?attr_index:Attr_index.t ->
+  ?cache:Cache.t ->
+  ?calib:Planstats.t ->
+  ?streaming:bool ->
+  Ast.t ->
+  Ast.t
+(** Cardinality-ordered boolean merges: flatten maximal [And] / [Or]
+    chains, estimate each operand (atomics through the same calibrated
+    access-path probes), rebuild left-deep ascending by estimated
+    cardinality.  [And]/[Or] being commutative and associative over
+    sorted entry lists, results are unchanged; intermediate sizes — and
+    with them comparisons, and boundary writes when materialized — only
+    shrink when the estimates are right.  Order-sensitive operators
+    ([Diff], hierarchical, references) keep their operand order. *)
 
 val shape : Ast.t -> string
 (** The normalized plan: the operator tree with literal constants
@@ -38,6 +133,10 @@ val fingerprint : Ast.t -> string
 (** 16-hex-digit FNV-1a digest of {!shape} — the journal's plan key. *)
 
 val pp_node : Format.formatter -> node -> unit
+(** Renders each node's estimated-vs-actual row; atomic nodes with an
+    access decision additionally print the chosen path and the rejected
+    alternatives with their losing costs. *)
+
 val pp : Format.formatter -> node -> unit
 val to_string : node -> string
 

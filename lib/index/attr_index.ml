@@ -81,3 +81,35 @@ let lookup_dn_eq t a d =
   match Hashtbl.find_opt t.dn_exact a with
   | None -> Some []
   | Some trie -> Some (Str_trie.find_exact trie (Dn.rev_key d))
+
+(* Cardinality probes: how many candidates the matching lookup would
+   return, without materializing the postings.  Descent I/O is charged
+   like a lookup's; the collection is not — O(log n) for the B-tree,
+   O(|pattern|) for the tries — which is what lets a planner price the
+   index path before committing to it. *)
+
+let count_int_range t a ~lo ~hi =
+  match Hashtbl.find_opt t.ints a with
+  | None -> 0
+  | Some bt -> Btree.count_range bt ~lo ~hi
+
+let count_str_eq t a s =
+  match Hashtbl.find_opt t.str_exact a with
+  | None -> 0
+  | Some trie -> Str_trie.count_exact trie s
+
+let count_prefix t a s =
+  match Hashtbl.find_opt t.str_exact a with
+  | None -> 0
+  | Some trie -> Str_trie.count_prefix trie s
+
+(* Upper bound: suffix occurrences, not distinct strings. *)
+let count_substring t a s =
+  match Hashtbl.find_opt t.str_sub a with
+  | None -> 0
+  | Some idx -> Str_trie.Substr.count_substring idx s
+
+let count_dn_eq t a d =
+  match Hashtbl.find_opt t.dn_exact a with
+  | None -> 0
+  | Some trie -> Str_trie.count_exact trie (Dn.rev_key d)

@@ -18,3 +18,21 @@ val lookup_str_eq : t -> string -> string -> Entry.t list option
 val lookup_str_prefix : t -> string -> string -> Entry.t list option
 val lookup_substring : t -> string -> string -> Entry.t list option
 val lookup_dn_eq : t -> string -> Value.dn -> Entry.t list option
+
+(** {1 Cardinality probes}
+
+    Candidate counts for the matching lookups, without materializing
+    the postings: the descent is charged like a lookup's, the
+    collection is not — O(log n) for the B-tree, O(|pattern|) for the
+    tries.  These are what {!Plan} prices the index access path from.
+    [0] when the attribute is not indexed anywhere. *)
+
+val count_int_range : t -> string -> lo:int -> hi:int -> int
+val count_str_eq : t -> string -> string -> int
+val count_prefix : t -> string -> string -> int
+
+val count_substring : t -> string -> string -> int
+(** Upper bound: a value containing the pattern more than once counts
+    once per occurrence ({!lookup_substring} dedups on collection). *)
+
+val count_dn_eq : t -> string -> Value.dn -> int

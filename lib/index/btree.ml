@@ -12,6 +12,7 @@ type 'a leaf = {
   mutable lkeys : int array;
   mutable lvals : 'a list array;  (* posting list per key, newest first *)
   mutable lcount : int;
+  mutable ltotal : int;  (* postings held by this leaf *)
   mutable next : 'a leaf option;
 }
 
@@ -21,6 +22,7 @@ and 'a internal = {
   mutable ikeys : int array;  (* icount separator keys *)
   mutable children : 'a node array;  (* icount + 1 children *)
   mutable icount : int;
+  mutable itotal : int;  (* postings held by the whole subtree *)
 }
 
 type 'a t = {
@@ -39,6 +41,7 @@ let fresh_leaf order =
     lkeys = Array.make ((2 * order) + 1) 0;
     lvals = Array.make ((2 * order) + 1) [];
     lcount = 0;
+    ltotal = 0;
     next = None;
   }
 
@@ -84,6 +87,22 @@ let leaf_insert leaf k v =
     leaf.lcount <- leaf.lcount + 1
   end
 
+let node_total = function Leaf l -> l.ltotal | Internal i -> i.itotal
+
+let leaf_total leaf =
+  let n = ref 0 in
+  for i = 0 to leaf.lcount - 1 do
+    n := !n + List.length leaf.lvals.(i)
+  done;
+  !n
+
+let children_total node =
+  let n = ref 0 in
+  for i = 0 to node.icount do
+    n := !n + node_total node.children.(i)
+  done;
+  !n
+
 let split_leaf t leaf =
   let half = leaf.lcount / 2 in
   let right = fresh_leaf t.order in
@@ -94,6 +113,8 @@ let split_leaf t leaf =
   Array.fill leaf.lvals half moved [];
   right.lcount <- moved;
   leaf.lcount <- half;
+  leaf.ltotal <- leaf_total leaf;
+  right.ltotal <- leaf_total right;
   right.next <- leaf.next;
   leaf.next <- Some right;
   charge_write t;
@@ -108,11 +129,14 @@ let split_internal t node =
       ikeys = Array.make ((2 * t.order) + 1) 0;
       children = Array.make ((2 * t.order) + 2) node.children.(0);
       icount = moved;
+      itotal = 0;
     }
   in
   Array.blit node.ikeys (half + 1) right.ikeys 0 moved;
   Array.blit node.children (half + 1) right.children 0 (moved + 1);
   node.icount <- half;
+  node.itotal <- children_total node;
+  right.itotal <- children_total right;
   charge_write t;
   (sep, Internal right)
 
@@ -123,9 +147,11 @@ let rec insert_node t node k v =
   match node with
   | Leaf leaf ->
       leaf_insert leaf k v;
+      leaf.ltotal <- leaf.ltotal + 1;
       charge_write t;
       if leaf.lcount > max_keys t then Some (split_leaf t leaf) else None
   | Internal inode -> (
+      inode.itotal <- inode.itotal + 1;
       let ci = child_index inode.ikeys inode.icount k in
       match insert_node t inode.children.(ci) k v with
       | None -> None
@@ -150,7 +176,14 @@ let insert t k v =
       ikeys.(0) <- sep;
       children.(0) <- t.root;
       children.(1) <- right;
-      t.root <- Internal { ikeys; children; icount = 1 };
+      t.root <-
+        Internal
+          {
+            ikeys;
+            children;
+            icount = 1;
+            itotal = node_total t.root + node_total right;
+          };
       charge_write t
 
 (* --- Lookup ----------------------------------------------------------- *)
@@ -194,6 +227,40 @@ let range t ~lo ~hi =
     List.rev !acc
   end
 
+(* Postings with key <= k, from the maintained subtree totals: one
+   root-to-leaf descent, each visited node charged as a read, children
+   left of the descent path contributing their totals wholesale. *)
+let count_le t k =
+  let rec go node =
+    charge_read t;
+    match node with
+    | Leaf leaf ->
+        let n = ref 0 in
+        let i = ref 0 in
+        while !i < leaf.lcount && leaf.lkeys.(!i) <= k do
+          n := !n + List.length leaf.lvals.(!i);
+          incr i
+        done;
+        !n
+    | Internal inode ->
+        let ci = child_index inode.ikeys inode.icount k in
+        let n = ref 0 in
+        for i = 0 to ci - 1 do
+          n := !n + node_total inode.children.(i)
+        done;
+        !n + go inode.children.(ci)
+  in
+  go t.root
+
+(* Cardinality of [range ~lo ~hi] without materializing the postings:
+   O(log n) page reads (two boundary descents; none for the full-key
+   range, which is the maintained cardinal). *)
+let count_range t ~lo ~hi =
+  if lo > hi then 0
+  else if lo = min_int && hi = max_int then t.cardinal
+  else if lo = min_int then count_le t hi
+  else count_le t hi - count_le t (lo - 1)
+
 let fold_all f init t =
   (* Descend to the leftmost leaf, then follow the chain. *)
   let rec leftmost = function
@@ -220,9 +287,11 @@ let rec check_node node ~lo ~hi ~depth =
         (match lo with Some l -> assert (leaf.lkeys.(i) >= l) | None -> ());
         (match hi with Some h -> assert (leaf.lkeys.(i) < h) | None -> ())
       done;
+      assert (leaf.ltotal = leaf_total leaf);
       depth
   | Internal inode ->
       assert (inode.icount >= 1);
+      assert (inode.itotal = children_total inode);
       for i = 0 to inode.icount - 2 do
         assert (inode.ikeys.(i) < inode.ikeys.(i + 1))
       done;

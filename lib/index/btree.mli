@@ -23,6 +23,11 @@ val find : 'a t -> int -> 'a list
 val range : 'a t -> lo:int -> hi:int -> (int * 'a list) list
 (** Inclusive range scan in key order, walking the leaf chain. *)
 
+val count_range : 'a t -> lo:int -> hi:int -> int
+(** Cardinality of [range ~lo ~hi] without materializing the postings:
+    maintained subtree totals make it O(log n) page reads (at most two
+    boundary descents; zero for the unbounded range). *)
+
 val fold_all : ('acc -> int -> 'a list -> 'acc) -> 'acc -> 'a t -> 'acc
 (** Fold over all keys in order (unaccounted; used by tests). *)
 

@@ -9,11 +9,13 @@
 type 'a node = {
   children : (char, 'a node) Hashtbl.t;
   mutable terminal : 'a list;  (* payloads of strings ending here *)
+  mutable subtree_count : int;  (* payloads stored at or below this node *)
 }
 
 type 'a t = { pager : Pager.t; root : 'a node; mutable size : int }
 
-let fresh_node () = { children = Hashtbl.create 4; terminal = [] }
+let fresh_node () =
+  { children = Hashtbl.create 4; terminal = []; subtree_count = 0 }
 let create pager = { pager; root = fresh_node (); size = 0 }
 let size t = t.size
 let charge_read t = Io_stats.read_page (Pager.stats t.pager)
@@ -21,6 +23,7 @@ let charge_write t = Io_stats.write_page (Pager.stats t.pager)
 
 let add t s payload =
   let rec walk node i =
+    node.subtree_count <- node.subtree_count + 1;
     if i = String.length s then node.terminal <- payload :: node.terminal
     else
       let c = s.[i] in
@@ -53,6 +56,15 @@ let descend t s =
 
 let find_exact t s =
   match descend t s with Some n -> List.rev n.terminal | None -> []
+
+(* Cardinality probes: the descent is charged like a lookup's, but the
+   answer comes off the maintained subtree counters instead of a
+   subtree collection — O(|s|) page reads however many strings match. *)
+let count_exact t s =
+  match descend t s with Some n -> List.length n.terminal | None -> 0
+
+let count_prefix t s =
+  match descend t s with Some n -> n.subtree_count | None -> 0
 
 (* All payloads of strings with prefix [s] (the subtree below the walk). *)
 let find_prefix t s =
@@ -110,4 +122,9 @@ module Substr = struct
       hits
 
   let count t = t.count
+
+  (* Suffix occurrences of [sub] across the indexed strings: an upper
+     bound on [find_substring]'s cardinality (a string containing [sub]
+     k times is counted k times; the lookup dedups).  O(|sub|) reads. *)
+  let count_substring t sub = count_prefix t.trie sub
 end

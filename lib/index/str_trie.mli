@@ -18,6 +18,15 @@ val find_exact : 'a t -> string -> 'a list
 val find_prefix : 'a t -> string -> 'a list
 (** Payloads of all strings with the given prefix. *)
 
+val count_exact : 'a t -> string -> int
+(** [List.length (find_exact t s)] without materializing: the descent
+    is charged, the count is O(1) off the terminal list. *)
+
+val count_prefix : 'a t -> string -> int
+(** [List.length (find_prefix t s)] without collecting the subtree:
+    O(|s|) page reads against maintained subtree counters, instead of
+    the lookup's one read per subtree node. *)
+
 (** Substring lookup via a suffix trie: every suffix of every indexed
     string is inserted, so the strings containing [sub] are those with
     a suffix extending [sub].  Payloads are deduplicated on query. *)
@@ -28,4 +37,10 @@ module Substr : sig
   val add : 'a t -> string -> 'a -> unit
   val find_substring : 'a t -> string -> 'a list
   val count : 'a t -> int
+
+  val count_substring : 'a t -> string -> int
+  (** Upper bound on [List.length (find_substring t sub)] in O(|sub|)
+      page reads: suffix occurrences are counted, so a string containing
+      [sub] more than once is counted once per occurrence (the lookup
+      dedups; the probe cannot without materializing). *)
 end

@@ -287,9 +287,13 @@ let builtin t path params =
               (Json.Obj
                  [
                    ("status", Json.Str "ok");
+                   (* Whole seconds: a fractional uptime serializes with
+                      variable width, so a HEAD rendered moments after a GET
+                      could advertise a different Content-Length. *)
                    ( "uptime_s",
                      Json.Num
-                       (float_of_int (Mclock.now_ns () - t.started_ns) /. 1e9)
+                       (float_of_int
+                          ((Mclock.now_ns () - t.started_ns) / 1_000_000_000))
                    );
                    ("requests", Json.Num (float_of_int t.served));
                    ( "journal",

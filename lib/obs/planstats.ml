@@ -386,7 +386,11 @@ let note_event t (ev : Qlog.event) =
   | Some est ->
       note_obs t ~op:"query" ~bucket:qbucket Writes ~est ~act:ev.Qlog.writes
   | None -> ());
-  (* per-operator rows carrying joined estimates *)
+  (* per-operator rows carrying joined estimates; rows annotated with
+     an access path feed a second, path-suffixed class ("atomic:index",
+     "atomic:scan", …) so a calibrated planner can correct each path's
+     cost model separately — the substring index's occurrence-count
+     upper bound biases only the index path, not scans *)
   let arr = Array.of_list ev.Qlog.ops in
   Array.iteri
     (fun i (o : Qlog.op) ->
@@ -395,18 +399,27 @@ let note_event t (ev : Qlog.event) =
       | Some est_rows ->
           let bucket = bucket_of_rows est_rows in
           let op = o.Qlog.op_name in
+          let path_op =
+            Option.map (fun p -> op ^ ":" ^ p) o.Qlog.op_path
+          in
+          let note dim ~est ~act =
+            note_obs t ~op ~bucket dim ~est ~act;
+            match path_op with
+            | Some op -> note_obs t ~op ~bucket dim ~est ~act
+            | None -> ()
+          in
           (match o.Qlog.op_rows with
           | Some act ->
-              note_obs t ~op ~bucket Card ~est:est_rows ~act;
+              note Card ~est:est_rows ~act;
               let q = qerror ~est:est_rows ~act in
               if q > w.w_worst_q then w.w_worst_q <- q
           | None -> ());
           let act_reads, act_writes = exclusive_io arr i in
           (match o.Qlog.op_est_reads with
-          | Some est -> note_obs t ~op ~bucket Reads ~est ~act:act_reads
+          | Some est -> note Reads ~est ~act:act_reads
           | None -> ());
           (match o.Qlog.op_est_writes with
-          | Some est -> note_obs t ~op ~bucket Writes ~est ~act:act_writes
+          | Some est -> note Writes ~est ~act:act_writes
           | None -> ()))
     arr;
   if t.events mod drift_check_every = 0 then check_drift t
@@ -527,6 +540,33 @@ let class_dim t op dim =
     (fun (o, _) c -> if String.equal o op then dim_add ~into:total (dim_of_cell c dim))
     t.cells;
   total
+
+(* --- Bias lookup: what a calibrated planner consults ------------------------ *)
+
+(* The multiplicative correction a calibrated estimate applies:
+   est x bias ~= act.  Looked up in the exact (class, bucket) cell
+   first, falling back to the class aggregate across buckets; [None]
+   below the support threshold, so a planner with no history changes
+   nothing.  Clamped — a handful of pathological observations must not
+   swing costs by orders of magnitude. *)
+let bias_min_n = 4
+let bias_clamp = 8.
+
+let bias t ~op ~rows dim =
+  let of_ds ds =
+    if ds.n >= bias_min_n then
+      Some (Float.min bias_clamp (Float.max (1. /. bias_clamp) (mean_bias ds)))
+    else None
+  in
+  let in_cell =
+    match Hashtbl.find_opt t.cells (op, bucket_of_rows rows) with
+    | Some c -> of_ds (dim_of_cell c dim)
+    | None -> None
+  in
+  match in_cell with Some _ as b -> b | None -> of_ds (class_dim t op dim)
+
+let bias_card t ~op ~rows = bias t ~op ~rows Card
+let bias_reads t ~op ~rows = bias t ~op ~rows Reads
 
 let class_quantile t op dim q =
   match Hashtbl.find_opt t.samples op with

@@ -94,6 +94,20 @@ val merge : into:t -> t -> unit
 (** Add [src]'s calibration cells into [into] (counts and log-sums
     add, maxima take the max). *)
 
+(** {1 Bias lookup}
+
+    What a calibrated planner consults.  [bias_* t ~op ~rows] is the
+    multiplicative correction for class [op] in the selectivity bucket
+    of an estimate of [rows] ([est x bias ~= act] on the workload seen
+    so far): the exact (class, bucket) cell when it has at least 4
+    observations, else the class aggregate across buckets, else
+    [None].  Clamped to [\[1/8, 8\]].  Per-path classes are recorded as
+    ["atomic:index"], ["atomic:scan"], … when events carry operator
+    access paths. *)
+
+val bias_card : t -> op:string -> rows:int -> float option
+val bias_reads : t -> op:string -> rows:int -> float option
+
 (** {1 Drift} *)
 
 val set_baseline : t -> t -> unit

@@ -27,6 +27,7 @@ type op = {
   op_est_rows : int option;  (* planner estimates, when the recording *)
   op_est_reads : int option;  (* layer joined the plan to the span tree *)
   op_est_writes : int option;
+  op_path : string option;  (* access path an atomic took: index|scan|cache *)
 }
 
 type outcome = Ok | Failed of string
@@ -52,6 +53,8 @@ type event = {
   est_reads : int option;  (* recording layer computed a plan *)
   est_writes : int option;
   cache : string option;  (* result-cache outcome: hit|miss|stale|bypass *)
+  path : string option;  (* access paths the query's atomics took,
+                            comma-joined distinct: index|scan|cache *)
   server : string option;  (* answering server, in distributed evaluation *)
   shipped : (string * int * int) list;  (* per-server (name, messages, bytes) *)
   ops : op list;  (* flattened span tree, preorder *)
@@ -171,6 +174,7 @@ let ops_of_span span =
         op_est_rows = None;
         op_est_reads = None;
         op_est_writes = None;
+        op_path = None;
       }
     in
     List.fold_left (fun acc c -> go (depth + 1) c acc) (row :: acc)
@@ -204,7 +208,10 @@ let op_to_json o =
     @ opt_int "alloc" o.op_alloc
     @ opt_int "est_rows" o.op_est_rows
     @ opt_int "est_reads" o.op_est_reads
-    @ opt_int "est_writes" o.op_est_writes)
+    @ opt_int "est_writes" o.op_est_writes
+    @ match o.op_path with
+      | None -> []
+      | Some p -> [ ("path", Json.Str p) ])
 
 let to_json ev =
   Json.Obj
@@ -237,6 +244,9 @@ let to_json ev =
     @ (match ev.cache with
       | None -> []
       | Some c -> [ ("cache", Json.Str c) ])
+    @ (match ev.path with
+      | None -> []
+      | Some p -> [ ("path", Json.Str p) ])
     @ (match ev.server with
       | None -> []
       | Some s -> [ ("server", Json.Str s) ])
@@ -283,6 +293,10 @@ let op_of_json j =
     op_est_rows = read_opt_int "est_rows" j;
     op_est_reads = read_opt_int "est_reads" j;
     op_est_writes = read_opt_int "est_writes" j;
+    op_path =
+      (match Json.member "path" j with
+      | Json.Null -> None
+      | v -> Some (Json.str v));
   }
 
 let of_json j =
@@ -309,6 +323,10 @@ let of_json j =
       | _ -> Ok);
     cache =
       (match Json.member "cache" j with
+      | Json.Null -> None
+      | v -> Some (Json.str v));
+    path =
+      (match Json.member "path" j with
       | Json.Null -> None
       | v -> Some (Json.str v));
     server =
@@ -354,7 +372,7 @@ let m_slow =
 let on_record : (event -> unit) option ref = ref None
 let set_on_record f = on_record := f
 
-let record ?cache ?server ?trace_id ?(shipped = []) ?(ops = []) ?capture
+let record ?cache ?path ?server ?trace_id ?(shipped = []) ?(ops = []) ?capture
     ?alloc_bytes ?est_card ?est_reads ?est_writes ~query ~fingerprint
     ~result_count ~reads ~writes ~wall_ns ~outcome () =
   locked @@ fun () ->
@@ -377,6 +395,7 @@ let record ?cache ?server ?trace_id ?(shipped = []) ?(ops = []) ?capture
       est_reads;
       est_writes;
       cache;
+      path;
       server;
       shipped;
       ops;
@@ -422,6 +441,7 @@ let pp_event ppf ev =
     (match ev.outcome with Ok -> "ok" | Failed m -> "ERROR " ^ m)
     ev.result_count ev.reads ev.writes
     (match ev.cache with None -> "" | Some c -> "  cache=" ^ c)
-    (match ev.server with None -> "" | Some s -> "  @" ^ s)
+    ((match ev.path with None -> "" | Some p -> "  path=" ^ p)
+    ^ match ev.server with None -> "" | Some s -> "  @" ^ s)
     (" plan=" ^ ev.fingerprint)
     ev.query

@@ -35,6 +35,10 @@ type op = {
           recorded (or journaled) before the join existed *)
   op_est_reads : int option;
   op_est_writes : int option;
+  op_path : string option;
+      (** access path an atomic operator took ([index|scan|cache]), when
+          the recording layer annotated it; absent on non-atomic rows
+          and in journals written before path selection existed *)
 }
 
 type outcome = Ok | Failed of string
@@ -70,6 +74,9 @@ type event = {
   cache : string option;
       (** result-cache outcome ([hit|miss|stale|bypass]), when the
           evaluating layer reports one *)
+  path : string option;
+      (** distinct access paths the query's atomics took, comma-joined
+          ([index|scan|cache]), when the evaluating layer selects paths *)
   server : string option;  (** answering server (distributed evaluation) *)
   shipped : (string * int * int) list;
       (** per-server (name, messages, bytes) attribution *)
@@ -121,6 +128,7 @@ val ops_of_span : Trace.span -> op list
 
 val record :
   ?cache:string ->
+  ?path:string ->
   ?server:string ->
   ?trace_id:string ->
   ?shipped:(string * int * int) list ->

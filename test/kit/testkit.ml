@@ -17,8 +17,9 @@ let oracle instance q = Semantics.eval instance q
 (* A fresh engine over [instance] with small pages so that page-level
    effects show up even on small inputs. *)
 let engine ?(block = 8) ?(window = 2) ?(with_attr_index = true)
-    ?(algorithms = Engine.Stack_based) ?mode instance =
-  Engine.create ~block ~window ~with_attr_index ~algorithms ?mode instance
+    ?(algorithms = Engine.Stack_based) ?mode ?planner ?directory instance =
+  Engine.create ~block ~window ~with_attr_index ~algorithms ?mode ?planner
+    ?directory instance
 
 (* --- QCheck generators -------------------------------------------------- *)
 
@@ -197,6 +198,12 @@ let gen_query instance =
 let gen_instance_and_query =
   let* instance = gen_instance in
   let* q = gen_query instance in
+  Gen.return (instance, q)
+
+(* Atomic-only pairs, for properties about access-path selection. *)
+let gen_instance_and_atomic =
+  let* instance = gen_instance in
+  let* q = gen_atomic instance in
   Gen.return (instance, q)
 
 let qtest ?(count = 100) name gen prop =

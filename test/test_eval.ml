@@ -372,6 +372,131 @@ let prop_closure (instance, q) =
        (fun ok e -> ok && Instance.mem instance (Entry.dn e))
        true result
 
+(* --- Cost-based planner --------------------------------------------------- *)
+
+(* Every access-path policy — cost-based, both forced baselines, and
+   the legacy unconditional-index mode — must produce exactly the
+   oracle's result: the planner may only change costs, never answers. *)
+let prop_planner_modes_match_oracle (instance, q) =
+  let expected = Testkit.oracle instance q in
+  List.for_all
+    (fun planner ->
+      let eng = Testkit.engine ~planner instance in
+      let actual = Engine.eval_entries eng q in
+      List.length expected = List.length actual
+      && List.for_all2 Entry.equal_dn expected actual)
+    Engine.[ Auto; Force_index; Force_scan; Off ]
+
+(* A calibrated planner is still exact: feed a store from the engine's
+   own journal stream (the self-tuning loop), then re-evaluate with the
+   bias corrections live. *)
+let prop_calibrated_planner_matches (instance, q) =
+  let path = Filename.temp_file "ndq_caltest" ".jsonl" in
+  Qlog.enable ~append:false path;
+  let store = Planstats.create ~metrics:false () in
+  Planstats.attach store;
+  Fun.protect
+    ~finally:(fun () ->
+      Planstats.detach store;
+      Qlog.disable ();
+      Sys.remove path)
+    (fun () ->
+      let eng = Testkit.engine ~planner:Engine.Auto instance in
+      ignore (Engine.eval_entries eng q);
+      Engine.set_calibration eng (Some store);
+      let expected = Testkit.oracle instance q in
+      let actual = Engine.eval_entries eng q in
+      List.length expected = List.length actual
+      && List.for_all2 Entry.equal_dn expected actual)
+
+(* The cost-based pick never reads meaningfully more pages than the
+   best forced alternative actually costs: the estimate slack (probe
+   exactness, the collect proxy, the scope-overlap guess) is bounded,
+   so a generous envelope of 2x + 6 pages catches any gross
+   mis-selection while tolerating honest estimation error. *)
+let prop_chosen_path_read_bound (instance, q) =
+  let measure planner =
+    let eng = Testkit.engine ~planner instance in
+    ignore (Engine.eval_entries eng q);
+    (Engine.stats eng).Io_stats.page_reads
+  in
+  let auto = measure Engine.Auto in
+  let best = min (measure Engine.Force_index) (measure Engine.Force_scan) in
+  auto <= (2 * best) + 6
+
+(* A cached sub-result is an access path: once ( ? sub ? tag=even) is
+   in the result cache, the planner serves it from there inside a
+   bigger tree, and the answer still matches the oracle. *)
+let test_planner_cache_path () =
+  let instance = Dif_gen.karily ~fanout:2 ~size:128 () in
+  let cache = Cache.create ~admit_min_io:1 () in
+  let eng = Engine.create ~block:8 ~result_cache:cache instance in
+  let q1 = Qparser.of_string "( ? sub ? tag=even)" in
+  ignore (Engine.eval_entries eng q1);
+  let q = Qparser.of_string "(& ( ? sub ? tag=even) ( ? sub ? priority>=1))" in
+  let actual = Engine.eval_entries eng q in
+  Testkit.check_entries "cache-path result = oracle"
+    (Testkit.oracle instance q) actual;
+  let _, _, cached = Engine.path_counts eng in
+  Alcotest.(check bool) "the cache path served an atomic" true (cached > 0)
+
+(* The staleness satellite: a directory-watched engine rebuilds its
+   indexes after an update, so a query through the index path sees the
+   new value. *)
+let test_watched_engine_sees_updates () =
+  let d = Directory.create (Dif_gen.karily ~fanout:2 ~size:32 ()) in
+  let eng = Engine.create ~block:8 ~directory:d (Directory.instance d) in
+  let q = Qparser.of_string "( ? sub ? tag=fresh)" in
+  Alcotest.(check int) "no fresh tag yet" 0
+    (List.length (Engine.eval_entries eng q));
+  let victim =
+    match Engine.eval_entries eng (Qparser.of_string "( ? sub ? id=5)") with
+    | [ e ] -> Entry.dn e
+    | _ -> Alcotest.fail "expected exactly one id=5"
+  in
+  (match
+     Directory.modify d victim [ Directory.Replace ("tag", [ Value.Str "fresh" ]) ]
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "modify: %a" Directory.pp_error e);
+  (match Engine.eval_entries eng q with
+  | [ e ] ->
+      Alcotest.(check bool) "the updated entry" true (Dn.equal (Entry.dn e) victim)
+  | es -> Alcotest.failf "expected 1 fresh entry after update, got %d" (List.length es));
+  (* and the other direction: the old value is gone from the index *)
+  Alcotest.(check int) "old even/odd tag dropped" 0
+    (List.length
+       (Engine.eval_entries eng
+          (Qparser.of_string "(& ( ? sub ? id=5) ( ? sub ? tag=odd))")))
+
+(* :explain's contract: an estimated plan renders the chosen access
+   path and the rejected alternatives with the costs that lost. *)
+let test_explain_shows_paths () =
+  let instance = Dif_gen.karily ~fanout:2 ~size:64 () in
+  let eng = Engine.create ~block:8 instance in
+  let plan = Explain.estimate eng (Qparser.of_string "( ? sub ? priority>=3)") in
+  let text = Plan.to_string plan in
+  let contains needle =
+    let n = String.length needle and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "prints the chosen path" true (contains "path ");
+  Alcotest.(check bool) "prints a rejected alternative" true (contains "!");
+  Alcotest.(check bool) "prices the scan alternative" true (contains "scan rows=");
+  (* forced modes pin the path *)
+  Engine.set_planner eng Engine.Force_scan;
+  let forced =
+    Plan.to_string (Explain.estimate eng (Qparser.of_string "( ? sub ? priority>=3)"))
+  in
+  let contains_in hay needle =
+    let n = String.length needle and m = String.length hay in
+    let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "forced scan is chosen" true
+    (contains_in forced "path scan")
+
 let () =
   Alcotest.run "eval"
     [
@@ -411,5 +536,19 @@ let () =
             Testkit.gen_instance_and_query prop_cached_engine_matches;
           Testkit.qtest ~count:100 "paging reassembles the result"
             Testkit.gen_instance_and_query prop_paging_reassembles;
+        ] );
+      ( "planner",
+        [
+          Testkit.qtest ~count:100 "every planner mode = oracle"
+            Testkit.gen_instance_and_query prop_planner_modes_match_oracle;
+          Testkit.qtest ~count:30 "calibrated planner = oracle"
+            Testkit.gen_instance_and_query prop_calibrated_planner_matches;
+          Testkit.qtest ~count:150 "chosen path within read envelope"
+            Testkit.gen_instance_and_atomic prop_chosen_path_read_bound;
+          Alcotest.test_case "cache access path" `Quick test_planner_cache_path;
+          Alcotest.test_case "watched engine sees updates" `Quick
+            test_watched_engine_sees_updates;
+          Alcotest.test_case "explain renders chosen vs rejected" `Quick
+            test_explain_shows_paths;
         ] );
     ]

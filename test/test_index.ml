@@ -178,6 +178,103 @@ let test_attr_index_lookups () =
   Alcotest.(check bool) "unindexed attribute yields empty" true
     (Attr_index.lookup_int_range idx "nosuch" ~lo:0 ~hi:9 = Some [])
 
+(* Every cardinality probe agrees with materializing the matching
+   lookup — the planner's statistics must be the truth it prices. *)
+let posting_len = function Some es -> List.length es | None -> 0
+
+let test_attr_index_counts () =
+  let _, pager = fresh () in
+  let i = Dif_gen.karily ~fanout:2 ~size:64 () in
+  let idx = Attr_index.build pager i in
+  List.iter
+    (fun (lo, hi) ->
+      Alcotest.(check int)
+        (Printf.sprintf "count_int_range id [%d,%d]" lo hi)
+        (posting_len (Attr_index.lookup_int_range idx "id" ~lo ~hi))
+        (Attr_index.count_int_range idx "id" ~lo ~hi))
+    [ (10, 10); (0, 63); (20, 40); (70, 99); (min_int, max_int) ];
+  List.iter
+    (fun s ->
+      Alcotest.(check int) ("count_str_eq tag " ^ s)
+        (posting_len (Attr_index.lookup_str_eq idx "tag" s))
+        (Attr_index.count_str_eq idx "tag" s))
+    [ "even"; "odd"; "neither" ];
+  List.iter
+    (fun p ->
+      Alcotest.(check int) ("count_prefix tag " ^ p)
+        (posting_len (Attr_index.lookup_str_prefix idx "tag" p))
+        (Attr_index.count_prefix idx "tag" p))
+    [ "e"; "ev"; "even"; "o"; ""; "x" ];
+  (* the substring probe is an upper bound (per-occurrence, the lookup
+     dedups); these patterns occur at most once per value, so exact *)
+  List.iter
+    (fun s ->
+      Alcotest.(check int) ("count_substring tag " ^ s)
+        (posting_len (Attr_index.lookup_substring idx "tag" s))
+        (Attr_index.count_substring idx "tag" s))
+    [ "ve"; "dd"; "even"; "zz" ];
+  Alcotest.(check int) "count on unindexed attribute" 0
+    (Attr_index.count_int_range idx "nosuch" ~lo:0 ~hi:9)
+
+let test_attr_index_count_dn () =
+  let _, pager = fresh () in
+  let i = Dif_gen.generate ~params:{ Dif_gen.default_params with seed = 7; size = 80 } () in
+  let idx = Attr_index.build pager i in
+  (* every dn actually referenced, plus one that never is *)
+  let refs =
+    Instance.fold
+      (fun acc e ->
+        List.fold_left
+          (fun acc (a, v) ->
+            match (a, v) with "ref", Value.Dn d -> d :: acc | _ -> acc)
+          acc (Entry.attrs e))
+      [] i
+  in
+  Alcotest.(check bool) "generator produced refs" true (refs <> []);
+  List.iter
+    (fun d ->
+      Alcotest.(check int)
+        ("count_dn_eq " ^ Dn.to_string d)
+        (posting_len (Attr_index.lookup_dn_eq idx "ref" d))
+        (Attr_index.count_dn_eq idx "ref" d))
+    (Dn.child Dn.root (Rdn.single "id" (Value.Int 424242)) :: refs)
+
+(* Randomized: counts agree with lookups on arbitrary small string
+   multisets (including duplicate values, where subtree counters could
+   drift from posting lists). *)
+let prop_trie_counts_vs_lookups strs =
+  let _, pager = fresh () in
+  let t = Str_trie.create pager in
+  List.iteri (fun i s -> Str_trie.add t s i) strs;
+  let probes = "" :: "a" :: "ab" :: "abc" :: "ca" :: strs in
+  List.for_all
+    (fun s ->
+      Str_trie.count_exact t s = List.length (Str_trie.find_exact t s)
+      && Str_trie.count_prefix t s = List.length (Str_trie.find_prefix t s))
+    probes
+
+let prop_btree_counts_vs_range kvs =
+  let _, pager = fresh () in
+  let bt = Btree.create ~order:2 pager in
+  List.iter (fun (k, v) -> Btree.insert bt k v) kvs;
+  List.for_all
+    (fun (lo, hi) ->
+      Btree.count_range bt ~lo ~hi
+      = List.length (List.concat_map snd (Btree.range bt ~lo ~hi)))
+    [ (0, 200); (50, 60); (100, 100); (150, 10); (-5, 500); (min_int, max_int) ]
+
+(* The substring counter never undercounts (it may overcount values
+   containing the pattern twice, which the lookup dedups). *)
+let prop_substr_count_upper_bound strs =
+  let _, pager = fresh () in
+  let idx = Str_trie.Substr.create pager in
+  List.iteri (fun i s -> Str_trie.Substr.add idx s i) strs;
+  List.for_all
+    (fun s ->
+      Str_trie.Substr.count_substring idx s
+      >= List.length (Str_trie.Substr.find_substring idx s))
+    ("" :: "a" :: "bc" :: "abc" :: strs)
+
 let () =
   Alcotest.run "index"
     [
@@ -203,5 +300,19 @@ let () =
             prop_dn_index_subtree_matches_instance;
         ] );
       ( "attr-index",
-        [ Alcotest.test_case "typed lookups" `Quick test_attr_index_lookups ] );
+        [
+          Alcotest.test_case "typed lookups" `Quick test_attr_index_lookups;
+          Alcotest.test_case "count probes = lookup lengths" `Quick
+            test_attr_index_counts;
+          Alcotest.test_case "dn count probe" `Quick test_attr_index_count_dn;
+        ] );
+      ( "count-probes",
+        [
+          Testkit.qtest ~count:200 "trie counts vs lookups" gen_strings
+            prop_trie_counts_vs_lookups;
+          Testkit.qtest ~count:200 "btree count_range vs range" gen_kvs
+            prop_btree_counts_vs_range;
+          Testkit.qtest ~count:200 "substring count is an upper bound"
+            gen_strings prop_substr_count_upper_bound;
+        ] );
     ]

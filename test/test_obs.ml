@@ -319,6 +319,7 @@ let test_qlog_roundtrip () =
             op_est_rows = None;
             op_est_reads = None;
             op_est_writes = None;
+            op_path = None;
           };
           {
             Qlog.op_name = "atomic";
@@ -332,6 +333,7 @@ let test_qlog_roundtrip () =
             op_est_rows = Some 4;
             op_est_reads = Some 6;
             op_est_writes = Some 0;
+            op_path = Some "index";
           };
         ]
       in
